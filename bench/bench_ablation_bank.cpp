@@ -1,0 +1,79 @@
+// Extension study: latency/throughput of each Table II mapping on a bank
+// of n physical arrays, including weight-reprogramming overhead.
+//
+// The paper's two accounting points — "cycles on a single array" and
+// "arrays to hold everything" — are the n=1 and n=tiles ends of a spectrum.
+// This bench sweeps the bank size and shows where each mapping's latency
+// bottoms out, and what reprogramming (ignored by pure cycle counts) costs
+// when the bank is smaller than the model. MEMHD's defining advantage shows
+// up as needing only 8 arrays to hit its floor, vs 640 for BasicHDC.
+#include "bench_common.hpp"
+
+#include "src/imc/cost_model.hpp"
+#include "src/imc/scheduler.hpp"
+
+namespace {
+using namespace memhd;
+}
+
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Extension: per-query makespan and throughput vs physical-array bank "
+      "size for the Table II mappings.");
+  bench::add_common_flags(cli);
+  cli.add_flag("reprogram-cycles", "0",
+               "Cycles to reprogram one array (0 = paper's free-reprogram "
+               "accounting)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = bench::make_context(cli);
+
+  const imc::ArrayGeometry geometry{128, 128};
+  const imc::CostModel cost;
+  imc::SchedulerConfig bank;
+  bank.reprogram_cycles =
+      static_cast<std::size_t>(cli.get_int("reprogram-cycles"));
+
+  const std::vector<imc::ModelMapping> models = {
+      imc::map_basic_model(784, 10240, 10, geometry),
+      imc::map_partitioned_model(784, 10240, 10, 10, geometry),
+      imc::map_memhd_model(784, 128, 128, geometry),
+  };
+  const std::vector<std::size_t> bank_sizes = {1, 2, 4, 8, 16, 64, 256, 640};
+
+  common::CsvWriter csv(bench::csv_path(ctx, "ablation_bank.csv"));
+  csv.write_header({"mapping", "bank_arrays", "makespan_cycles",
+                    "reprogram_cycles", "bank_utilization",
+                    "throughput_mqps"});
+
+  std::printf("=== Bank-size sweep (reprogram cost: %zu cycles/swap) ===\n\n",
+              bank.reprogram_cycles);
+  for (const auto& model : models) {
+    std::printf("--- %s (EM+AM = %zu tile activations/query) ---\n",
+                model.label.c_str(),
+                model.em_cost.activations + model.am_cost.activations);
+    common::TablePrinter table({"Bank arrays", "Makespan (cyc)",
+                                "Reprogram (cyc)", "Bank util",
+                                "Throughput (Mq/s)"});
+    for (const std::size_t n : bank_sizes) {
+      bank.physical_arrays = n;
+      const auto s = imc::schedule_inference(model, bank);
+      const double mqps =
+          imc::throughput_qps(s, cost.params().cycle_time_ns) / 1e6;
+      table.add_row({std::to_string(n), std::to_string(s.makespan_cycles),
+                     std::to_string(s.reprogram_overhead_cycles),
+                     bench::pct(s.bank_utilization) + "%",
+                     common::format_double(mqps, 2)});
+      csv.write_row({model.label, std::to_string(n),
+                     std::to_string(s.makespan_cycles),
+                     std::to_string(s.reprogram_overhead_cycles),
+                     common::format_double(s.bank_utilization, 4),
+                     common::format_double(mqps, 3)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("CSV written to %s\n",
+              bench::csv_path(ctx, "ablation_bank.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation: the per-centroid normalization operator in QAT step 4.
+//
+// Paper §III-C(4) requires a normalization "distinct from standard HDC
+// approaches" that evens out learning influence across a class's centroids,
+// but does not name the operator. This bench compares the three candidates
+// implemented in the library (none / L2 / z-score, the default) so the
+// design choice recorded in DESIGN.md is backed by data.
+#include "bench_common.hpp"
+
+namespace {
+using namespace memhd;
+
+const char* mode_name(core::NormalizationMode m) {
+  switch (m) {
+    case core::NormalizationMode::kNone: return "none";
+    case core::NormalizationMode::kL2: return "l2";
+    case core::NormalizationMode::kZScore: return "zscore";
+  }
+  return "?";
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Ablation: QAT normalization mode (none / L2 / z-score) on the "
+      "mnist and isolet profiles.");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = bench::make_context(cli);
+
+  const std::size_t epochs = ctx.epochs ? ctx.epochs : (ctx.full ? 100 : 20);
+  struct Shape {
+    const char* dataset;
+    std::size_t dim, columns;
+  };
+  const std::vector<Shape> shapes = {{"mnist", 128, 128},
+                                     {"isolet", 256, 128}};
+
+  common::CsvWriter csv(bench::csv_path(ctx, "ablation_normalization.csv"));
+  csv.write_header({"dataset", "shape", "normalization", "accuracy_pct",
+                    "post_init_pct", "trial"});
+
+  bench::Timer total;
+  for (const auto& shape : shapes) {
+    std::printf("=== Normalization ablation (%s %zux%zu, epochs=%zu) ===\n",
+                shape.dataset, shape.dim, shape.columns, epochs);
+    common::TablePrinter table(
+        {"Normalization", "Post-init (%)", "Final (%)", "Delta (pp)"});
+    for (const auto mode :
+         {core::NormalizationMode::kNone, core::NormalizationMode::kL2,
+          core::NormalizationMode::kZScore}) {
+      double acc_sum = 0.0, init_sum = 0.0;
+      for (std::uint64_t trial = 0; trial < ctx.trials; ++trial) {
+        const auto split = bench::load_profile(shape.dataset, ctx, trial);
+        core::MemhdConfig cfg;
+        cfg.dim = shape.dim;
+        cfg.columns = shape.columns;
+        cfg.normalization = mode;
+        cfg.epochs = epochs;
+        cfg.learning_rate =
+            std::string(shape.dataset) == "isolet" ? 0.02f : 0.03f;
+        cfg.seed = ctx.seed + trial;
+        const auto run = bench::run_memhd(split, cfg);
+        acc_sum += run.test_accuracy;
+        init_sum += run.report.post_init_eval_accuracy;
+        csv.write_row({shape.dataset,
+                       std::to_string(shape.dim) + "x" +
+                           std::to_string(shape.columns),
+                       mode_name(mode), bench::pct(run.test_accuracy),
+                       bench::pct(run.report.post_init_eval_accuracy),
+                       std::to_string(trial)});
+      }
+      const double n = static_cast<double>(ctx.trials);
+      table.add_row({mode_name(mode), bench::pct(init_sum / n),
+                     bench::pct(acc_sum / n),
+                     common::format_double(
+                         100.0 * (acc_sum - init_sum) / n, 2)});
+      std::printf("  [%6.1fs] %s done\n", total.seconds(), mode_name(mode));
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("Total %.1fs. CSV written to %s\n", total.seconds(),
+              bench::csv_path(ctx, "ablation_normalization.csv").c_str());
+  return 0;
+}

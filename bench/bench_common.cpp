@@ -1,0 +1,79 @@
+#include "bench_common.hpp"
+
+#include <filesystem>
+
+namespace memhd::bench {
+
+void add_common_flags(common::CliParser& cli) {
+  cli.add_bool_flag("full", "Run at paper scale (slow; hours on one core)");
+  cli.add_flag("trials", "0", "Trials to average (0 = bench default)");
+  cli.add_flag("seed", "1", "Base RNG seed (trial t uses seed + t)");
+  cli.add_flag("epochs", "0", "Training epochs (0 = bench default)");
+  cli.add_flag("out", "bench_out", "Directory for CSV dumps");
+}
+
+BenchContext make_context(const common::CliParser& cli) {
+  BenchContext ctx;
+  ctx.full = cli.get_bool("full");
+  const int trials = cli.get_int("trials");
+  ctx.trials = trials > 0 ? static_cast<std::size_t>(trials)
+                          : (ctx.full ? 5 : 1);
+  ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int epochs = cli.get_int("epochs");
+  ctx.epochs = epochs > 0 ? static_cast<std::size_t>(epochs) : 0;
+  ctx.out_dir = cli.get_string("out");
+  return ctx;
+}
+
+data::TrainTestSplit load_profile(const std::string& profile,
+                                  const BenchContext& ctx,
+                                  std::uint64_t trial) {
+  common::Rng rng(ctx.seed + 0x1000 * trial);
+  auto split = data::load_or_synthesize(
+      profile, ctx.full ? data::Scale::kPaper : data::Scale::kBench, rng);
+  data::scale_split_minmax(split);
+  return split;
+}
+
+data::Dataset subsample_per_class(const data::Dataset& ds,
+                                  std::size_t per_class, common::Rng& rng) {
+  std::vector<std::size_t> keep;
+  for (data::Label c = 0; c < ds.num_classes(); ++c) {
+    auto idx = ds.indices_of_class(c);
+    rng.shuffle(idx);
+    const std::size_t take = std::min(per_class, idx.size());
+    keep.insert(keep.end(), idx.begin(), idx.begin() + take);
+  }
+  rng.shuffle(keep);
+  return ds.subset(keep, ds.name() + "/sub");
+}
+
+std::string csv_path(const BenchContext& ctx, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories(ctx.out_dir, ec);
+  return ctx.out_dir + "/" + name;
+}
+
+MemhdRun run_memhd(const data::TrainTestSplit& split,
+                   const core::MemhdConfig& cfg) {
+  core::MemhdModel model(cfg, split.train.num_features(),
+                         split.train.num_classes());
+  MemhdRun run;
+  run.report = model.fit(split.train, &split.test);
+  run.test_accuracy = model.evaluate(split.test);
+  return run;
+}
+
+double run_baseline(core::ModelKind kind, const data::TrainTestSplit& split,
+                    const baselines::BaselineConfig& cfg) {
+  const auto model = baselines::make_baseline(
+      kind, split.train.num_features(), split.train.num_classes(), cfg);
+  model->fit(split.train);
+  return model->evaluate(split.test);
+}
+
+std::string pct(double fraction, int precision) {
+  return common::format_double(100.0 * fraction, precision);
+}
+
+}  // namespace memhd::bench

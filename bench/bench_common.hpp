@@ -1,0 +1,81 @@
+// Shared support for the per-table / per-figure benchmark binaries.
+//
+// Every figure/table binary follows the same contract:
+//   * prints the paper-style table to stdout,
+//   * writes the raw series as CSV into ./bench_out/,
+//   * sizes its default workload for a single-core box (seconds to ~a
+//     minute); `--full` switches to paper-scale parameters (10240-D
+//     baselines, 100 epochs, 5 trials, 1024x1024 grids).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "src/baselines/baseline.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/table.hpp"
+#include "src/core/model.hpp"
+#include "src/data/loaders.hpp"
+#include "src/data/scaling.hpp"
+
+namespace memhd::bench {
+
+/// Common flags: --full, --trials, --seed, --epochs, --out.
+void add_common_flags(common::CliParser& cli);
+
+struct BenchContext {
+  bool full = false;
+  std::size_t trials = 1;
+  std::uint64_t seed = 1;
+  std::size_t epochs = 0;  // 0 = per-bench default
+  std::string out_dir = "bench_out";
+};
+
+BenchContext make_context(const common::CliParser& cli);
+
+/// Loads a dataset profile ("mnist" | "fmnist" | "isolet"): the real data
+/// when MEMHD_DATA_DIR provides it, the synthetic stand-in otherwise;
+/// min-max scaled into [0,1].
+data::TrainTestSplit load_profile(const std::string& profile,
+                                  const BenchContext& ctx,
+                                  std::uint64_t trial);
+
+/// Stratified subsample of `per_class` samples per class (all if fewer).
+data::Dataset subsample_per_class(const data::Dataset& ds,
+                                  std::size_t per_class, common::Rng& rng);
+
+/// Ensures ctx.out_dir exists and returns "<out_dir>/<name>".
+std::string csv_path(const BenchContext& ctx, const std::string& name);
+
+/// Trains one MEMHD model on the split; returns test accuracy.
+struct MemhdRun {
+  double test_accuracy = 0.0;
+  core::FitReport report;
+};
+MemhdRun run_memhd(const data::TrainTestSplit& split,
+                   const core::MemhdConfig& cfg);
+
+/// Trains one baseline on the split; returns test accuracy.
+double run_baseline(core::ModelKind kind, const data::TrainTestSplit& split,
+                    const baselines::BaselineConfig& cfg);
+
+/// Wall-clock timer for progress lines.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// "12.34" style percent formatting.
+std::string pct(double fraction, int precision = 2);
+
+}  // namespace memhd::bench

@@ -1,0 +1,163 @@
+// Fig. 3: accuracy vs total memory (KB) for MEMHD and the four binary HDC
+// baselines on the MNIST / FMNIST / ISOLET profiles.
+//
+// MEMHD points: square DxC sizes for the image profiles (64x64 ... up to
+// 1024x1024 with --full) and fixed C=128 with varied D for ISOLET, as in
+// the paper. Baseline points: D sweeps (up to 10240 with --full).
+//
+// Expected shape (the paper's claim): the MEMHD curve sits up-and-left of
+// every baseline — higher accuracy at the same KB, or the same accuracy at
+// >10x less memory.
+#include "bench_common.hpp"
+
+#include "src/core/memory_model.hpp"
+
+namespace {
+
+using namespace memhd;
+
+struct Point {
+  std::string model;
+  std::string shape;
+  double memory_kb = 0.0;
+  double accuracy = 0.0;
+};
+
+core::MemoryParams memory_params(const data::TrainTestSplit& split,
+                                 std::size_t dim, std::size_t columns) {
+  core::MemoryParams p;
+  p.num_features = split.train.num_features();
+  p.num_classes = split.train.num_classes();
+  p.dim = dim;
+  p.columns = columns;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Fig. 3 reproduction: accuracy vs memory (KB) for MEMHD, BasicHDC, "
+      "QuantHD, SearcHD and LeHDC on mnist/fmnist/isolet profiles.");
+  bench::add_common_flags(cli);
+  cli.add_flag("datasets", "mnist,fmnist,isolet",
+               "Comma-separated dataset profiles");
+  cli.add_flag("baseline-train-cap", "200",
+               "Per-class training cap for the ID-Level baselines at bench "
+               "scale (0 = no cap); keeps single-core runtime sane");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = bench::make_context(cli);
+
+  // MEMHD shapes and baseline dimensionalities per scale.
+  const std::vector<std::size_t> memhd_square =
+      ctx.full ? std::vector<std::size_t>{64, 128, 256, 512, 1024}
+               : std::vector<std::size_t>{64, 128, 256};
+  const std::vector<std::size_t> isolet_dims =
+      ctx.full ? std::vector<std::size_t>{128, 256, 512, 1024}
+               : std::vector<std::size_t>{128, 256, 512};
+  const std::vector<std::size_t> baseline_dims =
+      ctx.full ? std::vector<std::size_t>{256, 512, 1024, 2048, 4096, 10240}
+               : std::vector<std::size_t>{256, 1024};
+  const std::size_t memhd_epochs = ctx.epochs ? ctx.epochs
+                                   : ctx.full ? 100
+                                              : 25;
+  const std::size_t baseline_epochs = ctx.full ? 30 : 10;
+  const std::size_t baseline_cap = ctx.full
+      ? 0
+      : static_cast<std::size_t>(cli.get_int("baseline-train-cap"));
+
+  common::CsvWriter csv(bench::csv_path(ctx, "fig3_accuracy_memory.csv"));
+  csv.write_header(
+      {"dataset", "model", "shape", "memory_kb", "accuracy_pct", "trial"});
+
+  std::string datasets_flag = cli.get_string("datasets");
+  std::vector<std::string> datasets;
+  for (std::size_t pos = 0; pos < datasets_flag.size();) {
+    const auto comma = datasets_flag.find(',', pos);
+    datasets.push_back(datasets_flag.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  bench::Timer total;
+  for (const auto& dataset : datasets) {
+    std::printf("=== Fig. 3 (%s): accuracy vs memory ===\n", dataset.c_str());
+    std::vector<Point> points;
+
+    for (std::uint64_t trial = 0; trial < ctx.trials; ++trial) {
+      auto split = bench::load_profile(dataset, ctx, trial);
+      common::Rng rng(ctx.seed + trial);
+
+      // ---- MEMHD ----
+      const bool isolet = dataset == "isolet";
+      const auto& dims = isolet ? isolet_dims : memhd_square;
+      for (const std::size_t d : dims) {
+        core::MemhdConfig cfg;
+        cfg.dim = d;
+        cfg.columns = isolet ? 128 : d;  // square for images, C=128 ISOLET
+        cfg.epochs = memhd_epochs;
+        cfg.learning_rate = isolet ? 0.02f : (d >= 512 ? 0.05f : 0.03f);
+        cfg.seed = ctx.seed + trial;
+        const auto run = bench::run_memhd(split, cfg);
+        const auto mem = core::memory_requirement(
+            core::ModelKind::kMemhd, memory_params(split, d, cfg.columns));
+        const std::string shape =
+            std::to_string(d) + "x" + std::to_string(cfg.columns);
+        points.push_back(
+            {"MEMHD", shape, mem.total_kb(), run.test_accuracy});
+        csv.write_row({dataset, "MEMHD", shape,
+                       common::format_double(mem.total_kb(), 2),
+                       bench::pct(run.test_accuracy), std::to_string(trial)});
+        std::printf("  [%6.1fs] MEMHD %-9s  %8.1f KB  acc %s%%\n",
+                    total.seconds(), shape.c_str(), mem.total_kb(),
+                    bench::pct(run.test_accuracy).c_str());
+      }
+
+      // ---- Baselines ----
+      data::TrainTestSplit capped = split;
+      if (baseline_cap > 0)
+        capped.train =
+            bench::subsample_per_class(split.train, baseline_cap, rng);
+      for (const std::size_t d : baseline_dims) {
+        for (const auto kind :
+             {core::ModelKind::kBasicHDC, core::ModelKind::kQuantHD,
+              core::ModelKind::kSearcHD, core::ModelKind::kLeHDC}) {
+          baselines::BaselineConfig bc;
+          bc.dim = d;
+          bc.epochs = kind == core::ModelKind::kBasicHDC ? 0 : baseline_epochs;
+          bc.learning_rate = kind == core::ModelKind::kLeHDC ? 0.01f : 0.05f;
+          bc.seed = ctx.seed + trial;
+          // SearcHD's N=64 AM at D=10240 is enormous; the paper fixes N=64.
+          bc.n_models = 64;
+          const bool idlevel = kind != core::ModelKind::kBasicHDC;
+          const double acc =
+              bench::run_baseline(kind, idlevel ? capped : split, bc);
+          core::MemoryParams p = memory_params(split, d, 0);
+          const auto mem = core::memory_requirement(kind, p);
+          points.push_back({core::model_name(kind), std::to_string(d),
+                            mem.total_kb(), acc});
+          csv.write_row({dataset, core::model_name(kind), std::to_string(d),
+                         common::format_double(mem.total_kb(), 2),
+                         bench::pct(acc), std::to_string(trial)});
+          std::printf("  [%6.1fs] %-8s D=%-6zu %8.1f KB  acc %s%%\n",
+                      total.seconds(), core::model_name(kind), d,
+                      mem.total_kb(), bench::pct(acc).c_str());
+        }
+      }
+    }
+
+    // Per-dataset summary table (trial 0 points, ordered as produced).
+    common::TablePrinter table({"Model", "Shape/D", "Memory (KB)", "Acc (%)"});
+    for (const auto& pt : points)
+      table.add_row({pt.model, pt.shape,
+                     common::format_double(pt.memory_kb, 1),
+                     bench::pct(pt.accuracy)});
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("Total %.1fs. CSV written to %s\n", total.seconds(),
+              bench::csv_path(ctx, "fig3_accuracy_memory.csv").c_str());
+  return 0;
+}

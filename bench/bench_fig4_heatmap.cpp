@@ -1,0 +1,108 @@
+// Fig. 4: MEMHD accuracy heatmap over the (D, C) grid.
+//
+// The paper sweeps dimensions and memory columns from 64 to 1024 on all
+// three datasets, observing: accuracy grows with D everywhere; more columns
+// help MNIST/FMNIST (6000 samples/class) but ISOLET (240 samples/class)
+// peaks at C = 128-256 and then overfits. Encodings are computed once per D
+// and reused across the C sweep.
+#include "bench_common.hpp"
+
+namespace {
+using namespace memhd;
+}
+
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Fig. 4 reproduction: MEMHD accuracy heatmap across hypervector "
+      "dimension D and memory columns C.");
+  bench::add_common_flags(cli);
+  cli.add_flag("datasets", "",
+               "Comma-separated dataset profiles (default: mnist,isolet; "
+               "all three with --full)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = bench::make_context(cli);
+
+  const std::vector<std::size_t> grid =
+      ctx.full ? std::vector<std::size_t>{64, 128, 256, 512, 1024}
+               : std::vector<std::size_t>{64, 128, 256, 512};
+  const std::size_t epochs = ctx.epochs ? ctx.epochs : (ctx.full ? 100 : 10);
+
+  common::CsvWriter csv(bench::csv_path(ctx, "fig4_heatmap.csv"));
+  csv.write_header({"dataset", "dim", "columns", "accuracy_pct", "trial"});
+
+  std::string datasets_flag = cli.get_string("datasets");
+  if (datasets_flag.empty())
+    datasets_flag = ctx.full ? "mnist,fmnist,isolet" : "mnist,isolet";
+  std::vector<std::string> datasets;
+  for (std::size_t pos = 0; pos < datasets_flag.size();) {
+    const auto comma = datasets_flag.find(',', pos);
+    datasets.push_back(datasets_flag.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  bench::Timer total;
+  for (const auto& dataset : datasets) {
+    std::printf("=== Fig. 4 heatmap (%s), epochs=%zu ===\n", dataset.c_str(),
+                epochs);
+    // accuracy[d_index][c_index], averaged over trials.
+    std::vector<std::vector<double>> acc(grid.size(),
+                                         std::vector<double>(grid.size(), 0));
+
+    for (std::uint64_t trial = 0; trial < ctx.trials; ++trial) {
+      const auto split = bench::load_profile(dataset, ctx, trial);
+      const std::size_t k = split.train.num_classes();
+
+      for (std::size_t di = 0; di < grid.size(); ++di) {
+        const std::size_t d = grid[di];
+        // Encode once per D; reuse across the whole C row.
+        core::MemhdConfig base;
+        base.dim = d;
+        base.seed = ctx.seed + trial;
+        core::MemhdModel probe(base, split.train.num_features(), k);
+        const auto encoded_train =
+            probe.encoder().encode_dataset(split.train);
+        const auto encoded_test = probe.encoder().encode_dataset(split.test);
+
+        for (std::size_t ci = 0; ci < grid.size(); ++ci) {
+          const std::size_t c = grid[ci];
+          if (c < k) {
+            acc[di][ci] = -1.0;  // infeasible: fewer columns than classes
+            continue;
+          }
+          core::MemhdConfig cfg = base;
+          cfg.columns = c;
+          cfg.epochs = epochs;
+          cfg.learning_rate = 0.03f;
+          core::MemhdModel model(cfg, split.train.num_features(), k);
+          model.fit_encoded(encoded_train, &encoded_test);
+          const double a = model.evaluate_encoded(encoded_test);
+          acc[di][ci] += a / static_cast<double>(ctx.trials);
+          csv.write_row({dataset, std::to_string(d), std::to_string(c),
+                         bench::pct(a), std::to_string(trial)});
+          std::printf("  [%6.1fs] %s D=%-5zu C=%-5zu acc %s%%\n",
+                      total.seconds(), dataset.c_str(), d, c,
+                      bench::pct(a).c_str());
+        }
+      }
+    }
+
+    // Render the heatmap as a table: rows = D, cols = C.
+    std::vector<std::string> header = {"D \\ C"};
+    for (const std::size_t c : grid) header.push_back(std::to_string(c));
+    common::TablePrinter table(header);
+    for (std::size_t di = 0; di < grid.size(); ++di) {
+      std::vector<std::string> row = {std::to_string(grid[di])};
+      for (std::size_t ci = 0; ci < grid.size(); ++ci)
+        row.push_back(acc[di][ci] < 0 ? "-" : bench::pct(acc[di][ci]));
+      table.add_row(row);
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("Total %.1fs. CSV written to %s\n", total.seconds(),
+              bench::csv_path(ctx, "fig4_heatmap.csv").c_str());
+  return 0;
+}

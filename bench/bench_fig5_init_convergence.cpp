@@ -1,0 +1,119 @@
+// Fig. 5: clustering-based initialization vs random sampling — accuracy as
+// a function of training epoch.
+//
+// The paper reports (MNIST 512x512, ISOLET 1024x256): clustering starts
+// +8.69% / +19.95% above random sampling, converges in 10-20 epochs vs
+// 30-40, and ends slightly higher (+0.8% / +0.3%). The reproduced series
+// must show the same ordering: a large initial-accuracy gap that training
+// mostly (but not completely) closes.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace memhd;
+
+struct Curve {
+  std::vector<double> accuracy;  // index 0 = post-init, then per epoch
+};
+
+Curve run_curve(const data::TrainTestSplit& split, core::MemhdConfig cfg) {
+  core::MemhdModel model(cfg, split.train.num_features(),
+                         split.train.num_classes());
+  const auto report = model.fit(split.train, &split.test);
+  Curve curve;
+  curve.accuracy.push_back(report.post_init_eval_accuracy);
+  for (const double a : report.training.eval_accuracy)
+    curve.accuracy.push_back(a);
+  return curve;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Fig. 5 reproduction: accuracy-vs-epoch for clustering vs "
+      "random-sampling initialization.");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = bench::make_context(cli);
+
+  struct Config {
+    const char* dataset;
+    std::size_t dim;
+    std::size_t columns;
+    float learning_rate;  // paper: lower for more challenging datasets
+  };
+  // Paper shapes at --full; smaller shapes with the same structure at
+  // bench scale.
+  const std::vector<Config> configs =
+      ctx.full ? std::vector<Config>{{"mnist", 512, 512, 0.05f},
+                                     {"isolet", 1024, 256, 0.02f}}
+               : std::vector<Config>{{"mnist", 256, 256, 0.05f},
+                                     {"isolet", 512, 128, 0.02f}};
+  const std::size_t epochs = ctx.epochs ? ctx.epochs : (ctx.full ? 50 : 25);
+
+  common::CsvWriter csv(bench::csv_path(ctx, "fig5_init_convergence.csv"));
+  csv.write_header(
+      {"dataset", "shape", "init", "epoch", "accuracy_pct", "trial"});
+
+  bench::Timer total;
+  for (const auto& config : configs) {
+    std::printf("=== Fig. 5 (%s %zux%zu, %zu epochs) ===\n", config.dataset,
+                config.dim, config.columns, epochs);
+
+    std::vector<double> sum_cluster(epochs + 1, 0.0);
+    std::vector<double> sum_random(epochs + 1, 0.0);
+
+    for (std::uint64_t trial = 0; trial < ctx.trials; ++trial) {
+      const auto split = bench::load_profile(config.dataset, ctx, trial);
+      core::MemhdConfig cfg;
+      cfg.dim = config.dim;
+      cfg.columns = config.columns;
+      cfg.epochs = epochs;
+      cfg.learning_rate = config.learning_rate;
+      cfg.seed = ctx.seed + trial;
+
+      cfg.init = core::InitMethod::kClustering;
+      const auto clustering = run_curve(split, cfg);
+      cfg.init = core::InitMethod::kRandomSampling;
+      const auto random = run_curve(split, cfg);
+
+      for (std::size_t e = 0; e <= epochs; ++e) {
+        sum_cluster[e] += clustering.accuracy[e];
+        sum_random[e] += random.accuracy[e];
+        const std::string shape =
+            std::to_string(config.dim) + "x" + std::to_string(config.columns);
+        csv.write_row({config.dataset, shape, "clustering",
+                       std::to_string(e), bench::pct(clustering.accuracy[e]),
+                       std::to_string(trial)});
+        csv.write_row({config.dataset, shape, "random", std::to_string(e),
+                       bench::pct(random.accuracy[e]),
+                       std::to_string(trial)});
+      }
+      std::printf("  [%6.1fs] trial %llu done\n", total.seconds(),
+                  static_cast<unsigned long long>(trial));
+    }
+
+    const double n = static_cast<double>(ctx.trials);
+    common::TablePrinter table({"Epoch", "Clustering (%)", "Random (%)",
+                                "Gap (pp)"});
+    for (std::size_t e = 0; e <= epochs; ++e) {
+      if (e > 5 && e % 5 != 0 && e != epochs) continue;  // thin the print
+      table.add_row({e == 0 ? "init" : std::to_string(e),
+                     bench::pct(sum_cluster[e] / n),
+                     bench::pct(sum_random[e] / n),
+                     common::format_double(
+                         100.0 * (sum_cluster[e] - sum_random[e]) / n, 2)});
+    }
+    table.print();
+    std::printf(
+        "Initial gap: +%.2f pp (paper: +8.69 MNIST / +19.95 ISOLET); final "
+        "gap: +%.2f pp (paper: +0.8 / +0.3)\n\n",
+        100.0 * (sum_cluster[0] - sum_random[0]) / n,
+        100.0 * (sum_cluster[epochs] - sum_random[epochs]) / n);
+  }
+
+  std::printf("Total %.1fs. CSV written to %s\n", total.seconds(),
+              bench::csv_path(ctx, "fig5_init_convergence.csv").c_str());
+  return 0;
+}

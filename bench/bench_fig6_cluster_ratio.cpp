@@ -1,0 +1,85 @@
+// Fig. 6: final accuracy as a function of the initial cluster ratio R.
+//
+// R controls how many of the C columns phase-1 class-wise clustering
+// places; the remaining C(1-R) columns are distributed by the
+// confusion-driven allocation loop. The paper observes: R barely matters
+// at 512x512 (columns are plentiful), matters at 512x64 with an optimum
+// around 0.8-0.9, and ISOLET peaks at R = 1.0.
+#include "bench_common.hpp"
+
+namespace {
+using namespace memhd;
+}
+
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Fig. 6 reproduction: accuracy vs initial cluster ratio R for "
+      "column-rich and column-poor AMs.");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = bench::make_context(cli);
+
+  struct Config {
+    const char* dataset;
+    std::size_t dim;
+    std::size_t columns;
+  };
+  const std::vector<Config> configs =
+      ctx.full ? std::vector<Config>{{"fmnist", 512, 512},
+                                     {"fmnist", 512, 64},
+                                     {"isolet", 512, 128},
+                                     {"isolet", 512, 64}}
+               : std::vector<Config>{{"fmnist", 256, 64},
+                                     {"isolet", 256, 128}};
+  const std::vector<double> ratios =
+      ctx.full ? std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5,
+                                     0.6, 0.7, 0.8, 0.9, 1.0}
+               : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
+  const std::size_t epochs = ctx.epochs ? ctx.epochs : (ctx.full ? 100 : 10);
+
+  common::CsvWriter csv(bench::csv_path(ctx, "fig6_cluster_ratio.csv"));
+  csv.write_header(
+      {"dataset", "shape", "ratio", "accuracy_pct", "alloc_rounds", "trial"});
+
+  bench::Timer total;
+  for (const auto& config : configs) {
+    const std::string shape =
+        std::to_string(config.dim) + "x" + std::to_string(config.columns);
+    std::printf("=== Fig. 6 (%s %s, epochs=%zu) ===\n", config.dataset,
+                shape.c_str(), epochs);
+
+    common::TablePrinter table({"R", "Accuracy (%)", "Alloc rounds"});
+    for (const double r : ratios) {
+      double acc_sum = 0.0;
+      std::size_t rounds = 0;
+      for (std::uint64_t trial = 0; trial < ctx.trials; ++trial) {
+        const auto split = bench::load_profile(config.dataset, ctx, trial);
+        core::MemhdConfig cfg;
+        cfg.dim = config.dim;
+        cfg.columns = config.columns;
+        cfg.initial_ratio = r;
+        cfg.epochs = epochs;
+        cfg.learning_rate =
+            std::string(config.dataset) == "isolet" ? 0.02f : 0.03f;
+        cfg.seed = ctx.seed + trial;
+        const auto run = bench::run_memhd(split, cfg);
+        acc_sum += run.test_accuracy;
+        rounds = run.report.init.allocation_rounds;
+        csv.write_row({config.dataset, shape, common::format_double(r, 1),
+                       bench::pct(run.test_accuracy), std::to_string(rounds),
+                       std::to_string(trial)});
+      }
+      const double acc = acc_sum / static_cast<double>(ctx.trials);
+      table.add_row({common::format_double(r, 1), bench::pct(acc),
+                     std::to_string(rounds)});
+      std::printf("  [%6.1fs] R=%.1f acc %s%%\n", total.seconds(), r,
+                  bench::pct(acc).c_str());
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("Total %.1fs. CSV written to %s\n", total.seconds(),
+              bench::csv_path(ctx, "fig6_cluster_ratio.csv").c_str());
+  return 0;
+}

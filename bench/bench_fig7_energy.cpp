@@ -1,0 +1,110 @@
+// Fig. 7: normalized AM energy consumption, computation cycles, and array
+// usage for the iso-accuracy model configurations on FMNIST.
+//
+// The paper picks, for each baseline, the dimensionality at which it
+// matches MEMHD-128x128's FMNIST accuracy (BasicHDC 10240D, SearcHD 8000D,
+// QuantHD 1600D, LeHDC 400D) and maps each AM — unpartitioned and
+// partitioned — onto 128x128 arrays. Energy is proportional to AM array
+// activations per query (partitioning trades arrays for cycles at constant
+// energy); everything is normalized to MEMHD = 1.
+#include "bench_common.hpp"
+
+#include "src/imc/cost_model.hpp"
+#include "src/imc/mapping.hpp"
+
+namespace {
+
+using namespace memhd;
+using imc::ArrayGeometry;
+using imc::MappingCost;
+
+struct Fig7Config {
+  const char* label;      // as printed under the paper's bars
+  std::size_t dim;        // AM rows
+  std::size_t classes;    // logical classes (columns before partitioning)
+  std::size_t partitions; // 1 = unpartitioned
+};
+
+// The nine bar groups of Fig. 7, left to right.
+constexpr Fig7Config kConfigs[] = {
+    {"BasicHDC 10240x10", 10240, 10, 1},
+    {"BasicHDC 1024x100 (P=10)", 10240, 10, 10},
+    {"SearcHD 8000x10", 8000, 10, 1},
+    {"SearcHD 800x100 (P=10)", 8000, 10, 10},
+    {"QuantHD 1600x10", 1600, 10, 1},
+    {"QuantHD 160x100 (P=10)", 1600, 10, 10},
+    {"LeHDC 400x10", 400, 10, 1},
+    {"LeHDC 100x40 (P=4)", 400, 10, 4},
+    {"MEMHD 128x128", 128, 128, 1},
+};
+
+MappingCost map_config(const Fig7Config& cfg, ArrayGeometry geometry) {
+  if (cfg.partitions == 1)
+    return imc::map_dense({cfg.dim, cfg.classes}, geometry);
+  return imc::map_partitioned(cfg.dim, cfg.classes, cfg.partitions, geometry);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Fig. 7 reproduction: normalized AM energy, cycles and array usage of "
+      "iso-accuracy baselines vs MEMHD 128x128 (FMNIST).");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = bench::make_context(cli);
+
+  const ArrayGeometry geometry{128, 128};
+  const imc::CostModel cost_model;
+
+  // MEMHD is the normalization anchor (last entry).
+  const auto memhd_cost = map_config(kConfigs[8], geometry);
+  const double memhd_energy =
+      cost_model.mvm_energy_pj(memhd_cost.activations, geometry);
+
+  std::printf(
+      "=== Fig. 7: normalized AM energy / cycles / arrays (FMNIST, "
+      "iso-accuracy configs) ===\n");
+  std::printf("Cost model: %.1f pJ per 128x128 MVM, %.1f ns per cycle "
+              "(NeuroSim-derived SRAM-IMC constants; normalization cancels "
+              "the absolute scale)\n\n",
+              cost_model.params().mvm_energy_pj,
+              cost_model.params().cycle_time_ns);
+
+  common::TablePrinter table({"Model (AM as mapped)", "AM arrays",
+                              "AM cycles", "Energy (pJ)", "Norm. energy"});
+  common::CsvWriter csv(bench::csv_path(ctx, "fig7_energy.csv"));
+  csv.write_header({"model", "am_arrays", "am_cycles", "activations",
+                    "energy_pj", "normalized_energy"});
+
+  for (const auto& cfg : kConfigs) {
+    const auto cost = map_config(cfg, geometry);
+    const double energy =
+        cost_model.mvm_energy_pj(cost.activations, geometry);
+    table.add_row({cfg.label, std::to_string(cost.arrays),
+                   std::to_string(cost.cycles),
+                   common::format_double(energy, 1),
+                   common::format_double(energy / memhd_energy, 1)});
+    csv.write_row({cfg.label, std::to_string(cost.arrays),
+                   std::to_string(cost.cycles),
+                   std::to_string(cost.activations),
+                   common::format_double(energy, 3),
+                   common::format_double(energy / memhd_energy, 3)});
+  }
+  table.print();
+
+  const auto basic = map_config(kConfigs[0], geometry);
+  const auto lehdc = map_config(kConfigs[6], geometry);
+  std::printf(
+      "\nHeadlines: MEMHD is %.0fx more energy-efficient than BasicHDC and "
+      "%.0fx more than LeHDC (paper: 80x, 4x).\n",
+      static_cast<double>(basic.activations) /
+          static_cast<double>(memhd_cost.activations),
+      static_cast<double>(lehdc.activations) /
+          static_cast<double>(memhd_cost.activations));
+  std::printf("Partitioning keeps energy constant while multiplying cycles "
+              "by P — compare each model's two bars.\n");
+  std::printf("CSV written to %s\n",
+              bench::csv_path(ctx, "fig7_energy.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Google-benchmark microbenchmarks of the kernels everything else is built
+// on: packed popcount dot products, binary AM MVM (associative search),
+// projection / ID-Level encoding, K-means iterations, and one QAT epoch.
+#include <benchmark/benchmark.h>
+
+#include "src/clustering/kmeans.hpp"
+#include "src/common/bit_matrix.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/initializer.hpp"
+#include "src/core/qat_trainer.hpp"
+#include "src/hdc/id_level_encoder.hpp"
+#include "src/hdc/projection_encoder.hpp"
+
+namespace {
+
+using namespace memhd;
+
+void BM_PackedDot(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  const auto a = common::BitVector::random(dim, rng);
+  const auto b = common::BitVector::random(dim, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.dot(b));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_PackedDot)->Arg(128)->Arg(1024)->Arg(10240);
+
+void BM_AssociativeSearch128x128(benchmark::State& state) {
+  // The paper's one-shot search: 128 centroids x 128 dims, popcount MVM.
+  common::Rng rng(2);
+  const auto am = common::BitMatrix::random(128, 128, rng);
+  const auto q = common::BitVector::random(128, rng);
+  std::vector<std::uint32_t> scores;
+  for (auto _ : state) {
+    am.mvm(q, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_AssociativeSearch128x128);
+
+void BM_AssociativeSearchBasic10240x10(benchmark::State& state) {
+  // The BasicHDC baseline search at 10240-D for contrast.
+  common::Rng rng(3);
+  const auto am = common::BitMatrix::random(10, 10240, rng);
+  const auto q = common::BitVector::random(10240, rng);
+  std::vector<std::uint32_t> scores;
+  for (auto _ : state) {
+    am.mvm(q, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_AssociativeSearchBasic10240x10);
+
+void BM_ProjectionEncode(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  hdc::ProjectionEncoderConfig cfg;
+  cfg.num_features = 784;
+  cfg.dim = dim;
+  const hdc::ProjectionEncoder enc(cfg);
+  common::Rng rng(4);
+  std::vector<float> x(784);
+  for (auto& v : x) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) benchmark::DoNotOptimize(enc.encode(x));
+}
+BENCHMARK(BM_ProjectionEncode)->Arg(128)->Arg(1024);
+
+void BM_IdLevelEncode(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  hdc::IdLevelEncoderConfig cfg;
+  cfg.num_features = 784;
+  cfg.dim = dim;
+  const hdc::IdLevelEncoder enc(cfg);
+  common::Rng rng(5);
+  std::vector<float> x(784);
+  for (auto& v : x) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) benchmark::DoNotOptimize(enc.encode(x));
+}
+BENCHMARK(BM_IdLevelEncode)->Arg(1024);
+
+void BM_KMeansIteration(benchmark::State& state) {
+  // One full k-means fit on a 600 x 256 bipolar cloud with k=12 (a typical
+  // per-class clustering job inside MEMHD initialization).
+  common::Rng rng(6);
+  common::Matrix pts(600, 256);
+  for (std::size_t i = 0; i < pts.rows(); ++i)
+    for (std::size_t j = 0; j < pts.cols(); ++j)
+      pts(i, j) = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  clustering::KMeansConfig cfg;
+  cfg.k = 12;
+  cfg.max_iterations = 5;
+  for (auto _ : state) {
+    common::Rng local(7);
+    benchmark::DoNotOptimize(clustering::kmeans(pts, cfg, local));
+  }
+}
+BENCHMARK(BM_KMeansIteration);
+
+void BM_QatEpoch(benchmark::State& state) {
+  // One QAT epoch over 1000 samples on a 128x128 AM.
+  common::Rng rng(8);
+  hdc::EncodedDataset train;
+  train.dim = 128;
+  train.num_classes = 10;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    train.hypervectors.push_back(common::BitVector::random(128, rng));
+    train.labels.push_back(static_cast<data::Label>(i % 10));
+  }
+  core::MemhdConfig icfg;
+  icfg.dim = 128;
+  icfg.columns = 128;
+  icfg.kmeans_max_iterations = 3;
+  auto am = core::initialize_clustering(train, icfg, nullptr);
+  core::QatConfig qcfg;
+  qcfg.epochs = 1;
+  for (auto _ : state) {
+    auto working = am;
+    benchmark::DoNotOptimize(
+        core::train_qat(working, train, nullptr, qcfg));
+  }
+}
+BENCHMARK(BM_QatEpoch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Table I: memory requirements of the baseline binary HDC models and MEMHD.
+//
+// Prints the symbolic formulas plus concrete KB numbers for the paper's
+// evaluation shapes on all three dataset geometries. Pure arithmetic — no
+// training — so this binary is instant at any scale.
+#include "bench_common.hpp"
+
+#include "src/core/memory_model.hpp"
+
+namespace {
+
+using namespace memhd;
+using core::MemoryParams;
+using core::ModelKind;
+
+struct DatasetGeometry {
+  const char* name;
+  std::size_t features;
+  std::size_t classes;
+};
+
+constexpr DatasetGeometry kGeometries[] = {
+    {"MNIST", 784, 10}, {"FMNIST", 784, 10}, {"ISOLET", 617, 26}};
+
+struct ModelRow {
+  ModelKind kind;
+  const char* keywords;
+  const char* em_formula;
+  const char* am_formula;
+  std::size_t dim;      // representative D used in the paper's evaluation
+  std::size_t columns;  // MEMHD only
+};
+
+constexpr ModelRow kRows[] = {
+    {ModelKind::kSearcHD, "Multi-model / ID-Level / Single-pass",
+     "(f + L) x D", "k x D x N", 8000, 0},
+    {ModelKind::kQuantHD, "ID-Level / Quantization-aware / Iterative",
+     "(f + L) x D", "k x D", 1600, 0},
+    {ModelKind::kLeHDC, "ID-Level / BNN-based training", "(f + L) x D",
+     "k x D", 400, 0},
+    {ModelKind::kBasicHDC, "Projection / Single-pass", "f x D", "k x D",
+     10240, 0},
+    {ModelKind::kMemhd, "Multi-centroid / Projection / Quant-aware",
+     "f x D", "C x D", 128, 128},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Table I reproduction: memory requirements (bits -> KB) of SearcHD, "
+      "QuantHD, LeHDC, BasicHDC and MEMHD.");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = bench::make_context(cli);
+
+  std::printf("=== Table I: memory requirements of HDC models ===\n");
+  std::printf("L = 256 levels, N = 64 (SearcHD), D per model as evaluated\n\n");
+
+  common::CsvWriter csv(bench::csv_path(ctx, "table1_memory.csv"));
+  csv.write_header({"dataset", "model", "dim", "columns", "encoder_kb",
+                    "am_kb", "total_kb"});
+
+  for (const auto& geo : kGeometries) {
+    common::TablePrinter table({"Model", "Keywords", "EM formula",
+                                "AM formula", "D", "EM (KB)", "AM (KB)",
+                                "Total (KB)"});
+    for (const auto& row : kRows) {
+      MemoryParams p;
+      p.num_features = geo.features;
+      p.num_classes = geo.classes;
+      p.dim = row.dim;
+      p.columns = row.columns;
+      const auto mem = core::memory_requirement(row.kind, p);
+      table.add_row({core::model_name(row.kind), row.keywords, row.em_formula,
+                     row.am_formula, std::to_string(row.dim),
+                     common::format_double(mem.encoder_kb(), 1),
+                     common::format_double(mem.am_kb(), 1),
+                     common::format_double(mem.total_kb(), 1)});
+      csv.write_row({geo.name, core::model_name(row.kind),
+                     std::to_string(row.dim), std::to_string(row.columns),
+                     common::format_double(mem.encoder_kb(), 3),
+                     common::format_double(mem.am_kb(), 3),
+                     common::format_double(mem.total_kb(), 3)});
+    }
+    std::printf("--- %s (f = %zu, k = %zu) ---\n", geo.name, geo.features,
+                geo.classes);
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("CSV written to %s\n",
+              bench::csv_path(ctx, "table1_memory.csv").c_str());
+  return 0;
+}

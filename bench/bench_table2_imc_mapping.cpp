@@ -1,0 +1,98 @@
+// Table II: computation cycles, array usage, and AM utilization on 128x128
+// IMC arrays — Basic mapping vs partitioning [9] vs MEMHD.
+//
+// This is architectural arithmetic (the mapping engine), so the output
+// reproduces the paper's integers exactly; tests/imc/test_mapping.cpp
+// asserts the same numbers.
+#include "bench_common.hpp"
+
+#include "src/imc/mapping.hpp"
+
+namespace {
+
+using namespace memhd;
+using imc::ArrayGeometry;
+using imc::ModelMapping;
+
+void print_block(const char* title, const std::vector<ModelMapping>& models,
+                 common::CsvWriter& csv, const char* dataset) {
+  std::printf("--- %s ---\n", title);
+  common::TablePrinter table({"Mapping", "AM structure", "EM cyc", "AM cyc",
+                              "Total cyc", "EM arr", "AM arr", "Total arr",
+                              "AM util"});
+  for (const auto& m : models) {
+    const std::string am_shape =
+        std::to_string(m.am.rows) + "x" + std::to_string(m.am.cols);
+    table.add_row({m.label, am_shape, std::to_string(m.em_cost.cycles),
+                   std::to_string(m.am_cost.cycles),
+                   std::to_string(m.total_cycles()),
+                   std::to_string(m.em_cost.arrays),
+                   std::to_string(m.am_cost.arrays),
+                   std::to_string(m.total_arrays()),
+                   bench::pct(m.am_cost.utilization) + "%"});
+    csv.write_row({dataset, m.label, am_shape,
+                   std::to_string(m.em_cost.cycles),
+                   std::to_string(m.am_cost.cycles),
+                   std::to_string(m.total_cycles()),
+                   std::to_string(m.em_cost.arrays),
+                   std::to_string(m.am_cost.arrays),
+                   std::to_string(m.total_arrays()),
+                   common::format_double(m.am_cost.utilization, 6)});
+  }
+  table.print();
+
+  const auto& memhd = models.back();
+  const auto& basic = models.front();
+  // Improvement vs the best (largest-P) partitioning config, as the paper
+  // reports it.
+  const auto& best_part = models[models.size() - 2];
+  std::printf(
+      "Improvement: %.0fx fewer cycles, %.1fx fewer arrays, +%.2f pp AM "
+      "utilization\n\n",
+      static_cast<double>(basic.total_cycles()) /
+          static_cast<double>(memhd.total_cycles()),
+      static_cast<double>(best_part.total_arrays()) /
+          static_cast<double>(memhd.total_arrays()),
+      100.0 * (memhd.am_cost.utilization - best_part.am_cost.utilization));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Table II reproduction: cycles / arrays / AM utilization for Basic, "
+      "Partitioning (P=5,10 | P=2,4) and MEMHD on 128x128 IMC arrays.");
+  bench::add_common_flags(cli);
+  cli.add_flag("array", "128", "IMC array dimension (square)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = bench::make_context(cli);
+
+  const std::size_t a = static_cast<std::size_t>(cli.get_int("array"));
+  const ArrayGeometry geometry{a, a};
+  std::printf("=== Table II: IMC mapping on %zux%zu arrays ===\n\n", a, a);
+
+  common::CsvWriter csv(bench::csv_path(ctx, "table2_imc_mapping.csv"));
+  csv.write_header({"dataset", "mapping", "am_structure", "em_cycles",
+                    "am_cycles", "total_cycles", "em_arrays", "am_arrays",
+                    "total_arrays", "am_utilization"});
+
+  // (a) MNIST / FMNIST: f = 784, baseline D = 10240, MEMHD 128x128.
+  print_block("(a) MNIST / FMNIST (f=784, k=10)",
+              {imc::map_basic_model(784, 10240, 10, geometry),
+               imc::map_partitioned_model(784, 10240, 10, 5, geometry),
+               imc::map_partitioned_model(784, 10240, 10, 10, geometry),
+               imc::map_memhd_model(784, 128, 128, geometry)},
+              csv, "mnist_fmnist");
+
+  // (b) ISOLET: f = 617, baseline D = 10240, MEMHD 512x128.
+  print_block("(b) ISOLET (f=617, k=26)",
+              {imc::map_basic_model(617, 10240, 26, geometry),
+               imc::map_partitioned_model(617, 10240, 26, 2, geometry),
+               imc::map_partitioned_model(617, 10240, 26, 4, geometry),
+               imc::map_memhd_model(617, 512, 128, geometry)},
+              csv, "isolet");
+
+  std::printf("CSV written to %s\n",
+              bench::csv_path(ctx, "table2_imc_mapping.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Spoken-letter recognition (ISOLET): the paper's small-sample workload.
+//
+// Demonstrates the part of Fig. 4 that makes ISOLET interesting: with only
+// ~240 training samples per class, adding AM columns stops helping (and
+// can hurt) — the right deployment is C = 128 with D chosen by the array.
+// This example sweeps C at fixed D and reports the best configuration,
+// then compares it against a single-centroid BasicHDC of equal AM memory.
+#include <cstdio>
+
+#include "src/baselines/basic_hdc.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/table.hpp"
+#include "src/core/model.hpp"
+#include "src/data/loaders.hpp"
+#include "src/data/scaling.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memhd;
+
+  common::CliParser cli(
+      "ISOLET spoken-letter workload: sweep AM columns on a small-sample "
+      "dataset and compare against a single-centroid baseline.");
+  cli.add_flag("dim", "256", "Hypervector dimension D");
+  cli.add_flag("epochs", "20", "Training epochs");
+  cli.add_flag("seed", "1", "RNG seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  common::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  auto split = data::load_or_synthesize("isolet", data::Scale::kBench, rng);
+  data::scale_split_minmax(split);
+  std::printf("%s | %s\n\n", split.train.summary().c_str(),
+              split.test.summary().c_str());
+
+  const auto dim = static_cast<std::size_t>(cli.get_int("dim"));
+  const auto epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+
+  // Sweep the column budget. 26 classes => C >= 26.
+  common::TablePrinter table(
+      {"AM shape", "Centroids/class (avg)", "AM memory (KB)", "Accuracy"});
+  double best_acc = 0.0;
+  std::size_t best_c = 0;
+  for (const std::size_t c : {26u, 52u, 128u, 256u}) {
+    core::MemhdConfig cfg;
+    cfg.dim = dim;
+    cfg.columns = c;
+    cfg.epochs = epochs;
+    cfg.learning_rate = 0.03f;
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    core::MemhdModel model(cfg, split.train.num_features(),
+                           split.train.num_classes());
+    model.fit(split.train, &split.test);
+    const double acc = model.evaluate(split.test);
+    if (acc > best_acc) {
+      best_acc = acc;
+      best_c = c;
+    }
+    table.add_row({std::to_string(dim) + "x" + std::to_string(c),
+                   common::format_double(static_cast<double>(c) / 26.0, 1),
+                   common::format_double(
+                       static_cast<double>(c * dim) / 8192.0, 1),
+                   common::format_double(100.0 * acc, 2) + "%"});
+  }
+  table.print();
+  std::printf("\nbest: %zux%zu at %.2f%% — the accuracy-per-column curve "
+              "flattens (and with --full-scale ISOLET sample counts, peaks) "
+              "around C=128-256: small-sample classes stop benefiting from "
+              "extra centroids (paper Fig. 4, ISOLET panel)\n",
+              dim, best_c, 100.0 * best_acc);
+
+  // Equal-TOTAL-memory single-centroid baseline. Matching the full budget
+  // f*D + C*D  =  f*D' + k*D'  gives D' = D(f + C)/(f + k): the baseline
+  // spends the memory MEMHD saves on columns on extra dimensions instead.
+  const std::size_t f = split.train.num_features();
+  const std::size_t k = split.train.num_classes();
+  baselines::BaselineConfig bc;
+  bc.dim = dim * (f + best_c) / (f + k);
+  bc.epochs = 0;
+  baselines::BasicHdc basic(f, k, bc);
+  basic.fit(split.train);
+  const double memhd_kb =
+      static_cast<double>(dim * (f + best_c)) / 8192.0;
+  const double basic_kb = static_cast<double>(bc.dim * (f + k)) / 8192.0;
+  std::printf("equal-total-memory BasicHDC (k x %zu, %.1f KB vs MEMHD "
+              "%.1f KB): %.2f%%\n",
+              bc.dim, basic_kb, memhd_kb, 100.0 * basic.evaluate(split.test));
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "src/baselines/baseline.hpp"
+
+#include <stdexcept>
+
+#include "src/baselines/basic_hdc.hpp"
+#include "src/baselines/lehdc.hpp"
+#include "src/baselines/quanthd.hpp"
+#include "src/baselines/searchd.hpp"
+
+namespace memhd::baselines {
+
+std::unique_ptr<BaselineModel> make_baseline(core::ModelKind kind,
+                                             std::size_t num_features,
+                                             std::size_t num_classes,
+                                             const BaselineConfig& config) {
+  switch (kind) {
+    case core::ModelKind::kBasicHDC:
+      return std::make_unique<BasicHdc>(num_features, num_classes, config);
+    case core::ModelKind::kQuantHD:
+      return std::make_unique<QuantHd>(num_features, num_classes, config);
+    case core::ModelKind::kSearcHD:
+      return std::make_unique<SearcHd>(num_features, num_classes, config);
+    case core::ModelKind::kLeHDC:
+      return std::make_unique<LeHdc>(num_features, num_classes, config);
+    case core::ModelKind::kMemhd:
+      throw std::invalid_argument(
+          "make_baseline: MEMHD is the core model, not a baseline; use "
+          "core::MemhdModel");
+  }
+  throw std::invalid_argument("make_baseline: unknown ModelKind");
+}
+
+}  // namespace memhd::baselines

@@ -1,0 +1,52 @@
+// Common interface for the binary HDC baselines of Table I.
+//
+// Every baseline deploys a binary AM searched with MVM dot similarity
+// (paper §IV-F: "all models employ MVM-based associative search for
+// inference"), so they share an evaluation contract; they differ in encoder
+// family, AM structure, and training scheme.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/memory_model.hpp"
+#include "src/data/dataset.hpp"
+
+namespace memhd::baselines {
+
+/// Hyperparameters shared by all baselines. Fields irrelevant to a given
+/// model are ignored (e.g. n_models for QuantHD).
+struct BaselineConfig {
+  std::size_t dim = 1024;          // D
+  std::size_t epochs = 20;         // iterative baselines
+  float learning_rate = 0.05f;
+  std::size_t num_levels = 256;    // L, ID-Level encoders
+  std::size_t n_models = 64;       // N, SearcHD
+  std::uint64_t seed = 1;
+};
+
+class BaselineModel {
+ public:
+  virtual ~BaselineModel() = default;
+
+  virtual const char* name() const = 0;
+  virtual core::ModelKind kind() const = 0;
+  virtual std::size_t dim() const = 0;
+
+  /// Trains on `train`. Implementations encode internally.
+  virtual void fit(const data::Dataset& train) = 0;
+
+  /// Accuracy on `test` using the deployed binary model.
+  virtual double evaluate(const data::Dataset& test) const = 0;
+
+  /// Table I memory breakdown for this instance.
+  virtual core::MemoryBreakdown memory() const = 0;
+};
+
+/// Factory over core::ModelKind (kMemhd is not a baseline and is rejected).
+std::unique_ptr<BaselineModel> make_baseline(core::ModelKind kind,
+                                             std::size_t num_features,
+                                             std::size_t num_classes,
+                                             const BaselineConfig& config);
+
+}  // namespace memhd::baselines

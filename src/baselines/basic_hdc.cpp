@@ -1,0 +1,52 @@
+#include "src/baselines/basic_hdc.hpp"
+
+#include "src/hdc/trainers.hpp"
+
+namespace memhd::baselines {
+
+namespace {
+hdc::ProjectionEncoderConfig make_encoder_config(std::size_t num_features,
+                                                 const BaselineConfig& cfg) {
+  hdc::ProjectionEncoderConfig ec;
+  ec.num_features = num_features;
+  ec.dim = cfg.dim;
+  ec.seed = cfg.seed ^ 0xBA51CULL;
+  return ec;
+}
+}  // namespace
+
+BasicHdc::BasicHdc(std::size_t num_features, std::size_t num_classes,
+                   const BaselineConfig& config)
+    : config_(config),
+      num_classes_(num_classes),
+      encoder_(make_encoder_config(num_features, config)),
+      am_(num_classes, config.dim) {}
+
+void BasicHdc::fit(const data::Dataset& train) {
+  const auto encoded = encoder_.encode_dataset(train);
+  hdc::train_single_pass(am_, encoded);
+  if (config_.epochs > 0) {
+    // Optional FP iterative refinement (Eq. 2) followed by binarization;
+    // the paper's BasicHDC row is single-pass, so benches pass epochs = 0.
+    hdc::IterativeConfig ic;
+    ic.epochs = config_.epochs;
+    ic.learning_rate = config_.learning_rate;
+    ic.quantization_aware = false;
+    hdc::train_iterative(am_, encoded, ic);
+  }
+}
+
+double BasicHdc::evaluate(const data::Dataset& test) const {
+  const auto encoded = encoder_.encode_dataset(test);
+  return hdc::evaluate_binary(am_, encoded);
+}
+
+core::MemoryBreakdown BasicHdc::memory() const {
+  core::MemoryParams p;
+  p.num_features = encoder_.num_features();
+  p.dim = config_.dim;
+  p.num_classes = num_classes_;
+  return core::memory_requirement(core::ModelKind::kBasicHDC, p);
+}
+
+}  // namespace memhd::baselines

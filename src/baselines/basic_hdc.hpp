@@ -1,0 +1,36 @@
+// BasicHDC (Table I): random-projection encoding + one class vector per
+// class, single-pass training. Directly IMC-mappable (both its encoding and
+// associative search are MVMs), which is why the paper uses it as the IMC
+// baseline in Table II and Fig. 7.
+#pragma once
+
+#include "src/baselines/baseline.hpp"
+#include "src/hdc/associative_memory.hpp"
+#include "src/hdc/projection_encoder.hpp"
+
+namespace memhd::baselines {
+
+class BasicHdc final : public BaselineModel {
+ public:
+  BasicHdc(std::size_t num_features, std::size_t num_classes,
+           const BaselineConfig& config);
+
+  const char* name() const override { return "BasicHDC"; }
+  core::ModelKind kind() const override { return core::ModelKind::kBasicHDC; }
+  std::size_t dim() const override { return config_.dim; }
+
+  void fit(const data::Dataset& train) override;
+  double evaluate(const data::Dataset& test) const override;
+  core::MemoryBreakdown memory() const override;
+
+  const hdc::AssociativeMemory& am() const { return am_; }
+  const hdc::ProjectionEncoder& encoder() const { return encoder_; }
+
+ private:
+  BaselineConfig config_;
+  std::size_t num_classes_;
+  hdc::ProjectionEncoder encoder_;
+  hdc::AssociativeMemory am_;
+};
+
+}  // namespace memhd::baselines

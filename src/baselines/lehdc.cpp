@@ -1,0 +1,177 @@
+#include "src/baselines/lehdc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/hdc/trainers.hpp"
+
+namespace memhd::baselines {
+
+namespace {
+hdc::IdLevelEncoderConfig make_encoder_config(std::size_t num_features,
+                                              const BaselineConfig& cfg) {
+  hdc::IdLevelEncoderConfig ec;
+  ec.num_features = num_features;
+  ec.dim = cfg.dim;
+  ec.num_levels = cfg.num_levels;
+  ec.seed = cfg.seed ^ 0x1E4DCULL;
+  return ec;
+}
+}  // namespace
+
+LeHdc::LeHdc(std::size_t num_features, std::size_t num_classes,
+             const BaselineConfig& config)
+    : config_(config),
+      num_classes_(num_classes),
+      encoder_(make_encoder_config(num_features, config)),
+      weights_(num_classes, config.dim, 0.0f),
+      binary_(num_classes, config.dim) {
+  hyper_.learning_rate = config.learning_rate;
+}
+
+void LeHdc::fit(const data::Dataset& train) {
+  const auto encoded = encoder_.encode_dataset(train);
+  common::Rng rng(config_.seed ^ 0x1E4DC0DEULL);
+
+  // Warm start from the single-pass class vectors, rescaled into the
+  // clip box [-1, 1] (LeHDC initializes from the bundled prototypes).
+  {
+    hdc::AssociativeMemory warm(num_classes_, config_.dim);
+    hdc::train_single_pass(warm, encoded);
+    float max_abs = 1e-6f;
+    for (std::size_t c = 0; c < num_classes_; ++c)
+      for (const float v : warm.fp().row(c))
+        max_abs = std::max(max_abs, std::abs(v));
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const auto src = warm.fp().row(c);
+      auto dst = weights_.row(c);
+      for (std::size_t j = 0; j < config_.dim; ++j) dst[j] = src[j] / max_abs;
+    }
+  }
+
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(config_.dim));
+  const std::size_t n = encoded.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  common::Matrix velocity(num_classes_, config_.dim, 0.0f);
+  std::vector<float> bipolar(config_.dim);
+  std::vector<float> logits(num_classes_);
+  std::vector<float> probs(num_classes_);
+  common::Matrix grad(num_classes_, config_.dim, 0.0f);
+
+  const auto refresh_binary = [&] {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const auto row = weights_.row(c);
+      binary_.set_row(c, common::BitVector::from_threshold(
+                             row.data(), row.size(), 0.0f));
+    }
+  };
+  refresh_binary();
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n; start += hyper_.batch_size) {
+      const std::size_t stop = std::min(n, start + hyper_.batch_size);
+      grad.fill(0.0f);
+
+      for (std::size_t s = start; s < stop; ++s) {
+        const std::size_t i = order[s];
+        const auto& hv = encoded.hypervectors[i];
+        const data::Label truth = encoded.labels[i];
+
+        bipolar.clear();
+        bipolar.resize(0);
+        hv.to_bipolar(bipolar);
+
+        // Forward through the binarized weights (STE forward pass).
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          float acc = 0.0f;
+          for (std::size_t j = 0; j < config_.dim; ++j)
+            acc += (binary_.get(c, j) ? 1.0f : -1.0f) * bipolar[j];
+          logits[c] = acc * inv_sqrt_d;
+        }
+
+        // Softmax with max-shift for stability.
+        const float mx = *std::max_element(logits.begin(), logits.end());
+        float z = 0.0f;
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          probs[c] = std::exp(logits[c] - mx);
+          z += probs[c];
+        }
+        for (auto& p : probs) p /= z;
+
+        // dL/dlogit_c = p_c - [c == truth]; dlogit/dWb = bipolar * 1/sqrt(D).
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          const float delta =
+              (probs[c] - (c == truth ? 1.0f : 0.0f)) * inv_sqrt_d;
+          if (delta == 0.0f) continue;
+          auto g = grad.row(c);
+          for (std::size_t j = 0; j < config_.dim; ++j)
+            g[j] += delta * bipolar[j];
+        }
+      }
+
+      // SGD + momentum + weight decay, straight-through onto W; clip.
+      const float scale = 1.0f / static_cast<float>(stop - start);
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        auto w = weights_.row(c);
+        auto v = velocity.row(c);
+        const auto g = grad.row(c);
+        for (std::size_t j = 0; j < config_.dim; ++j) {
+          v[j] = hyper_.momentum * v[j] -
+                 hyper_.learning_rate *
+                     (g[j] * scale + hyper_.weight_decay * w[j]);
+          w[j] = std::clamp(w[j] + v[j], -1.0f, 1.0f);
+        }
+      }
+      refresh_binary();
+    }
+  }
+}
+
+data::Label LeHdc::predict(const common::BitVector& query) const {
+  // Ranking by bipolar-weight x bipolar-query dot equals ranking by the
+  // {0,1} popcount dot against the sign bit-plane plus a query-dependent
+  // constant, so plain binary MVM search is used, as on the IMC array.
+  std::vector<std::uint32_t> scores;
+  binary_.mvm(query, scores);
+  std::size_t best = 0;
+  // Tie-break consistently with popcount correction: score' = 2*dot -
+  // popcount(row) (derivation: bipolar dot = 4*dot - 2pc(row) - 2pc(q) + D).
+  std::int64_t best_score = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const auto pc = static_cast<std::int64_t>(
+        common::and_popcount(binary_.row(c), binary_.row(c),
+                             binary_.words_per_row()));
+    const std::int64_t s = 2 * static_cast<std::int64_t>(scores[c]) - pc;
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return static_cast<data::Label>(best);
+}
+
+double LeHdc::evaluate(const data::Dataset& test) const {
+  const auto encoded = encoder_.encode_dataset(test);
+  if (encoded.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < encoded.size(); ++i)
+    if (predict(encoded.hypervectors[i]) == encoded.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(encoded.size());
+}
+
+core::MemoryBreakdown LeHdc::memory() const {
+  core::MemoryParams p;
+  p.num_features = encoder_.num_features();
+  p.dim = config_.dim;
+  p.num_classes = num_classes_;
+  p.num_levels = config_.num_levels;
+  return core::memory_requirement(core::ModelKind::kLeHDC, p);
+}
+
+}  // namespace memhd::baselines

@@ -1,0 +1,59 @@
+// LeHDC baseline (Duan et al., DAC 2022; Table I row 3): the
+// state-of-the-art-accuracy binary HDC model. The associative memory is
+// re-cast as a Binary Neural Network layer and trained with gradients:
+//
+//   logits  = (1/sqrt(D)) * sign(W) . bipolar(h)
+//   loss    = softmax cross-entropy
+//   update  = SGD + momentum + weight decay on the latent FP weights W,
+//             gradients passed through sign() by the straight-through
+//             estimator with the usual |w| <= 1 clip.
+//
+// Deployment binarizes W once; inference is the same binary MVM dot search
+// as every other baseline.
+#pragma once
+
+#include <vector>
+
+#include "src/baselines/baseline.hpp"
+#include "src/common/matrix.hpp"
+#include "src/hdc/associative_memory.hpp"
+#include "src/hdc/id_level_encoder.hpp"
+
+namespace memhd::baselines {
+
+struct LeHdcHyperParams {
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  std::size_t batch_size = 32;
+};
+
+class LeHdc final : public BaselineModel {
+ public:
+  LeHdc(std::size_t num_features, std::size_t num_classes,
+        const BaselineConfig& config);
+
+  const char* name() const override { return "LeHDC"; }
+  core::ModelKind kind() const override { return core::ModelKind::kLeHDC; }
+  std::size_t dim() const override { return config_.dim; }
+
+  void fit(const data::Dataset& train) override;
+  double evaluate(const data::Dataset& test) const override;
+  core::MemoryBreakdown memory() const override;
+
+  LeHdcHyperParams& hyper() { return hyper_; }
+  /// Deployed binary class matrix (k x D), valid after fit().
+  const common::BitMatrix& binary_weights() const { return binary_; }
+
+ private:
+  data::Label predict(const common::BitVector& query) const;
+
+  BaselineConfig config_;
+  std::size_t num_classes_;
+  hdc::IdLevelEncoder encoder_;
+  LeHdcHyperParams hyper_;
+  common::Matrix weights_;     // latent FP weights, clipped to [-1, 1]
+  common::BitMatrix binary_;   // sign(weights), refreshed during training
+};
+
+}  // namespace memhd::baselines

@@ -1,0 +1,50 @@
+#include "src/baselines/quanthd.hpp"
+
+#include "src/hdc/trainers.hpp"
+
+namespace memhd::baselines {
+
+namespace {
+hdc::IdLevelEncoderConfig make_encoder_config(std::size_t num_features,
+                                              const BaselineConfig& cfg) {
+  hdc::IdLevelEncoderConfig ec;
+  ec.num_features = num_features;
+  ec.dim = cfg.dim;
+  ec.num_levels = cfg.num_levels;
+  ec.seed = cfg.seed ^ 0x0AA7DULL;
+  return ec;
+}
+}  // namespace
+
+QuantHd::QuantHd(std::size_t num_features, std::size_t num_classes,
+                 const BaselineConfig& config)
+    : config_(config),
+      num_classes_(num_classes),
+      encoder_(make_encoder_config(num_features, config)),
+      am_(num_classes, config.dim) {}
+
+void QuantHd::fit(const data::Dataset& train) {
+  const auto encoded = encoder_.encode_dataset(train);
+  hdc::train_single_pass(am_, encoded);
+  hdc::IterativeConfig ic;
+  ic.epochs = config_.epochs;
+  ic.learning_rate = config_.learning_rate;
+  ic.quantization_aware = true;  // the defining QuantHD property
+  hdc::train_iterative(am_, encoded, ic);
+}
+
+double QuantHd::evaluate(const data::Dataset& test) const {
+  const auto encoded = encoder_.encode_dataset(test);
+  return hdc::evaluate_binary(am_, encoded);
+}
+
+core::MemoryBreakdown QuantHd::memory() const {
+  core::MemoryParams p;
+  p.num_features = encoder_.num_features();
+  p.dim = config_.dim;
+  p.num_classes = num_classes_;
+  p.num_levels = config_.num_levels;
+  return core::memory_requirement(core::ModelKind::kQuantHD, p);
+}
+
+}  // namespace memhd::baselines

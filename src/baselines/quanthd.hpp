@@ -1,0 +1,36 @@
+// QuantHD baseline (Imani et al., TCAD 2019; Table I row 2): ID-Level
+// encoding + one class vector per class + quantization-aware iterative
+// learning — predictions during training come from the *binary* AM while
+// updates land on the FP shadow, which is re-binarized every epoch. MEMHD
+// §III-C generalizes exactly this scheme to multiple centroids per class.
+#pragma once
+
+#include "src/baselines/baseline.hpp"
+#include "src/hdc/associative_memory.hpp"
+#include "src/hdc/id_level_encoder.hpp"
+
+namespace memhd::baselines {
+
+class QuantHd final : public BaselineModel {
+ public:
+  QuantHd(std::size_t num_features, std::size_t num_classes,
+          const BaselineConfig& config);
+
+  const char* name() const override { return "QuantHD"; }
+  core::ModelKind kind() const override { return core::ModelKind::kQuantHD; }
+  std::size_t dim() const override { return config_.dim; }
+
+  void fit(const data::Dataset& train) override;
+  double evaluate(const data::Dataset& test) const override;
+  core::MemoryBreakdown memory() const override;
+
+  const hdc::AssociativeMemory& am() const { return am_; }
+
+ private:
+  BaselineConfig config_;
+  std::size_t num_classes_;
+  hdc::IdLevelEncoder encoder_;
+  hdc::AssociativeMemory am_;
+};
+
+}  // namespace memhd::baselines

@@ -1,0 +1,109 @@
+#include "src/baselines/searchd.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+
+namespace memhd::baselines {
+
+namespace {
+hdc::IdLevelEncoderConfig make_encoder_config(std::size_t num_features,
+                                              const BaselineConfig& cfg) {
+  hdc::IdLevelEncoderConfig ec;
+  ec.num_features = num_features;
+  ec.dim = cfg.dim;
+  ec.num_levels = cfg.num_levels;
+  ec.seed = cfg.seed ^ 0x5EA2CULL;
+  return ec;
+}
+}  // namespace
+
+SearcHd::SearcHd(std::size_t num_features, std::size_t num_classes,
+                 const BaselineConfig& config)
+    : config_(config),
+      num_classes_(num_classes),
+      encoder_(make_encoder_config(num_features, config)),
+      models_(num_classes * config.n_models, config.dim) {
+  MEMHD_EXPECTS(config.n_models >= 1);
+}
+
+std::size_t SearcHd::row_of(std::size_t c, std::size_t j) const {
+  MEMHD_EXPECTS(c < num_classes_ && j < config_.n_models);
+  return c * config_.n_models + j;
+}
+
+common::BitVector SearcHd::model_vector(std::size_t c, std::size_t j) const {
+  return models_.row_vector(row_of(c, j));
+}
+
+void SearcHd::fit(const data::Dataset& train) {
+  const auto encoded = encoder_.encode_dataset(train);
+  common::Rng rng(config_.seed ^ 0x5EA2C0DEULL);
+
+  // Initialize each class's N models from random samples of that class
+  // (SearcHD's multi-model initialization); classes with fewer than N
+  // samples wrap around.
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const auto idx = encoded.indices_of_class(static_cast<data::Label>(c));
+    MEMHD_EXPECTS(!idx.empty());
+    for (std::size_t j = 0; j < config_.n_models; ++j) {
+      const std::size_t pick = idx[rng.uniform_index(idx.size())];
+      models_.set_row(row_of(c, j), encoded.hypervectors[pick]);
+    }
+  }
+
+  // Single-pass stochastic training.
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    const auto& hv = encoded.hypervectors[i];
+    const std::size_t c = encoded.labels[i];
+
+    // Route to the most similar model of the sample's own class.
+    std::size_t best_j = 0;
+    std::size_t best_score = 0;
+    for (std::size_t j = 0; j < config_.n_models; ++j) {
+      const std::size_t s = models_.row_dot(row_of(c, j), hv);
+      if (j == 0 || s > best_score) {
+        best_score = s;
+        best_j = j;
+      }
+    }
+
+    // Stochastic bit copy: each disagreeing bit moves toward the sample
+    // with probability flip_rate_.
+    const std::size_t row = row_of(c, best_j);
+    for (std::size_t b = 0; b < config_.dim; ++b) {
+      const bool mb = models_.get(row, b);
+      const bool hb = hv.get(b);
+      if (mb != hb && rng.bernoulli(flip_rate_))
+        models_.set(row, b, hb);
+    }
+  }
+}
+
+data::Label SearcHd::predict(const common::BitVector& query) const {
+  std::vector<std::uint32_t> scores;
+  models_.mvm(query, scores);
+  const std::size_t best = common::argmax_u32(scores);
+  return static_cast<data::Label>(best / config_.n_models);
+}
+
+double SearcHd::evaluate(const data::Dataset& test) const {
+  const auto encoded = encoder_.encode_dataset(test);
+  if (encoded.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < encoded.size(); ++i)
+    if (predict(encoded.hypervectors[i]) == encoded.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(encoded.size());
+}
+
+core::MemoryBreakdown SearcHd::memory() const {
+  core::MemoryParams p;
+  p.num_features = encoder_.num_features();
+  p.dim = config_.dim;
+  p.num_classes = num_classes_;
+  p.num_levels = config_.num_levels;
+  p.n_models = config_.n_models;
+  return core::memory_requirement(core::ModelKind::kSearcHD, p);
+}
+
+}  // namespace memhd::baselines

@@ -1,0 +1,57 @@
+// SearcHD baseline (Imani et al., TCAD 2019; Table I row 1): the
+// memory-centric multi-model HDC scheme — the closest prior structure to
+// MEMHD's multi-centroid AM.
+//
+// Each class keeps N binary class vectors (the paper fixes N = 64 in its
+// evaluation). Training is single-pass and fully binary ("stochastic
+// training"): a sample is routed to the most similar of its own class's N
+// vectors, and that vector stochastically copies the sample's bits — every
+// disagreeing bit flips toward the sample with probability `flip_rate`.
+// There is no FP shadow and no iterative refinement; that is exactly the
+// accuracy gap MEMHD's clustering + QAT closes.
+//
+// Inference: argmax of binary dot similarity over all k*N vectors.
+#pragma once
+
+#include <vector>
+
+#include "src/baselines/baseline.hpp"
+#include "src/common/bit_matrix.hpp"
+#include "src/hdc/encoded_dataset.hpp"
+#include "src/hdc/id_level_encoder.hpp"
+
+namespace memhd::baselines {
+
+class SearcHd final : public BaselineModel {
+ public:
+  SearcHd(std::size_t num_features, std::size_t num_classes,
+          const BaselineConfig& config);
+
+  const char* name() const override { return "SearcHD"; }
+  core::ModelKind kind() const override { return core::ModelKind::kSearcHD; }
+  std::size_t dim() const override { return config_.dim; }
+
+  void fit(const data::Dataset& train) override;
+  double evaluate(const data::Dataset& test) const override;
+  core::MemoryBreakdown memory() const override;
+
+  std::size_t n_models() const { return config_.n_models; }
+  /// Model vector j of class c (j in [0, N)).
+  common::BitVector model_vector(std::size_t c, std::size_t j) const;
+
+  /// Probability that a disagreeing bit copies from the sample during an
+  /// update. SearcHD's alpha; defaults to 0.25.
+  void set_flip_rate(double rate) { flip_rate_ = rate; }
+
+ private:
+  std::size_t row_of(std::size_t c, std::size_t j) const;
+  data::Label predict(const common::BitVector& query) const;
+
+  BaselineConfig config_;
+  std::size_t num_classes_;
+  hdc::IdLevelEncoder encoder_;
+  common::BitMatrix models_;  // (k * N) x D
+  double flip_rate_ = 0.25;
+};
+
+}  // namespace memhd::baselines

@@ -1,0 +1,183 @@
+#include "src/clustering/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+
+namespace memhd::clustering {
+
+namespace {
+
+using common::Matrix;
+using common::Rng;
+
+double point_score(std::span<const float> centroid, std::span<const float> x,
+                   Metric metric) {
+  switch (metric) {
+    case Metric::kDotSimilarity:
+      return common::dot(centroid, x);
+    case Metric::kEuclidean:
+      return -static_cast<double>(common::squared_distance(centroid, x));
+    case Metric::kCosine: {
+      const float nc = common::norm(centroid);
+      const float nx = common::norm(x);
+      if (nc == 0.0f || nx == 0.0f) return -1.0;
+      return common::dot(centroid, x) / (static_cast<double>(nc) * nx);
+    }
+  }
+  return 0.0;
+}
+
+Matrix seed_random(const Matrix& points, std::size_t k, Rng& rng) {
+  const auto idx = rng.sample_without_replacement(points.rows(), k);
+  Matrix centroids(k, points.cols());
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto src = points.row(idx[c]);
+    std::copy(src.begin(), src.end(), centroids.row(c).begin());
+  }
+  return centroids;
+}
+
+Matrix seed_kmeanspp(const Matrix& points, std::size_t k, Rng& rng) {
+  const std::size_t n = points.rows();
+  Matrix centroids(k, points.cols());
+  // First centroid: uniform.
+  std::size_t first = static_cast<std::size_t>(rng.uniform_index(n));
+  {
+    const auto src = points.row(first);
+    std::copy(src.begin(), src.end(), centroids.row(0).begin());
+  }
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  for (std::size_t c = 1; c < k; ++c) {
+    // Refresh distances against the newest centroid.
+    const auto latest = centroids.row(c - 1);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d =
+          static_cast<double>(common::squared_distance(points.row(i), latest));
+      d2[i] = std::min(d2[i], d);
+      total += d2[i];
+    }
+    std::size_t chosen = 0;
+    if (total <= 0.0) {
+      chosen = static_cast<std::size_t>(rng.uniform_index(n));
+    } else {
+      double r = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        r -= d2[i];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    const auto src = points.row(chosen);
+    std::copy(src.begin(), src.end(), centroids.row(c).begin());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+std::size_t assign_point(const Matrix& centroids, std::span<const float> x,
+                         Metric metric) {
+  MEMHD_EXPECTS(centroids.rows() > 0);
+  std::size_t best = 0;
+  double best_score = point_score(centroids.row(0), x, metric);
+  for (std::size_t c = 1; c < centroids.rows(); ++c) {
+    const double s = point_score(centroids.row(c), x, metric);
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KMeansResult kmeans(const Matrix& points, const KMeansConfig& config,
+                    Rng& rng) {
+  MEMHD_EXPECTS(config.k >= 1);
+  MEMHD_EXPECTS(points.rows() >= config.k);
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  const std::size_t k = config.k;
+
+  KMeansResult result;
+  result.centroids = config.seeding == Seeding::kKMeansPlusPlus
+                         ? seed_kmeanspp(points, k, rng)
+                         : seed_random(points, k, rng);
+  result.assignment.assign(n, 0);
+  result.cluster_sizes.assign(k, 0);
+
+  std::vector<std::uint32_t> previous(n, std::numeric_limits<std::uint32_t>::max());
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    std::size_t reassigned = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto a = static_cast<std::uint32_t>(
+          assign_point(result.centroids, points.row(i), config.metric));
+      if (a != previous[i]) ++reassigned;
+      result.assignment[i] = a;
+    }
+
+    // Update step: arithmetic mean of members.
+    result.centroids.fill(0.0f);
+    std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = result.assignment[i];
+      ++result.cluster_sizes[c];
+      auto dst = result.centroids.row(c);
+      const auto src = points.row(i);
+      for (std::size_t j = 0; j < dim; ++j) dst[j] += src[j];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (result.cluster_sizes[c] == 0) continue;
+      const float inv = 1.0f / static_cast<float>(result.cluster_sizes[c]);
+      for (auto& v : result.centroids.row(c)) v *= inv;
+    }
+
+    // Empty-cluster repair: reseed with the sample farthest from its own
+    // centroid (max squared distance), which both fills the cluster and
+    // peels off the worst-represented point.
+    for (std::size_t c = 0; c < k; ++c) {
+      if (result.cluster_sizes[c] != 0) continue;
+      std::size_t worst = 0;
+      double worst_d = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(common::squared_distance(
+            points.row(i), result.centroids.row(result.assignment[i])));
+        if (d > worst_d && result.cluster_sizes[result.assignment[i]] > 1) {
+          worst_d = d;
+          worst = i;
+        }
+      }
+      const auto src = points.row(worst);
+      std::copy(src.begin(), src.end(), result.centroids.row(c).begin());
+      --result.cluster_sizes[result.assignment[worst]];
+      result.assignment[worst] = static_cast<std::uint32_t>(c);
+      result.cluster_sizes[c] = 1;
+    }
+
+    previous = result.assignment;
+    if (reassigned < config.min_reassigned && iter > 0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final inertia (squared Euclidean to assigned centroid).
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    result.inertia += static_cast<double>(common::squared_distance(
+        points.row(i), result.centroids.row(result.assignment[i])));
+
+  return result;
+}
+
+}  // namespace memhd::clustering

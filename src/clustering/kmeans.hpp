@@ -1,0 +1,63 @@
+// K-means with a pluggable assignment metric.
+//
+// MEMHD's clustering-based initialization (paper §III-A-1) runs K-means on
+// each class's encoded hypervectors with *dot similarity* as the assignment
+// metric — the same metric the associative search uses — so that the
+// resulting centroids are optimized for the search that will consume them.
+// Euclidean and cosine metrics are provided for comparison and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/matrix.hpp"
+
+namespace memhd::common {
+class Rng;
+}
+
+namespace memhd::clustering {
+
+enum class Metric {
+  kDotSimilarity,  // assign to argmax c . x     (paper's choice)
+  kEuclidean,      // assign to argmin |c - x|^2
+  kCosine,         // assign to argmax (c . x)/(|c||x|)
+};
+
+enum class Seeding {
+  kRandomSamples,  // k distinct samples
+  kKMeansPlusPlus, // D^2-weighted (distance proxy: squared Euclidean)
+};
+
+struct KMeansConfig {
+  std::size_t k = 8;
+  Metric metric = Metric::kDotSimilarity;
+  Seeding seeding = Seeding::kKMeansPlusPlus;
+  std::size_t max_iterations = 50;
+  /// Stop when fewer than `min_reassigned` samples change cluster.
+  std::size_t min_reassigned = 1;
+};
+
+struct KMeansResult {
+  common::Matrix centroids;             // k x dim
+  std::vector<std::uint32_t> assignment;  // per sample, in [0, k)
+  std::vector<std::size_t> cluster_sizes;
+  /// Sum of squared Euclidean distances to assigned centroid (reported for
+  /// every metric; it is the quantity k-means monotonically reduces under
+  /// the Euclidean metric and a useful convergence proxy otherwise).
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Runs Lloyd's algorithm on the rows of `points`.
+/// Requires points.rows() >= config.k >= 1.
+/// Empty clusters are reseeded with the sample farthest from its centroid.
+KMeansResult kmeans(const common::Matrix& points, const KMeansConfig& config,
+                    common::Rng& rng);
+
+/// Assignment step only: index of the best centroid for `x` under `metric`.
+std::size_t assign_point(const common::Matrix& centroids,
+                         std::span<const float> x, Metric metric);
+
+}  // namespace memhd::clustering

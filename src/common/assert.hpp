@@ -1,0 +1,32 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations abort with a source location;
+// they indicate programming errors, not recoverable runtime conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace memhd {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "[memhd] %s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace memhd
+
+#define MEMHD_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::memhd::contract_violation("precondition", #cond, __FILE__,   \
+                                        __LINE__))
+
+#define MEMHD_ENSURES(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::memhd::contract_violation("postcondition", #cond, __FILE__,  \
+                                        __LINE__))
+
+#define MEMHD_ASSERT(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::memhd::contract_violation("assertion", #cond, __FILE__,      \
+                                        __LINE__))

@@ -1,0 +1,102 @@
+#include "src/common/bit_matrix.hpp"
+
+#include <cstring>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+
+namespace memhd::common {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_(words_for_bits(cols)),
+      words_(rows * words_per_row_, 0ULL) {}
+
+BitMatrix BitMatrix::random(std::size_t rows, std::size_t cols, Rng& rng) {
+  BitMatrix m(rows, cols);
+  const std::uint64_t mask = tail_mask(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::uint64_t* row = m.row(r);
+    for (std::size_t w = 0; w < m.words_per_row_; ++w) row[w] = rng.next_u64();
+    if (m.words_per_row_ > 0) row[m.words_per_row_ - 1] &= mask;
+  }
+  return m;
+}
+
+bool BitMatrix::get(std::size_t r, std::size_t c) const {
+  MEMHD_EXPECTS(r < rows_ && c < cols_);
+  return (row(r)[c / kBitsPerWord] >> (c % kBitsPerWord)) & 1ULL;
+}
+
+void BitMatrix::set(std::size_t r, std::size_t c, bool value) {
+  MEMHD_EXPECTS(r < rows_ && c < cols_);
+  const std::uint64_t mask = 1ULL << (c % kBitsPerWord);
+  if (value)
+    row(r)[c / kBitsPerWord] |= mask;
+  else
+    row(r)[c / kBitsPerWord] &= ~mask;
+}
+
+void BitMatrix::flip(std::size_t r, std::size_t c) {
+  MEMHD_EXPECTS(r < rows_ && c < cols_);
+  row(r)[c / kBitsPerWord] ^= 1ULL << (c % kBitsPerWord);
+}
+
+const std::uint64_t* BitMatrix::row(std::size_t r) const {
+  MEMHD_EXPECTS(r < rows_);
+  return words_.data() + r * words_per_row_;
+}
+
+std::uint64_t* BitMatrix::row(std::size_t r) {
+  MEMHD_EXPECTS(r < rows_);
+  return words_.data() + r * words_per_row_;
+}
+
+BitVector BitMatrix::row_vector(std::size_t r) const {
+  BitVector v(cols_);
+  std::memcpy(v.words(), row(r), words_per_row_ * sizeof(std::uint64_t));
+  return v;
+}
+
+void BitMatrix::set_row(std::size_t r, const BitVector& v) {
+  MEMHD_EXPECTS(v.size() == cols_);
+  std::memcpy(row(r), v.words(), words_per_row_ * sizeof(std::uint64_t));
+}
+
+std::size_t BitMatrix::row_dot(std::size_t r, const BitVector& query) const {
+  MEMHD_EXPECTS(query.size() == cols_);
+  return and_popcount(row(r), query.words(), words_per_row_);
+}
+
+void BitMatrix::mvm(const BitVector& query,
+                    std::vector<std::uint32_t>& out) const {
+  MEMHD_EXPECTS(query.size() == cols_);
+  out.resize(rows_);
+  const std::uint64_t* q = query.words();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out[r] = static_cast<std::uint32_t>(
+        and_popcount(words_.data() + r * words_per_row_, q, words_per_row_));
+  }
+}
+
+std::size_t BitMatrix::popcount() const {
+  std::size_t acc = 0;
+  for (const auto w : words_) acc += static_cast<std::size_t>(popcount64(w));
+  return acc;
+}
+
+BitMatrix BitMatrix::transposed() const {
+  BitMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (get(r, c)) t.set(c, r, true);
+  return t;
+}
+
+bool BitMatrix::operator==(const BitMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         words_ == other.words_;
+}
+
+}  // namespace memhd::common

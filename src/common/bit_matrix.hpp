@@ -1,0 +1,68 @@
+// Packed binary matrix with word-aligned rows.
+//
+// This is the storage type for (a) the binary random-projection encoder
+// matrix, (b) the binary associative memory (one row per centroid), and
+// (c) the weight plane of an IMC array. Rows are padded to whole words so
+// that row views can use the word-level popcount kernels directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bit_vector.hpp"
+#include "src/common/bitops.hpp"
+
+namespace memhd::common {
+
+class Rng;
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  /// All-zero matrix with `rows` rows of `cols` bits each.
+  BitMatrix(std::size_t rows, std::size_t cols);
+
+  /// Uniform random bits.
+  static BitMatrix random(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t words_per_row() const { return words_per_row_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool value);
+  void flip(std::size_t r, std::size_t c);
+
+  const std::uint64_t* row(std::size_t r) const;
+  std::uint64_t* row(std::size_t r);
+
+  /// Copies row r into / out of a BitVector of length cols().
+  BitVector row_vector(std::size_t r) const;
+  void set_row(std::size_t r, const BitVector& v);
+
+  /// Dot product (popcount of AND) between row r and a packed query of
+  /// length cols().
+  std::size_t row_dot(std::size_t r, const BitVector& query) const;
+
+  /// Binary matrix-vector multiply: out[r] = popcount(row_r AND query) for
+  /// every row. This is the associative-search kernel.
+  void mvm(const BitVector& query, std::vector<std::uint32_t>& out) const;
+
+  /// Total set bits.
+  std::size_t popcount() const;
+
+  /// Transposed copy (used when mapping the encoder onto IMC arrays, whose
+  /// natural layout is dimension-major).
+  BitMatrix transposed() const;
+
+  bool operator==(const BitMatrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace memhd::common

@@ -1,0 +1,75 @@
+// Packed binary vector: the in-memory representation of a binary hypervector
+// and of one row/column of an IMC array.
+//
+// Bits are stored little-endian within 64-bit words. The dot product of two
+// {0,1} vectors is popcount(a AND b); the Hamming distance is
+// popcount(a XOR b). Both are single-pass word loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bitops.hpp"
+
+namespace memhd::common {
+
+class Rng;
+
+class BitVector {
+ public:
+  BitVector() = default;
+  /// All-zero vector of the given bit length.
+  explicit BitVector(std::size_t nbits);
+
+  /// Builds from a bool mask.
+  static BitVector from_bools(const std::vector<bool>& bits);
+  /// Builds from any sign pattern: bit i set iff values[i] > threshold.
+  static BitVector from_threshold(const float* values, std::size_t n,
+                                  float threshold);
+  /// Uniform random bits.
+  static BitVector random(std::size_t nbits, Rng& rng);
+
+  std::size_t size() const { return nbits_; }
+  std::size_t num_words() const { return words_.size(); }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+  void flip(std::size_t i);
+  /// Sets every bit to `value`.
+  void fill(bool value);
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  /// Dot product of two {0,1} vectors: popcount(a AND b).
+  std::size_t dot(const BitVector& other) const;
+  /// Hamming distance: popcount(a XOR b).
+  std::size_t hamming(const BitVector& other) const;
+
+  BitVector operator&(const BitVector& other) const;
+  BitVector operator|(const BitVector& other) const;
+  BitVector operator^(const BitVector& other) const;
+  BitVector operator~() const;
+  bool operator==(const BitVector& other) const;
+
+  /// Bipolar view: bit b -> +1.0f if set else -1.0f, appended to `out`.
+  void to_bipolar(std::vector<float>& out) const;
+  /// {0,1} float view appended to `out`.
+  void to_floats(std::vector<float>& out) const;
+  std::vector<bool> to_bools() const;
+  /// "0101..." for debugging / golden tests.
+  std::string to_string() const;
+
+  const std::uint64_t* words() const { return words_.data(); }
+  std::uint64_t* words() { return words_.data(); }
+
+ private:
+  void clear_tail();
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace memhd::common

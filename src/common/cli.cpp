@@ -1,0 +1,98 @@
+#include "src/common/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace memhd::common {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {
+  add_bool_flag("help", "Print this help text");
+}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{default_value, help, /*is_bool=*/false, std::nullopt};
+}
+
+void CliParser::add_bool_flag(const std::string& name,
+                              const std::string& help) {
+  flags_[name] = Flag{"false", help, /*is_bool=*/true, std::nullopt};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    Flag& flag = it->second;
+    if (flag.is_bool) {
+      flag.value = has_value ? value : "true";
+    } else if (has_value) {
+      flag.value = value;
+    } else if (i + 1 < argc) {
+      flag.value = argv[++i];
+    } else {
+      std::fprintf(stderr, "flag --%s expects a value\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+  }
+  if (get_bool("help")) {
+    std::fprintf(stdout, "%s", usage().c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end())
+    throw std::invalid_argument("unregistered flag: " + name);
+  return it->second.value.value_or(it->second.default_value);
+}
+
+int CliParser::get_int(const std::string& name) const {
+  return std::stoi(get_string(name));
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(get_string(name));
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    if (!flag.is_bool) os << " <value: default " << flag.default_value << ">";
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace memhd::common

@@ -1,0 +1,46 @@
+// Tiny command-line flag parser for the benchmark and example binaries.
+//
+// Supports `--flag value`, `--flag=value`, and boolean `--flag`. Unknown
+// flags are an error (surfaced with usage text) so that typos in experiment
+// scripts fail loudly instead of silently running defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace memhd::common {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Registers a flag with a default value and help text. Call before parse().
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+  void add_bool_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on error or --help.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    bool is_bool = false;
+    std::optional<std::string> value;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace memhd::common

@@ -1,0 +1,85 @@
+#include "src/common/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace memhd::common {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& names) {
+  write_row(names);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  cells.push_back(cur);
+  return cells;
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(split_csv_line(line));
+  }
+  return rows;
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+}  // namespace memhd::common

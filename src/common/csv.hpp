@@ -1,0 +1,42 @@
+// Minimal CSV writer/reader used by the benchmark harness to dump the data
+// behind every reproduced table and figure, and by the dataset loaders.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace memhd::common {
+
+/// Streams rows to a CSV file. Values containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row of already-formatted cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: header then rows of doubles with a leading label column.
+  void write_header(const std::vector<std::string>& names);
+
+  bool is_open() const { return out_.is_open(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Parses an entire CSV file into rows of cells. Handles quoted cells with
+/// embedded commas and doubled quotes; trims trailing '\r'.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+/// Splits a single CSV line into cells (exposed for tests).
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Formats a double with fixed precision, trimming to something table-friendly.
+std::string format_double(double value, int precision = 4);
+
+}  // namespace memhd::common

@@ -1,0 +1,54 @@
+#include "src/common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace memhd::common {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("MEMHD_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int> g_level{static_cast<int>(level_from_env())};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "[memhd %s] ", level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace memhd::common

@@ -1,0 +1,29 @@
+// Leveled stderr logger. Kept deliberately small: benches print results to
+// stdout (machine-consumable); diagnostics go through here to stderr.
+#pragma once
+
+#include <string>
+
+namespace memhd::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo,
+/// overridable with environment variable MEMHD_LOG=debug|info|warn|error.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define MEMHD_LOG_DEBUG(...) \
+  ::memhd::common::log_message(::memhd::common::LogLevel::kDebug, __VA_ARGS__)
+#define MEMHD_LOG_INFO(...) \
+  ::memhd::common::log_message(::memhd::common::LogLevel::kInfo, __VA_ARGS__)
+#define MEMHD_LOG_WARN(...) \
+  ::memhd::common::log_message(::memhd::common::LogLevel::kWarn, __VA_ARGS__)
+#define MEMHD_LOG_ERROR(...) \
+  ::memhd::common::log_message(::memhd::common::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace memhd::common

@@ -1,0 +1,133 @@
+#include "src/common/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+
+namespace memhd::common {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::random_normal(std::size_t rows, std::size_t cols, Rng& rng,
+                             float mean, float stddev) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_)
+    x = static_cast<float>(rng.normal(mean, stddev));
+  return m;
+}
+
+Matrix Matrix::random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                              float lo, float hi) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = static_cast<float>(rng.uniform(lo, hi));
+  return m;
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  MEMHD_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  MEMHD_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<float> Matrix::row(std::size_t r) {
+  MEMHD_EXPECTS(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const float> Matrix::row(std::size_t r) const {
+  MEMHD_EXPECTS(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Matrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  MEMHD_EXPECTS(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_, 0.0f);
+  // ikj ordering: the inner loop streams through contiguous rows of `other`
+  // and `out`, which auto-vectorizes.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* a = data_.data() + i * cols_;
+    float* o = out.data_.data() + i * other.cols_;
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const float aik = a[k];
+      if (aik == 0.0f) continue;
+      const float* b = other.data_.data() + k * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed(const Matrix& other) const {
+  MEMHD_EXPECTS(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_, 0.0f);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const std::span<const float> a = row(i);
+    for (std::size_t j = 0; j < other.rows_; ++j)
+      out.at(i, j) = dot(a, other.row(j));
+  }
+  return out;
+}
+
+void Matrix::scale(float factor) {
+  for (auto& x : data_) x *= factor;
+}
+
+void Matrix::append_row(std::span<const float> row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  MEMHD_EXPECTS(row.size() == cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+double Matrix::mean() const {
+  if (data_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto x : data_) acc += x;
+  return acc / static_cast<double>(data_.size());
+}
+
+double Matrix::stddev() const {
+  if (data_.empty()) return 0.0;
+  const double mu = mean();
+  double acc = 0.0;
+  for (const auto x : data_) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(data_.size()));
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  MEMHD_EXPECTS(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float squared_distance(std::span<const float> a, std::span<const float> b) {
+  MEMHD_EXPECTS(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float norm(std::span<const float> a) {
+  return std::sqrt(std::max(0.0f, dot(a, a)));
+}
+
+}  // namespace memhd::common

@@ -1,0 +1,75 @@
+// Dense row-major float matrix.
+//
+// Used for input feature tables, the FP "shadow" associative memory that
+// quantization-aware training updates, and k-means centroids. The only
+// heavy kernel is the blocked matmul used for batch projection encoding.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace memhd::common {
+
+class Rng;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  /// Entries iid N(mean, stddev).
+  static Matrix random_normal(std::size_t rows, std::size_t cols, Rng& rng,
+                              float mean = 0.0f, float stddev = 1.0f);
+  /// Entries iid uniform in [lo, hi).
+  static Matrix random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                               float lo = 0.0f, float hi = 1.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+  float& operator()(std::size_t r, std::size_t c) { return at(r, c); }
+  float operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+  std::span<float> row(std::size_t r);
+  std::span<const float> row(std::size_t r) const;
+
+  const float* data() const { return data_.data(); }
+  float* data() { return data_.data(); }
+
+  void fill(float value);
+  /// out = this * other (rows x cols) * (cols x n). Blocked ikj loop.
+  Matrix matmul(const Matrix& other) const;
+  /// out = this * other^T; other is (n x cols). Handy for similarity tables.
+  Matrix matmul_transposed(const Matrix& other) const;
+
+  /// In-place scale of every entry.
+  void scale(float factor);
+  /// Appends a copy of `row` (length cols, or sets cols on first append).
+  void append_row(std::span<const float> row);
+
+  /// Mean of all entries (the paper's 1-bit quantization threshold).
+  double mean() const;
+  /// Standard deviation of all entries (population).
+  double stddev() const;
+
+  bool operator==(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Dot product of two equal-length float spans.
+float dot(std::span<const float> a, std::span<const float> b);
+/// Squared Euclidean distance of two equal-length float spans.
+float squared_distance(std::span<const float> a, std::span<const float> b);
+/// L2 norm.
+float norm(std::span<const float> a);
+
+}  // namespace memhd::common

@@ -1,0 +1,87 @@
+#include "src/common/parallel.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::common {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  MEMHD_EXPECTS(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    for (std::size_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t nchunks =
+      std::min<std::size_t>(workers_.size(), n);
+  const std::size_t chunk = (n + nchunks - 1) / nchunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::size_t lo = begin + c * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      queue_.push_back(Task{lo, hi, &fn});
+      ++in_flight_;
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  const bool sequential =
+      (end - begin) < grain || std::thread::hardware_concurrency() <= 1;
+  if (sequential) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  global_pool().parallel_for(begin, end, fn);
+}
+
+}  // namespace memhd::common

@@ -1,0 +1,60 @@
+// parallel_for over an index range backed by a lazily created thread pool.
+//
+// Batch encoding and epoch-level evaluation are embarrassingly parallel; on
+// a single-core host the pool degrades to sequential execution with no
+// thread overhead (grain check happens before any dispatch).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memhd::common {
+
+/// Fixed-size worker pool executing [begin, end) range chunks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(i) for every i in [begin, end), partitioned into contiguous
+  /// chunks across the workers; blocks until all chunks finish.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<Task> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Process-wide pool sized to the hardware (at least 1 worker).
+ThreadPool& global_pool();
+
+/// Runs fn(i) for i in [begin, end). Falls back to a plain loop when the
+/// range is smaller than `grain` or only one hardware thread exists.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 256);
+
+}  // namespace memhd::common

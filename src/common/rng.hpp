@@ -1,0 +1,72 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component of the library (projection matrices, ID/Level
+// hypervectors, k-means seeding, SearcHD stochastic updates, synthetic data)
+// draws from an explicitly passed Rng so that experiments are reproducible
+// per-trial: trial t uses seed base_seed + t.
+//
+// The generator is Xoshiro256** (public domain, Blackman & Vigna), seeded via
+// SplitMix64 — both are tiny, fast, and have no global state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace memhd::common {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Xoshiro256** pseudo random generator with convenience distributions.
+/// Satisfies UniformRandomBitGenerator, so it also plugs into <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of an index-addressable container.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n). Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derive an independent child generator (for per-class / per-trial streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace memhd::common

@@ -1,0 +1,148 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::common {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), counts_(num_classes * num_classes, 0) {}
+
+void ConfusionMatrix::add(std::size_t true_label, std::size_t predicted_label,
+                          std::size_t count) {
+  MEMHD_EXPECTS(true_label < n_ && predicted_label < n_);
+  counts_[true_label * n_ + predicted_label] += count;
+}
+
+std::size_t ConfusionMatrix::at(std::size_t true_label,
+                                std::size_t predicted_label) const {
+  MEMHD_EXPECTS(true_label < n_ && predicted_label < n_);
+  return counts_[true_label * n_ + predicted_label];
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t acc = 0;
+  for (const auto c : counts_) acc += c;
+  return acc;
+}
+
+std::size_t ConfusionMatrix::correct() const {
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < n_; ++i) acc += counts_[i * n_ + i];
+  return acc;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t t = total();
+  return t == 0 ? 0.0
+               : static_cast<double>(correct()) / static_cast<double>(t);
+}
+
+std::vector<std::size_t> ConfusionMatrix::errors_per_class() const {
+  std::vector<std::size_t> errs(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j)
+      if (i != j) errs[i] += counts_[i * n_ + j];
+  return errs;
+}
+
+std::vector<double> ConfusionMatrix::error_rate_per_class() const {
+  const auto errs = errors_per_class();
+  const auto supp = support_per_class();
+  std::vector<double> rates(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i)
+    if (supp[i] > 0)
+      rates[i] = static_cast<double>(errs[i]) / static_cast<double>(supp[i]);
+  return rates;
+}
+
+std::vector<std::size_t> ConfusionMatrix::support_per_class() const {
+  std::vector<std::size_t> supp(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j) supp[i] += counts_[i * n_ + j];
+  return supp;
+}
+
+void ConfusionMatrix::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      os << counts_[i * n_ + j];
+      if (j + 1 < n_) os << '\t';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+double accuracy(std::span<const std::uint16_t> truth,
+                std::span<const std::uint16_t> predicted) {
+  MEMHD_EXPECTS(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    if (truth[i] == predicted[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+std::size_t argmax(std::span<const float> values) {
+  MEMHD_EXPECTS(!values.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i)
+    if (values[i] > values[best]) best = i;
+  return best;
+}
+
+std::size_t argmax_u32(std::span<const std::uint32_t> values) {
+  MEMHD_EXPECTS(!values.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i)
+    if (values[i] > values[best]) best = i;
+  return best;
+}
+
+double mean_of(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto x : values) acc += x;
+  return acc / static_cast<double>(values.size());
+}
+
+double stddev_of(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = mean_of(values);
+  double acc = 0.0;
+  for (const auto x : values) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::stddev() const {
+  return n_ < 2 ? 0.0 : std::sqrt(m2_ / static_cast<double>(n_));
+}
+
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+}  // namespace memhd::common

@@ -1,0 +1,80 @@
+// Classification statistics: confusion matrix (drives MEMHD's
+// cluster-allocation loop), accuracy, and small summary helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace memhd::common {
+
+/// Square confusion matrix over `num_classes` labels.
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  ConfusionMatrix() = default;
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  std::size_t num_classes() const { return n_; }
+
+  void add(std::size_t true_label, std::size_t predicted_label,
+           std::size_t count = 1);
+  std::size_t at(std::size_t true_label, std::size_t predicted_label) const;
+
+  /// Total samples recorded.
+  std::size_t total() const;
+  /// Correct predictions (trace).
+  std::size_t correct() const;
+  /// Fraction correct in [0,1]; 0 when empty.
+  double accuracy() const;
+
+  /// Misclassified count per true class (row sum minus diagonal).
+  /// This is the signal MEMHD's cluster allocation uses (§III-A-2).
+  std::vector<std::size_t> errors_per_class() const;
+  /// Per-class error rate; 0 for classes with no samples.
+  std::vector<double> error_rate_per_class() const;
+  /// Samples per true class (row sums).
+  std::vector<std::size_t> support_per_class() const;
+
+  void reset();
+  std::string to_string() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> counts_;  // row-major n_ x n_
+};
+
+/// Accuracy of a prediction vector against ground truth.
+double accuracy(std::span<const std::uint16_t> truth,
+                std::span<const std::uint16_t> predicted);
+
+/// Index of the maximum element; first occurrence wins. Requires non-empty.
+std::size_t argmax(std::span<const float> values);
+std::size_t argmax_u32(std::span<const std::uint32_t> values);
+
+/// Mean of a span; 0 when empty.
+double mean_of(std::span<const double> values);
+/// Population standard deviation; 0 when size < 2.
+double stddev_of(std::span<const double> values);
+
+/// Running mean/min/max/std accumulator for trial aggregation.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace memhd::common

@@ -1,0 +1,72 @@
+#include "src/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::common {
+
+namespace {
+const char* kSeparatorSentinel = "\x01--";
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MEMHD_EXPECTS(!header_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  MEMHD_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_separator() {
+  rows_.push_back({kSeparatorSentinel});
+}
+
+std::string TablePrinter::to_string() const {
+  const std::size_t ncols = header_.size();
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) continue;
+    for (std::size_t c = 0; c < ncols; ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t c = 0; c < ncols; ++c)
+      s += std::string(width[c] + 2, '-') + "+";
+    return s + "\n";
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      s += ' ' + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream os;
+  os << rule << render_row(header_) << rule;
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel)
+      os << rule;
+    else
+      os << render_row(row);
+  }
+  os << rule;
+  return os.str();
+}
+
+void TablePrinter::print() const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace memhd::common

@@ -1,0 +1,32 @@
+// Aligned ASCII table printer. The benchmark harness uses this to print
+// paper-style tables (Table I, Table II, and the series behind the figures)
+// directly to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memhd::common {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule between row groups.
+  void add_separator();
+
+  /// Renders with column alignment and a header rule.
+  std::string to_string() const;
+  /// Renders straight to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the single sentinel cell "\x01--" is a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace memhd::common

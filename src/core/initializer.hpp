@@ -1,0 +1,60 @@
+// Multi-centroid AM initialization (paper §III-A).
+//
+// Phase 1 — class-wise clustering: split the encoded training hypervectors
+// by class and K-means each class (dot-similarity metric, matching the
+// associative search). R (the "initial cluster ratio") decides how many of
+// the C columns are placed in this phase: n = max(1, floor(C*R / k)) per
+// class.
+//
+// Phase 2 — cluster allocation: validate on the training set with the FP
+// AM, compute the confusion matrix, and hand the remaining C(1-R) columns
+// to the classes with the most misclassifications; re-cluster those classes
+// with their enlarged budget and repeat until every column is used. The
+// result is a *fully utilized* AM: exactly C assigned centroids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/core/multi_centroid_am.hpp"
+#include "src/hdc/encoded_dataset.hpp"
+
+namespace memhd::core {
+
+/// Diagnostics from initialization, consumed by Fig-5/Fig-6 benches.
+struct InitializerReport {
+  std::vector<std::size_t> centroids_per_class;
+  /// Validation (training-set) accuracy measured at each allocation round,
+  /// FP associative search.
+  std::vector<double> round_accuracy;
+  std::size_t allocation_rounds = 0;
+  /// Columns placed by phase 1 (n * k).
+  std::size_t initial_columns = 0;
+};
+
+/// Clustering-based initialization; returns a fully-assigned AM.
+/// Requires cfg.columns >= num_classes and a non-empty training set with at
+/// least one sample of every class.
+MultiCentroidAM initialize_clustering(const hdc::EncodedDataset& train,
+                                      const MemhdConfig& cfg,
+                                      InitializerReport* report = nullptr);
+
+/// Random-sampling initialization (the paper's Fig-5 baseline): columns are
+/// split as evenly as possible across classes and each centroid is the
+/// bipolar interpretation of one randomly drawn sample of that class.
+MultiCentroidAM initialize_random_sampling(const hdc::EncodedDataset& train,
+                                           const MemhdConfig& cfg,
+                                           InitializerReport* report = nullptr);
+
+/// Dispatch on cfg.init.
+MultiCentroidAM initialize(const hdc::EncodedDataset& train,
+                           const MemhdConfig& cfg,
+                           InitializerReport* report = nullptr);
+
+/// The paper's formula for phase-1 clusters per class:
+/// n = max(1, floor(C * R / k)), additionally clamped so n * k <= C.
+std::size_t initial_clusters_per_class(std::size_t columns,
+                                       std::size_t num_classes, double ratio);
+
+}  // namespace memhd::core

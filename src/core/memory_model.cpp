@@ -1,0 +1,59 @@
+#include "src/core/memory_model.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace memhd::core {
+
+namespace {
+constexpr double kBitsPerKb = 8.0 * 1024.0;
+}
+
+const char* model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kBasicHDC: return "BasicHDC";
+    case ModelKind::kQuantHD: return "QuantHD";
+    case ModelKind::kSearcHD: return "SearcHD";
+    case ModelKind::kLeHDC: return "LeHDC";
+    case ModelKind::kMemhd: return "MEMHD";
+  }
+  return "?";
+}
+
+double MemoryBreakdown::encoder_kb() const {
+  return static_cast<double>(encoder_bits) / kBitsPerKb;
+}
+double MemoryBreakdown::am_kb() const {
+  return static_cast<double>(am_bits) / kBitsPerKb;
+}
+double MemoryBreakdown::total_kb() const {
+  return static_cast<double>(total_bits()) / kBitsPerKb;
+}
+
+MemoryBreakdown memory_requirement(ModelKind kind,
+                                   const MemoryParams& p) {
+  MEMHD_EXPECTS(p.num_features > 0 && p.dim > 0 && p.num_classes > 0);
+  MemoryBreakdown out;
+  switch (kind) {
+    case ModelKind::kSearcHD:
+      out.encoder_bits = (p.num_features + p.num_levels) * p.dim;
+      out.am_bits = p.num_classes * p.dim * p.n_models;
+      break;
+    case ModelKind::kQuantHD:
+    case ModelKind::kLeHDC:
+      out.encoder_bits = (p.num_features + p.num_levels) * p.dim;
+      out.am_bits = p.num_classes * p.dim;
+      break;
+    case ModelKind::kBasicHDC:
+      out.encoder_bits = p.num_features * p.dim;
+      out.am_bits = p.num_classes * p.dim;
+      break;
+    case ModelKind::kMemhd:
+      MEMHD_EXPECTS(p.columns >= p.num_classes);
+      out.encoder_bits = p.num_features * p.dim;
+      out.am_bits = p.columns * p.dim;
+      break;
+  }
+  return out;
+}
+
+}  // namespace memhd::core

@@ -1,0 +1,48 @@
+// Memory-requirement formulas of Table I.
+//
+// All five models are binary at deployment, so memory is counted in bits:
+//
+//   model     | encoding module | associative memory
+//   ----------+-----------------+-------------------
+//   SearcHD   | (f + L) * D     | k * D * N
+//   QuantHD   | (f + L) * D     | k * D
+//   LeHDC     | (f + L) * D     | k * D
+//   BasicHDC  | f * D           | k * D
+//   MEMHD     | f * D           | C * D
+//
+// with f features, L levels (paper: 256), D dimensions, k classes,
+// C memory columns, N vector-quantization factor (paper: 64).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace memhd::core {
+
+enum class ModelKind { kBasicHDC, kQuantHD, kSearcHD, kLeHDC, kMemhd };
+
+const char* model_name(ModelKind kind);
+
+struct MemoryParams {
+  std::size_t num_features = 0;  // f
+  std::size_t dim = 0;           // D
+  std::size_t num_classes = 0;   // k
+  std::size_t columns = 0;       // C   (MEMHD only)
+  std::size_t num_levels = 256;  // L   (ID-Level encoders)
+  std::size_t n_models = 64;     // N   (SearcHD)
+};
+
+struct MemoryBreakdown {
+  std::size_t encoder_bits = 0;
+  std::size_t am_bits = 0;
+
+  std::size_t total_bits() const { return encoder_bits + am_bits; }
+  double encoder_kb() const;
+  double am_kb() const;
+  double total_kb() const;
+};
+
+/// Table I formula for one model.
+MemoryBreakdown memory_requirement(ModelKind kind, const MemoryParams& params);
+
+}  // namespace memhd::core

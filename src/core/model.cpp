@@ -1,0 +1,128 @@
+#include "src/core/model.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/core/serialize.hpp"
+#include "src/hdc/associative_memory.hpp"
+
+namespace memhd::core {
+
+namespace {
+hdc::ProjectionEncoderConfig encoder_config(const MemhdConfig& cfg,
+                                            std::size_t num_features) {
+  hdc::ProjectionEncoderConfig ec;
+  ec.num_features = num_features;
+  ec.dim = cfg.dim;
+  ec.seed = cfg.seed ^ 0xE0C0DE5ULL;
+  return ec;
+}
+}  // namespace
+
+MemhdModel::MemhdModel(const MemhdConfig& cfg, std::size_t num_features,
+                       std::size_t num_classes)
+    : cfg_(cfg),
+      num_classes_(num_classes),
+      encoder_(encoder_config(cfg, num_features)) {
+  MEMHD_EXPECTS(num_classes >= 2);
+  MEMHD_EXPECTS(cfg.columns >= num_classes);
+}
+
+const MultiCentroidAM& MemhdModel::am() const {
+  MEMHD_EXPECTS(am_ != nullptr);
+  return *am_;
+}
+
+FitReport MemhdModel::fit(const data::Dataset& train,
+                          const data::Dataset* eval) {
+  const auto encoded_train = encoder_.encode_dataset(train);
+  if (eval != nullptr) {
+    const auto encoded_eval = encoder_.encode_dataset(*eval);
+    return fit_encoded(encoded_train, &encoded_eval);
+  }
+  return fit_encoded(encoded_train, nullptr);
+}
+
+FitReport MemhdModel::fit_encoded(const hdc::EncodedDataset& train,
+                                  const hdc::EncodedDataset* eval) {
+  MEMHD_EXPECTS(train.dim == cfg_.dim);
+  MEMHD_EXPECTS(train.num_classes == num_classes_);
+
+  FitReport report;
+  am_ = std::make_unique<MultiCentroidAM>(
+      initialize(train, cfg_, &report.init));
+
+  report.post_init_train_accuracy = evaluate_binary(*am_, train);
+  if (eval != nullptr)
+    report.post_init_eval_accuracy = evaluate_binary(*am_, *eval);
+
+  QatConfig qc;
+  qc.epochs = cfg_.epochs;
+  qc.learning_rate = cfg_.learning_rate;
+  qc.normalization = cfg_.normalization;
+  qc.seed = cfg_.seed;
+  report.training = train_qat(*am_, train, eval, qc);
+  return report;
+}
+
+data::Label MemhdModel::predict(std::span<const float> features) const {
+  MEMHD_EXPECTS(am_ != nullptr);
+  return am_->predict_binary(encoder_.encode(features));
+}
+
+bool MemhdModel::update(std::span<const float> features, data::Label truth) {
+  MEMHD_EXPECTS(am_ != nullptr);
+  MEMHD_EXPECTS(truth < num_classes_);
+  const common::BitVector hv = encoder_.encode(features);
+
+  std::vector<std::uint32_t> scores;
+  am_->scores_binary(hv, scores);
+  const std::size_t predicted_slot = am_->best_centroid(scores);
+  if (am_->owner(predicted_slot) == truth) return false;
+
+  const std::size_t true_slot = am_->best_centroid_of_class(scores, truth);
+  hdc::add_bipolar(am_->fp().row(true_slot), hv, cfg_.learning_rate);
+  hdc::add_bipolar(am_->fp().row(predicted_slot), hv, -cfg_.learning_rate);
+  am_->normalize(cfg_.normalization);
+  am_->binarize();
+  return true;
+}
+
+QatTrace MemhdModel::adapt(const data::Dataset& data, std::size_t epochs) {
+  MEMHD_EXPECTS(am_ != nullptr);
+  const auto encoded = encoder_.encode_dataset(data);
+  QatConfig qc;
+  qc.epochs = epochs;
+  qc.learning_rate = cfg_.learning_rate;
+  qc.normalization = cfg_.normalization;
+  qc.keep_best = false;  // no eval set: keep the final state
+  qc.seed = cfg_.seed ^ 0xADA97ULL;
+  return train_qat(*am_, encoded, nullptr, qc);
+}
+
+double MemhdModel::evaluate(const data::Dataset& test) const {
+  MEMHD_EXPECTS(am_ != nullptr);
+  if (test.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if (predict(test.sample(i)) == test.label(i)) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double MemhdModel::evaluate_encoded(const hdc::EncodedDataset& test) const {
+  MEMHD_EXPECTS(am_ != nullptr);
+  return evaluate_binary(*am_, test);
+}
+
+std::size_t MemhdModel::memory_bits() const {
+  return encoder_.memory_bits() + cfg_.columns * cfg_.dim;
+}
+
+void MemhdModel::save(const std::string& path) const {
+  MEMHD_EXPECTS(am_ != nullptr);
+  save_model(*this, path);
+}
+
+MemhdModel MemhdModel::load(const std::string& path) {
+  return load_model(path);
+}
+
+}  // namespace memhd::core

@@ -1,0 +1,92 @@
+// End-to-end MEMHD model: projection encoder + multi-centroid AM +
+// clustering-based initialization + quantization-aware training.
+//
+// This is the public API a downstream user consumes:
+//
+//   core::MemhdConfig cfg;            // D x C, R, epochs, learning rate...
+//   core::MemhdModel model(cfg, train.num_features(), train.num_classes());
+//   auto report = model.fit(train, &test);
+//   double acc = model.evaluate(test);
+//   model.save("model.memhd");
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/config.hpp"
+#include "src/core/initializer.hpp"
+#include "src/core/multi_centroid_am.hpp"
+#include "src/core/qat_trainer.hpp"
+#include "src/data/dataset.hpp"
+#include "src/hdc/projection_encoder.hpp"
+
+namespace memhd::core {
+
+/// Everything fit() learned, for experiment logging.
+struct FitReport {
+  InitializerReport init;
+  QatTrace training;
+  /// Binary-AM accuracy on the training set right after initialization
+  /// (the "epoch 0" point of the paper's Fig. 5 curves).
+  double post_init_train_accuracy = 0.0;
+  double post_init_eval_accuracy = 0.0;
+};
+
+class MemhdModel {
+ public:
+  /// Builds the encoder immediately (deterministic from cfg.seed); the AM
+  /// is created by fit() / fit_encoded().
+  MemhdModel(const MemhdConfig& cfg, std::size_t num_features,
+             std::size_t num_classes);
+
+  const MemhdConfig& config() const { return cfg_; }
+  std::size_t num_features() const { return encoder_.num_features(); }
+  std::size_t num_classes() const { return num_classes_; }
+
+  const hdc::ProjectionEncoder& encoder() const { return encoder_; }
+  /// Valid after fit()/fit_encoded().
+  const MultiCentroidAM& am() const;
+
+  /// Encodes, initializes, and trains. `eval` (optional) drives per-epoch
+  /// accuracy tracking and best-snapshot selection.
+  FitReport fit(const data::Dataset& train, const data::Dataset* eval = nullptr);
+
+  /// Same, on pre-encoded data (benches reuse encodings across C sweeps).
+  FitReport fit_encoded(const hdc::EncodedDataset& train,
+                        const hdc::EncodedDataset* eval = nullptr);
+
+  /// Predicts the class of one raw feature vector.
+  data::Label predict(std::span<const float> features) const;
+
+  /// Online learning: one quantization-aware update step on a single
+  /// labeled sample (encode, search, Eq. 4-6 on misprediction, re-binarize).
+  /// Returns true when the sample was mispredicted (i.e. an update was
+  /// applied). Use after fit() to adapt a deployed model to drift.
+  bool update(std::span<const float> features, data::Label truth);
+
+  /// Continued training on fresh data after deployment: `epochs` QAT epochs
+  /// starting from the current AM state.
+  QatTrace adapt(const data::Dataset& data, std::size_t epochs);
+  /// Accuracy over a raw dataset.
+  double evaluate(const data::Dataset& test) const;
+  /// Accuracy over pre-encoded data.
+  double evaluate_encoded(const hdc::EncodedDataset& test) const;
+
+  /// Total deployed memory in bits: encoder f*D + AM C*D (Table I).
+  std::size_t memory_bits() const;
+
+  /// Binary model file round-trip. Throws std::runtime_error on I/O or
+  /// format errors.
+  void save(const std::string& path) const;
+  static MemhdModel load(const std::string& path);
+
+ private:
+  friend MemhdModel load_model(const std::string& path);
+
+  MemhdConfig cfg_;
+  std::size_t num_classes_ = 0;
+  hdc::ProjectionEncoder encoder_;
+  std::unique_ptr<MultiCentroidAM> am_;
+};
+
+}  // namespace memhd::core

@@ -1,0 +1,212 @@
+#include "src/core/multi_centroid_am.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/common/stats.hpp"
+
+namespace memhd::core {
+
+MultiCentroidAM::MultiCentroidAM(std::size_t num_classes, std::size_t dim,
+                                 std::size_t columns)
+    : num_classes_(num_classes),
+      dim_(dim),
+      columns_(columns),
+      owner_(columns, kUnassigned),
+      class_slots_(num_classes),
+      fp_(columns, dim, 0.0f),
+      binary_(columns, dim) {
+  MEMHD_EXPECTS(num_classes >= 2);
+  MEMHD_EXPECTS(dim >= 1);
+  // The defining constraint of the multi-centroid AM: at least one column
+  // per class, columns >= classes.
+  MEMHD_EXPECTS(columns >= num_classes);
+}
+
+data::Label MultiCentroidAM::owner(std::size_t col) const {
+  MEMHD_EXPECTS(col < columns_);
+  return owner_[col];
+}
+
+const std::vector<std::size_t>& MultiCentroidAM::centroids_of_class(
+    data::Label c) const {
+  MEMHD_EXPECTS(c < num_classes_);
+  return class_slots_[c];
+}
+
+std::size_t MultiCentroidAM::centroids_per_class(data::Label c) const {
+  return centroids_of_class(c).size();
+}
+
+void MultiCentroidAM::set_centroid(std::size_t col, data::Label owner,
+                                   std::span<const float> values) {
+  MEMHD_EXPECTS(col < columns_);
+  MEMHD_EXPECTS(owner < num_classes_);
+  MEMHD_EXPECTS(values.size() == dim_);
+  if (owner_[col] != kUnassigned) {
+    auto& slots = class_slots_[owner_[col]];
+    slots.erase(std::remove(slots.begin(), slots.end(), col), slots.end());
+  }
+  owner_[col] = owner;
+  class_slots_[owner].push_back(col);
+  std::copy(values.begin(), values.end(), fp_.row(col).begin());
+}
+
+bool MultiCentroidAM::fully_assigned() const {
+  return std::none_of(owner_.begin(), owner_.end(),
+                      [](data::Label l) { return l == kUnassigned; });
+}
+
+void MultiCentroidAM::binarize() {
+  const float threshold = static_cast<float>(fp_.mean());
+  for (std::size_t col = 0; col < columns_; ++col) {
+    const auto row = fp_.row(col);
+    binary_.set_row(col, common::BitVector::from_threshold(
+                             row.data(), row.size(), threshold));
+  }
+}
+
+void MultiCentroidAM::restore_binary(const common::BitMatrix& snapshot) {
+  MEMHD_EXPECTS(snapshot.rows() == columns_ && snapshot.cols() == dim_);
+  binary_ = snapshot;
+}
+
+void MultiCentroidAM::normalize(NormalizationMode mode) {
+  if (mode == NormalizationMode::kNone) return;
+  for (std::size_t col = 0; col < columns_; ++col) {
+    auto row = fp_.row(col);
+    if (mode == NormalizationMode::kL2) {
+      const float n = common::norm(row);
+      if (n > 0.0f)
+        for (auto& v : row) v /= n;
+    } else {  // kZScore
+      double mu = 0.0;
+      for (const auto v : row) mu += v;
+      mu /= static_cast<double>(row.size());
+      double var = 0.0;
+      for (const auto v : row) var += (v - mu) * (v - mu);
+      const double sd = std::sqrt(var / static_cast<double>(row.size()));
+      if (sd > 0.0) {
+        for (auto& v : row)
+          v = static_cast<float>((v - mu) / sd);
+      } else {
+        for (auto& v : row) v = 0.0f;
+      }
+    }
+  }
+}
+
+void MultiCentroidAM::scores_binary(const common::BitVector& query,
+                                    std::vector<std::uint32_t>& out) const {
+  MEMHD_EXPECTS(query.size() == dim_);
+  binary_.mvm(query, out);
+}
+
+void MultiCentroidAM::scores_fp(const common::BitVector& query,
+                                std::vector<float>& out) const {
+  MEMHD_EXPECTS(query.size() == dim_);
+  out.resize(columns_);
+  for (std::size_t col = 0; col < columns_; ++col) {
+    const auto row = fp_.row(col);
+    float set_sum = 0.0f;
+    float total = 0.0f;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      total += row[j];
+      if (query.get(j)) set_sum += row[j];
+    }
+    out[col] = 2.0f * set_sum - total;  // dot with bipolar(query)
+  }
+}
+
+std::size_t MultiCentroidAM::best_centroid(
+    std::span<const std::uint32_t> scores) const {
+  MEMHD_EXPECTS(scores.size() == columns_);
+  return common::argmax_u32(scores);
+}
+
+std::size_t MultiCentroidAM::best_centroid_of_class(
+    std::span<const std::uint32_t> scores, data::Label c) const {
+  MEMHD_EXPECTS(scores.size() == columns_);
+  const auto& slots = centroids_of_class(c);
+  MEMHD_EXPECTS(!slots.empty());
+  std::size_t best = slots.front();
+  for (const auto col : slots)
+    if (scores[col] > scores[best]) best = col;
+  return best;
+}
+
+data::Label MultiCentroidAM::predict_binary(
+    const common::BitVector& query) const {
+  std::vector<std::uint32_t> scores;
+  scores_binary(query, scores);
+  const std::size_t best = best_centroid(scores);
+  MEMHD_ENSURES(owner_[best] != kUnassigned);
+  return owner_[best];
+}
+
+data::Label MultiCentroidAM::predict_fp(const common::BitVector& query) const {
+  std::vector<float> scores;
+  scores_fp(query, scores);
+  std::size_t best = 0;
+  float best_score = -std::numeric_limits<float>::infinity();
+  for (std::size_t col = 0; col < columns_; ++col) {
+    if (owner_[col] == kUnassigned) continue;  // skip unassigned slots
+    if (scores[col] > best_score) {
+      best_score = scores[col];
+      best = col;
+    }
+  }
+  MEMHD_ENSURES(owner_[best] != kUnassigned);
+  return owner_[best];
+}
+
+data::Label MultiCentroidAM::predict_with_metric(
+    const common::BitVector& query, SearchMetric metric) const {
+  MEMHD_EXPECTS(query.size() == dim_);
+  if (metric == SearchMetric::kDot) return predict_binary(query);
+
+  std::size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  const double qnorm = std::sqrt(static_cast<double>(query.popcount()));
+  for (std::size_t col = 0; col < columns_; ++col) {
+    const auto row = binary_.row_vector(col);
+    double score = 0.0;
+    if (metric == SearchMetric::kHamming) {
+      score = -static_cast<double>(row.hamming(query));
+    } else {  // kCosine
+      const double rnorm = std::sqrt(static_cast<double>(row.popcount()));
+      score = (qnorm == 0.0 || rnorm == 0.0)
+                  ? 0.0
+                  : static_cast<double>(row.dot(query)) / (qnorm * rnorm);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = col;
+    }
+  }
+  MEMHD_ENSURES(owner_[best] != kUnassigned);
+  return owner_[best];
+}
+
+double evaluate_binary(const MultiCentroidAM& am,
+                       const hdc::EncodedDataset& test) {
+  MEMHD_EXPECTS(am.dim() == test.dim);
+  if (test.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if (am.predict_binary(test.hypervectors[i]) == test.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double evaluate_fp(const MultiCentroidAM& am,
+                   const hdc::EncodedDataset& test) {
+  MEMHD_EXPECTS(am.dim() == test.dim);
+  if (test.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if (am.predict_fp(test.hypervectors[i]) == test.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace memhd::core

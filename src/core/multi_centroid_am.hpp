@@ -1,0 +1,117 @@
+// The multi-centroid associative memory (paper §III).
+//
+// A D x C matrix whose C columns are class *centroids*; several columns can
+// belong to the same class (the ownership map). In this software model the
+// AM is stored centroid-major (C rows of D bits / floats) — the transpose of
+// the physical array layout — because associative search iterates centroids.
+//
+// Like the single-centroid AM, the structure pairs an FP shadow matrix
+// (updated by quantization-aware training) with a packed binary matrix
+// (used for search and for programming the IMC array).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/bit_matrix.hpp"
+#include "src/common/bit_vector.hpp"
+#include "src/common/matrix.hpp"
+#include "src/core/config.hpp"
+#include "src/data/dataset.hpp"
+#include "src/hdc/encoded_dataset.hpp"
+
+namespace memhd::core {
+
+class MultiCentroidAM {
+ public:
+  MultiCentroidAM() = default;
+  /// Builds an empty AM with `columns` centroid slots of dimension `dim`
+  /// over `num_classes` classes. Slots must then be assigned via
+  /// set_centroid before use.
+  MultiCentroidAM(std::size_t num_classes, std::size_t dim,
+                  std::size_t columns);
+
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t columns() const { return columns_; }
+
+  /// Owner class of centroid slot `col`.
+  data::Label owner(std::size_t col) const;
+  /// Slots owned by class `c` (in assignment order).
+  const std::vector<std::size_t>& centroids_of_class(data::Label c) const;
+  /// Number of slots owned by class `c` — the paper's per-class n.
+  std::size_t centroids_per_class(data::Label c) const;
+
+  /// Assigns slot `col` to class `owner` with the given FP centroid values.
+  /// Reassignment of an already-owned slot is allowed (re-clustering).
+  void set_centroid(std::size_t col, data::Label owner,
+                    std::span<const float> values);
+
+  /// True when every slot has been assigned an owner — the fully-utilized
+  /// state MEMHD guarantees after initialization.
+  bool fully_assigned() const;
+
+  const common::Matrix& fp() const { return fp_; }
+  common::Matrix& fp() { return fp_; }
+  const common::BitMatrix& binary() const { return binary_; }
+
+  /// 1-bit quantization of the FP matrix: threshold = global mean
+  /// (paper §III-B).
+  void binarize();
+
+  /// Replaces the binary matrix wholesale (best-epoch snapshot restore).
+  /// Shape must match columns() x dim().
+  void restore_binary(const common::BitMatrix& snapshot);
+
+  /// Per-centroid renormalization of the FP matrix (paper §III-C step 4).
+  void normalize(NormalizationMode mode);
+
+  /// Binary dot similarity (popcount AND) of `query` against every centroid.
+  void scores_binary(const common::BitVector& query,
+                     std::vector<std::uint32_t>& out) const;
+  /// FP dot similarity of the bipolar interpretation of `query` against
+  /// every FP centroid (used during initialization, pre-quantization).
+  void scores_fp(const common::BitVector& query,
+                 std::vector<float>& out) const;
+
+  /// Best centroid slot overall (Eq. 4's argmax over i, j).
+  std::size_t best_centroid(std::span<const std::uint32_t> scores) const;
+  /// Best slot among class `c`'s centroids (Eq. 5's within-class argmax).
+  std::size_t best_centroid_of_class(std::span<const std::uint32_t> scores,
+                                     data::Label c) const;
+
+  /// Predicted class via binary search: owner of the best slot.
+  data::Label predict_binary(const common::BitVector& query) const;
+  /// Predicted class via FP search (initialization-time validation).
+  data::Label predict_fp(const common::BitVector& query) const;
+
+  /// Alternative similarity measures for associative search (paper §II-D
+  /// discusses Hamming and cosine as alternatives to dot similarity; dot is
+  /// what maps onto the IMC MVM, these are for software comparison).
+  enum class SearchMetric { kDot, kHamming, kCosine };
+  data::Label predict_with_metric(const common::BitVector& query,
+                                  SearchMetric metric) const;
+
+  /// Deployed AM memory in bits: C * D (Table I, MEMHD row).
+  std::size_t memory_bits() const { return columns_ * dim_; }
+
+ private:
+  std::size_t num_classes_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t columns_ = 0;
+  std::vector<data::Label> owner_;            // per slot; kUnassigned if free
+  std::vector<std::vector<std::size_t>> class_slots_;
+  common::Matrix fp_;                          // columns_ x dim_
+  common::BitMatrix binary_;                   // columns_ x dim_
+
+  static constexpr data::Label kUnassigned = 0xFFFF;
+};
+
+/// Accuracy of the binary multi-centroid AM over an encoded set.
+double evaluate_binary(const MultiCentroidAM& am,
+                       const hdc::EncodedDataset& test);
+/// Accuracy of the FP AM over an encoded set (pre-quantization validation).
+double evaluate_fp(const MultiCentroidAM& am, const hdc::EncodedDataset& test);
+
+}  // namespace memhd::core

@@ -1,0 +1,82 @@
+#include "src/core/qat_trainer.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/hdc/associative_memory.hpp"  // add_bipolar
+
+namespace memhd::core {
+
+QatTrace train_qat(MultiCentroidAM& am, const hdc::EncodedDataset& train,
+                   const hdc::EncodedDataset* eval, const QatConfig& cfg) {
+  MEMHD_EXPECTS(am.dim() == train.dim);
+  MEMHD_EXPECTS(am.fully_assigned());
+  QatTrace trace;
+  common::Rng rng(cfg.seed ^ 0x9A70001ULL);
+
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  common::BitMatrix best_binary = am.binary();
+  const bool track_best = cfg.keep_best && eval != nullptr;
+
+  std::vector<std::uint32_t> scores;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (cfg.shuffle) rng.shuffle(order);
+
+    std::size_t correct = 0;
+    for (const std::size_t i : order) {
+      const auto& hv = train.hypervectors[i];
+      const data::Label truth = train.labels[i];
+
+      // Step 1: binary dot similarity against every centroid.
+      am.scores_binary(hv, scores);
+      const std::size_t predicted_slot = am.best_centroid(scores);
+      if (am.owner(predicted_slot) == truth) {
+        ++correct;
+        continue;
+      }
+
+      // Step 2: update-target selection (Eq. 4 / Eq. 5).
+      const std::size_t true_slot = am.best_centroid_of_class(scores, truth);
+
+      // Step 3: FP iterative update (Eq. 6).
+      hdc::add_bipolar(am.fp().row(true_slot), hv, cfg.learning_rate);
+      hdc::add_bipolar(am.fp().row(predicted_slot), hv, -cfg.learning_rate);
+      trace.updates += 2;
+
+      if (cfg.binarize_per_sample) {
+        am.normalize(cfg.normalization);
+        am.binarize();
+      }
+    }
+
+    // Step 4: normalization + binary AM refresh.
+    if (!cfg.binarize_per_sample) {
+      am.normalize(cfg.normalization);
+      am.binarize();
+    }
+
+    trace.train_accuracy.push_back(static_cast<double>(correct) /
+                                   static_cast<double>(train.size()));
+    trace.epochs_run = epoch + 1;
+
+    if (eval != nullptr) {
+      const double acc = evaluate_binary(am, *eval);
+      trace.eval_accuracy.push_back(acc);
+      if (track_best && acc > trace.best_eval_accuracy) {
+        trace.best_eval_accuracy = acc;
+        trace.best_epoch = epoch;
+        best_binary = am.binary();
+      }
+    }
+  }
+
+  if (track_best && trace.best_eval_accuracy > 0.0) {
+    // Restore the best binary snapshot. The FP matrix keeps its final state
+    // (it is a training artifact; deployment uses the binary AM).
+    am.restore_binary(best_binary);
+  }
+  return trace;
+}
+
+}  // namespace memhd::core

@@ -1,0 +1,123 @@
+#include "src/core/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/common/assert.hpp"
+#include "src/core/model.hpp"
+
+namespace memhd::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'E', 'M', 'H', 'D', '0', '0', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("memhd model file: truncated");
+  return value;
+}
+
+}  // namespace
+
+void save_model(const MemhdModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_model: cannot open " + path);
+
+  const MemhdConfig& cfg = model.config();
+  const MultiCentroidAM& am = model.am();
+
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint64_t>(out, cfg.dim);
+  write_pod<std::uint64_t>(out, cfg.columns);
+  write_pod<std::uint64_t>(out, model.num_features());
+  write_pod<std::uint64_t>(out, model.num_classes());
+  write_pod<std::uint64_t>(out, cfg.epochs);
+  write_pod<std::uint64_t>(out, cfg.kmeans_max_iterations);
+  write_pod<std::uint64_t>(out, cfg.seed);
+  write_pod<double>(out, cfg.initial_ratio);
+  write_pod<float>(out, cfg.learning_rate);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.init));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.allocation));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.normalization));
+
+  for (std::size_t col = 0; col < am.columns(); ++col)
+    write_pod<std::uint16_t>(out, am.owner(col));
+
+  const common::Matrix& fp = am.fp();
+  out.write(reinterpret_cast<const char*>(fp.data()),
+            static_cast<std::streamsize>(fp.size() * sizeof(float)));
+
+  const common::BitMatrix& bin = am.binary();
+  for (std::size_t col = 0; col < bin.rows(); ++col)
+    out.write(reinterpret_cast<const char*>(bin.row(col)),
+              static_cast<std::streamsize>(bin.words_per_row() *
+                                           sizeof(std::uint64_t)));
+  if (!out) throw std::runtime_error("save_model: write failed for " + path);
+}
+
+MemhdModel load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_model: cannot open " + path);
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("load_model: bad magic in " + path);
+
+  MemhdConfig cfg;
+  cfg.dim = read_pod<std::uint64_t>(in);
+  cfg.columns = read_pod<std::uint64_t>(in);
+  const auto num_features = read_pod<std::uint64_t>(in);
+  const auto num_classes = read_pod<std::uint64_t>(in);
+  cfg.epochs = read_pod<std::uint64_t>(in);
+  cfg.kmeans_max_iterations = read_pod<std::uint64_t>(in);
+  cfg.seed = read_pod<std::uint64_t>(in);
+  cfg.initial_ratio = read_pod<double>(in);
+  cfg.learning_rate = read_pod<float>(in);
+  cfg.init = static_cast<InitMethod>(read_pod<std::uint8_t>(in));
+  cfg.allocation = static_cast<AllocationPolicy>(read_pod<std::uint8_t>(in));
+  cfg.normalization =
+      static_cast<NormalizationMode>(read_pod<std::uint8_t>(in));
+
+  MemhdModel model(cfg, num_features, num_classes);
+
+  std::vector<std::uint16_t> owners(cfg.columns);
+  for (auto& o : owners) o = read_pod<std::uint16_t>(in);
+
+  common::Matrix fp(cfg.columns, cfg.dim);
+  in.read(reinterpret_cast<char*>(fp.data()),
+          static_cast<std::streamsize>(fp.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("load_model: truncated FP AM in " + path);
+
+  common::BitMatrix bin(cfg.columns, cfg.dim);
+  for (std::size_t col = 0; col < cfg.columns; ++col) {
+    in.read(reinterpret_cast<char*>(bin.row(col)),
+            static_cast<std::streamsize>(bin.words_per_row() *
+                                         sizeof(std::uint64_t)));
+  }
+  if (!in)
+    throw std::runtime_error("load_model: truncated binary AM in " + path);
+
+  auto am = std::make_unique<MultiCentroidAM>(num_classes, cfg.dim,
+                                              cfg.columns);
+  for (std::size_t col = 0; col < cfg.columns; ++col) {
+    if (owners[col] >= num_classes)
+      throw std::runtime_error("load_model: bad centroid owner in " + path);
+    am->set_centroid(col, static_cast<data::Label>(owners[col]),
+                     fp.row(col));
+  }
+  am->restore_binary(bin);
+  model.am_ = std::move(am);
+  return model;
+}
+
+}  // namespace memhd::core

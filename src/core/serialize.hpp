@@ -1,0 +1,31 @@
+// Binary model persistence.
+//
+// Layout (little-endian, version-tagged):
+//   magic "MEMHD001"
+//   u64 dim, columns, num_features, num_classes, epochs, kmeans_iters, seed
+//   f64 initial_ratio; f32 learning_rate
+//   u8 init_method, allocation_policy, normalization_mode
+//   u16[columns]            centroid owners
+//   f32[columns * dim]      FP shadow AM
+//   u64[columns * wpr]      packed binary AM rows
+//
+// The projection encoder is NOT stored: it is deterministic in
+// (seed, num_features, dim) and is rebuilt on load. A reload therefore
+// reproduces bit-exact predictions, which tests/core/test_serialize.cpp
+// asserts.
+#pragma once
+
+#include <string>
+
+namespace memhd::core {
+
+class MemhdModel;
+
+/// Writes `model` (must be fitted) to `path`. Throws std::runtime_error.
+void save_model(const MemhdModel& model, const std::string& path);
+
+/// Reads a model written by save_model. Throws std::runtime_error on
+/// malformed input.
+MemhdModel load_model(const std::string& path);
+
+}  // namespace memhd::core

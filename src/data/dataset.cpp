@@ -1,0 +1,96 @@
+#include "src/data/dataset.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+
+namespace memhd::data {
+
+Dataset::Dataset(std::string name, common::Matrix features,
+                 std::vector<Label> labels, std::size_t num_classes)
+    : name_(std::move(name)),
+      features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  MEMHD_EXPECTS(features_.rows() == labels_.size());
+  for (const auto l : labels_) MEMHD_EXPECTS(l < num_classes_);
+}
+
+Label Dataset::label(std::size_t i) const {
+  MEMHD_EXPECTS(i < labels_.size());
+  return labels_[i];
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (const auto l : labels_) ++counts[l];
+  return counts;
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(Label c) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < labels_.size(); ++i)
+    if (labels_[i] == c) idx.push_back(i);
+  return idx;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices,
+                        const std::string& new_name) const {
+  common::Matrix feats(indices.size(), num_features());
+  std::vector<Label> labels(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    MEMHD_EXPECTS(indices[i] < size());
+    const auto src = features_.row(indices[i]);
+    std::copy(src.begin(), src.end(), feats.row(i).begin());
+    labels[i] = labels_[indices[i]];
+  }
+  return Dataset(new_name, std::move(feats), std::move(labels), num_classes_);
+}
+
+std::pair<Dataset, Dataset> Dataset::random_split(double first_fraction,
+                                                  common::Rng& rng) const {
+  MEMHD_EXPECTS(first_fraction >= 0.0 && first_fraction <= 1.0);
+  std::vector<std::size_t> order(size());
+  for (std::size_t i = 0; i < size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::size_t cut =
+      static_cast<std::size_t>(first_fraction * static_cast<double>(size()));
+  std::vector<std::size_t> a(order.begin(), order.begin() + cut);
+  std::vector<std::size_t> b(order.begin() + cut, order.end());
+  return {subset(a, name_ + "/a"), subset(b, name_ + "/b")};
+}
+
+std::pair<Dataset, Dataset> Dataset::stratified_split(double first_fraction,
+                                                      common::Rng& rng) const {
+  MEMHD_EXPECTS(first_fraction >= 0.0 && first_fraction <= 1.0);
+  std::vector<std::size_t> a, b;
+  for (Label c = 0; c < num_classes_; ++c) {
+    auto idx = indices_of_class(c);
+    rng.shuffle(idx);
+    const std::size_t cut = static_cast<std::size_t>(
+        first_fraction * static_cast<double>(idx.size()));
+    a.insert(a.end(), idx.begin(), idx.begin() + cut);
+    b.insert(b.end(), idx.begin() + cut, idx.end());
+  }
+  rng.shuffle(a);
+  rng.shuffle(b);
+  return {subset(a, name_ + "/a"), subset(b, name_ + "/b")};
+}
+
+void Dataset::shuffle(common::Rng& rng) {
+  std::vector<std::size_t> order(size());
+  for (std::size_t i = 0; i < size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  *this = subset(order, name_);
+}
+
+std::string Dataset::summary() const {
+  std::ostringstream os;
+  os << name_ << ": " << size() << " samples, " << num_features()
+     << " features, " << num_classes_ << " classes";
+  return os.str();
+}
+
+}  // namespace memhd::data

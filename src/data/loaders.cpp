@@ -1,0 +1,149 @@
+#include "src/data/loaders.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/common/csv.hpp"
+#include "src/common/log.hpp"
+#include "src/common/rng.hpp"
+
+namespace memhd::data {
+
+namespace {
+
+std::uint32_t read_be_u32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw std::runtime_error("IDX: truncated header");
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+}  // namespace
+
+common::Matrix load_idx_images(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open IDX image file: " + path);
+  const std::uint32_t magic = read_be_u32(in);
+  if (magic != 0x00000803)
+    throw std::runtime_error("bad IDX image magic in " + path);
+  const std::uint32_t n = read_be_u32(in);
+  const std::uint32_t rows = read_be_u32(in);
+  const std::uint32_t cols = read_be_u32(in);
+  const std::size_t f = static_cast<std::size_t>(rows) * cols;
+
+  common::Matrix out(n, f);
+  std::vector<unsigned char> buf(f);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(f));
+    if (!in) throw std::runtime_error("IDX: truncated image data in " + path);
+    auto row = out.row(i);
+    for (std::size_t j = 0; j < f; ++j)
+      row[j] = static_cast<float>(buf[j]) / 255.0f;
+  }
+  return out;
+}
+
+std::vector<Label> load_idx_labels(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open IDX label file: " + path);
+  const std::uint32_t magic = read_be_u32(in);
+  if (magic != 0x00000801)
+    throw std::runtime_error("bad IDX label magic in " + path);
+  const std::uint32_t n = read_be_u32(in);
+  std::vector<unsigned char> buf(n);
+  in.read(reinterpret_cast<char*>(buf.data()), n);
+  if (!in) throw std::runtime_error("IDX: truncated label data in " + path);
+  std::vector<Label> labels(n);
+  for (std::uint32_t i = 0; i < n; ++i) labels[i] = buf[i];
+  return labels;
+}
+
+TrainTestSplit load_mnist_dir(const std::string& dir,
+                              const std::string& name) {
+  auto train_x = load_idx_images(dir + "/train-images-idx3-ubyte");
+  auto train_y = load_idx_labels(dir + "/train-labels-idx1-ubyte");
+  auto test_x = load_idx_images(dir + "/t10k-images-idx3-ubyte");
+  auto test_y = load_idx_labels(dir + "/t10k-labels-idx1-ubyte");
+  TrainTestSplit split;
+  split.train =
+      Dataset(name + "/train", std::move(train_x), std::move(train_y), 10);
+  split.test =
+      Dataset(name + "/test", std::move(test_x), std::move(test_y), 10);
+  return split;
+}
+
+namespace {
+
+Dataset load_isolet_csv(const std::string& path, const std::string& name) {
+  const auto rows = common::read_csv(path);
+  if (rows.empty()) throw std::runtime_error("empty ISOLET file: " + path);
+  const std::size_t f = rows.front().size() - 1;
+  common::Matrix feats(rows.size(), f);
+  std::vector<Label> labels(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != f + 1)
+      throw std::runtime_error("ragged ISOLET row in " + path);
+    auto row = feats.row(i);
+    for (std::size_t j = 0; j < f; ++j)
+      row[j] = std::stof(rows[i][j]);
+    // UCI labels are 1..26 and may carry a trailing '.'.
+    std::string lab = rows[i][f];
+    if (!lab.empty() && lab.back() == '.') lab.pop_back();
+    labels[i] = static_cast<Label>(std::stoi(lab) - 1);
+  }
+  return Dataset(name, std::move(feats), std::move(labels), 26);
+}
+
+}  // namespace
+
+TrainTestSplit load_isolet_dir(const std::string& dir) {
+  TrainTestSplit split;
+  split.train = load_isolet_csv(dir + "/isolet1+2+3+4.data", "isolet/train");
+  split.test = load_isolet_csv(dir + "/isolet5.data", "isolet/test");
+  return split;
+}
+
+bool real_data_available(const std::string& profile, const std::string& dir) {
+  if (dir.empty()) return false;
+  if (profile == "mnist")
+    return file_exists(dir + "/train-images-idx3-ubyte") &&
+           file_exists(dir + "/t10k-images-idx3-ubyte");
+  if (profile == "fmnist")
+    return file_exists(dir + "/fmnist/train-images-idx3-ubyte") &&
+           file_exists(dir + "/fmnist/t10k-images-idx3-ubyte");
+  if (profile == "isolet")
+    return file_exists(dir + "/isolet1+2+3+4.data") &&
+           file_exists(dir + "/isolet5.data");
+  return false;
+}
+
+TrainTestSplit load_or_synthesize(const std::string& profile, Scale scale,
+                                  common::Rng& rng,
+                                  const std::string& data_dir) {
+  std::string dir = data_dir;
+  if (dir.empty()) {
+    if (const char* env = std::getenv("MEMHD_DATA_DIR")) dir = env;
+  }
+  if (real_data_available(profile, dir)) {
+    MEMHD_LOG_INFO("loading real %s from %s", profile.c_str(), dir.c_str());
+    if (profile == "mnist") return load_mnist_dir(dir, "mnist");
+    if (profile == "fmnist") return load_mnist_dir(dir + "/fmnist", "fmnist");
+    if (profile == "isolet") return load_isolet_dir(dir);
+  }
+  MEMHD_LOG_DEBUG("real %s not found; generating synthetic profile",
+                  profile.c_str());
+  return generate_profile(profile, scale, rng);
+}
+
+}  // namespace memhd::data

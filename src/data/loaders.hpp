@@ -1,0 +1,45 @@
+// Real-dataset loaders with graceful synthetic fallback.
+//
+// If the environment variable MEMHD_DATA_DIR (or the explicit `data_dir`
+// argument) points to a directory containing the original files, the loaders
+// read them; otherwise `load_or_synthesize` falls back to the synthetic
+// profiles in synthetic.hpp and logs the substitution. File formats:
+//
+//   MNIST / Fashion-MNIST — IDX (LeCun's format):
+//     train-images-idx3-ubyte, train-labels-idx1-ubyte,
+//     t10k-images-idx3-ubyte,  t10k-labels-idx1-ubyte
+//     (FMNIST uses the same names inside an `fmnist/` subdirectory.)
+//   ISOLET — UCI CSV: isolet1+2+3+4.data (train), isolet5.data (test),
+//     617 comma-separated floats + 1-based class label per row.
+#pragma once
+
+#include <string>
+
+#include "src/data/dataset.hpp"
+#include "src/data/synthetic.hpp"
+
+namespace memhd::data {
+
+/// Parses one IDX image file (magic 0x00000803) into rows of [0,1] floats.
+/// Throws std::runtime_error on malformed input.
+common::Matrix load_idx_images(const std::string& path);
+
+/// Parses one IDX label file (magic 0x00000801).
+std::vector<Label> load_idx_labels(const std::string& path);
+
+/// Loads an MNIST-layout directory (see header comment).
+TrainTestSplit load_mnist_dir(const std::string& dir, const std::string& name);
+
+/// Loads the two UCI ISOLET csv files.
+TrainTestSplit load_isolet_dir(const std::string& dir);
+
+/// True if `dir` contains the files needed for `profile`.
+bool real_data_available(const std::string& profile, const std::string& dir);
+
+/// Returns the real dataset when available under `data_dir` (empty string =>
+/// consult MEMHD_DATA_DIR), otherwise the synthetic profile at `scale`.
+TrainTestSplit load_or_synthesize(const std::string& profile, Scale scale,
+                                  common::Rng& rng,
+                                  const std::string& data_dir = "");
+
+}  // namespace memhd::data

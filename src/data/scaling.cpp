@@ -1,0 +1,94 @@
+#include "src/data/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::data {
+
+void MinMaxScaler::fit(const common::Matrix& train_features) {
+  const std::size_t f = train_features.cols();
+  min_.assign(f, std::numeric_limits<float>::infinity());
+  max_.assign(f, -std::numeric_limits<float>::infinity());
+  for (std::size_t r = 0; r < train_features.rows(); ++r) {
+    const auto row = train_features.row(r);
+    for (std::size_t c = 0; c < f; ++c) {
+      min_[c] = std::min(min_[c], row[c]);
+      max_[c] = std::max(max_[c], row[c]);
+    }
+  }
+}
+
+void MinMaxScaler::transform(common::Matrix& features) const {
+  MEMHD_EXPECTS(fitted());
+  MEMHD_EXPECTS(features.cols() == min_.size());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    auto row = features.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const float span = max_[c] - min_[c];
+      const float v = span > 0.0f ? (row[c] - min_[c]) / span : 0.0f;
+      row[c] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+}
+
+void StandardScaler::fit(const common::Matrix& train_features) {
+  const std::size_t f = train_features.cols();
+  const std::size_t n = train_features.rows();
+  MEMHD_EXPECTS(n > 0);
+  mean_.assign(f, 0.0f);
+  stddev_.assign(f, 0.0f);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = train_features.row(r);
+    for (std::size_t c = 0; c < f; ++c) mean_[c] += row[c];
+  }
+  for (auto& m : mean_) m /= static_cast<float>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = train_features.row(r);
+    for (std::size_t c = 0; c < f; ++c) {
+      const float d = row[c] - mean_[c];
+      stddev_[c] += d * d;
+    }
+  }
+  for (auto& s : stddev_) s = std::sqrt(s / static_cast<float>(n));
+}
+
+void StandardScaler::transform(common::Matrix& features) const {
+  MEMHD_EXPECTS(fitted());
+  MEMHD_EXPECTS(features.cols() == mean_.size());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    auto row = features.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] = stddev_[c] > 0.0f ? (row[c] - mean_[c]) / stddev_[c] : 0.0f;
+    }
+  }
+}
+
+LevelQuantizer::LevelQuantizer(std::size_t num_levels)
+    : num_levels_(num_levels) {
+  MEMHD_EXPECTS(num_levels >= 2);
+}
+
+std::uint16_t LevelQuantizer::quantize(float value) const {
+  const float v = std::clamp(value, 0.0f, 1.0f);
+  const auto level = static_cast<std::size_t>(
+      v * static_cast<float>(num_levels_));
+  return static_cast<std::uint16_t>(std::min(level, num_levels_ - 1));
+}
+
+std::vector<std::uint16_t> LevelQuantizer::quantize_row(
+    std::span<const float> row) const {
+  std::vector<std::uint16_t> out(row.size());
+  for (std::size_t i = 0; i < row.size(); ++i) out[i] = quantize(row[i]);
+  return out;
+}
+
+void scale_split_minmax(TrainTestSplit& split) {
+  MinMaxScaler scaler;
+  scaler.fit(split.train.features());
+  scaler.transform(split.train.features());
+  scaler.transform(split.test.features());
+}
+
+}  // namespace memhd::data

@@ -1,0 +1,64 @@
+// Feature scaling and level quantization.
+//
+// Encoders consume features in [0,1]; the ID-Level encoder additionally
+// quantizes each value into one of L discrete levels (the paper fixes
+// L = 256 for the ID-Level baselines).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/matrix.hpp"
+#include "src/data/dataset.hpp"
+
+namespace memhd::data {
+
+/// Per-feature min-max scaler: transform clamps into [0,1].
+class MinMaxScaler {
+ public:
+  /// Learns per-feature min/max from the training matrix.
+  void fit(const common::Matrix& train_features);
+  /// Scales rows in place; constant features map to 0.
+  void transform(common::Matrix& features) const;
+  bool fitted() const { return !min_.empty(); }
+
+  const std::vector<float>& feature_min() const { return min_; }
+  const std::vector<float>& feature_max() const { return max_; }
+
+ private:
+  std::vector<float> min_;
+  std::vector<float> max_;
+};
+
+/// Per-feature standardization to zero mean / unit variance.
+class StandardScaler {
+ public:
+  void fit(const common::Matrix& train_features);
+  void transform(common::Matrix& features) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+/// Uniform quantizer from [0,1] to {0, ..., num_levels-1}.
+class LevelQuantizer {
+ public:
+  explicit LevelQuantizer(std::size_t num_levels);
+
+  std::size_t num_levels() const { return num_levels_; }
+  /// Quantizes one value (clamped into [0,1] first).
+  std::uint16_t quantize(float value) const;
+  /// Quantizes a whole sample row.
+  std::vector<std::uint16_t> quantize_row(std::span<const float> row) const;
+
+ private:
+  std::size_t num_levels_;
+};
+
+/// Fits min-max on train, applies to both splits (the standard pipeline for
+/// every experiment in the paper).
+void scale_split_minmax(TrainTestSplit& split);
+
+}  // namespace memhd::data

@@ -1,0 +1,82 @@
+#include "src/hdc/associative_memory.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/common/stats.hpp"
+
+namespace memhd::hdc {
+
+AssociativeMemory::AssociativeMemory(std::size_t num_classes, std::size_t dim)
+    : num_classes_(num_classes),
+      dim_(dim),
+      fp_(num_classes, dim, 0.0f),
+      binary_(num_classes, dim) {
+  MEMHD_EXPECTS(num_classes >= 2);
+  MEMHD_EXPECTS(dim >= 1);
+}
+
+void add_bipolar(std::span<float> row, const common::BitVector& hv,
+                 float weight) {
+  MEMHD_EXPECTS(row.size() == hv.size());
+  const std::uint64_t* words = hv.words();
+  const std::size_t n = hv.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    const bool bit = (words[j / common::kBitsPerWord] >>
+                      (j % common::kBitsPerWord)) & 1ULL;
+    row[j] += bit ? weight : -weight;
+  }
+}
+
+void AssociativeMemory::accumulate(data::Label c, const common::BitVector& hv,
+                                   float weight) {
+  MEMHD_EXPECTS(c < num_classes_);
+  MEMHD_EXPECTS(hv.size() == dim_);
+  add_bipolar(fp_.row(c), hv, weight);
+}
+
+void AssociativeMemory::binarize() {
+  const float threshold = static_cast<float>(fp_.mean());
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const auto row = fp_.row(c);
+    binary_.set_row(c, common::BitVector::from_threshold(
+                           row.data(), row.size(), threshold));
+  }
+}
+
+void AssociativeMemory::scores_fp(const common::BitVector& query,
+                                  std::vector<float>& out) const {
+  MEMHD_EXPECTS(query.size() == dim_);
+  out.resize(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    // dot(C_fp, bipolar(query)) without materializing the bipolar vector:
+    // sum_{j set} C[j] - sum_{j clear} C[j] = 2 * sum_{j set} C[j] - sum_j C[j].
+    const auto row = fp_.row(c);
+    float set_sum = 0.0f;
+    float total = 0.0f;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      total += row[j];
+      if (query.get(j)) set_sum += row[j];
+    }
+    out[c] = 2.0f * set_sum - total;
+  }
+}
+
+void AssociativeMemory::scores_binary(const common::BitVector& query,
+                                      std::vector<std::uint32_t>& out) const {
+  MEMHD_EXPECTS(query.size() == dim_);
+  binary_.mvm(query, out);
+}
+
+data::Label AssociativeMemory::predict_fp(const common::BitVector& query) const {
+  std::vector<float> scores;
+  scores_fp(query, scores);
+  return static_cast<data::Label>(common::argmax(scores));
+}
+
+data::Label AssociativeMemory::predict_binary(
+    const common::BitVector& query) const {
+  std::vector<std::uint32_t> scores;
+  scores_binary(query, scores);
+  return static_cast<data::Label>(common::argmax_u32(scores));
+}
+
+}  // namespace memhd::hdc

@@ -1,0 +1,40 @@
+#include "src/hdc/binding.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace memhd::hdc {
+
+common::BitVector bind(const common::BitVector& a,
+                       const common::BitVector& b) {
+  MEMHD_EXPECTS(a.size() == b.size());
+  return a ^ b;
+}
+
+common::BitVector unbind(const common::BitVector& bound,
+                         const common::BitVector& key) {
+  return bind(bound, key);
+}
+
+common::BitVector permute(const common::BitVector& v, std::size_t shift) {
+  const std::size_t n = v.size();
+  MEMHD_EXPECTS(n > 0);
+  shift %= n;
+  if (shift == 0) return v;
+  // Bit-level rotation via get/set; dimensions here are ~1k, and permute
+  // sits outside the training hot loop (encoding only), so clarity wins
+  // over a word-shuffling implementation.
+  common::BitVector out(n);
+  for (std::size_t j = 0; j < n; ++j)
+    if (v.get(j)) out.set((j + shift) % n, true);
+  return out;
+}
+
+common::BitVector permute_back(const common::BitVector& v,
+                               std::size_t shift) {
+  const std::size_t n = v.size();
+  MEMHD_EXPECTS(n > 0);
+  shift %= n;
+  return permute(v, n - shift);
+}
+
+}  // namespace memhd::hdc

@@ -1,0 +1,37 @@
+// Binding and permutation: the remaining two operations of the HDC algebra
+// (bundling lives in bundling.hpp).
+//
+//   * bind(a, b) = a XOR b — associates two hypervectors; the result is
+//     dissimilar to both inputs and bind(bind(a,b), b) == a (XOR is its own
+//     inverse). The ID-Level encoder binds ID and Level vectors this way.
+//   * permute(v, k) — cyclic rotation by k positions; a cheap similarity-
+//     breaking bijection used to encode *order* (position i of a sequence
+//     is tagged by permuting i times). permute(permute(v, a), b) ==
+//     permute(v, a + b) and permute(v, 0) == v.
+//
+// Together with bundling these form the complete bind/bundle/permute
+// toolbox, enabling sequence and record encoders (see ngram_encoder.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/bit_vector.hpp"
+
+namespace memhd::hdc {
+
+/// XOR binding. Requires equal dimensions.
+common::BitVector bind(const common::BitVector& a, const common::BitVector& b);
+
+/// Inverse of bind with the same key: unbind(bind(a, k), k) == a.
+/// (XOR binding is self-inverse; provided for readable call sites.)
+common::BitVector unbind(const common::BitVector& bound,
+                         const common::BitVector& key);
+
+/// Cyclic rotation of the bit vector by `shift` positions toward higher
+/// indices (bit j moves to (j + shift) mod dim). O(dim/64) word moves.
+common::BitVector permute(const common::BitVector& v, std::size_t shift);
+
+/// Inverse rotation: permute_back(permute(v, s), s) == v.
+common::BitVector permute_back(const common::BitVector& v, std::size_t shift);
+
+}  // namespace memhd::hdc

@@ -1,0 +1,33 @@
+#include "src/hdc/encoded_dataset.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace memhd::hdc {
+
+std::vector<std::size_t> EncodedDataset::indices_of_class(
+    data::Label c) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (labels[i] == c) idx.push_back(i);
+  return idx;
+}
+
+common::Matrix EncodedDataset::to_bipolar_matrix(
+    const std::vector<std::size_t>& indices) const {
+  common::Matrix m(indices.size(), dim);
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    MEMHD_EXPECTS(indices[r] < hypervectors.size());
+    const auto& hv = hypervectors[indices[r]];
+    auto row = m.row(r);
+    for (std::size_t j = 0; j < dim; ++j) row[j] = hv.get(j) ? 1.0f : -1.0f;
+  }
+  return m;
+}
+
+common::Matrix EncodedDataset::to_bipolar_matrix() const {
+  std::vector<std::size_t> all(size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return to_bipolar_matrix(all);
+}
+
+}  // namespace memhd::hdc

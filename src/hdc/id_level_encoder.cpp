@@ -1,0 +1,98 @@
+#include "src/hdc/id_level_encoder.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/rng.hpp"
+
+namespace memhd::hdc {
+
+IdLevelEncoder::IdLevelEncoder(const IdLevelEncoderConfig& config)
+    : config_(config), quantizer_(config.num_levels) {
+  MEMHD_EXPECTS(config.num_features > 0);
+  MEMHD_EXPECTS(config.dim > 0);
+  MEMHD_EXPECTS(config.num_levels >= 2);
+
+  common::Rng rng(config.seed);
+
+  ids_.reserve(config.num_features);
+  for (std::size_t i = 0; i < config.num_features; ++i)
+    ids_.push_back(common::BitVector::random(config.dim, rng));
+
+  // Level continuum: start from a random vector; between consecutive levels
+  // flip a fixed quota of not-yet-flipped positions so similarity decays
+  // linearly with level distance and L_0 vs L_{L-1} differ in ~D/2 bits.
+  levels_.reserve(config.num_levels);
+  levels_.push_back(common::BitVector::random(config.dim, rng));
+  const std::size_t total_flips = config.dim / 2;
+  const std::size_t steps = config.num_levels - 1;
+  std::vector<std::size_t> flip_order =
+      rng.sample_without_replacement(config.dim, total_flips);
+  std::size_t flipped_so_far = 0;
+  for (std::size_t l = 1; l < config.num_levels; ++l) {
+    common::BitVector next = levels_.back();
+    // Cumulative quota after step l, so rounding never starves late steps.
+    const std::size_t target = total_flips * l / steps;
+    for (; flipped_so_far < target; ++flipped_so_far)
+      next.flip(flip_order[flipped_so_far]);
+    levels_.push_back(std::move(next));
+  }
+}
+
+common::BitVector IdLevelEncoder::encode(
+    std::span<const float> features) const {
+  MEMHD_EXPECTS(features.size() == config_.num_features);
+  // Bundle with per-dimension counters, then majority threshold at f/2.
+  std::vector<std::uint32_t> counts(config_.dim, 0);
+  const std::size_t nwords = common::words_for_bits(config_.dim);
+  for (std::size_t i = 0; i < config_.num_features; ++i) {
+    const std::uint16_t level = quantizer_.quantize(features[i]);
+    const std::uint64_t* id = ids_[i].words();
+    const std::uint64_t* lv = levels_[level].words();
+    for (std::size_t w = 0; w < nwords; ++w) {
+      std::uint64_t bound = id[w] ^ lv[w];
+      // Iterate set bits only (average density 1/2).
+      while (bound != 0) {
+        const int bit = std::countr_zero(bound);
+        ++counts[w * common::kBitsPerWord + static_cast<std::size_t>(bit)];
+        bound &= bound - 1;
+      }
+    }
+  }
+  const std::uint32_t majority =
+      static_cast<std::uint32_t>(config_.num_features / 2);
+  common::BitVector out(config_.dim);
+  for (std::size_t j = 0; j < config_.dim; ++j)
+    if (counts[j] > majority) out.set(j, true);
+  return out;
+}
+
+EncodedDataset IdLevelEncoder::encode_dataset(
+    const data::Dataset& dataset) const {
+  MEMHD_EXPECTS(dataset.num_features() == config_.num_features);
+  EncodedDataset out;
+  out.dim = config_.dim;
+  out.num_classes = dataset.num_classes();
+  out.labels = dataset.labels();
+  out.hypervectors.resize(dataset.size());
+  common::parallel_for(
+      0, dataset.size(),
+      [&](std::size_t i) { out.hypervectors[i] = encode(dataset.sample(i)); },
+      /*grain=*/16);
+  return out;
+}
+
+std::size_t IdLevelEncoder::memory_bits() const {
+  return (config_.num_features + config_.num_levels) * config_.dim;
+}
+
+const common::BitVector& IdLevelEncoder::id_vector(std::size_t feature) const {
+  MEMHD_EXPECTS(feature < ids_.size());
+  return ids_[feature];
+}
+
+const common::BitVector& IdLevelEncoder::level_vector(std::size_t level) const {
+  MEMHD_EXPECTS(level < levels_.size());
+  return levels_[level];
+}
+
+}  // namespace memhd::hdc

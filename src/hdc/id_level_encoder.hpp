@@ -1,0 +1,64 @@
+// ID-Level encoding (paper §II-B): H = sum_i (ID_i XOR L_{x_i}), thresholded
+// to one bit per dimension by majority.
+//
+// Each of the f feature positions owns a random binary ID hypervector; each
+// of the L quantization levels owns a Level hypervector drawn from a flip
+// continuum (adjacent levels differ in D/(2(L-1)) bits, so the first and
+// last level differ in ~D/2 bits — near-orthogonal). Binding is XOR,
+// bundling is bit-wise majority over the f bound vectors.
+//
+// The SearcHD / QuantHD / LeHDC baselines use this encoder with L = 256
+// (Table I); its memory cost is (f + L) x D bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/bit_vector.hpp"
+#include "src/data/dataset.hpp"
+#include "src/data/scaling.hpp"
+#include "src/hdc/encoded_dataset.hpp"
+
+namespace memhd::common {
+class Rng;
+}
+
+namespace memhd::hdc {
+
+struct IdLevelEncoderConfig {
+  std::size_t num_features = 0;
+  std::size_t dim = 0;
+  std::size_t num_levels = 256;  // paper's L
+  std::uint64_t seed = 1;
+};
+
+class IdLevelEncoder {
+ public:
+  explicit IdLevelEncoder(const IdLevelEncoderConfig& config);
+
+  std::size_t num_features() const { return config_.num_features; }
+  std::size_t dim() const { return config_.dim; }
+  std::size_t num_levels() const { return config_.num_levels; }
+
+  /// Encodes one feature vector (values expected in [0,1]; quantized to
+  /// levels internally).
+  common::BitVector encode(std::span<const float> features) const;
+
+  /// Encodes a whole dataset.
+  EncodedDataset encode_dataset(const data::Dataset& dataset) const;
+
+  /// Encoder memory in bits: (f + L) * D (Table I, ID-Level rows).
+  std::size_t memory_bits() const;
+
+  const common::BitVector& id_vector(std::size_t feature) const;
+  const common::BitVector& level_vector(std::size_t level) const;
+
+ private:
+  IdLevelEncoderConfig config_;
+  data::LevelQuantizer quantizer_;
+  std::vector<common::BitVector> ids_;     // f vectors
+  std::vector<common::BitVector> levels_;  // L vectors
+};
+
+}  // namespace memhd::hdc

@@ -1,0 +1,52 @@
+#include "src/hdc/ngram_encoder.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/hdc/binding.hpp"
+#include "src/hdc/bundling.hpp"
+
+namespace memhd::hdc {
+
+NgramEncoder::NgramEncoder(const NgramEncoderConfig& config)
+    : config_(config) {
+  MEMHD_EXPECTS(config.alphabet_size >= 2);
+  MEMHD_EXPECTS(config.dim >= 8);
+  MEMHD_EXPECTS(config.n >= 1);
+  common::Rng rng(config.seed ^ 0x96A4ULL);
+  items_.reserve(config.alphabet_size);
+  for (std::size_t t = 0; t < config.alphabet_size; ++t)
+    items_.push_back(common::BitVector::random(config.dim, rng));
+}
+
+const common::BitVector& NgramEncoder::item(std::size_t token) const {
+  MEMHD_EXPECTS(token < items_.size());
+  return items_[token];
+}
+
+common::BitVector NgramEncoder::encode_gram(
+    std::span<const std::size_t> tokens) const {
+  MEMHD_EXPECTS(tokens.size() == config_.n);
+  // Oldest token gets the most rotation so that the same symbol in
+  // different positions contributes near-orthogonal patterns.
+  common::BitVector gram(config_.dim);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const auto rotated = permute(item(tokens[i]), config_.n - 1 - i);
+    gram = bind(gram, rotated);
+  }
+  return gram;
+}
+
+common::BitVector NgramEncoder::encode(
+    std::span<const std::size_t> sequence) const {
+  MEMHD_EXPECTS(sequence.size() >= config_.n);
+  BundleAccumulator acc(config_.dim);
+  for (std::size_t start = 0; start + config_.n <= sequence.size(); ++start)
+    acc.add(encode_gram(sequence.subspan(start, config_.n)));
+  return acc.majority();
+}
+
+std::size_t NgramEncoder::memory_bits() const {
+  return config_.alphabet_size * config_.dim;
+}
+
+}  // namespace memhd::hdc

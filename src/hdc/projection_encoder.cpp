@@ -1,0 +1,77 @@
+#include "src/hdc/projection_encoder.hpp"
+
+#include <numeric>
+
+#include "src/common/assert.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/rng.hpp"
+
+namespace memhd::hdc {
+
+ProjectionEncoder::ProjectionEncoder(const ProjectionEncoderConfig& config)
+    : config_(config) {
+  MEMHD_EXPECTS(config.num_features > 0);
+  MEMHD_EXPECTS(config.dim > 0);
+  common::Rng rng(config.seed);
+  signs_ = common::BitMatrix::random(config.dim, config.num_features, rng);
+  weights_ = common::Matrix(config.dim, config.num_features);
+  for (std::size_t d = 0; d < config.dim; ++d) {
+    auto row = weights_.row(d);
+    for (std::size_t f = 0; f < config.num_features; ++f)
+      row[f] = signs_.get(d, f) ? 1.0f : -1.0f;
+  }
+}
+
+std::vector<float> ProjectionEncoder::project(
+    std::span<const float> features) const {
+  MEMHD_EXPECTS(features.size() == config_.num_features);
+  std::vector<float> h(config_.dim, 0.0f);
+  for (std::size_t d = 0; d < config_.dim; ++d)
+    h[d] = common::dot(weights_.row(d), features);
+  return h;
+}
+
+float ProjectionEncoder::binarize_threshold(
+    std::span<const float> projected) const {
+  switch (config_.binarize) {
+    case BinarizeMode::kZeroThreshold:
+      return 0.0f;
+    case BinarizeMode::kSampleMean: {
+      const float sum =
+          std::accumulate(projected.begin(), projected.end(), 0.0f);
+      return sum / static_cast<float>(projected.size());
+    }
+  }
+  return 0.0f;
+}
+
+common::BitVector ProjectionEncoder::encode(
+    std::span<const float> features) const {
+  const std::vector<float> h = project(features);
+  const float threshold = binarize_threshold(h);
+  return common::BitVector::from_threshold(h.data(), h.size(), threshold);
+}
+
+EncodedDataset ProjectionEncoder::encode_dataset(
+    const data::Dataset& dataset) const {
+  MEMHD_EXPECTS(dataset.num_features() == config_.num_features);
+  EncodedDataset out;
+  out.dim = config_.dim;
+  out.num_classes = dataset.num_classes();
+  out.labels = dataset.labels();
+  out.hypervectors.resize(dataset.size());
+
+  common::parallel_for(
+      0, dataset.size(),
+      [&](std::size_t i) {
+        out.hypervectors[i] = encode(dataset.sample(i));
+      },
+      /*grain=*/64);
+  return out;
+}
+
+std::size_t ProjectionEncoder::memory_bits() const {
+  return config_.num_features * config_.dim;
+}
+
+}  // namespace memhd::hdc

@@ -1,0 +1,78 @@
+// Random-projection encoding (paper §II-B, Eq. 1): H = M^T F with a random
+// bipolar projection matrix M, followed by 1-bit binarization.
+//
+// This is the encoder MEMHD and BasicHDC use, because the projection MVM
+// maps directly onto an IMC array: M's sign bits are the array weights, the
+// input features drive the rows, and the comparator at each column performs
+// the binarization. The packed sign matrix is the *memory* the model pays
+// for (f x D bits, Table I); a float mirror of it is kept purely as a
+// software-speed optimization for batch encoding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/bit_matrix.hpp"
+#include "src/common/bit_vector.hpp"
+#include "src/common/matrix.hpp"
+#include "src/data/dataset.hpp"
+#include "src/hdc/encoded_dataset.hpp"
+
+namespace memhd::common {
+class Rng;
+}
+
+namespace memhd::hdc {
+
+/// How the real-valued projection output is collapsed to one bit per
+/// dimension.
+enum class BinarizeMode {
+  /// bit_j = (h_j > 0) — natural for a bipolar matrix and zero-mean input.
+  kZeroThreshold,
+  /// bit_j = (h_j > mean_j(h)) — per-sample mean, robust to biased features
+  /// (the library default; features here live in [0,1], not zero-mean).
+  kSampleMean,
+};
+
+struct ProjectionEncoderConfig {
+  std::size_t num_features = 0;
+  std::size_t dim = 0;
+  BinarizeMode binarize = BinarizeMode::kSampleMean;
+  std::uint64_t seed = 1;
+};
+
+class ProjectionEncoder {
+ public:
+  explicit ProjectionEncoder(const ProjectionEncoderConfig& config);
+
+  std::size_t num_features() const { return config_.num_features; }
+  std::size_t dim() const { return config_.dim; }
+  BinarizeMode binarize_mode() const { return config_.binarize; }
+
+  /// Encodes one feature vector (length num_features) into a packed binary
+  /// hypervector of length dim.
+  common::BitVector encode(std::span<const float> features) const;
+
+  /// Real-valued projection (pre-binarization), exposed for tests and for
+  /// the IMC pipeline's column-comparator model.
+  std::vector<float> project(std::span<const float> features) const;
+
+  /// Encodes a whole dataset (the heavy path; row-blocked matmul).
+  EncodedDataset encode_dataset(const data::Dataset& dataset) const;
+
+  /// The packed sign matrix (D rows x f cols; bit=1 means +1 weight).
+  /// This is exactly what gets programmed into the IMC encoder arrays.
+  const common::BitMatrix& sign_matrix() const { return signs_; }
+
+  /// Encoder memory in bits: f * D (Table I, projection row).
+  std::size_t memory_bits() const;
+
+ private:
+  float binarize_threshold(std::span<const float> projected) const;
+
+  ProjectionEncoderConfig config_;
+  common::BitMatrix signs_;     // dim x num_features packed bipolar signs
+  common::Matrix weights_;      // dim x num_features float mirror (+1/-1)
+};
+
+}  // namespace memhd::hdc

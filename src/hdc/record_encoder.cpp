@@ -1,0 +1,79 @@
+#include "src/hdc/record_encoder.hpp"
+
+#include <limits>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/hdc/binding.hpp"
+#include "src/hdc/bundling.hpp"
+
+namespace memhd::hdc {
+
+RecordEncoder::RecordEncoder(const RecordEncoderConfig& config)
+    : config_(config), quantizer_(config.num_levels) {
+  MEMHD_EXPECTS(config.num_fields >= 1);
+  MEMHD_EXPECTS(config.dim >= 8);
+  MEMHD_EXPECTS(config.num_levels >= 2);
+
+  common::Rng rng(config.seed ^ 0x2EC02DULL);
+  roles_.reserve(config.num_fields);
+  for (std::size_t f = 0; f < config.num_fields; ++f)
+    roles_.push_back(common::BitVector::random(config.dim, rng));
+
+  // Shared level continuum: same flip-chain construction as the ID-Level
+  // encoder (adjacent levels differ by D/(2(L-1)) bits).
+  levels_.reserve(config.num_levels);
+  levels_.push_back(common::BitVector::random(config.dim, rng));
+  const std::size_t total_flips = config.dim / 2;
+  const std::size_t steps = config.num_levels - 1;
+  const auto flip_order =
+      rng.sample_without_replacement(config.dim, total_flips);
+  std::size_t flipped = 0;
+  for (std::size_t l = 1; l < config.num_levels; ++l) {
+    common::BitVector next = levels_.back();
+    const std::size_t target = total_flips * l / steps;
+    for (; flipped < target; ++flipped) next.flip(flip_order[flipped]);
+    levels_.push_back(std::move(next));
+  }
+}
+
+const common::BitVector& RecordEncoder::role(std::size_t field) const {
+  MEMHD_EXPECTS(field < roles_.size());
+  return roles_[field];
+}
+
+const common::BitVector& RecordEncoder::level(std::size_t level) const {
+  MEMHD_EXPECTS(level < levels_.size());
+  return levels_[level];
+}
+
+common::BitVector RecordEncoder::encode(
+    std::span<const float> values) const {
+  MEMHD_EXPECTS(values.size() == config_.num_fields);
+  BundleAccumulator acc(config_.dim);
+  for (std::size_t f = 0; f < config_.num_fields; ++f)
+    acc.add(bind(roles_[f], levels_[quantizer_.quantize(values[f])]));
+  return acc.majority();
+}
+
+std::size_t RecordEncoder::decode_field(const common::BitVector& record,
+                                        std::size_t field) const {
+  MEMHD_EXPECTS(record.size() == config_.dim);
+  const common::BitVector probe = unbind(record, role(field));
+  std::size_t best = 0;
+  std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::size_t d = probe.hamming(levels_[l]);
+    if (d < best_distance) {
+      best_distance = d;
+      best = l;
+    }
+  }
+  return best;
+}
+
+std::size_t RecordEncoder::memory_bits() const {
+  return (config_.num_fields + config_.num_levels) * config_.dim;
+}
+
+}  // namespace memhd::hdc

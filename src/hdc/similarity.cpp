@@ -1,0 +1,34 @@
+#include "src/hdc/similarity.hpp"
+
+#include <cmath>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::hdc {
+
+std::size_t dot_similarity(const common::BitVector& a,
+                           const common::BitVector& b) {
+  return a.dot(b);
+}
+
+std::size_t hamming_distance(const common::BitVector& a,
+                             const common::BitVector& b) {
+  return a.hamming(b);
+}
+
+std::int64_t bipolar_dot(const common::BitVector& a,
+                         const common::BitVector& b) {
+  MEMHD_EXPECTS(a.size() == b.size());
+  return static_cast<std::int64_t>(a.size()) -
+         2 * static_cast<std::int64_t>(a.hamming(b));
+}
+
+double cosine_similarity(const common::BitVector& a,
+                         const common::BitVector& b) {
+  const double na = std::sqrt(static_cast<double>(a.popcount()));
+  const double nb = std::sqrt(static_cast<double>(b.popcount()));
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return static_cast<double>(a.dot(b)) / (na * nb);
+}
+
+}  // namespace memhd::hdc

@@ -1,0 +1,33 @@
+// Similarity measures for associative search (paper §II-D).
+//
+// The binary {0,1} dot similarity popcount(a AND b) is the measure MEMHD
+// maps onto IMC arrays; Hamming and cosine are provided because the paper
+// discusses them as alternatives and tests compare their rankings.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/bit_vector.hpp"
+
+namespace memhd::hdc {
+
+/// Dot similarity of two packed {0,1} hypervectors (Eq. 3 restricted to
+/// binary operands): popcount(a AND b).
+std::size_t dot_similarity(const common::BitVector& a,
+                           const common::BitVector& b);
+
+/// Hamming distance (lower = more similar).
+std::size_t hamming_distance(const common::BitVector& a,
+                             const common::BitVector& b);
+
+/// Dot product of the *bipolar* interpretations (+1 for set, -1 for clear):
+/// D - 2 * hamming(a, b). Useful because single-pass training accumulates
+/// bipolar values.
+std::int64_t bipolar_dot(const common::BitVector& a,
+                         const common::BitVector& b);
+
+/// Cosine similarity of the {0,1} interpretations; 0 when either is empty.
+double cosine_similarity(const common::BitVector& a,
+                         const common::BitVector& b);
+
+}  // namespace memhd::hdc

@@ -1,0 +1,80 @@
+#include "src/hdc/trainers.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/common/stats.hpp"
+
+namespace memhd::hdc {
+
+void train_single_pass(AssociativeMemory& am, const EncodedDataset& train) {
+  MEMHD_EXPECTS(am.dim() == train.dim);
+  for (std::size_t i = 0; i < train.size(); ++i)
+    am.accumulate(train.labels[i], train.hypervectors[i]);
+  am.binarize();
+}
+
+EpochTrace train_iterative(AssociativeMemory& am, const EncodedDataset& train,
+                           const IterativeConfig& config) {
+  MEMHD_EXPECTS(am.dim() == train.dim);
+  EpochTrace trace;
+  std::vector<std::uint32_t> bin_scores;
+  std::vector<float> fp_scores;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const auto& hv = train.hypervectors[i];
+      const data::Label truth = train.labels[i];
+      data::Label predicted;
+      if (config.quantization_aware) {
+        am.scores_binary(hv, bin_scores);
+        predicted = static_cast<data::Label>(common::argmax_u32(bin_scores));
+      } else {
+        am.scores_fp(hv, fp_scores);
+        predicted = static_cast<data::Label>(common::argmax(fp_scores));
+      }
+      if (predicted == truth) {
+        ++correct;
+        continue;
+      }
+      // Eq. (2): C_true += aH, C_pred -= aH.
+      add_bipolar(am.fp().row(truth), hv, config.learning_rate);
+      add_bipolar(am.fp().row(predicted), hv, -config.learning_rate);
+    }
+    if (config.quantization_aware) am.binarize();
+    trace.train_accuracy.push_back(static_cast<double>(correct) /
+                                   static_cast<double>(train.size()));
+    trace.epochs_run = epoch + 1;
+  }
+  am.binarize();
+  return trace;
+}
+
+double evaluate_binary(const AssociativeMemory& am,
+                       const EncodedDataset& test) {
+  MEMHD_EXPECTS(am.dim() == test.dim);
+  if (test.empty()) return 0.0;
+  std::size_t correct = 0;
+  std::vector<std::uint32_t> scores;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    am.scores_binary(test.hypervectors[i], scores);
+    if (static_cast<data::Label>(common::argmax_u32(scores)) ==
+        test.labels[i])
+      ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double evaluate_fp(const AssociativeMemory& am, const EncodedDataset& test) {
+  MEMHD_EXPECTS(am.dim() == test.dim);
+  if (test.empty()) return 0.0;
+  std::size_t correct = 0;
+  std::vector<float> scores;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    am.scores_fp(test.hypervectors[i], scores);
+    if (static_cast<data::Label>(common::argmax(scores)) == test.labels[i])
+      ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace memhd::hdc

@@ -1,0 +1,45 @@
+// Training procedures for the single-centroid associative memory
+// (paper §II-C): single-pass accumulation, FP iterative (perceptron-style)
+// refinement, and quantization-aware iterative learning (the QuantHD
+// scheme that MEMHD extends in src/core).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hdc/associative_memory.hpp"
+#include "src/hdc/encoded_dataset.hpp"
+
+namespace memhd::hdc {
+
+/// C_k = sum of bipolar sample hypervectors of class k. Leaves both the FP
+/// matrix and (after binarize()) the binary matrix populated.
+void train_single_pass(AssociativeMemory& am, const EncodedDataset& train);
+
+struct IterativeConfig {
+  std::size_t epochs = 20;
+  float learning_rate = 0.05f;
+  /// When true, prediction during training uses the binary AM and the FP
+  /// matrix is re-binarized every epoch (quantization-aware learning).
+  /// When false, training runs purely in FP (classic iterative HDC).
+  bool quantization_aware = true;
+};
+
+struct EpochTrace {
+  std::vector<double> train_accuracy;  // accuracy measured during each epoch
+  std::size_t epochs_run = 0;
+};
+
+/// Iterative learning (Eq. 2): for every mispredicted sample, pull the true
+/// class vector toward the sample and push the predicted away. Returns the
+/// per-epoch training accuracy trace. The AM's binary matrix is refreshed at
+/// the end regardless of mode.
+EpochTrace train_iterative(AssociativeMemory& am, const EncodedDataset& train,
+                           const IterativeConfig& config);
+
+/// Accuracy of the binary AM on an encoded set.
+double evaluate_binary(const AssociativeMemory& am, const EncodedDataset& test);
+/// Accuracy of the FP AM on an encoded set.
+double evaluate_fp(const AssociativeMemory& am, const EncodedDataset& test);
+
+}  // namespace memhd::hdc

@@ -1,0 +1,43 @@
+#include "src/imc/cost_model.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace memhd::imc {
+
+CostModel::CostModel(const CostParams& params) : params_(params) {
+  MEMHD_EXPECTS(params.mvm_energy_pj > 0.0);
+  MEMHD_EXPECTS(params.cycle_time_ns > 0.0);
+  MEMHD_EXPECTS(params.reference.cells() > 0);
+}
+
+double CostModel::geometry_scale(ArrayGeometry geometry) const {
+  return static_cast<double>(geometry.cells()) /
+         static_cast<double>(params_.reference.cells());
+}
+
+double CostModel::mvm_energy_pj(std::size_t activations,
+                                ArrayGeometry geometry) const {
+  return static_cast<double>(activations) * params_.mvm_energy_pj *
+         geometry_scale(geometry);
+}
+
+double CostModel::write_energy_pj(std::size_t cells) const {
+  return static_cast<double>(cells) * params_.write_energy_per_cell_pj;
+}
+
+double CostModel::latency_ns(std::size_t cycles) const {
+  return static_cast<double>(cycles) * params_.cycle_time_ns;
+}
+
+double CostModel::am_energy_pj(const ModelMapping& model,
+                               ArrayGeometry geometry) const {
+  return mvm_energy_pj(model.am_cost.activations, geometry);
+}
+
+double CostModel::total_energy_pj(const ModelMapping& model,
+                                  ArrayGeometry geometry) const {
+  return mvm_energy_pj(model.em_cost.activations + model.am_cost.activations,
+                       geometry);
+}
+
+}  // namespace memhd::imc

@@ -1,0 +1,74 @@
+#include "src/imc/imc_array.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::imc {
+
+ImcArray::ImcArray(ArrayGeometry geometry)
+    : geometry_(geometry), weights_(geometry.rows, geometry.cols) {
+  MEMHD_EXPECTS(geometry.rows >= 1 && geometry.cols >= 1);
+}
+
+void ImcArray::program(const common::BitMatrix& tile) {
+  MEMHD_EXPECTS(tile.rows() <= geometry_.rows);
+  MEMHD_EXPECTS(tile.cols() <= geometry_.cols);
+  weights_ = common::BitMatrix(geometry_.rows, geometry_.cols);
+  for (std::size_t r = 0; r < tile.rows(); ++r)
+    for (std::size_t c = 0; c < tile.cols(); ++c)
+      if (tile.get(r, c)) weights_.set(r, c, true);
+  used_rows_ = tile.rows();
+  used_cols_ = tile.cols();
+  ++write_passes_;
+}
+
+void ImcArray::program_cell(std::size_t row, std::size_t col, bool value) {
+  MEMHD_EXPECTS(row < geometry_.rows && col < geometry_.cols);
+  weights_.set(row, col, value);
+  used_rows_ = std::max(used_rows_, row + 1);
+  used_cols_ = std::max(used_cols_, col + 1);
+}
+
+bool ImcArray::weight(std::size_t row, std::size_t col) const {
+  MEMHD_EXPECTS(row < geometry_.rows && col < geometry_.cols);
+  return weights_.get(row, col);
+}
+
+std::vector<std::uint32_t> ImcArray::mvm_binary(
+    const common::BitVector& input) {
+  MEMHD_EXPECTS(input.size() <= geometry_.rows);
+  ++activations_;
+  std::vector<std::uint32_t> out(geometry_.cols, 0);
+  for (std::size_t r = 0; r < input.size(); ++r) {
+    if (!input.get(r)) continue;
+    // Accumulate this driven row's weights into the column sums.
+    const std::uint64_t* row = weights_.row(r);
+    for (std::size_t c = 0; c < geometry_.cols; ++c)
+      out[c] += static_cast<std::uint32_t>(
+          (row[c / common::kBitsPerWord] >> (c % common::kBitsPerWord)) & 1ULL);
+  }
+  return out;
+}
+
+std::vector<float> ImcArray::mvm_real(std::span<const float> input) {
+  MEMHD_EXPECTS(input.size() <= geometry_.rows);
+  ++activations_;
+  std::vector<float> out(geometry_.cols, 0.0f);
+  for (std::size_t r = 0; r < input.size(); ++r) {
+    const float x = input[r];
+    if (x == 0.0f) continue;
+    const std::uint64_t* row = weights_.row(r);
+    for (std::size_t c = 0; c < geometry_.cols; ++c)
+      if ((row[c / common::kBitsPerWord] >> (c % common::kBitsPerWord)) & 1ULL)
+        out[c] += x;
+  }
+  return out;
+}
+
+void ImcArray::reset_counters() {
+  activations_ = 0;
+  write_passes_ = 0;
+}
+
+}  // namespace memhd::imc

@@ -1,0 +1,76 @@
+// Functional model of one in-memory-computing crossbar array.
+//
+// The array holds an R x C plane of binary weights. A compute cycle drives
+// some subset of the R wordlines and reads, on every bitline (column), the
+// analog sum of the driven rows' cells — i.e. one binary-weight MVM per
+// cycle. Two input modes are modeled:
+//
+//   * binary inputs  (associative search: the query hypervector's bits) —
+//     out[c] = sum_r in[r] * w[r][c], exact popcount semantics;
+//   * real inputs    (projection encoding: feature values; physically
+//     realized bit-serially or with DACs) — out[c] = sum_r x[r] * w[r][c].
+//
+// The model is functional, not electrical: device non-idealities are out of
+// scope (the paper's Table II / Fig. 7 are architectural counts; energy
+// comes from the NeuroSim-derived constants in cost_model.hpp). The array
+// counts its activations so pipelines can report cycles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/bit_matrix.hpp"
+#include "src/common/bit_vector.hpp"
+
+namespace memhd::imc {
+
+/// Physical array dimensions. The paper's evaluation uses 128 x 128.
+struct ArrayGeometry {
+  std::size_t rows = 128;
+  std::size_t cols = 128;
+
+  std::size_t cells() const { return rows * cols; }
+  bool operator==(const ArrayGeometry&) const = default;
+};
+
+class ImcArray {
+ public:
+  explicit ImcArray(ArrayGeometry geometry);
+
+  const ArrayGeometry& geometry() const { return geometry_; }
+
+  /// Programs the weight plane from a logical tile. `tile` may be smaller
+  /// than the array; unprogrammed cells stay 0. Counts one write pass.
+  void program(const common::BitMatrix& tile);
+  /// Programs a single weight cell.
+  void program_cell(std::size_t row, std::size_t col, bool value);
+
+  bool weight(std::size_t row, std::size_t col) const;
+  /// Number of programmed (non-default) columns in use, for utilization.
+  std::size_t used_rows() const { return used_rows_; }
+  std::size_t used_cols() const { return used_cols_; }
+
+  /// One compute cycle with binary wordline inputs (`input.size()` <= rows;
+  /// missing rows are undriven). Returns per-column popcount sums.
+  std::vector<std::uint32_t> mvm_binary(const common::BitVector& input);
+
+  /// One compute cycle with real-valued inputs.
+  std::vector<float> mvm_real(std::span<const float> input);
+
+  /// Compute cycles executed so far.
+  std::size_t activations() const { return activations_; }
+  /// Write passes executed so far.
+  std::size_t write_passes() const { return write_passes_; }
+  void reset_counters();
+
+ private:
+  ArrayGeometry geometry_;
+  common::BitMatrix weights_;  // rows x cols
+  std::size_t used_rows_ = 0;
+  std::size_t used_cols_ = 0;
+  std::size_t activations_ = 0;
+  std::size_t write_passes_ = 0;
+};
+
+}  // namespace memhd::imc

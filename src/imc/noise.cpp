@@ -1,0 +1,69 @@
+#include "src/imc/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::imc {
+
+std::size_t inject_weight_flips(common::BitMatrix& weights,
+                                double flip_probability, common::Rng& rng) {
+  MEMHD_EXPECTS(flip_probability >= 0.0 && flip_probability <= 1.0);
+  if (flip_probability == 0.0) return 0;
+  std::size_t flipped = 0;
+  for (std::size_t r = 0; r < weights.rows(); ++r)
+    for (std::size_t c = 0; c < weights.cols(); ++c)
+      if (rng.bernoulli(flip_probability)) {
+        weights.flip(r, c);
+        ++flipped;
+      }
+  return flipped;
+}
+
+AdcModel::AdcModel(unsigned bits, double noise_sigma)
+    : bits_(bits), noise_sigma_(noise_sigma) {
+  MEMHD_EXPECTS(bits >= 1 && bits <= 16);
+  MEMHD_EXPECTS(noise_sigma >= 0.0);
+}
+
+std::uint32_t AdcModel::read(double ideal_sum, std::uint32_t full_scale,
+                             common::Rng& rng) const {
+  MEMHD_EXPECTS(full_scale > 0);
+  double value = ideal_sum;
+  if (noise_sigma_ > 0.0) value += rng.normal(0.0, noise_sigma_);
+  value = std::clamp(value, 0.0, static_cast<double>(full_scale));
+
+  // Uniform mid-rise quantization of [0, full_scale] into 2^bits codes,
+  // then reconstruction back to the count domain.
+  const double nlevels = static_cast<double>(levels() - 1);
+  const double step = static_cast<double>(full_scale) / nlevels;
+  if (step <= 0.0) return static_cast<std::uint32_t>(value + 0.5);
+  const double code = std::round(value / step);
+  const double reconstructed = code * step;
+  return static_cast<std::uint32_t>(
+      std::clamp(std::round(reconstructed), 0.0,
+                 static_cast<double>(full_scale)));
+}
+
+double AdcModel::read_range(double ideal_sum, double lo, double hi,
+                            common::Rng& rng) const {
+  MEMHD_EXPECTS(hi > lo);
+  double value = ideal_sum;
+  if (noise_sigma_ > 0.0) value += rng.normal(0.0, noise_sigma_);
+  value = std::clamp(value, lo, hi);
+  const double nlevels = static_cast<double>(levels() - 1);
+  if (nlevels <= 0.0) return lo;
+  const double step = (hi - lo) / nlevels;
+  const double code = std::round((value - lo) / step);
+  return std::clamp(lo + code * step, lo, hi);
+}
+
+void AdcModel::read_columns(std::vector<std::uint32_t>& sums,
+                            std::uint32_t full_scale,
+                            common::Rng& rng) const {
+  for (auto& s : sums)
+    s = read(static_cast<double>(s), full_scale, rng);
+}
+
+}  // namespace memhd::imc

@@ -1,0 +1,72 @@
+// Device non-ideality models for the functional IMC arrays.
+//
+// The paper's evaluation assumes ideal arrays (its Table II / Fig. 7 are
+// architectural counts), but HDC's sales pitch — and the reason binary AMs
+// tolerate analog hardware at all — is robustness to exactly the two
+// dominant non-idealities of SRAM/ReRAM CIM macros:
+//
+//   * weight-cell corruption: each stored bit flips with probability p
+//     (programming errors, retention loss, stuck-at faults), and
+//   * column readout error: the analog popcount passes through a finite-
+//     precision ADC (uniform quantization over the driven-row range) with
+//     optional Gaussian thermal noise before digitization.
+//
+// This header provides both models plus a corrupted deployment helper, so
+// robustness experiments (bench_ablation_noise, examples/noise_robustness)
+// can sweep p and ADC bits and verify the graceful-degradation property
+// that tests/imc/test_noise.cpp pins down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bit_matrix.hpp"
+#include "src/common/rng.hpp"
+
+namespace memhd::imc {
+
+/// Flips every bit of `weights` independently with probability
+/// `flip_probability`. Returns the number of flipped cells.
+std::size_t inject_weight_flips(common::BitMatrix& weights,
+                                double flip_probability, common::Rng& rng);
+
+/// Finite-precision ADC over column sums.
+///
+/// An ideal column reading for a query driving `driven_rows` wordlines lies
+/// in [0, driven_rows]. The ADC adds N(0, noise_sigma) in LSB-of-the-ideal
+/// scale, then uniformly quantizes the range into 2^bits levels and maps
+/// back to the nearest representable count. bits >= ceil(log2(rows+1))
+/// reproduces the input exactly at noise_sigma = 0.
+class AdcModel {
+ public:
+  /// `bits` in [1, 16]; `noise_sigma` is the std-dev of additive readout
+  /// noise in counts.
+  AdcModel(unsigned bits, double noise_sigma = 0.0);
+
+  unsigned bits() const { return bits_; }
+  double noise_sigma() const { return noise_sigma_; }
+  std::size_t levels() const { return std::size_t{1} << bits_; }
+
+  /// Digitizes one ideal column sum given the full-scale range
+  /// [0, full_scale]. Deterministic when noise_sigma == 0.
+  std::uint32_t read(double ideal_sum, std::uint32_t full_scale,
+                     common::Rng& rng) const;
+
+  /// Digitizes against a *calibrated* input window [lo, hi] instead of the
+  /// theoretical [0, full_scale]. CIM macros match the ADC range to the
+  /// observed MAC distribution; without this, coarse ADCs alias the
+  /// winner/loser score gap onto bucket boundaries and accuracy becomes a
+  /// non-monotone function of resolution. Returns a value in [lo, hi].
+  double read_range(double ideal_sum, double lo, double hi,
+                    common::Rng& rng) const;
+
+  /// Digitizes a whole column-sum vector in place.
+  void read_columns(std::vector<std::uint32_t>& sums,
+                    std::uint32_t full_scale, common::Rng& rng) const;
+
+ private:
+  unsigned bits_;
+  double noise_sigma_;
+};
+
+}  // namespace memhd::imc

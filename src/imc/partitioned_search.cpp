@@ -1,0 +1,110 @@
+#include "src/imc/partitioned_search.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+#include "src/common/stats.hpp"
+
+namespace memhd::imc {
+
+namespace {
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+PartitionedAm::PartitionedAm(const common::BitMatrix& class_vectors,
+                             std::size_t partitions, ArrayGeometry geometry)
+    : num_classes_(class_vectors.rows()),
+      dim_(class_vectors.cols()),
+      partitions_(partitions),
+      rows_per_partition_(ceil_div(class_vectors.cols(), partitions)),
+      geometry_(geometry) {
+  MEMHD_EXPECTS(partitions >= 1);
+  MEMHD_EXPECTS(partitions <= dim_);
+  MEMHD_EXPECTS(num_classes_ >= 1);
+
+  // Reshaped logical matrix: rows_per_partition_ x (k * P); column
+  // (p * k + c) holds segment p of class c.
+  logical_cols_ = num_classes_ * partitions_;
+  common::BitMatrix reshaped(rows_per_partition_, logical_cols_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      if (!class_vectors.get(c, j)) continue;
+      const std::size_t p = j / rows_per_partition_;
+      const std::size_t r = j % rows_per_partition_;
+      reshaped.set(r, p * num_classes_ + c, true);
+    }
+  }
+
+  // Tile the reshaped matrix onto physical arrays.
+  row_tiles_ = ceil_div(rows_per_partition_, geometry.rows);
+  col_tiles_ = ceil_div(logical_cols_, geometry.cols);
+  arrays_.reserve(row_tiles_ * col_tiles_);
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::size_t r0 = rt * geometry.rows;
+    const std::size_t r1 =
+        std::min(rows_per_partition_, r0 + geometry.rows);
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      const std::size_t c0 = ct * geometry.cols;
+      const std::size_t c1 = std::min(logical_cols_, c0 + geometry.cols);
+      common::BitMatrix sub(r1 - r0, c1 - c0);
+      for (std::size_t r = r0; r < r1; ++r)
+        for (std::size_t c = c0; c < c1; ++c)
+          if (reshaped.get(r, c)) sub.set(r - r0, c - c0, true);
+      ImcArray array(geometry);
+      array.program(sub);
+      arrays_.push_back(std::move(array));
+    }
+  }
+}
+
+std::size_t PartitionedAm::num_arrays() const { return arrays_.size(); }
+
+std::vector<std::uint32_t> PartitionedAm::scores(
+    const common::BitVector& query) {
+  MEMHD_EXPECTS(query.size() == dim_);
+  std::vector<std::uint32_t> totals(num_classes_, 0);
+
+  // P sequential passes: pass p drives the arrays with query segment p and
+  // accumulates the columns belonging to partition p.
+  for (std::size_t p = 0; p < partitions_; ++p) {
+    const std::size_t j0 = p * rows_per_partition_;
+    const std::size_t j1 = std::min(dim_, j0 + rows_per_partition_);
+
+    for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+      const std::size_t r0 = rt * geometry_.rows;
+      const std::size_t r1 =
+          std::min(rows_per_partition_, r0 + geometry_.rows);
+      if (j0 + r0 >= j1) continue;  // tail partition may be short
+      common::BitVector segment(r1 - r0);
+      for (std::size_t r = r0; r < r1 && j0 + r < j1; ++r)
+        if (query.get(j0 + r)) segment.set(r - r0, true);
+
+      for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+        const std::size_t c0 = ct * geometry_.cols;
+        const std::size_t c1 = std::min(logical_cols_, c0 + geometry_.cols);
+        // Does this column tile intersect partition p's column group?
+        const std::size_t g0 = p * num_classes_;
+        const std::size_t g1 = g0 + num_classes_;
+        if (c1 <= g0 || c0 >= g1) continue;
+        const auto partial =
+            arrays_[rt * col_tiles_ + ct].mvm_binary(segment);
+        for (std::size_t c = std::max(c0, g0); c < std::min(c1, g1); ++c)
+          totals[c - g0] += partial[c - c0];
+      }
+    }
+  }
+  return totals;
+}
+
+std::size_t PartitionedAm::predict(const common::BitVector& query) {
+  const auto s = scores(query);
+  return common::argmax_u32(s);
+}
+
+std::size_t PartitionedAm::activations() const {
+  std::size_t acc = 0;
+  for (const auto& a : arrays_) acc += a.activations();
+  return acc;
+}
+
+}  // namespace memhd::imc

@@ -1,0 +1,64 @@
+// Functional model of the *partitioned* associative search baseline
+// [Karunaratne et al., Nature Electronics 2020] (paper Fig. 1-(b)).
+//
+// A D-dimensional, k-class AM is reshaped into P partitions: partition p
+// holds dimensions [p*D/P, (p+1)*D/P) of every class vector in its own
+// column group. A query is processed in P sequential passes; per-class
+// scores are the sums of the per-partition partial popcounts.
+//
+// The defining property — asserted by tests/imc/test_partitioned_search.cpp
+// — is that the result is *bit-identical* to the unpartitioned dot search:
+// partitioning is a pure layout transform that trades arrays for cycles
+// (see map_partitioned for the cost side). This module closes the loop by
+// executing the transform functionally on ImcArray tiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bit_matrix.hpp"
+#include "src/common/bit_vector.hpp"
+#include "src/imc/imc_array.hpp"
+
+namespace memhd::imc {
+
+/// A k-class binary AM deployed with P-way partitioning on physical arrays.
+class PartitionedAm {
+ public:
+  /// `class_vectors`: k rows of D bits (one class vector per row).
+  /// Requires 1 <= partitions <= D. The last partition absorbs the
+  /// remainder when P does not divide D.
+  PartitionedAm(const common::BitMatrix& class_vectors,
+                std::size_t partitions, ArrayGeometry geometry);
+
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t partitions() const { return partitions_; }
+  /// Physical arrays holding the reshaped structure.
+  std::size_t num_arrays() const;
+
+  /// Per-class dot scores of a D-bit query, computed in P sequential
+  /// partition passes over the arrays.
+  std::vector<std::uint32_t> scores(const common::BitVector& query);
+
+  /// argmax class of scores().
+  std::size_t predict(const common::BitVector& query);
+
+  /// Compute cycles consumed so far (one per array activation).
+  std::size_t activations() const;
+
+ private:
+  std::size_t num_classes_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t partitions_ = 0;
+  std::size_t rows_per_partition_ = 0;
+  ArrayGeometry geometry_;
+  // Physical arrays, row-tile-major; the reshaped logical matrix has
+  // rows_per_partition_ wordlines and k * P columns.
+  std::vector<ImcArray> arrays_;
+  std::size_t row_tiles_ = 0;
+  std::size_t col_tiles_ = 0;
+  std::size_t logical_cols_ = 0;
+};
+
+}  // namespace memhd::imc

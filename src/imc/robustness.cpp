@@ -1,0 +1,87 @@
+#include "src/imc/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/assert.hpp"
+#include "src/common/stats.hpp"
+
+namespace memhd::imc {
+
+RobustnessResult evaluate_noisy_search(const core::MultiCentroidAM& am,
+                                       const hdc::EncodedDataset& test,
+                                       const RobustnessConfig& config) {
+  MEMHD_EXPECTS(am.dim() == test.dim);
+  MEMHD_EXPECTS(config.trials >= 1);
+  MEMHD_EXPECTS(!test.empty());
+
+  common::Rng rng(config.seed ^ 0x401CEULL);
+  RobustnessResult result;
+  result.min_accuracy = 1.0;
+
+  std::vector<std::uint32_t> scores;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    common::BitMatrix corrupted = am.binary();
+    result.flipped_cells = inject_weight_flips(
+        corrupted, config.weight_flip_probability, rng);
+
+    // ADC range calibration: sample the score distribution over a small
+    // calibration batch and set the input window to its [min, max].
+    double cal_lo = 0.0;
+    double cal_hi = 0.0;
+    if (config.adc_bits > 0 && config.adc_calibrated) {
+      cal_lo = std::numeric_limits<double>::infinity();
+      cal_hi = -cal_lo;
+      const std::size_t batch = std::min<std::size_t>(32, test.size());
+      for (std::size_t i = 0; i < batch; ++i) {
+        corrupted.mvm(test.hypervectors[i], scores);
+        for (const auto s : scores) {
+          cal_lo = std::min(cal_lo, static_cast<double>(s));
+          cal_hi = std::max(cal_hi, static_cast<double>(s));
+        }
+      }
+      if (cal_hi <= cal_lo) cal_hi = cal_lo + 1.0;
+    }
+
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      const auto& query = test.hypervectors[i];
+      corrupted.mvm(query, scores);
+      if (config.adc_bits > 0) {
+        const AdcModel adc(config.adc_bits, config.adc_noise_sigma);
+        if (config.adc_calibrated) {
+          for (auto& s : scores)
+            s = static_cast<std::uint32_t>(std::lround(
+                adc.read_range(static_cast<double>(s), cal_lo, cal_hi, rng)));
+        } else {
+          const auto full_scale = static_cast<std::uint32_t>(
+              std::max<std::size_t>(1, query.popcount()));
+          adc.read_columns(scores, full_scale, rng);
+        }
+      }
+      // Random tie-breaking: a coarse ADC buckets many columns into the
+      // same code, and a physical winner-take-all resolves such ties by
+      // circuit noise, not by column index. Index-based argmax here would
+      // inject a systematic class bias at low ADC resolutions.
+      std::uint32_t best_score = 0;
+      for (const auto s : scores) best_score = std::max(best_score, s);
+      std::size_t ties = 0;
+      std::size_t chosen = 0;
+      for (std::size_t col = 0; col < scores.size(); ++col) {
+        if (scores[col] != best_score) continue;
+        ++ties;
+        if (rng.uniform_index(ties) == 0) chosen = col;
+      }
+      if (am.owner(chosen) == test.labels[i]) ++correct;
+    }
+    const double acc =
+        static_cast<double>(correct) / static_cast<double>(test.size());
+    result.mean_accuracy += acc / static_cast<double>(config.trials);
+    result.min_accuracy = std::min(result.min_accuracy, acc);
+    result.max_accuracy = std::max(result.max_accuracy, acc);
+  }
+  return result;
+}
+
+}  // namespace memhd::imc

@@ -1,0 +1,50 @@
+// Robustness evaluation: associative search accuracy under array
+// non-idealities (weight flips + finite-precision ADC readout).
+//
+// The multi-centroid AM's distributed representation should degrade
+// gracefully: a few percent of corrupted cells or a 4-6 bit ADC must cost
+// little accuracy. evaluate_noisy_search quantifies exactly that for a
+// trained model, averaged over independently corrupted array instances.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/multi_centroid_am.hpp"
+#include "src/hdc/encoded_dataset.hpp"
+#include "src/imc/noise.hpp"
+
+namespace memhd::imc {
+
+struct RobustnessConfig {
+  /// Probability that a stored AM cell is corrupted.
+  double weight_flip_probability = 0.0;
+  /// ADC resolution; 0 = ideal readout (no quantization).
+  unsigned adc_bits = 0;
+  /// Additive readout noise (counts).
+  double adc_noise_sigma = 0.0;
+  /// Calibrate the ADC input window to the observed score range (the CIM
+  /// design practice) instead of the theoretical [0, query popcount].
+  /// Without calibration, accuracy is a non-monotone (aliasing) function
+  /// of adc_bits.
+  bool adc_calibrated = true;
+  /// Independently corrupted array instances to average over.
+  std::size_t trials = 3;
+  std::uint64_t seed = 1;
+};
+
+struct RobustnessResult {
+  double mean_accuracy = 0.0;
+  double min_accuracy = 0.0;
+  double max_accuracy = 0.0;
+  /// Corrupted cells in the last trial (for reporting).
+  std::size_t flipped_cells = 0;
+};
+
+/// Runs binary associative search over `test` against independently
+/// corrupted copies of `am`'s binary matrix. The ADC full scale per query
+/// is the query's popcount (the number of driven wordlines).
+RobustnessResult evaluate_noisy_search(const core::MultiCentroidAM& am,
+                                       const hdc::EncodedDataset& test,
+                                       const RobustnessConfig& config);
+
+}  // namespace memhd::imc

@@ -1,0 +1,50 @@
+#include "src/imc/scheduler.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::imc {
+
+namespace {
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+ScheduleResult schedule_inference(const ModelMapping& model,
+                                  const SchedulerConfig& config) {
+  MEMHD_EXPECTS(config.physical_arrays >= 1);
+  const std::size_t n = config.physical_arrays;
+  const std::size_t em_tiles = model.em_cost.activations;
+  const std::size_t am_tiles = model.am_cost.activations;
+  const std::size_t total_tiles = em_tiles + am_tiles;
+
+  ScheduleResult result;
+  result.compute_cycles = ceil_div(em_tiles, n) + ceil_div(am_tiles, n);
+  result.arrays_used = std::min(n, std::max(em_tiles, am_tiles));
+
+  // Every logical tile beyond the bank's capacity needs its weights swapped
+  // in once per query (the bank holds at most n programmed tiles at a time;
+  // EM and AM tiles compete for the same arrays).
+  result.reprograms_per_query =
+      total_tiles > n ? total_tiles - n : 0;
+  result.reprogram_overhead_cycles =
+      result.reprograms_per_query * config.reprogram_cycles;
+  result.makespan_cycles =
+      result.compute_cycles + result.reprogram_overhead_cycles;
+
+  const double busy = static_cast<double>(total_tiles);
+  const double capacity = static_cast<double>(result.arrays_used) *
+                          static_cast<double>(result.makespan_cycles);
+  result.bank_utilization = capacity > 0.0 ? busy / capacity : 0.0;
+  return result;
+}
+
+double throughput_qps(const ScheduleResult& schedule, double cycle_time_ns) {
+  MEMHD_EXPECTS(cycle_time_ns > 0.0);
+  if (schedule.makespan_cycles == 0) return 0.0;
+  const double ns_per_query =
+      static_cast<double>(schedule.makespan_cycles) * cycle_time_ns;
+  return 1e9 / ns_per_query;
+}
+
+}  // namespace memhd::imc

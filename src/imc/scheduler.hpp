@@ -1,0 +1,59 @@
+// Bank scheduler: executing a mapped model on a *limited* number of
+// physical arrays.
+//
+// Table II counts compute cycles assuming one physical array executes every
+// tile sequentially, and array usage assuming one array per tile. Real
+// deployments sit in between: a bank of n arrays processes the tile
+// activations of each query in waves. This scheduler models that spectrum:
+//
+//   * a query's EM tiles are independent (one wave set), its AM tiles
+//     depend on the complete encoded vector, so the two stages serialize;
+//   * within a stage, ceil(tiles / n) waves of 1 cycle each;
+//   * if n is smaller than the total tile count, some arrays must be
+//     reprogrammed between logical tiles — a cost the paper's cycle
+//     accounting ignores but a real SRAM bank pays (`reprogram_cycles`
+//     per swap, 0 by default to match the paper's numbers).
+//
+// With n = 1 and zero reprogram cost the makespan reproduces Table II's
+// cycle column exactly; with n >= tiles it reproduces the
+// one-cycle-per-stage ideal. tests/imc/test_scheduler.cpp pins both ends.
+#pragma once
+
+#include <cstddef>
+
+#include "src/imc/mapping.hpp"
+
+namespace memhd::imc {
+
+struct SchedulerConfig {
+  /// Physical arrays available in the bank.
+  std::size_t physical_arrays = 1;
+  /// Cycles to reprogram one array with a different logical tile's weights.
+  /// 0 reproduces the paper's pure-compute accounting.
+  std::size_t reprogram_cycles = 0;
+};
+
+struct ScheduleResult {
+  /// Total cycles per query (compute waves + reprogramming).
+  std::size_t makespan_cycles = 0;
+  std::size_t compute_cycles = 0;
+  std::size_t reprogram_overhead_cycles = 0;
+  /// Arrays actually used (min of bank size and peak stage tiles).
+  std::size_t arrays_used = 0;
+  /// Weight swaps per query (0 when every logical tile owns an array).
+  std::size_t reprograms_per_query = 0;
+  /// Busy array-cycles / (arrays_used * makespan): time utilization of the
+  /// bank, the dual of the paper's *space* utilization metric.
+  double bank_utilization = 0.0;
+};
+
+/// Schedules one inference of `model` (EM stage then AM stage) on a bank.
+/// Requires config.physical_arrays >= 1.
+ScheduleResult schedule_inference(const ModelMapping& model,
+                                  const SchedulerConfig& config);
+
+/// Queries per second given a cycle time in nanoseconds (no pipelining
+/// across queries; conservative).
+double throughput_qps(const ScheduleResult& schedule, double cycle_time_ns);
+
+}  // namespace memhd::imc

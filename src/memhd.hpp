@@ -1,0 +1,67 @@
+// Umbrella header: the full public API of the MEMHD library.
+//
+//   #include "src/memhd.hpp"
+//   link against memhd::memhd
+//
+// Individual headers remain includable on their own; this is a convenience
+// for applications.
+#pragma once
+
+// Substrate
+#include "src/common/bit_matrix.hpp"
+#include "src/common/bit_vector.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/log.hpp"
+#include "src/common/matrix.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/table.hpp"
+
+// Data
+#include "src/data/dataset.hpp"
+#include "src/data/loaders.hpp"
+#include "src/data/scaling.hpp"
+#include "src/data/synthetic.hpp"
+
+// Clustering
+#include "src/clustering/kmeans.hpp"
+
+// HDC toolbox
+#include "src/hdc/associative_memory.hpp"
+#include "src/hdc/binding.hpp"
+#include "src/hdc/bundling.hpp"
+#include "src/hdc/encoded_dataset.hpp"
+#include "src/hdc/id_level_encoder.hpp"
+#include "src/hdc/ngram_encoder.hpp"
+#include "src/hdc/projection_encoder.hpp"
+#include "src/hdc/record_encoder.hpp"
+#include "src/hdc/similarity.hpp"
+#include "src/hdc/trainers.hpp"
+
+// Baselines
+#include "src/baselines/baseline.hpp"
+#include "src/baselines/basic_hdc.hpp"
+#include "src/baselines/lehdc.hpp"
+#include "src/baselines/quanthd.hpp"
+#include "src/baselines/searchd.hpp"
+
+// MEMHD core (the paper's contribution)
+#include "src/core/config.hpp"
+#include "src/core/initializer.hpp"
+#include "src/core/memory_model.hpp"
+#include "src/core/model.hpp"
+#include "src/core/multi_centroid_am.hpp"
+#include "src/core/qat_trainer.hpp"
+#include "src/core/serialize.hpp"
+
+// IMC substrate
+#include "src/imc/cost_model.hpp"
+#include "src/imc/imc_array.hpp"
+#include "src/imc/mapping.hpp"
+#include "src/imc/noise.hpp"
+#include "src/imc/partitioned_search.hpp"
+#include "src/imc/pipeline.hpp"
+#include "src/imc/robustness.hpp"
+#include "src/imc/scheduler.hpp"

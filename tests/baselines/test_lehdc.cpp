@@ -1,0 +1,79 @@
+#include "src/baselines/lehdc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace memhd::baselines {
+namespace {
+
+BaselineConfig small_config() {
+  BaselineConfig cfg;
+  cfg.dim = 256;
+  cfg.epochs = 8;
+  cfg.learning_rate = 0.05f;
+  cfg.num_levels = 32;
+  return cfg;
+}
+
+TEST(LeHdc, LearnsSeparableTask) {
+  const auto split = testing::tiny_separable();
+  LeHdc model(split.train.num_features(), split.train.num_classes(),
+              small_config());
+  model.fit(split.train);
+  EXPECT_GT(model.evaluate(split.test), 0.85);
+}
+
+TEST(LeHdc, NameAndKind) {
+  LeHdc model(8, 2, small_config());
+  EXPECT_STREQ(model.name(), "LeHDC");
+  EXPECT_EQ(model.kind(), core::ModelKind::kLeHDC);
+}
+
+TEST(LeHdc, MemoryMatchesTableOne) {
+  BaselineConfig cfg;
+  cfg.dim = 400;
+  cfg.num_levels = 256;
+  LeHdc model(784, 10, cfg);
+  const auto mem = model.memory();
+  EXPECT_EQ(mem.encoder_bits, (784u + 256u) * 400u);
+  EXPECT_EQ(mem.am_bits, 10u * 400u);
+}
+
+TEST(LeHdc, BinaryWeightsPopulatedAfterFit) {
+  const auto split = testing::tiny_separable(/*seed=*/23);
+  LeHdc model(split.train.num_features(), split.train.num_classes(),
+              small_config());
+  model.fit(split.train);
+  const auto& w = model.binary_weights();
+  EXPECT_EQ(w.rows(), split.train.num_classes());
+  EXPECT_EQ(w.cols(), 256u);
+  EXPECT_GT(w.popcount(), 0u);
+}
+
+TEST(LeHdc, BnnTrainingBeatsWarmStartOnTrain) {
+  // The gradient phase must not destroy the warm start; on the training set
+  // it should match or improve it.
+  const auto split = testing::tiny_multimodal(/*seed=*/19);
+  auto cfg = small_config();
+  cfg.epochs = 0;
+  LeHdc warm(split.train.num_features(), split.train.num_classes(), cfg);
+  warm.fit(split.train);
+  const double base = warm.evaluate(split.train);
+
+  cfg.epochs = 12;
+  LeHdc trained(split.train.num_features(), split.train.num_classes(), cfg);
+  trained.fit(split.train);
+  EXPECT_GE(trained.evaluate(split.train), base - 0.02);
+}
+
+TEST(LeHdc, FactoryBuildsItAndRejectsMemhd) {
+  const auto model =
+      make_baseline(core::ModelKind::kLeHDC, 16, 3, small_config());
+  EXPECT_STREQ(model->name(), "LeHDC");
+  EXPECT_THROW(make_baseline(core::ModelKind::kMemhd, 16, 3, small_config()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace memhd::baselines

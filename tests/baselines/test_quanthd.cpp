@@ -1,0 +1,64 @@
+#include "src/baselines/quanthd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace memhd::baselines {
+namespace {
+
+BaselineConfig small_config() {
+  BaselineConfig cfg;
+  cfg.dim = 512;
+  cfg.epochs = 10;
+  cfg.learning_rate = 0.1f;
+  cfg.num_levels = 32;  // plenty for the tiny tasks; cheaper than 256
+  return cfg;
+}
+
+TEST(QuantHd, LearnsSeparableTask) {
+  const auto split = testing::tiny_separable();
+  QuantHd model(split.train.num_features(), split.train.num_classes(),
+                small_config());
+  model.fit(split.train);
+  EXPECT_GT(model.evaluate(split.test), 0.85);
+}
+
+TEST(QuantHd, NameAndKind) {
+  QuantHd model(8, 2, small_config());
+  EXPECT_STREQ(model.name(), "QuantHD");
+  EXPECT_EQ(model.kind(), core::ModelKind::kQuantHD);
+}
+
+TEST(QuantHd, MemoryMatchesTableOne) {
+  BaselineConfig cfg;
+  cfg.dim = 1600;
+  cfg.num_levels = 256;
+  QuantHd model(784, 10, cfg);
+  const auto mem = model.memory();
+  EXPECT_EQ(mem.encoder_bits, (784u + 256u) * 1600u);
+  EXPECT_EQ(mem.am_bits, 10u * 1600u);
+}
+
+TEST(QuantHd, TrainingImprovesOnMultiModalOverPureSinglePass) {
+  const auto split = testing::tiny_multimodal(/*seed=*/13);
+  auto cfg = small_config();
+  cfg.epochs = 0;  // degenerate: single-pass only
+  QuantHd single(split.train.num_features(), split.train.num_classes(), cfg);
+  single.fit(split.train);
+  const double base = single.evaluate(split.train);
+
+  cfg.epochs = 15;
+  QuantHd trained(split.train.num_features(), split.train.num_classes(), cfg);
+  trained.fit(split.train);
+  EXPECT_GE(trained.evaluate(split.train), base - 0.02);
+}
+
+TEST(QuantHd, FactoryBuildsIt) {
+  const auto model =
+      make_baseline(core::ModelKind::kQuantHD, 16, 3, small_config());
+  EXPECT_STREQ(model->name(), "QuantHD");
+}
+
+}  // namespace
+}  // namespace memhd::baselines

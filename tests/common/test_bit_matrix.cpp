@@ -1,0 +1,117 @@
+#include "src/common/bit_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace memhd::common {
+namespace {
+
+TEST(BitMatrix, ShapeAndZeroInit) {
+  BitMatrix m(5, 70);
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 70u);
+  EXPECT_EQ(m.words_per_row(), 2u);
+  EXPECT_EQ(m.popcount(), 0u);
+}
+
+TEST(BitMatrix, SetGetFlip) {
+  BitMatrix m(3, 100);
+  m.set(0, 0, true);
+  m.set(2, 99, true);
+  m.set(1, 64, true);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(2, 99));
+  EXPECT_TRUE(m.get(1, 64));
+  EXPECT_EQ(m.popcount(), 3u);
+  m.flip(1, 64);
+  EXPECT_FALSE(m.get(1, 64));
+  m.set(0, 0, false);
+  EXPECT_EQ(m.popcount(), 1u);
+}
+
+TEST(BitMatrix, RowVectorRoundTrip) {
+  Rng rng(3);
+  BitMatrix m(4, 130);
+  const auto v = BitVector::random(130, rng);
+  m.set_row(2, v);
+  EXPECT_TRUE(m.row_vector(2) == v);
+  EXPECT_EQ(m.row_vector(0).popcount(), 0u);
+}
+
+TEST(BitMatrix, RowDotMatchesVectorDot) {
+  Rng rng(4);
+  BitMatrix m = BitMatrix::random(6, 200, rng);
+  const auto q = BitVector::random(200, rng);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    EXPECT_EQ(m.row_dot(r, q), m.row_vector(r).dot(q));
+}
+
+TEST(BitMatrix, MvmMatchesNaive) {
+  Rng rng(5);
+  BitMatrix m = BitMatrix::random(17, 93, rng);
+  const auto q = BitVector::random(93, rng);
+  std::vector<std::uint32_t> out;
+  m.mvm(q, out);
+  ASSERT_EQ(out.size(), 17u);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    std::uint32_t naive = 0;
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (m.get(r, c) && q.get(c)) ++naive;
+    EXPECT_EQ(out[r], naive) << "row " << r;
+  }
+}
+
+TEST(BitMatrix, RandomRespectsTailMask) {
+  Rng rng(6);
+  const BitMatrix m = BitMatrix::random(8, 65, rng);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    EXPECT_EQ(m.row(r)[1] >> 1, 0u) << "padding bits must stay clear";
+}
+
+TEST(BitMatrix, TransposedIsInvolution) {
+  Rng rng(7);
+  const BitMatrix m = BitMatrix::random(13, 37, rng);
+  const BitMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 37u);
+  EXPECT_EQ(t.cols(), 13u);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      EXPECT_EQ(m.get(r, c), t.get(c, r));
+  EXPECT_TRUE(t.transposed() == m);
+}
+
+TEST(BitMatrix, EqualityIsValueBased) {
+  Rng rng(8);
+  const BitMatrix a = BitMatrix::random(4, 64, rng);
+  BitMatrix b = a;
+  EXPECT_TRUE(a == b);
+  b.flip(3, 63);
+  EXPECT_FALSE(a == b);
+}
+
+class BitMatrixMvmSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BitMatrixMvmSweep, MvmAgainstNaive) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 1000 + cols);
+  const BitMatrix m = BitMatrix::random(rows, cols, rng);
+  const auto q = BitVector::random(cols, rng);
+  std::vector<std::uint32_t> out;
+  m.mvm(q, out);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::uint32_t naive = 0;
+    for (std::size_t c = 0; c < cols; ++c)
+      if (m.get(r, c) && q.get(c)) ++naive;
+    ASSERT_EQ(out[r], naive);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BitMatrixMvmSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 16, 33),
+                                            ::testing::Values(1, 64, 65,
+                                                              256)));
+
+}  // namespace
+}  // namespace memhd::common

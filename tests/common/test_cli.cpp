@@ -1,0 +1,97 @@
+#include "src/common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memhd::common {
+namespace {
+
+CliParser make_parser() {
+  CliParser p("test program");
+  p.add_flag("dim", "128", "dimensionality");
+  p.add_flag("rate", "0.05", "learning rate");
+  p.add_flag("name", "mnist", "dataset");
+  p.add_bool_flag("full", "paper scale");
+  return p;
+}
+
+TEST(Cli, DefaultsApply) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("dim"), 128);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.05);
+  EXPECT_EQ(p.get_string("name"), "mnist");
+  EXPECT_FALSE(p.get_bool("full"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--dim", "512", "--name", "isolet"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_int("dim"), 512);
+  EXPECT_EQ(p.get_string("name"), "isolet");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--dim=256", "--rate=0.1"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("dim"), 256);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.1);
+}
+
+TEST(Cli, BoolFlagForms) {
+  {
+    auto p = make_parser();
+    const char* argv[] = {"prog", "--full"};
+    ASSERT_TRUE(p.parse(2, argv));
+    EXPECT_TRUE(p.get_bool("full"));
+  }
+  {
+    auto p = make_parser();
+    const char* argv[] = {"prog", "--full=false"};
+    ASSERT_TRUE(p.parse(2, argv));
+    EXPECT_FALSE(p.get_bool("full"));
+  }
+}
+
+TEST(Cli, UnknownFlagFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--bogus", "3"};
+  EXPECT_FALSE(p.parse(3, argv));
+}
+
+TEST(Cli, MissingValueFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--dim"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, PositionalArgumentFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, UsageMentionsFlagsAndHelp) {
+  auto p = make_parser();
+  const std::string u = p.usage();
+  EXPECT_NE(u.find("--dim"), std::string::npos);
+  EXPECT_NE(u.find("dimensionality"), std::string::npos);
+}
+
+TEST(Cli, UnregisteredFlagLookupThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_THROW(p.get_string("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace memhd::common

@@ -1,0 +1,107 @@
+#include "src/common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+
+namespace memhd::common {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(m(r, c), 2.5f);
+  m.fill(-1.0f);
+  EXPECT_FLOAT_EQ(m(2, 3), -1.0f);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 3, 0.0f);
+  auto row = m.row(1);
+  row[2] = 7.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 7.0f);
+  const Matrix& cm = m;
+  EXPECT_FLOAT_EQ(cm.row(1)[2], 7.0f);
+}
+
+TEST(Matrix, MatmulMatchesNaive) {
+  Rng rng(3);
+  const Matrix a = Matrix::random_uniform(4, 5, rng, -1.0f, 1.0f);
+  const Matrix b = Matrix::random_uniform(5, 6, rng, -1.0f, 1.0f);
+  const Matrix c = a.matmul(b);
+  ASSERT_EQ(c.rows(), 4u);
+  ASSERT_EQ(c.cols(), 6u);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 6; ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < 5; ++k) acc += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), acc, 1e-5f);
+    }
+}
+
+TEST(Matrix, MatmulTransposedMatchesNaive) {
+  Rng rng(4);
+  const Matrix a = Matrix::random_normal(3, 7, rng);
+  const Matrix b = Matrix::random_normal(5, 7, rng);
+  const Matrix c = a.matmul_transposed(b);
+  ASSERT_EQ(c.rows(), 3u);
+  ASSERT_EQ(c.cols(), 5u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(c(i, j), dot(a.row(i), b.row(j)), 1e-4f);
+}
+
+TEST(Matrix, MeanAndStddev) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0f;
+  m(0, 1) = 2.0f;
+  m(1, 0) = 3.0f;
+  m(1, 1) = 4.0f;
+  EXPECT_NEAR(m.mean(), 2.5, 1e-9);
+  EXPECT_NEAR(m.stddev(), std::sqrt(1.25), 1e-9);
+}
+
+TEST(Matrix, AppendRowGrows) {
+  Matrix m;
+  const std::vector<float> r1 = {1.0f, 2.0f};
+  const std::vector<float> r2 = {3.0f, 4.0f};
+  m.append_row(r1);
+  m.append_row(r2);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0f);
+}
+
+TEST(Matrix, ScaleMultipliesEverything) {
+  Matrix m(2, 2, 3.0f);
+  m.scale(0.5f);
+  EXPECT_FLOAT_EQ(m(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(m(1, 1), 1.5f);
+}
+
+TEST(Matrix, RandomNormalMoments) {
+  Rng rng(5);
+  const Matrix m = Matrix::random_normal(100, 100, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(m.mean(), 1.0, 0.05);
+  EXPECT_NEAR(m.stddev(), 2.0, 0.05);
+}
+
+TEST(VectorKernels, DotAndDistance) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(dot(a, b), 4.0f - 10.0f + 18.0f);
+  EXPECT_FLOAT_EQ(squared_distance(a, b), 9.0f + 49.0f + 9.0f);
+  EXPECT_FLOAT_EQ(norm(a), std::sqrt(14.0f));
+}
+
+TEST(VectorKernels, NormOfZeroVector) {
+  const std::vector<float> z = {0.0f, 0.0f};
+  EXPECT_FLOAT_EQ(norm(z), 0.0f);
+}
+
+}  // namespace
+}  // namespace memhd::common

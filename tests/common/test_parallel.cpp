@@ -1,0 +1,67 @@
+#include "src/common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace memhd::common {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; }, /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  parallel_for(7, 3, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallRangeRunsSequentially) {
+  // Below the grain everything runs inline; side effects must still happen.
+  int sum = 0;
+  parallel_for(0, 10, [&](std::size_t i) { sum += static_cast<int>(i); },
+               /*grain=*/100);
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  std::atomic<long> sum{0};
+  parallel_for(100, 200, [&](std::size_t i) { sum += static_cast<long>(i); },
+               /*grain=*/1);
+  long expected = 0;
+  for (long i = 100; i < 200; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, ExplicitPoolRunsAllChunks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::vector<std::atomic<int>> hits(257);
+  const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+    ++hits[i];
+  };
+  pool.parallel_for(0, hits.size(), fn);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  const std::function<void(std::size_t)> fn = [&](std::size_t) { ++counter; };
+  pool.parallel_for(0, 50, fn);
+  pool.parallel_for(0, 50, fn);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(GlobalPool, AtLeastOneWorker) {
+  EXPECT_GE(global_pool().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace memhd::common

@@ -1,0 +1,92 @@
+#include "src/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace memhd::common {
+namespace {
+
+TEST(ConfusionMatrix, AccuracyAndCounts) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0, 5);
+  cm.add(0, 1, 2);
+  cm.add(1, 1, 4);
+  cm.add(2, 0, 1);
+  cm.add(2, 2, 3);
+  EXPECT_EQ(cm.total(), 15u);
+  EXPECT_EQ(cm.correct(), 12u);
+  EXPECT_NEAR(cm.accuracy(), 12.0 / 15.0, 1e-12);
+  EXPECT_EQ(cm.at(0, 1), 2u);
+}
+
+TEST(ConfusionMatrix, ErrorsPerClassDriveAllocation) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 1, 7);   // class 0 heavily confused
+  cm.add(1, 1, 10);  // class 1 clean
+  cm.add(2, 0, 2);
+  const auto errs = cm.errors_per_class();
+  EXPECT_EQ(errs, (std::vector<std::size_t>{7, 0, 2}));
+  const auto supp = cm.support_per_class();
+  EXPECT_EQ(supp, (std::vector<std::size_t>{7, 10, 2}));
+  const auto rates = cm.error_rate_per_class();
+  EXPECT_NEAR(rates[0], 1.0, 1e-12);
+  EXPECT_NEAR(rates[1], 0.0, 1e-12);
+  EXPECT_NEAR(rates[2], 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsZero) {
+  ConfusionMatrix cm(2);
+  EXPECT_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, ResetClears) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.reset();
+  EXPECT_EQ(cm.total(), 0u);
+}
+
+TEST(Accuracy, VectorOverload) {
+  const std::vector<std::uint16_t> truth = {0, 1, 2, 1};
+  const std::vector<std::uint16_t> pred = {0, 1, 1, 1};
+  EXPECT_NEAR(accuracy(truth, pred), 0.75, 1e-12);
+}
+
+TEST(Argmax, FirstMaxWins) {
+  const std::vector<float> v = {1.0f, 5.0f, 5.0f, 2.0f};
+  EXPECT_EQ(argmax(v), 1u);
+  const std::vector<std::uint32_t> u = {9, 3, 9};
+  EXPECT_EQ(argmax_u32(u), 0u);
+}
+
+TEST(MeanStd, MatchesClosedForm) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(mean_of(v), 2.5, 1e-12);
+  EXPECT_NEAR(stddev_of(v), std::sqrt(1.25), 1e-12);
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_EQ(stddev_of({}), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  RunningStats rs;
+  const std::vector<double> v = {3.0, -1.0, 4.0, 1.0, 5.0};
+  for (const auto x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_NEAR(rs.mean(), mean_of(v), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev_of(v), 1e-12);
+  EXPECT_EQ(rs.min(), -1.0);
+  EXPECT_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(2.0);
+  EXPECT_EQ(rs.mean(), 2.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 2.0);
+}
+
+}  // namespace
+}  // namespace memhd::common

@@ -1,0 +1,54 @@
+#include "src/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memhd::common {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  TablePrinter t({"h", "second"});
+  t.add_row({"longer-cell", "x"});
+  const std::string s = t.to_string();
+  // Every rendered line between rules must have the same length.
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find('\n', start);
+    const std::string line = s.substr(start, end - start);
+    if (expected == 0) expected = line.size();
+    EXPECT_EQ(line.size(), expected) << "line: " << line;
+    start = end + 1;
+  }
+}
+
+TEST(Table, SeparatorAddsRule) {
+  TablePrinter t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // rules: top, under-header, separator, bottom = 4 lines starting with '+'
+  std::size_t rules = 0;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    if (s[start] == '+') ++rules;
+    const std::size_t end = s.find('\n', start);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+}  // namespace
+}  // namespace memhd::common

@@ -1,0 +1,147 @@
+#include "src/core/initializer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_util.hpp"
+
+namespace memhd::core {
+namespace {
+
+MemhdConfig small_config(std::size_t dim = 256, std::size_t columns = 16) {
+  MemhdConfig cfg;
+  cfg.dim = dim;
+  cfg.columns = columns;
+  cfg.initial_ratio = 0.75;
+  cfg.kmeans_max_iterations = 10;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(InitialClustersFormula, MatchesPaperEquation) {
+  // n = max(1, floor(C*R/k))
+  EXPECT_EQ(initial_clusters_per_class(512, 10, 0.8), 40u);   // 409.6/10
+  EXPECT_EQ(initial_clusters_per_class(128, 10, 0.9), 11u);   // 115.2/10
+  EXPECT_EQ(initial_clusters_per_class(128, 26, 1.0), 4u);    // 128/26
+  EXPECT_EQ(initial_clusters_per_class(64, 26, 0.1), 1u);     // floor->0 => 1
+  EXPECT_EQ(initial_clusters_per_class(26, 26, 1.0), 1u);
+}
+
+TEST(InitialClustersFormula, NeverExceedsEvenShare) {
+  // n * k <= C must always hold so phase 1 fits.
+  for (const std::size_t c : {26u, 64u, 100u, 128u}) {
+    const std::size_t n = initial_clusters_per_class(c, 26, 1.0);
+    EXPECT_LE(n * 26, c);
+  }
+}
+
+TEST(ClusteringInit, ProducesFullyAssignedAM) {
+  const auto train = testing::clustered_encoded(30, 256, 4, 3, 15);
+  InitializerReport report;
+  const auto am = initialize_clustering(train, small_config(), &report);
+  EXPECT_TRUE(am.fully_assigned());
+  EXPECT_EQ(am.columns(), 16u);
+  const std::size_t total = std::accumulate(
+      report.centroids_per_class.begin(), report.centroids_per_class.end(),
+      std::size_t{0});
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(ClusteringInit, EveryClassGetsAtLeastOneCentroid) {
+  const auto train = testing::clustered_encoded(20, 128, 5, 2, 10);
+  const auto am = initialize_clustering(train, small_config(128, 12), nullptr);
+  for (data::Label c = 0; c < 5; ++c)
+    EXPECT_GE(am.centroids_per_class(c), 1u) << "class " << c;
+}
+
+TEST(ClusteringInit, ReportTracksAllocationRounds) {
+  const auto train = testing::clustered_encoded(30, 128, 4, 3, 15);
+  auto cfg = small_config(128, 20);
+  cfg.initial_ratio = 0.5;  // leaves half the columns to allocation
+  InitializerReport report;
+  initialize_clustering(train, cfg, &report);
+  EXPECT_EQ(report.initial_columns, 4u * 2u);  // floor(20*0.5/4)=2 per class
+  EXPECT_GE(report.allocation_rounds, 1u);
+  EXPECT_EQ(report.round_accuracy.size(), report.allocation_rounds);
+}
+
+TEST(ClusteringInit, RatioOneSkipsAllocation) {
+  const auto train = testing::clustered_encoded(30, 128, 4, 2, 10);
+  auto cfg = small_config(128, 16);
+  cfg.initial_ratio = 1.0;  // 16/4 = 4 per class, nothing left
+  InitializerReport report;
+  const auto am = initialize_clustering(train, cfg, &report);
+  EXPECT_TRUE(am.fully_assigned());
+  EXPECT_EQ(report.allocation_rounds, 0u);
+  for (data::Label c = 0; c < 4; ++c)
+    EXPECT_EQ(am.centroids_per_class(c), 4u);
+}
+
+TEST(ClusteringInit, InitialAccuracyBeatsRandomSampling) {
+  // The paper's Fig. 5 claim in miniature: clustering-based initialization
+  // starts at a higher accuracy than random sampling.
+  const auto train = testing::clustered_encoded(
+      /*per_class=*/60, /*dim=*/256, /*num_classes=*/5, /*modes=*/3,
+      /*noise_bits=*/25);
+  auto cfg = small_config(256, 20);
+
+  cfg.init = InitMethod::kClustering;
+  const auto clustered = initialize(train, cfg, nullptr);
+  const double acc_cluster = evaluate_binary(clustered, train);
+
+  cfg.init = InitMethod::kRandomSampling;
+  const auto random = initialize(train, cfg, nullptr);
+  const double acc_random = evaluate_binary(random, train);
+
+  EXPECT_GT(acc_cluster, acc_random);
+}
+
+TEST(RandomSamplingInit, EvenColumnSplit) {
+  const auto train = testing::clustered_encoded(20, 128, 4, 2, 10);
+  InitializerReport report;
+  const auto am =
+      initialize_random_sampling(train, small_config(128, 10), &report);
+  EXPECT_TRUE(am.fully_assigned());
+  // 10 columns over 4 classes: 3,3,2,2.
+  std::vector<std::size_t> per_class;
+  for (data::Label c = 0; c < 4; ++c)
+    per_class.push_back(am.centroids_per_class(c));
+  EXPECT_EQ(per_class, (std::vector<std::size_t>{3, 3, 2, 2}));
+}
+
+TEST(AllocationPolicies, AllProduceFullUtilization) {
+  const auto train = testing::clustered_encoded(25, 128, 4, 3, 12);
+  for (const auto policy :
+       {AllocationPolicy::kProportional, AllocationPolicy::kGreedyOne,
+        AllocationPolicy::kEven}) {
+    auto cfg = small_config(128, 18);
+    cfg.initial_ratio = 0.5;
+    cfg.allocation = policy;
+    const auto am = initialize_clustering(train, cfg, nullptr);
+    EXPECT_TRUE(am.fully_assigned());
+    std::size_t total = 0;
+    for (data::Label c = 0; c < 4; ++c) total += am.centroids_per_class(c);
+    EXPECT_EQ(total, 18u);
+  }
+}
+
+TEST(ClusteringInit, DeterministicGivenSeed) {
+  const auto train = testing::clustered_encoded(20, 128, 3, 2, 10);
+  const auto a = initialize_clustering(train, small_config(128, 9), nullptr);
+  const auto b = initialize_clustering(train, small_config(128, 9), nullptr);
+  EXPECT_TRUE(a.binary() == b.binary());
+}
+
+TEST(ClusteringInit, TinyClassesStillFullyUtilize) {
+  // Classes with fewer samples than their column budget force the
+  // duplication path; the invariant (C assigned slots) must survive.
+  const auto train = testing::clustered_encoded(/*per_class=*/3, 64, 3, 1, 4);
+  auto cfg = small_config(64, 12);  // 4 columns per class > 3 samples
+  cfg.initial_ratio = 1.0;
+  const auto am = initialize_clustering(train, cfg, nullptr);
+  EXPECT_TRUE(am.fully_assigned());
+}
+
+}  // namespace
+}  // namespace memhd::core

@@ -1,0 +1,92 @@
+// Property sweep over the initial cluster ratio R (the Fig. 6 knob):
+// invariants of phase 1 + phase 2 that must hold for every R in (0, 1].
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/initializer.hpp"
+#include "test_util.hpp"
+
+namespace memhd::core {
+namespace {
+
+class RatioSweep : public ::testing::TestWithParam<double> {
+ protected:
+  void SetUp() override {
+    train_ = testing::clustered_encoded(
+        /*per_class=*/40, /*dim=*/128, /*num_classes=*/4, /*modes=*/3,
+        /*noise_bits=*/12, /*seed=*/7);
+  }
+  hdc::EncodedDataset train_;
+};
+
+TEST_P(RatioSweep, FullUtilizationAtEveryRatio) {
+  MemhdConfig cfg;
+  cfg.dim = 128;
+  cfg.columns = 24;
+  cfg.initial_ratio = GetParam();
+  cfg.kmeans_max_iterations = 8;
+  InitializerReport report;
+  const auto am = initialize_clustering(train_, cfg, &report);
+
+  EXPECT_TRUE(am.fully_assigned());
+  const std::size_t total = std::accumulate(
+      report.centroids_per_class.begin(), report.centroids_per_class.end(),
+      std::size_t{0});
+  EXPECT_EQ(total, cfg.columns);
+}
+
+TEST_P(RatioSweep, PhaseOneColumnsMatchFormula) {
+  MemhdConfig cfg;
+  cfg.dim = 128;
+  cfg.columns = 24;
+  cfg.initial_ratio = GetParam();
+  cfg.kmeans_max_iterations = 8;
+  InitializerReport report;
+  initialize_clustering(train_, cfg, &report);
+
+  const std::size_t n =
+      initial_clusters_per_class(cfg.columns, 4, cfg.initial_ratio);
+  EXPECT_EQ(report.initial_columns, n * 4);
+  EXPECT_LE(report.initial_columns, cfg.columns);
+}
+
+TEST_P(RatioSweep, LowerRatioNeverReducesAllocationWork) {
+  // Smaller R leaves more columns to the allocation loop, never fewer.
+  MemhdConfig cfg;
+  cfg.dim = 128;
+  cfg.columns = 24;
+  cfg.kmeans_max_iterations = 8;
+
+  cfg.initial_ratio = GetParam();
+  InitializerReport low;
+  initialize_clustering(train_, cfg, &low);
+
+  cfg.initial_ratio = 1.0;
+  InitializerReport full;
+  initialize_clustering(train_, cfg, &full);
+
+  EXPECT_LE(full.initial_columns - 0, cfg.columns);
+  EXPECT_GE(cfg.columns - low.initial_columns,
+            cfg.columns - full.initial_columns);
+}
+
+TEST_P(RatioSweep, InitializedModelBeatsChance) {
+  MemhdConfig cfg;
+  cfg.dim = 128;
+  cfg.columns = 24;
+  cfg.initial_ratio = GetParam();
+  cfg.kmeans_max_iterations = 8;
+  const auto am = initialize_clustering(train_, cfg, nullptr);
+  EXPECT_GT(evaluate_binary(am, train_), 0.4);  // 4 classes, chance 0.25
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "R" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace memhd::core

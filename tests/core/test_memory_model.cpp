@@ -1,0 +1,123 @@
+#include "src/core/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memhd::core {
+namespace {
+
+MemoryParams mnist_params(std::size_t dim, std::size_t columns = 0) {
+  MemoryParams p;
+  p.num_features = 784;
+  p.dim = dim;
+  p.num_classes = 10;
+  p.columns = columns;
+  p.num_levels = 256;
+  p.n_models = 64;
+  return p;
+}
+
+TEST(MemoryModel, TableOneFormulas) {
+  // SearcHD: EM (f+L)D, AM kDN.
+  {
+    const auto m =
+        memory_requirement(ModelKind::kSearcHD, mnist_params(8000));
+    EXPECT_EQ(m.encoder_bits, (784u + 256u) * 8000u);
+    EXPECT_EQ(m.am_bits, 10u * 8000u * 64u);
+  }
+  // QuantHD / LeHDC: EM (f+L)D, AM kD.
+  for (const auto kind : {ModelKind::kQuantHD, ModelKind::kLeHDC}) {
+    const auto m = memory_requirement(kind, mnist_params(1600));
+    EXPECT_EQ(m.encoder_bits, (784u + 256u) * 1600u);
+    EXPECT_EQ(m.am_bits, 10u * 1600u);
+  }
+  // BasicHDC: EM fD, AM kD.
+  {
+    const auto m =
+        memory_requirement(ModelKind::kBasicHDC, mnist_params(10240));
+    EXPECT_EQ(m.encoder_bits, 784u * 10240u);
+    EXPECT_EQ(m.am_bits, 10u * 10240u);
+  }
+  // MEMHD: EM fD, AM CD.
+  {
+    const auto m =
+        memory_requirement(ModelKind::kMemhd, mnist_params(128, 128));
+    EXPECT_EQ(m.encoder_bits, 784u * 128u);
+    EXPECT_EQ(m.am_bits, 128u * 128u);
+  }
+}
+
+TEST(MemoryModel, KbConversion) {
+  MemoryParams p = mnist_params(1024, 128);
+  const auto m = memory_requirement(ModelKind::kMemhd, p);
+  EXPECT_NEAR(m.total_kb(),
+              static_cast<double>(784 * 1024 + 128 * 1024) / 8192.0, 1e-9);
+  EXPECT_NEAR(m.encoder_kb() + m.am_kb(), m.total_kb(), 1e-9);
+}
+
+TEST(MemoryModel, MemhdAmSmallerThanSearcHdAtSameDim) {
+  // The headline memory claim at equal D: C*D vs k*D*N with C << k*N.
+  const auto memhd =
+      memory_requirement(ModelKind::kMemhd, mnist_params(1024, 128));
+  const auto searchd =
+      memory_requirement(ModelKind::kSearcHD, mnist_params(1024));
+  EXPECT_LT(memhd.am_bits, searchd.am_bits);
+}
+
+TEST(MemoryModel, MemhdAt128x128BeatsBaselinesAtIsoAccuracyDims) {
+  // Fig. 7 iso-accuracy shapes (FMNIST): MEMHD 128x128 total memory is far
+  // below every baseline's at its iso-accuracy dimensionality.
+  const auto memhd =
+      memory_requirement(ModelKind::kMemhd, mnist_params(128, 128));
+  const auto basic =
+      memory_requirement(ModelKind::kBasicHDC, mnist_params(10240));
+  const auto searchd =
+      memory_requirement(ModelKind::kSearcHD, mnist_params(8000));
+  const auto quanthd =
+      memory_requirement(ModelKind::kQuantHD, mnist_params(1600));
+  const auto lehdc = memory_requirement(ModelKind::kLeHDC, mnist_params(400));
+  EXPECT_LT(memhd.total_bits(), basic.total_bits());
+  EXPECT_LT(memhd.total_bits(), searchd.total_bits());
+  EXPECT_LT(memhd.total_bits(), quanthd.total_bits());
+  EXPECT_LT(memhd.total_bits(), lehdc.total_bits());
+}
+
+TEST(MemoryModel, ModelNames) {
+  EXPECT_STREQ(model_name(ModelKind::kBasicHDC), "BasicHDC");
+  EXPECT_STREQ(model_name(ModelKind::kQuantHD), "QuantHD");
+  EXPECT_STREQ(model_name(ModelKind::kSearcHD), "SearcHD");
+  EXPECT_STREQ(model_name(ModelKind::kLeHDC), "LeHDC");
+  EXPECT_STREQ(model_name(ModelKind::kMemhd), "MEMHD");
+}
+
+class MemoryMonotonicity
+    : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(MemoryMonotonicity, TotalGrowsWithDimension) {
+  const ModelKind kind = GetParam();
+  std::size_t prev = 0;
+  for (const std::size_t d : {256u, 512u, 1024u, 2048u}) {
+    const auto m = memory_requirement(kind, mnist_params(d, 128));
+    EXPECT_GT(m.total_bits(), prev);
+    prev = m.total_bits();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, MemoryMonotonicity,
+                         ::testing::Values(ModelKind::kBasicHDC,
+                                           ModelKind::kQuantHD,
+                                           ModelKind::kSearcHD,
+                                           ModelKind::kLeHDC,
+                                           ModelKind::kMemhd));
+
+TEST(MemoryModel, MemhdGrowsWithColumns) {
+  std::size_t prev = 0;
+  for (const std::size_t c : {64u, 128u, 256u, 1024u}) {
+    const auto m =
+        memory_requirement(ModelKind::kMemhd, mnist_params(1024, c));
+    EXPECT_GT(m.am_bits, prev);
+    prev = m.am_bits;
+  }
+}
+
+}  // namespace
+}  // namespace memhd::core

@@ -1,0 +1,99 @@
+#include "src/core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace memhd::core {
+namespace {
+
+MemhdConfig small_config() {
+  MemhdConfig cfg;
+  cfg.dim = 128;
+  cfg.columns = 16;
+  cfg.epochs = 10;
+  cfg.learning_rate = 0.1f;
+  cfg.kmeans_max_iterations = 10;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(MemhdModel, EndToEndAccuracyFloor) {
+  const auto split = testing::tiny_multimodal();
+  MemhdModel model(small_config(), split.train.num_features(),
+                   split.train.num_classes());
+  const auto report = model.fit(split.train, &split.test);
+  EXPECT_GT(model.evaluate(split.test), 0.75);
+  EXPECT_GT(report.post_init_train_accuracy, 0.4);
+  EXPECT_EQ(report.training.epochs_run, 10u);
+}
+
+TEST(MemhdModel, PredictAgreesWithEvaluate) {
+  const auto split = testing::tiny_separable();
+  MemhdModel model(small_config(), split.train.num_features(),
+                   split.train.num_classes());
+  model.fit(split.train);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < split.test.size(); ++i)
+    if (model.predict(split.test.sample(i)) == split.test.label(i)) ++correct;
+  const double manual =
+      static_cast<double>(correct) / static_cast<double>(split.test.size());
+  EXPECT_NEAR(model.evaluate(split.test), manual, 1e-12);
+}
+
+TEST(MemhdModel, FitEncodedReusesEncodings) {
+  const auto split = testing::tiny_separable();
+  MemhdModel model(small_config(), split.train.num_features(),
+                   split.train.num_classes());
+  const auto encoded_train = model.encoder().encode_dataset(split.train);
+  const auto encoded_test = model.encoder().encode_dataset(split.test);
+  model.fit_encoded(encoded_train, &encoded_test);
+  EXPECT_NEAR(model.evaluate(split.test),
+              model.evaluate_encoded(encoded_test), 1e-12);
+}
+
+TEST(MemhdModel, MemoryBitsIsTableOneFormula) {
+  MemhdModel model(small_config(), 784, 10);
+  // f*D + C*D
+  EXPECT_EQ(model.memory_bits(), 784u * 128u + 16u * 128u);
+}
+
+TEST(MemhdModel, DeterministicAcrossRuns) {
+  const auto split = testing::tiny_separable();
+  MemhdModel a(small_config(), split.train.num_features(),
+               split.train.num_classes());
+  MemhdModel b(small_config(), split.train.num_features(),
+               split.train.num_classes());
+  a.fit(split.train);
+  b.fit(split.train);
+  EXPECT_TRUE(a.am().binary() == b.am().binary());
+  EXPECT_NEAR(a.evaluate(split.test), b.evaluate(split.test), 1e-12);
+}
+
+TEST(MemhdModel, AmIsFullyUtilizedAfterFit) {
+  const auto split = testing::tiny_multimodal();
+  MemhdModel model(small_config(), split.train.num_features(),
+                   split.train.num_classes());
+  model.fit(split.train);
+  EXPECT_TRUE(model.am().fully_assigned());
+  EXPECT_EQ(model.am().columns(), 16u);
+}
+
+TEST(MemhdModel, RandomSamplingInitVariantRuns) {
+  const auto split = testing::tiny_multimodal();
+  auto cfg = small_config();
+  cfg.init = InitMethod::kRandomSampling;
+  MemhdModel model(cfg, split.train.num_features(),
+                   split.train.num_classes());
+  model.fit(split.train);
+  EXPECT_GT(model.evaluate(split.test), 0.5);
+}
+
+TEST(MemhdModel, RejectsTooFewColumns) {
+  auto cfg = small_config();
+  cfg.columns = 3;  // fewer than num_classes
+  EXPECT_DEATH(MemhdModel(cfg, 16, 4), "precondition");
+}
+
+}  // namespace
+}  // namespace memhd::core

@@ -1,0 +1,103 @@
+// Parameterized property sweep over (D, C) shapes: invariants the
+// initialization + QAT pipeline must hold for ANY feasible configuration.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/initializer.hpp"
+#include "src/core/qat_trainer.hpp"
+#include "test_util.hpp"
+
+namespace memhd::core {
+namespace {
+
+struct Shape {
+  std::size_t dim;
+  std::size_t columns;
+};
+
+class QatShapeSweep : public ::testing::TestWithParam<Shape> {
+ protected:
+  void SetUp() override {
+    train_ = testing::clustered_encoded(
+        /*per_class=*/30, GetParam().dim, /*num_classes=*/4, /*modes=*/2,
+        /*noise_bits=*/GetParam().dim / 10, /*seed=*/5);
+  }
+  hdc::EncodedDataset train_;
+};
+
+TEST_P(QatShapeSweep, InitializationFullyUtilizesEveryShape) {
+  MemhdConfig cfg;
+  cfg.dim = GetParam().dim;
+  cfg.columns = GetParam().columns;
+  cfg.kmeans_max_iterations = 8;
+  InitializerReport report;
+  const auto am = initialize_clustering(train_, cfg, &report);
+
+  EXPECT_TRUE(am.fully_assigned());
+  EXPECT_EQ(am.columns(), cfg.columns);
+  // Ownership partitions the columns exactly.
+  const std::size_t total = std::accumulate(
+      report.centroids_per_class.begin(), report.centroids_per_class.end(),
+      std::size_t{0});
+  EXPECT_EQ(total, cfg.columns);
+  for (data::Label c = 0; c < 4; ++c)
+    EXPECT_GE(am.centroids_per_class(c), 1u);
+}
+
+TEST_P(QatShapeSweep, TrainingPreservesStructuralInvariants) {
+  MemhdConfig cfg;
+  cfg.dim = GetParam().dim;
+  cfg.columns = GetParam().columns;
+  cfg.kmeans_max_iterations = 8;
+  auto am = initialize_clustering(train_, cfg, nullptr);
+  const std::vector<std::size_t> ownership_before = [&] {
+    std::vector<std::size_t> v;
+    for (std::size_t col = 0; col < am.columns(); ++col)
+      v.push_back(am.owner(col));
+    return v;
+  }();
+
+  QatConfig qc;
+  qc.epochs = 5;
+  qc.learning_rate = 0.1f;
+  const auto trace = train_qat(am, train_, nullptr, qc);
+
+  // Ownership is fixed at initialization; training never moves slots.
+  for (std::size_t col = 0; col < am.columns(); ++col)
+    EXPECT_EQ(am.owner(col), ownership_before[col]);
+  // Updates come in pairs (true-slot +, predicted-slot -).
+  EXPECT_EQ(trace.updates % 2, 0u);
+  // Binary AM density stays strictly inside (0, 1) — the mean-threshold
+  // quantizer cannot saturate.
+  const double density =
+      static_cast<double>(am.binary().popcount()) /
+      static_cast<double>(am.columns() * am.dim());
+  EXPECT_GT(density, 0.05);
+  EXPECT_LT(density, 0.95);
+}
+
+TEST_P(QatShapeSweep, AccuracyAtLeastMatchesChance) {
+  MemhdConfig cfg;
+  cfg.dim = GetParam().dim;
+  cfg.columns = GetParam().columns;
+  cfg.kmeans_max_iterations = 8;
+  auto am = initialize_clustering(train_, cfg, nullptr);
+  QatConfig qc;
+  qc.epochs = 5;
+  train_qat(am, train_, nullptr, qc);
+  // Structured data, 4 classes: must clear chance comfortably.
+  EXPECT_GT(evaluate_binary(am, train_), 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QatShapeSweep,
+    ::testing::Values(Shape{64, 4}, Shape{64, 9}, Shape{128, 16},
+                      Shape{256, 6}, Shape{256, 32}, Shape{512, 12}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "D" + std::to_string(info.param.dim) + "xC" +
+             std::to_string(info.param.columns);
+    });
+
+}  // namespace
+}  // namespace memhd::core

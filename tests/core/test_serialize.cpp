@@ -1,0 +1,120 @@
+#include "src/core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/core/model.hpp"
+#include "test_util.hpp"
+
+namespace memhd::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_model_path(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+MemhdConfig small_config() {
+  MemhdConfig cfg;
+  cfg.dim = 128;
+  cfg.columns = 12;
+  cfg.epochs = 5;
+  cfg.kmeans_max_iterations = 8;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  const auto split = testing::tiny_multimodal();
+  MemhdModel model(small_config(), split.train.num_features(),
+                   split.train.num_classes());
+  model.fit(split.train);
+
+  const std::string path = temp_model_path("memhd_roundtrip.model");
+  model.save(path);
+  const MemhdModel loaded = MemhdModel::load(path);
+  std::remove(path.c_str());
+
+  // Bit-exact deployment: identical binary AM, owners, and predictions.
+  EXPECT_TRUE(loaded.am().binary() == model.am().binary());
+  for (std::size_t col = 0; col < model.am().columns(); ++col)
+    EXPECT_EQ(loaded.am().owner(col), model.am().owner(col));
+  for (std::size_t i = 0; i < split.test.size(); ++i)
+    EXPECT_EQ(loaded.predict(split.test.sample(i)),
+              model.predict(split.test.sample(i)));
+}
+
+TEST(Serialize, RoundTripPreservesConfig) {
+  const auto split = testing::tiny_separable();
+  auto cfg = small_config();
+  cfg.initial_ratio = 0.65;
+  cfg.learning_rate = 0.07f;
+  cfg.normalization = NormalizationMode::kL2;
+  MemhdModel model(cfg, split.train.num_features(),
+                   split.train.num_classes());
+  model.fit(split.train);
+  const std::string path = temp_model_path("memhd_config.model");
+  model.save(path);
+  const MemhdModel loaded = MemhdModel::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.config().dim, cfg.dim);
+  EXPECT_EQ(loaded.config().columns, cfg.columns);
+  EXPECT_DOUBLE_EQ(loaded.config().initial_ratio, 0.65);
+  EXPECT_FLOAT_EQ(loaded.config().learning_rate, 0.07f);
+  EXPECT_EQ(loaded.config().normalization, NormalizationMode::kL2);
+  EXPECT_EQ(loaded.config().seed, cfg.seed);
+  EXPECT_EQ(loaded.num_features(), split.train.num_features());
+  EXPECT_EQ(loaded.num_classes(), split.train.num_classes());
+}
+
+TEST(Serialize, RoundTripPreservesFpShadow) {
+  const auto split = testing::tiny_separable();
+  MemhdModel model(small_config(), split.train.num_features(),
+                   split.train.num_classes());
+  model.fit(split.train);
+  const std::string path = temp_model_path("memhd_fp.model");
+  model.save(path);
+  const MemhdModel loaded = MemhdModel::load(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(loaded.am().fp() == model.am().fp());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_model("/nonexistent/missing.model"), std::runtime_error);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  const std::string path = temp_model_path("memhd_badmagic.model");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAMODELFILE_________";
+  }
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileThrows) {
+  const auto split = testing::tiny_separable();
+  MemhdModel model(small_config(), split.train.num_features(),
+                   split.train.num_classes());
+  model.fit(split.train);
+  const std::string path = temp_model_path("memhd_trunc.model");
+  model.save(path);
+  // Chop the file in half.
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size / 2);
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SaveUnfittedModelDies) {
+  MemhdModel model(small_config(), 16, 4);
+  EXPECT_DEATH(model.save(temp_model_path("never.model")), "precondition");
+}
+
+}  // namespace
+}  // namespace memhd::core

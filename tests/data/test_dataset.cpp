@@ -1,0 +1,86 @@
+#include "src/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.hpp"
+
+namespace memhd::data {
+namespace {
+
+Dataset make_dataset() {
+  common::Matrix feats(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    feats(i, 0) = static_cast<float>(i);
+    feats(i, 1) = static_cast<float>(10 * i);
+  }
+  return Dataset("toy", std::move(feats), {0, 1, 2, 0, 1, 2}, 3);
+}
+
+TEST(Dataset, BasicAccessors) {
+  const auto ds = make_dataset();
+  EXPECT_EQ(ds.size(), 6u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_EQ(ds.num_classes(), 3u);
+  EXPECT_EQ(ds.label(3), 0);
+  EXPECT_FLOAT_EQ(ds.sample(2)[1], 20.0f);
+  EXPECT_NE(ds.summary().find("toy"), std::string::npos);
+}
+
+TEST(Dataset, ClassCountsAndIndices) {
+  const auto ds = make_dataset();
+  EXPECT_EQ(ds.class_counts(), (std::vector<std::size_t>{2, 2, 2}));
+  EXPECT_EQ(ds.indices_of_class(1), (std::vector<std::size_t>{1, 4}));
+}
+
+TEST(Dataset, SubsetCopiesRowsAndLabels) {
+  const auto ds = make_dataset();
+  const auto sub = ds.subset({5, 0}, "sub");
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.label(0), 2);
+  EXPECT_FLOAT_EQ(sub.sample(0)[0], 5.0f);
+  EXPECT_EQ(sub.label(1), 0);
+}
+
+TEST(Dataset, StratifiedSplitPreservesClassBalance) {
+  common::Matrix feats(100, 1);
+  std::vector<Label> labels(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    feats(i, 0) = static_cast<float>(i);
+    labels[i] = static_cast<Label>(i % 4);
+  }
+  Dataset ds("balanced", std::move(feats), std::move(labels), 4);
+  common::Rng rng(3);
+  const auto [a, b] = ds.stratified_split(0.6, rng);
+  EXPECT_EQ(a.size(), 60u);
+  EXPECT_EQ(b.size(), 40u);
+  for (const auto c : a.class_counts()) EXPECT_EQ(c, 15u);
+  for (const auto c : b.class_counts()) EXPECT_EQ(c, 10u);
+}
+
+TEST(Dataset, RandomSplitSizes) {
+  const auto ds = make_dataset();
+  common::Rng rng(5);
+  const auto [a, b] = ds.random_split(0.5, rng);
+  EXPECT_EQ(a.size() + b.size(), ds.size());
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(Dataset, ShufflePreservesSampleLabelPairs) {
+  auto ds = make_dataset();
+  common::Rng rng(7);
+  ds.shuffle(rng);
+  EXPECT_EQ(ds.size(), 6u);
+  // Feature column 0 held the original index; pairing must survive.
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto orig = static_cast<std::size_t>(ds.sample(i)[0]);
+    EXPECT_EQ(ds.label(i), static_cast<Label>(orig % 3));
+    EXPECT_FLOAT_EQ(ds.sample(i)[1], 10.0f * static_cast<float>(orig));
+  }
+  auto counts = ds.class_counts();
+  EXPECT_EQ(counts, (std::vector<std::size_t>{2, 2, 2}));
+}
+
+}  // namespace
+}  // namespace memhd::data

@@ -1,0 +1,104 @@
+#include "src/data/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace memhd::data {
+namespace {
+
+TEST(MinMaxScaler, MapsTrainIntoUnitInterval) {
+  common::Matrix m(3, 2);
+  m(0, 0) = -2.0f; m(0, 1) = 10.0f;
+  m(1, 0) = 0.0f;  m(1, 1) = 20.0f;
+  m(2, 0) = 2.0f;  m(2, 1) = 30.0f;
+  MinMaxScaler s;
+  s.fit(m);
+  s.transform(m);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(m(2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m(2, 1), 1.0f);
+}
+
+TEST(MinMaxScaler, ClampsOutOfRangeTestValues) {
+  common::Matrix train(2, 1);
+  train(0, 0) = 0.0f;
+  train(1, 0) = 1.0f;
+  MinMaxScaler s;
+  s.fit(train);
+  common::Matrix test(2, 1);
+  test(0, 0) = -5.0f;
+  test(1, 0) = 5.0f;
+  s.transform(test);
+  EXPECT_FLOAT_EQ(test(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(test(1, 0), 1.0f);
+}
+
+TEST(MinMaxScaler, ConstantFeatureMapsToZero) {
+  common::Matrix m(3, 1, 4.0f);
+  MinMaxScaler s;
+  s.fit(m);
+  s.transform(m);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_FLOAT_EQ(m(r, 0), 0.0f);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  common::Rng rng(3);
+  common::Matrix m = common::Matrix::random_normal(500, 3, rng, 5.0f, 2.0f);
+  StandardScaler s;
+  s.fit(m);
+  s.transform(m);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < m.rows(); ++r) mean += m(r, c);
+    mean /= static_cast<double>(m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+      var += (m(r, c) - mean) * (m(r, c) - mean);
+    var /= static_cast<double>(m.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LevelQuantizer, BoundaryBehaviour) {
+  LevelQuantizer q(4);
+  EXPECT_EQ(q.quantize(0.0f), 0);
+  EXPECT_EQ(q.quantize(0.24f), 0);
+  EXPECT_EQ(q.quantize(0.25f), 1);
+  EXPECT_EQ(q.quantize(0.75f), 3);
+  EXPECT_EQ(q.quantize(1.0f), 3);  // top of range stays in the last level
+  EXPECT_EQ(q.quantize(-1.0f), 0);
+  EXPECT_EQ(q.quantize(2.0f), 3);
+}
+
+TEST(LevelQuantizer, PaperLevels256) {
+  LevelQuantizer q(256);
+  EXPECT_EQ(q.num_levels(), 256u);
+  EXPECT_EQ(q.quantize(0.0f), 0);
+  EXPECT_EQ(q.quantize(1.0f), 255);
+  EXPECT_EQ(q.quantize(0.5f), 128);
+}
+
+TEST(LevelQuantizer, QuantizeRow) {
+  LevelQuantizer q(10);
+  const std::vector<float> row = {0.0f, 0.55f, 0.99f};
+  const auto levels = q.quantize_row(row);
+  EXPECT_EQ(levels, (std::vector<std::uint16_t>{0, 5, 9}));
+}
+
+TEST(ScaleSplitMinMax, AppliesTrainStatisticsToBoth) {
+  common::Matrix tr(2, 1), te(1, 1);
+  tr(0, 0) = 0.0f;
+  tr(1, 0) = 10.0f;
+  te(0, 0) = 5.0f;
+  TrainTestSplit split;
+  split.train = Dataset("tr", std::move(tr), {0, 1}, 2);
+  split.test = Dataset("te", std::move(te), {0}, 2);
+  scale_split_minmax(split);
+  EXPECT_FLOAT_EQ(split.test.features()(0, 0), 0.5f);
+}
+
+}  // namespace
+}  // namespace memhd::data

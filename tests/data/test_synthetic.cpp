@@ -1,0 +1,127 @@
+#include "src/data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/common/matrix.hpp"
+
+namespace memhd::data {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig cfg;
+  cfg.num_classes = 3;
+  cfg.num_features = 20;
+  cfg.latent_dim = 4;
+  cfg.modes_per_class = 2;
+  cfg.train_per_class = 30;
+  cfg.test_per_class = 10;
+  return cfg;
+}
+
+TEST(Synthetic, ShapesAndLabelRanges) {
+  common::Rng rng(1);
+  const auto split = generate_synthetic(small_config(), rng);
+  EXPECT_EQ(split.train.size(), 90u);
+  EXPECT_EQ(split.test.size(), 30u);
+  EXPECT_EQ(split.train.num_features(), 20u);
+  EXPECT_EQ(split.train.num_classes(), 3u);
+  for (std::size_t i = 0; i < split.train.size(); ++i)
+    EXPECT_LT(split.train.label(i), 3);
+}
+
+TEST(Synthetic, BalancedClasses) {
+  common::Rng rng(2);
+  const auto split = generate_synthetic(small_config(), rng);
+  for (const auto c : split.train.class_counts()) EXPECT_EQ(c, 30u);
+  for (const auto c : split.test.class_counts()) EXPECT_EQ(c, 10u);
+}
+
+TEST(Synthetic, FeaturesInUnitInterval) {
+  common::Rng rng(3);
+  const auto split = generate_synthetic(small_config(), rng);
+  for (std::size_t i = 0; i < split.train.size(); ++i)
+    for (const float v : split.train.sample(i)) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  common::Rng r1(42), r2(42);
+  const auto a = generate_synthetic(small_config(), r1);
+  const auto b = generate_synthetic(small_config(), r2);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  EXPECT_TRUE(a.train.features() == b.train.features());
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  common::Rng r1(1), r2(2);
+  const auto a = generate_synthetic(small_config(), r1);
+  const auto b = generate_synthetic(small_config(), r2);
+  EXPECT_FALSE(a.train.features() == b.train.features());
+}
+
+TEST(Synthetic, ClassesAreSeparated) {
+  // Mean intra-class distance must be well below mean inter-class distance;
+  // otherwise no classifier experiment downstream makes sense.
+  common::Rng rng(5);
+  auto cfg = small_config();
+  cfg.train_per_class = 50;
+  const auto split = generate_synthetic(cfg, rng);
+  const auto& ds = split.train;
+
+  double intra = 0.0, inter = 0.0;
+  std::size_t n_intra = 0, n_inter = 0;
+  for (std::size_t i = 0; i < ds.size(); i += 3) {
+    for (std::size_t j = i + 1; j < ds.size(); j += 7) {
+      const double d = common::squared_distance(ds.sample(i), ds.sample(j));
+      if (ds.label(i) == ds.label(j)) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  ASSERT_GT(n_intra, 0u);
+  ASSERT_GT(n_inter, 0u);
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(SyntheticProfiles, MnistLikeShape) {
+  const auto cfg = mnist_like_config(Scale::kBench);
+  EXPECT_EQ(cfg.num_classes, 10u);
+  EXPECT_EQ(cfg.num_features, 784u);
+  const auto paper = mnist_like_config(Scale::kPaper);
+  EXPECT_EQ(paper.train_per_class, 6000u);
+  EXPECT_EQ(paper.test_per_class, 1000u);
+}
+
+TEST(SyntheticProfiles, IsoletLikeShape) {
+  const auto cfg = isolet_like_config(Scale::kPaper);
+  EXPECT_EQ(cfg.num_classes, 26u);
+  EXPECT_EQ(cfg.num_features, 617u);
+  // ISOLET's defining small-sample property.
+  EXPECT_EQ(cfg.train_per_class, 240u);
+}
+
+TEST(SyntheticProfiles, FmnistHarderThanMnist) {
+  const auto m = mnist_like_config(Scale::kBench);
+  const auto f = fmnist_like_config(Scale::kBench);
+  EXPECT_LT(f.class_separation, m.class_separation);
+  EXPECT_GE(f.within_mode_stddev, m.within_mode_stddev);
+}
+
+TEST(SyntheticProfiles, GenerateProfileDispatch) {
+  common::Rng rng(6);
+  const auto isolet = generate_profile("isolet", Scale::kBench, rng);
+  EXPECT_EQ(isolet.train.num_classes(), 26u);
+  EXPECT_THROW(generate_profile("nope", Scale::kBench, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace memhd::data

@@ -1,0 +1,103 @@
+#include "src/hdc/associative_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/hdc/similarity.hpp"
+
+namespace memhd::hdc {
+namespace {
+
+using common::BitVector;
+using common::Rng;
+
+TEST(AssociativeMemory, AccumulateAddsBipolar) {
+  AssociativeMemory am(2, 4);
+  const auto hv = BitVector::from_bools({true, false, true, false});
+  am.accumulate(0, hv);
+  am.accumulate(0, hv, 0.5f);
+  const auto row = am.fp().row(0);
+  EXPECT_FLOAT_EQ(row[0], 1.5f);
+  EXPECT_FLOAT_EQ(row[1], -1.5f);
+  EXPECT_FLOAT_EQ(row[2], 1.5f);
+  EXPECT_FLOAT_EQ(row[3], -1.5f);
+  // Class 1 untouched.
+  EXPECT_FLOAT_EQ(am.fp().row(1)[0], 0.0f);
+}
+
+TEST(AssociativeMemory, BinarizeUsesGlobalMeanThreshold) {
+  AssociativeMemory am(2, 2);
+  am.fp()(0, 0) = 4.0f;
+  am.fp()(0, 1) = 0.0f;
+  am.fp()(1, 0) = 0.0f;
+  am.fp()(1, 1) = 0.0f;  // mean = 1.0
+  am.binarize();
+  EXPECT_TRUE(am.binary().get(0, 0));    // 4 > 1
+  EXPECT_FALSE(am.binary().get(0, 1));   // 0 < 1
+  EXPECT_FALSE(am.binary().get(1, 0));
+}
+
+TEST(AssociativeMemory, ScoresFpEqualsNaiveBipolarDot) {
+  Rng rng(3);
+  AssociativeMemory am(3, 64);
+  for (std::size_t c = 0; c < 3; ++c)
+    for (std::size_t j = 0; j < 64; ++j)
+      am.fp()(c, j) = static_cast<float>(rng.normal());
+  const auto q = BitVector::random(64, rng);
+  std::vector<float> scores;
+  am.scores_fp(q, scores);
+  for (std::size_t c = 0; c < 3; ++c) {
+    float naive = 0.0f;
+    for (std::size_t j = 0; j < 64; ++j)
+      naive += am.fp()(c, j) * (q.get(j) ? 1.0f : -1.0f);
+    EXPECT_NEAR(scores[c], naive, 1e-3f);
+  }
+}
+
+TEST(AssociativeMemory, ScoresBinaryIsPopcountDot) {
+  Rng rng(4);
+  AssociativeMemory am(2, 128);
+  am.fp().fill(-1.0f);
+  for (std::size_t j = 0; j < 128; j += 2) am.fp()(0, j) = 1.0f;
+  for (std::size_t j = 0; j < 128; j += 4) am.fp()(1, j) = 1.0f;
+  am.binarize();
+  const auto q = BitVector::random(128, rng);
+  std::vector<std::uint32_t> scores;
+  am.scores_binary(q, scores);
+  EXPECT_EQ(scores[0], am.binary().row_vector(0).dot(q));
+  EXPECT_EQ(scores[1], am.binary().row_vector(1).dot(q));
+}
+
+TEST(AssociativeMemory, PredictsNearestPrototype) {
+  Rng rng(5);
+  const std::size_t d = 512;
+  const auto proto0 = BitVector::random(d, rng);
+  const auto proto1 = BitVector::random(d, rng);
+  AssociativeMemory am(2, d);
+  am.accumulate(0, proto0);
+  am.accumulate(1, proto1);
+  am.binarize();
+
+  auto noisy = proto1;
+  for (std::size_t i = 0; i < d / 16; ++i) noisy.flip(rng.uniform_index(d));
+  EXPECT_EQ(am.predict_binary(noisy), 1);
+  EXPECT_EQ(am.predict_fp(noisy), 1);
+  EXPECT_EQ(am.predict_binary(proto0), 0);
+}
+
+TEST(AddBipolar, WeightSign) {
+  std::vector<float> row(3, 0.0f);
+  const auto hv = common::BitVector::from_bools({true, false, true});
+  add_bipolar(row, hv, -2.0f);
+  EXPECT_FLOAT_EQ(row[0], -2.0f);
+  EXPECT_FLOAT_EQ(row[1], 2.0f);
+  EXPECT_FLOAT_EQ(row[2], -2.0f);
+}
+
+TEST(AssociativeMemory, MemoryBitsFormula) {
+  AssociativeMemory am(26, 10240);
+  EXPECT_EQ(am.memory_bits(), 26u * 10240u);
+}
+
+}  // namespace
+}  // namespace memhd::hdc

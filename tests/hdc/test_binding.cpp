@@ -1,0 +1,95 @@
+#include "src/hdc/binding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/hdc/similarity.hpp"
+
+namespace memhd::hdc {
+namespace {
+
+using common::BitVector;
+using common::Rng;
+
+TEST(Binding, BindIsSelfInverse) {
+  Rng rng(1);
+  const auto a = BitVector::random(512, rng);
+  const auto key = BitVector::random(512, rng);
+  EXPECT_TRUE(unbind(bind(a, key), key) == a);
+}
+
+TEST(Binding, BindIsCommutative) {
+  Rng rng(2);
+  const auto a = BitVector::random(256, rng);
+  const auto b = BitVector::random(256, rng);
+  EXPECT_TRUE(bind(a, b) == bind(b, a));
+}
+
+TEST(Binding, BoundVectorDissimilarToInputs) {
+  // The defining binding property: bind(a, b) is quasi-orthogonal to both.
+  Rng rng(3);
+  const std::size_t d = 4096;
+  const auto a = BitVector::random(d, rng);
+  const auto b = BitVector::random(d, rng);
+  const auto ab = bind(a, b);
+  EXPECT_NEAR(static_cast<double>(ab.hamming(a)) / d, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(ab.hamming(b)) / d, 0.5, 0.05);
+}
+
+TEST(Binding, BindingPreservesDistance) {
+  // hamming(bind(a,k), bind(b,k)) == hamming(a, b): binding with a common
+  // key is an isometry, which is why bound pairs can still be compared.
+  Rng rng(4);
+  const auto a = BitVector::random(1024, rng);
+  const auto b = BitVector::random(1024, rng);
+  const auto k = BitVector::random(1024, rng);
+  EXPECT_EQ(bind(a, k).hamming(bind(b, k)), a.hamming(b));
+}
+
+TEST(Permute, ZeroShiftIsIdentity) {
+  Rng rng(5);
+  const auto v = BitVector::random(300, rng);
+  EXPECT_TRUE(permute(v, 0) == v);
+  EXPECT_TRUE(permute(v, 300) == v);  // full rotation
+}
+
+TEST(Permute, ShiftMovesBits) {
+  BitVector v(8);
+  v.set(0, true);
+  v.set(6, true);
+  const auto p = permute(v, 3);
+  EXPECT_TRUE(p.get(3));
+  EXPECT_TRUE(p.get(1));  // (6 + 3) mod 8
+  EXPECT_EQ(p.popcount(), 2u);
+}
+
+TEST(Permute, Composes) {
+  Rng rng(6);
+  const auto v = BitVector::random(200, rng);
+  EXPECT_TRUE(permute(permute(v, 13), 27) == permute(v, 40));
+}
+
+TEST(Permute, BackInverts) {
+  Rng rng(7);
+  const auto v = BitVector::random(777, rng);
+  for (const std::size_t s : {1u, 63u, 64u, 400u, 776u})
+    EXPECT_TRUE(permute_back(permute(v, s), s) == v) << "shift " << s;
+}
+
+TEST(Permute, PreservesPopcount) {
+  Rng rng(8);
+  const auto v = BitVector::random(1000, rng);
+  EXPECT_EQ(permute(v, 123).popcount(), v.popcount());
+}
+
+TEST(Permute, BreaksSimilarity) {
+  // A vector and its rotation are quasi-orthogonal — the property that
+  // makes permutation usable as a positional tag.
+  Rng rng(9);
+  const std::size_t d = 4096;
+  const auto v = BitVector::random(d, rng);
+  EXPECT_NEAR(static_cast<double>(v.hamming(permute(v, 1))) / d, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace memhd::hdc

@@ -1,0 +1,113 @@
+#include "src/hdc/id_level_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "test_util.hpp"
+
+namespace memhd::hdc {
+namespace {
+
+IdLevelEncoderConfig make_config(std::size_t f = 16, std::size_t d = 512,
+                                 std::size_t levels = 16,
+                                 std::uint64_t seed = 1) {
+  IdLevelEncoderConfig cfg;
+  cfg.num_features = f;
+  cfg.dim = d;
+  cfg.num_levels = levels;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(IdLevelEncoder, LevelContinuumMonotoneDistance) {
+  const IdLevelEncoder enc(make_config(4, 2048, 9));
+  const auto& l0 = enc.level_vector(0);
+  std::size_t prev = 0;
+  for (std::size_t l = 1; l < 9; ++l) {
+    const std::size_t d = l0.hamming(enc.level_vector(l));
+    EXPECT_GE(d, prev) << "level distance must grow with level gap";
+    prev = d;
+  }
+  // The extremes differ in ~D/2 bits (near-orthogonal).
+  EXPECT_NEAR(static_cast<double>(prev), 1024.0, 8.0);
+}
+
+TEST(IdLevelEncoder, AdjacentLevelsFlipFixedQuota) {
+  const std::size_t d = 1024, levels = 9;
+  const IdLevelEncoder enc(make_config(4, d, levels));
+  // Total flips D/2 across L-1 steps => D/(2(L-1)) = 64 per step.
+  for (std::size_t l = 1; l < levels; ++l) {
+    const std::size_t step =
+        enc.level_vector(l - 1).hamming(enc.level_vector(l));
+    EXPECT_EQ(step, d / (2 * (levels - 1)));
+  }
+}
+
+TEST(IdLevelEncoder, IdVectorsAreDistinctRandom) {
+  const IdLevelEncoder enc(make_config(8, 1024, 4));
+  for (std::size_t i = 1; i < 8; ++i) {
+    const auto d = enc.id_vector(0).hamming(enc.id_vector(i));
+    EXPECT_GT(d, 1024u / 3);
+    EXPECT_LT(d, 2u * 1024u / 3);
+  }
+}
+
+TEST(IdLevelEncoder, Deterministic) {
+  const IdLevelEncoder a(make_config(8, 256, 8, 99));
+  const IdLevelEncoder b(make_config(8, 256, 8, 99));
+  const std::vector<float> x = {0.1f, 0.9f, 0.5f, 0.3f,
+                                0.7f, 0.0f, 1.0f, 0.4f};
+  EXPECT_TRUE(a.encode(x) == b.encode(x));
+}
+
+TEST(IdLevelEncoder, SimilarFeatureVectorsGetSimilarCodes) {
+  const IdLevelEncoder enc(make_config(16, 2048, 64));
+  common::Rng rng(5);
+  std::vector<float> x(16), near(16), far(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    x[i] = static_cast<float>(rng.uniform());
+    near[i] = std::min(1.0f, x[i] + 0.02f);  // tiny level shifts
+    far[i] = static_cast<float>(rng.uniform());
+  }
+  const auto hx = enc.encode(x);
+  EXPECT_LT(hx.hamming(enc.encode(near)), hx.hamming(enc.encode(far)));
+}
+
+TEST(IdLevelEncoder, OutputDensityNearHalf) {
+  const IdLevelEncoder enc(make_config(32, 2048, 16));
+  common::Rng rng(7);
+  std::vector<float> x(32);
+  for (auto& v : x) v = static_cast<float>(rng.uniform());
+  const auto hv = enc.encode(x);
+  const double density = static_cast<double>(hv.popcount()) / 2048.0;
+  EXPECT_NEAR(density, 0.5, 0.1);
+}
+
+TEST(IdLevelEncoder, MemoryBitsIsTableOneFormula) {
+  const IdLevelEncoder enc(make_config(784, 1024, 256));
+  EXPECT_EQ(enc.memory_bits(), (784u + 256u) * 1024u);
+}
+
+TEST(IdLevelEncoder, EncodeDatasetShape) {
+  const auto split = testing::tiny_separable();
+  IdLevelEncoderConfig cfg;
+  cfg.num_features = split.train.num_features();
+  cfg.dim = 128;
+  cfg.num_levels = 16;
+  const IdLevelEncoder enc(cfg);
+  const auto encoded = enc.encode_dataset(split.train);
+  EXPECT_EQ(encoded.size(), split.train.size());
+  EXPECT_EQ(encoded.dim, 128u);
+  EXPECT_TRUE(encoded.hypervectors[0] == enc.encode(split.train.sample(0)));
+}
+
+TEST(IdLevelEncoder, PaperDefaultLevels) {
+  IdLevelEncoderConfig cfg;
+  cfg.num_features = 8;
+  cfg.dim = 64;
+  const IdLevelEncoder enc(cfg);
+  EXPECT_EQ(enc.num_levels(), 256u);  // the paper's L
+}
+
+}  // namespace
+}  // namespace memhd::hdc

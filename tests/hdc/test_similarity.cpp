@@ -1,0 +1,93 @@
+#include "src/hdc/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace memhd::hdc {
+namespace {
+
+using common::BitVector;
+using common::Rng;
+
+TEST(Similarity, DotOfDisjointVectorsIsZero) {
+  BitVector a(8), b(8);
+  a.set(0, true);
+  a.set(1, true);
+  b.set(2, true);
+  EXPECT_EQ(dot_similarity(a, b), 0u);
+}
+
+TEST(Similarity, DotCountsSharedOnes) {
+  BitVector a(8), b(8);
+  for (const auto i : {0, 1, 2, 3}) a.set(i, true);
+  for (const auto i : {2, 3, 4}) b.set(i, true);
+  EXPECT_EQ(dot_similarity(a, b), 2u);
+}
+
+TEST(Similarity, HammingOfSelfIsZero) {
+  Rng rng(1);
+  const auto v = BitVector::random(300, rng);
+  EXPECT_EQ(hamming_distance(v, v), 0u);
+}
+
+TEST(Similarity, BipolarDotIdentity) {
+  // bipolar_dot = D - 2*hamming for +/-1 interpretations.
+  Rng rng(2);
+  const auto a = BitVector::random(257, rng);
+  const auto b = BitVector::random(257, rng);
+  std::int64_t naive = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    naive += (a.get(i) ? 1 : -1) * (b.get(i) ? 1 : -1);
+  EXPECT_EQ(bipolar_dot(a, b), naive);
+  EXPECT_EQ(bipolar_dot(a, a), static_cast<std::int64_t>(a.size()));
+}
+
+TEST(Similarity, CosineRangeAndSelf) {
+  Rng rng(3);
+  const auto a = BitVector::random(512, rng);
+  const auto b = BitVector::random(512, rng);
+  const double c = cosine_similarity(a, b);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0, 1e-12);
+}
+
+TEST(Similarity, CosineOfEmptyVectorIsZero) {
+  BitVector zero(64);
+  BitVector one(64);
+  one.set(3, true);
+  EXPECT_EQ(cosine_similarity(zero, one), 0.0);
+}
+
+TEST(Similarity, RandomHypervectorsAreQuasiOrthogonal) {
+  // The HDC foundation: random HVs concentrate near D/4 shared ones
+  // (each bit 1 with prob 1/2 in both -> intersect with prob 1/4) and
+  // near D/2 Hamming distance.
+  Rng rng(4);
+  const std::size_t d = 4096;
+  const auto a = BitVector::random(d, rng);
+  const auto b = BitVector::random(d, rng);
+  const double dot = static_cast<double>(dot_similarity(a, b));
+  EXPECT_NEAR(dot / d, 0.25, 0.03);
+  const double ham = static_cast<double>(hamming_distance(a, b));
+  EXPECT_NEAR(ham / d, 0.5, 0.03);
+}
+
+TEST(Similarity, DotRankingTracksNoiseLevel) {
+  // A query must be more similar to a lightly corrupted copy of itself than
+  // to a heavily corrupted one — the noise-robustness property associative
+  // search relies on.
+  Rng rng(5);
+  const std::size_t d = 2048;
+  const auto base = BitVector::random(d, rng);
+  auto light = base;
+  auto heavy = base;
+  for (std::size_t i = 0; i < d / 16; ++i) light.flip(rng.uniform_index(d));
+  for (std::size_t i = 0; i < d / 2; ++i) heavy.flip(rng.uniform_index(d));
+  EXPECT_GT(dot_similarity(base, light), dot_similarity(base, heavy));
+  EXPECT_LT(hamming_distance(base, light), hamming_distance(base, heavy));
+}
+
+}  // namespace
+}  // namespace memhd::hdc

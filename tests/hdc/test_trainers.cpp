@@ -1,0 +1,99 @@
+#include "src/hdc/trainers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace memhd::hdc {
+namespace {
+
+TEST(SinglePass, LearnsPrototypeClusters) {
+  // One prototype per class, light noise: single-pass must be near-perfect.
+  const auto train = testing::clustered_encoded(
+      /*per_class=*/40, /*dim=*/512, /*num_classes=*/4, /*modes=*/1,
+      /*noise_bits=*/30);
+  const auto test = testing::clustered_encoded(20, 512, 4, 1, 30, /*seed=*/5);
+  AssociativeMemory am(4, 512);
+  train_single_pass(am, train);
+  EXPECT_GT(evaluate_binary(am, train), 0.95);
+}
+
+TEST(SinglePass, PopulatesBothRepresentations) {
+  const auto train = testing::clustered_encoded(10, 128, 3, 1, 8);
+  AssociativeMemory am(3, 128);
+  train_single_pass(am, train);
+  // FP rows must be non-zero and binary rows roughly half dense.
+  bool nonzero = false;
+  for (const float v : am.fp().row(0))
+    if (v != 0.0f) nonzero = true;
+  EXPECT_TRUE(nonzero);
+  const double density =
+      static_cast<double>(am.binary().popcount()) / (3.0 * 128.0);
+  EXPECT_GT(density, 0.2);
+  EXPECT_LT(density, 0.8);
+}
+
+TEST(Iterative, ImprovesOverSinglePassOnMultiModalData) {
+  // Multi-modal classes are where plain prototype averaging struggles;
+  // iterative refinement must recover some of the gap on training data.
+  const auto train = testing::clustered_encoded(
+      /*per_class=*/60, /*dim=*/256, /*num_classes=*/4, /*modes=*/3,
+      /*noise_bits=*/20);
+  AssociativeMemory am(4, 256);
+  train_single_pass(am, train);
+  const double before = evaluate_binary(am, train);
+
+  IterativeConfig cfg;
+  cfg.epochs = 15;
+  cfg.learning_rate = 0.1f;
+  cfg.quantization_aware = true;
+  const auto trace = train_iterative(am, train, cfg);
+  const double after = evaluate_binary(am, train);
+  EXPECT_GE(after, before - 0.02);
+  EXPECT_EQ(trace.epochs_run, 15u);
+  EXPECT_EQ(trace.train_accuracy.size(), 15u);
+}
+
+TEST(Iterative, TraceAccuraciesAreProbabilities) {
+  const auto train = testing::clustered_encoded(20, 128, 3, 2, 10);
+  AssociativeMemory am(3, 128);
+  train_single_pass(am, train);
+  IterativeConfig cfg;
+  cfg.epochs = 5;
+  const auto trace = train_iterative(am, train, cfg);
+  for (const double a : trace.train_accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(Iterative, FpModeAlsoLearns) {
+  const auto train = testing::clustered_encoded(30, 256, 3, 2, 15);
+  AssociativeMemory am(3, 256);
+  train_single_pass(am, train);
+  IterativeConfig cfg;
+  cfg.epochs = 10;
+  cfg.quantization_aware = false;  // classic FP iterative HDC
+  train_iterative(am, train, cfg);
+  EXPECT_GT(evaluate_binary(am, train), 0.7);
+}
+
+TEST(Evaluate, EmptySetYieldsZero) {
+  AssociativeMemory am(2, 64);
+  EncodedDataset empty;
+  empty.dim = 64;
+  empty.num_classes = 2;
+  EXPECT_EQ(evaluate_binary(am, empty), 0.0);
+  EXPECT_EQ(evaluate_fp(am, empty), 0.0);
+}
+
+TEST(Evaluate, PerfectMemoryScoresOne) {
+  // AM rows = exact prototypes; test samples = the prototypes themselves.
+  const auto data = testing::clustered_encoded(5, 128, 3, 1, 0);
+  AssociativeMemory am(3, 128);
+  train_single_pass(am, data);
+  EXPECT_EQ(evaluate_binary(am, data), 1.0);
+}
+
+}  // namespace
+}  // namespace memhd::hdc

@@ -1,0 +1,82 @@
+#include "src/imc/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memhd::imc {
+namespace {
+
+constexpr ArrayGeometry k128{128, 128};
+
+TEST(CostModel, EnergyLinearInActivations) {
+  const CostModel cm;
+  const double one = cm.mvm_energy_pj(1, k128);
+  EXPECT_GT(one, 0.0);
+  EXPECT_DOUBLE_EQ(cm.mvm_energy_pj(80, k128), 80.0 * one);
+  EXPECT_DOUBLE_EQ(cm.mvm_energy_pj(0, k128), 0.0);
+}
+
+TEST(CostModel, EnergyScalesWithGeometry) {
+  const CostModel cm;
+  const double base = cm.mvm_energy_pj(1, k128);
+  EXPECT_DOUBLE_EQ(cm.mvm_energy_pj(1, ArrayGeometry{256, 256}), 4.0 * base);
+  EXPECT_DOUBLE_EQ(cm.mvm_energy_pj(1, ArrayGeometry{64, 64}), base / 4.0);
+}
+
+TEST(CostModel, LatencyLinearInCycles) {
+  const CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.latency_ns(10), 10.0 * cm.params().cycle_time_ns);
+}
+
+TEST(CostModel, WriteEnergyLinearInCells) {
+  const CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.write_energy_pj(1000),
+                   1000.0 * cm.params().write_energy_per_cell_pj);
+}
+
+TEST(CostModel, Fig7HeadlineRatios) {
+  // MEMHD is 80x more energy-efficient than BasicHDC and 4x more than
+  // LeHDC on the AM search (paper §IV-F) — pure activation ratios, so they
+  // must hold for any positive per-MVM constant.
+  const CostModel cm;
+  const auto basic = map_basic_model(784, 10240, 10, k128);
+  const auto lehdc_am = map_dense({400, 10}, k128);
+  const auto memhd = map_memhd_model(784, 128, 128, k128);
+
+  const double e_basic = cm.am_energy_pj(basic, k128);
+  const double e_memhd = cm.am_energy_pj(memhd, k128);
+  EXPECT_DOUBLE_EQ(e_basic / e_memhd, 80.0);
+
+  const double e_lehdc = cm.mvm_energy_pj(lehdc_am.activations, k128);
+  EXPECT_DOUBLE_EQ(e_lehdc / e_memhd, 4.0);
+}
+
+TEST(CostModel, PartitioningKeepsEnergyConstant) {
+  // Fig. 7: partitioning trades arrays for cycles at equal energy.
+  const CostModel cm;
+  const auto dense = map_basic_model(784, 10240, 10, k128);
+  const auto part = map_partitioned_model(784, 10240, 10, 10, k128);
+  EXPECT_DOUBLE_EQ(cm.am_energy_pj(dense, k128), cm.am_energy_pj(part, k128));
+  EXPECT_LT(part.am_cost.arrays, dense.am_cost.arrays);
+}
+
+TEST(CostModel, TotalIncludesEncoder) {
+  const CostModel cm;
+  const auto memhd = map_memhd_model(784, 128, 128, k128);
+  EXPECT_GT(cm.total_energy_pj(memhd, k128), cm.am_energy_pj(memhd, k128));
+  EXPECT_DOUBLE_EQ(
+      cm.total_energy_pj(memhd, k128),
+      cm.mvm_energy_pj(memhd.em_cost.activations + memhd.am_cost.activations,
+                       k128));
+}
+
+TEST(CostModel, CustomParams) {
+  CostParams p;
+  p.mvm_energy_pj = 100.0;
+  p.cycle_time_ns = 2.0;
+  const CostModel cm(p);
+  EXPECT_DOUBLE_EQ(cm.mvm_energy_pj(3, k128), 300.0);
+  EXPECT_DOUBLE_EQ(cm.latency_ns(3), 6.0);
+}
+
+}  // namespace
+}  // namespace memhd::imc

@@ -1,0 +1,193 @@
+// Exact reproduction of Table II and the Fig. 7 mapping arithmetic.
+// Every integer asserted here is copied from the paper; the mapping engine
+// must match them all.
+#include "src/imc/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memhd::imc {
+namespace {
+
+constexpr ArrayGeometry k128{128, 128};
+
+TEST(MappingDense, TableII_MnistBasic) {
+  // Basic: EM 784x10240, AM 10240x10 on 128x128 arrays.
+  const auto model = map_basic_model(784, 10240, 10, k128);
+  EXPECT_EQ(model.em_cost.cycles, 560u);
+  EXPECT_EQ(model.em_cost.arrays, 560u);
+  EXPECT_EQ(model.am_cost.cycles, 80u);
+  EXPECT_EQ(model.am_cost.arrays, 80u);
+  EXPECT_EQ(model.total_cycles(), 640u);
+  EXPECT_EQ(model.total_arrays(), 640u);
+  EXPECT_NEAR(model.am_cost.utilization, 0.0781, 1e-4);  // 7.81%
+}
+
+TEST(MappingPartitioned, TableII_MnistP5) {
+  // Partitioning P=5: AM structure 2048x50.
+  const auto model = map_partitioned_model(784, 10240, 10, 5, k128);
+  EXPECT_EQ(model.am.rows, 2048u);
+  EXPECT_EQ(model.am.cols, 50u);
+  EXPECT_EQ(model.em_cost.cycles, 560u);   // EM unchanged
+  EXPECT_EQ(model.am_cost.cycles, 80u);    // cycles do NOT improve
+  EXPECT_EQ(model.am_cost.arrays, 16u);    // arrays do
+  EXPECT_EQ(model.total_cycles(), 640u);
+  EXPECT_EQ(model.total_arrays(), 576u);
+  EXPECT_NEAR(model.am_cost.utilization, 0.3906, 1e-4);  // 39.06%
+}
+
+TEST(MappingPartitioned, TableII_MnistP10) {
+  const auto model = map_partitioned_model(784, 10240, 10, 10, k128);
+  EXPECT_EQ(model.am.rows, 1024u);
+  EXPECT_EQ(model.am.cols, 100u);
+  EXPECT_EQ(model.am_cost.cycles, 80u);
+  EXPECT_EQ(model.am_cost.arrays, 8u);
+  EXPECT_EQ(model.total_cycles(), 640u);
+  EXPECT_EQ(model.total_arrays(), 568u);
+  EXPECT_NEAR(model.am_cost.utilization, 0.7813, 1e-4);  // 78.13%
+}
+
+TEST(MappingMemhd, TableII_Mnist128x128) {
+  const auto model = map_memhd_model(784, 128, 128, k128);
+  EXPECT_EQ(model.em_cost.cycles, 7u);
+  EXPECT_EQ(model.em_cost.arrays, 7u);
+  EXPECT_EQ(model.am_cost.cycles, 1u);   // one-shot associative search
+  EXPECT_EQ(model.am_cost.arrays, 1u);
+  EXPECT_EQ(model.total_cycles(), 8u);
+  EXPECT_EQ(model.total_arrays(), 8u);
+  EXPECT_DOUBLE_EQ(model.am_cost.utilization, 1.0);  // 100%
+}
+
+TEST(MappingImprovements, TableII_MnistRatios) {
+  // Improvement column: 80x cycles, 71x arrays vs the best baseline.
+  const auto basic = map_basic_model(784, 10240, 10, k128);
+  const auto p10 = map_partitioned_model(784, 10240, 10, 10, k128);
+  const auto memhd = map_memhd_model(784, 128, 128, k128);
+  EXPECT_EQ(basic.total_cycles() / memhd.total_cycles(), 80u);
+  EXPECT_EQ(p10.total_cycles() / memhd.total_cycles(), 80u);
+  EXPECT_EQ(p10.total_arrays() / memhd.total_arrays(), 71u);
+  // Utilization gain vs best partitioning: +21.87 percentage points.
+  EXPECT_NEAR(memhd.am_cost.utilization - p10.am_cost.utilization, 0.2187,
+              1e-4);
+}
+
+TEST(MappingDense, TableII_IsoletBasic) {
+  // ISOLET: EM 617x10240 -> 5 x 80 tiles = 400; AM 10240x26 -> 80.
+  const auto model = map_basic_model(617, 10240, 26, k128);
+  EXPECT_EQ(model.em_cost.cycles, 400u);
+  EXPECT_EQ(model.em_cost.arrays, 400u);
+  EXPECT_EQ(model.am_cost.cycles, 80u);
+  EXPECT_EQ(model.am_cost.arrays, 80u);
+  EXPECT_EQ(model.total_cycles(), 480u);
+  EXPECT_EQ(model.total_arrays(), 480u);
+  EXPECT_NEAR(model.am_cost.utilization, 0.2031, 1e-4);  // 20.31%
+}
+
+TEST(MappingPartitioned, TableII_IsoletP2) {
+  // P=2: AM 5120x52.
+  const auto model = map_partitioned_model(617, 10240, 26, 2, k128);
+  EXPECT_EQ(model.am.rows, 5120u);
+  EXPECT_EQ(model.am.cols, 52u);
+  EXPECT_EQ(model.am_cost.cycles, 80u);
+  EXPECT_EQ(model.am_cost.arrays, 40u);
+  EXPECT_EQ(model.total_arrays(), 440u);
+  EXPECT_NEAR(model.am_cost.utilization, 0.4063, 1e-4);  // 40.63%
+}
+
+TEST(MappingPartitioned, TableII_IsoletP4) {
+  // P=4: AM 2560x104.
+  const auto model = map_partitioned_model(617, 10240, 26, 4, k128);
+  EXPECT_EQ(model.am.rows, 2560u);
+  EXPECT_EQ(model.am.cols, 104u);
+  EXPECT_EQ(model.am_cost.cycles, 80u);
+  EXPECT_EQ(model.am_cost.arrays, 20u);
+  EXPECT_EQ(model.total_arrays(), 420u);
+  EXPECT_NEAR(model.am_cost.utilization, 0.8125, 1e-4);  // 81.25%
+}
+
+TEST(MappingMemhd, TableII_Isolet512x128) {
+  const auto model = map_memhd_model(617, 512, 128, k128);
+  EXPECT_EQ(model.em_cost.cycles, 20u);
+  EXPECT_EQ(model.em_cost.arrays, 20u);
+  EXPECT_EQ(model.am_cost.cycles, 4u);   // few-shot: 4 row tiles
+  EXPECT_EQ(model.am_cost.arrays, 4u);
+  EXPECT_EQ(model.total_cycles(), 24u);
+  EXPECT_EQ(model.total_arrays(), 24u);
+  EXPECT_DOUBLE_EQ(model.am_cost.utilization, 1.0);
+}
+
+TEST(MappingImprovements, TableII_IsoletRatios) {
+  const auto basic = map_basic_model(617, 10240, 26, k128);
+  const auto p4 = map_partitioned_model(617, 10240, 26, 4, k128);
+  const auto memhd = map_memhd_model(617, 512, 128, k128);
+  EXPECT_EQ(basic.total_cycles() / memhd.total_cycles(), 20u);
+  EXPECT_NEAR(static_cast<double>(p4.total_arrays()) /
+                  static_cast<double>(memhd.total_arrays()),
+              17.5, 1e-9);
+  EXPECT_NEAR(memhd.am_cost.utilization - p4.am_cost.utilization, 0.1875,
+              1e-4);
+}
+
+TEST(MappingFig7, AmActivationsForIsoAccuracyModels) {
+  // Fig. 7 (FMNIST, iso-accuracy): AM-only activation counts drive the
+  // normalized energy bars.
+  // BasicHDC 10240x10 dense: 80. BasicHDC 1024x100 (P=10): 8 arrays x 10
+  // passes = 80 — energy flat under partitioning.
+  EXPECT_EQ(map_dense({10240, 10}, k128).activations, 80u);
+  EXPECT_EQ(map_partitioned(10240, 10, 10, k128).activations, 80u);
+  EXPECT_EQ(map_partitioned(10240, 10, 10, k128).arrays, 8u);
+  // SearcHD 8000x10: 63 arrays. QuantHD 1600x10: 13. LeHDC 400x10: 4.
+  EXPECT_EQ(map_dense({8000, 10}, k128).activations, 63u);
+  EXPECT_EQ(map_dense({1600, 10}, k128).activations, 13u);
+  EXPECT_EQ(map_dense({400, 10}, k128).activations, 4u);
+  // MEMHD 128x128: single-cycle, single-array associative search.
+  const auto memhd = map_dense({128, 128}, k128);
+  EXPECT_EQ(memhd.activations, 1u);
+  EXPECT_EQ(memhd.arrays, 1u);
+  // Headline ratios: 80x vs BasicHDC, 4x vs LeHDC.
+  EXPECT_EQ(map_dense({10240, 10}, k128).activations / memhd.activations,
+            80u);
+  EXPECT_EQ(map_dense({400, 10}, k128).activations / memhd.activations, 4u);
+}
+
+TEST(MappingInvariants, DenseCyclesEqualArrays) {
+  for (const std::size_t rows : {64u, 100u, 512u, 10000u})
+    for (const std::size_t cols : {10u, 26u, 128u, 600u}) {
+      const auto cost = map_dense({rows, cols}, k128);
+      EXPECT_EQ(cost.cycles, cost.arrays);
+      EXPECT_EQ(cost.cycles, cost.row_tiles * cost.col_tiles);
+      EXPECT_GT(cost.utilization, 0.0);
+      EXPECT_LE(cost.utilization, 1.0 + 1e-12);
+    }
+}
+
+TEST(MappingInvariants, PartitioningNeverReducesCycles) {
+  for (const std::size_t p : {1u, 2u, 4u, 5u, 8u, 10u}) {
+    const auto part = map_partitioned(10240, 10, p, k128);
+    const auto dense = map_dense({10240, 10}, k128);
+    EXPECT_GE(part.cycles, dense.cycles) << "P=" << p;
+    EXPECT_LE(part.arrays, dense.arrays) << "P=" << p;
+  }
+}
+
+TEST(MappingInvariants, PartitioningConservesMappedCells) {
+  // Reshaping cannot change the number of logical weight cells, so
+  // utilization * capacity is constant across P (when shapes divide evenly).
+  const auto dense = map_dense({10240, 10}, k128);
+  for (const std::size_t p : {2u, 5u, 10u}) {
+    const auto part = map_partitioned(10240, 10, p, k128);
+    EXPECT_NEAR(part.utilization * static_cast<double>(part.arrays),
+                dense.utilization * static_cast<double>(dense.arrays), 1e-9);
+  }
+}
+
+TEST(MappingGeometry, NonSquareArrays) {
+  const ArrayGeometry wide{64, 256};
+  const auto cost = map_dense({128, 256}, wide);
+  EXPECT_EQ(cost.row_tiles, 2u);
+  EXPECT_EQ(cost.col_tiles, 1u);
+  EXPECT_EQ(cost.arrays, 2u);
+  EXPECT_DOUBLE_EQ(cost.utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace memhd::imc

@@ -1,0 +1,214 @@
+#include "src/imc/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/initializer.hpp"
+#include "src/imc/robustness.hpp"
+#include "test_util.hpp"
+
+namespace memhd::imc {
+namespace {
+
+using common::BitMatrix;
+using common::Rng;
+
+TEST(WeightFlips, ZeroProbabilityIsIdentity) {
+  Rng rng(1);
+  BitMatrix m = BitMatrix::random(16, 64, rng);
+  const BitMatrix original = m;
+  EXPECT_EQ(inject_weight_flips(m, 0.0, rng), 0u);
+  EXPECT_TRUE(m == original);
+}
+
+TEST(WeightFlips, FullProbabilityFlipsEverything) {
+  Rng rng(2);
+  BitMatrix m = BitMatrix::random(8, 32, rng);
+  const BitMatrix original = m;
+  EXPECT_EQ(inject_weight_flips(m, 1.0, rng), 8u * 32u);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 32; ++c)
+      EXPECT_NE(m.get(r, c), original.get(r, c));
+}
+
+TEST(WeightFlips, RateMatchesProbability) {
+  Rng rng(3);
+  BitMatrix m(64, 256);
+  const std::size_t flipped = inject_weight_flips(m, 0.1, rng);
+  const double rate =
+      static_cast<double>(flipped) / static_cast<double>(64 * 256);
+  EXPECT_NEAR(rate, 0.1, 0.02);
+  EXPECT_EQ(m.popcount(), flipped);  // started all-zero
+}
+
+TEST(Adc, FullPrecisionIsExact) {
+  Rng rng(4);
+  // 8 bits cover full scale 100 with step < 0.5 -> every count maps to
+  // itself.
+  const AdcModel adc(8);
+  for (std::uint32_t v = 0; v <= 100; v += 7)
+    EXPECT_EQ(adc.read(v, 100, rng), v);
+}
+
+TEST(Adc, OneBitCollapsesToExtremes) {
+  Rng rng(5);
+  const AdcModel adc(1);
+  EXPECT_EQ(adc.read(10.0, 100, rng), 0u);
+  EXPECT_EQ(adc.read(90.0, 100, rng), 100u);
+}
+
+TEST(Adc, QuantizationIsMonotone) {
+  Rng rng(6);
+  const AdcModel adc(3);
+  std::uint32_t prev = 0;
+  for (std::uint32_t v = 0; v <= 128; ++v) {
+    const std::uint32_t q = adc.read(v, 128, rng);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Adc, ClampsOutOfRange) {
+  Rng rng(7);
+  const AdcModel adc(6);
+  EXPECT_EQ(adc.read(-5.0, 64, rng), 0u);
+  EXPECT_EQ(adc.read(900.0, 64, rng), 64u);
+}
+
+TEST(Adc, NoiseIsZeroMeanish) {
+  Rng rng(8);
+  const AdcModel adc(10, /*noise_sigma=*/2.0);
+  double acc = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) acc += adc.read(50.0, 100, rng);
+  EXPECT_NEAR(acc / n, 50.0, 0.5);
+}
+
+TEST(Adc, ReadColumnsAppliesToAll) {
+  Rng rng(9);
+  const AdcModel adc(2);  // 4 levels over [0, 90]: 0, 30, 60, 90
+  std::vector<std::uint32_t> sums = {0, 29, 31, 89};
+  adc.read_columns(sums, 90, rng);
+  EXPECT_EQ(sums[0], 0u);
+  EXPECT_EQ(sums[1], 30u);
+  EXPECT_EQ(sums[2], 30u);
+  EXPECT_EQ(sums[3], 90u);
+}
+
+class NoisySearchFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Same seed => same class prototypes; the two draws share the mixture
+    // (clustered_encoded derives prototypes from the seed before sampling).
+    train_ = testing::clustered_encoded(40, 512, 4, 2, 25, /*seed=*/3);
+    test_ = testing::clustered_encoded(25, 512, 4, 2, 25, /*seed=*/3);
+    core::MemhdConfig cfg;
+    cfg.dim = 512;
+    cfg.columns = 8;
+    cfg.kmeans_max_iterations = 10;
+    am_ = core::initialize_clustering(train_, cfg, nullptr);
+  }
+
+  hdc::EncodedDataset train_, test_;
+  core::MultiCentroidAM am_{2, 1, 2};
+};
+
+TEST_F(NoisySearchFixture, NoNoiseMatchesCleanEvaluation) {
+  RobustnessConfig cfg;
+  cfg.trials = 1;
+  const auto result = evaluate_noisy_search(am_, test_, cfg);
+  EXPECT_DOUBLE_EQ(result.mean_accuracy, evaluate_binary(am_, test_));
+  EXPECT_EQ(result.flipped_cells, 0u);
+}
+
+TEST_F(NoisySearchFixture, GracefulDegradationUnderWeightFlips) {
+  // The HDC robustness property: 2% corrupted cells must cost little;
+  // 40% corruption must hurt a lot more.
+  const double clean = evaluate_binary(am_, test_);
+
+  RobustnessConfig light;
+  light.weight_flip_probability = 0.02;
+  light.trials = 3;
+  const auto l = evaluate_noisy_search(am_, test_, light);
+  EXPECT_GT(l.mean_accuracy, clean - 0.10);
+
+  RobustnessConfig heavy;
+  heavy.weight_flip_probability = 0.4;
+  heavy.trials = 3;
+  const auto h = evaluate_noisy_search(am_, test_, heavy);
+  EXPECT_LT(h.mean_accuracy, l.mean_accuracy + 1e-9);
+}
+
+TEST_F(NoisySearchFixture, ModerateAdcPrecisionSuffices) {
+  const double clean = evaluate_binary(am_, test_);
+  RobustnessConfig cfg;
+  cfg.adc_bits = 6;
+  cfg.trials = 1;
+  const auto result = evaluate_noisy_search(am_, test_, cfg);
+  EXPECT_GT(result.mean_accuracy, clean - 0.10);
+}
+
+TEST_F(NoisySearchFixture, UncalibratedOneBitAdcDestroysRanking) {
+  // Without range calibration, a 1-bit ADC thresholds at half the query
+  // popcount — far above every score — so every column reads 0 and the
+  // search collapses to a random tie.
+  RobustnessConfig cfg;
+  cfg.adc_bits = 1;
+  cfg.adc_calibrated = false;
+  cfg.trials = 1;
+  const auto coarse = evaluate_noisy_search(am_, test_, cfg);
+  cfg.adc_bits = 8;
+  const auto fine = evaluate_noisy_search(am_, test_, cfg);
+  EXPECT_LT(coarse.mean_accuracy, fine.mean_accuracy);
+}
+
+TEST_F(NoisySearchFixture, CalibratedAdcNeverWorseThanUncalibrated) {
+  // Calibrating the ADC window to the observed score range is what makes
+  // coarse ADCs usable at all.
+  for (const unsigned bits : {1u, 2u, 3u, 4u}) {
+    RobustnessConfig cal;
+    cal.adc_bits = bits;
+    cal.trials = 2;
+    const auto with = evaluate_noisy_search(am_, test_, cal);
+    cal.adc_calibrated = false;
+    const auto without = evaluate_noisy_search(am_, test_, cal);
+    EXPECT_GE(with.mean_accuracy + 0.05, without.mean_accuracy)
+        << "bits=" << bits;
+  }
+}
+
+TEST_F(NoisySearchFixture, MinMaxBracketMean) {
+  RobustnessConfig cfg;
+  cfg.weight_flip_probability = 0.1;
+  cfg.trials = 4;
+  const auto r = evaluate_noisy_search(am_, test_, cfg);
+  EXPECT_LE(r.min_accuracy, r.mean_accuracy + 1e-12);
+  EXPECT_GE(r.max_accuracy, r.mean_accuracy - 1e-12);
+}
+
+class AdcBitsSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AdcBitsSweep, AccuracyNonDecreasingInBitsOnAverage) {
+  // Weak monotonicity property across the sweep: >= the 1-bit floor.
+  const auto train = testing::clustered_encoded(30, 256, 3, 2, 15);
+  core::MemhdConfig mcfg;
+  mcfg.dim = 256;
+  mcfg.columns = 6;
+  const auto am = core::initialize_clustering(train, mcfg, nullptr);
+
+  RobustnessConfig one_bit;
+  one_bit.adc_bits = 1;
+  one_bit.trials = 1;
+  const double floor =
+      evaluate_noisy_search(am, train, one_bit).mean_accuracy;
+
+  RobustnessConfig cfg;
+  cfg.adc_bits = GetParam();
+  cfg.trials = 1;
+  EXPECT_GE(evaluate_noisy_search(am, train, cfg).mean_accuracy + 0.05,
+            floor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, AdcBitsSweep, ::testing::Values(2u, 4u, 6u, 8u));
+
+}  // namespace
+}  // namespace memhd::imc

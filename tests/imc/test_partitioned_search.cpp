@@ -1,0 +1,103 @@
+// The partitioning baseline's defining property: a pure layout transform.
+// Scores and predictions must be bit-identical to the dense dot search for
+// every partition count; only the array/cycle accounting changes.
+#include "src/imc/partitioned_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/imc/mapping.hpp"
+
+namespace memhd::imc {
+namespace {
+
+using common::BitMatrix;
+using common::BitVector;
+using common::Rng;
+
+std::vector<std::uint32_t> dense_scores(const BitMatrix& am,
+                                        const BitVector& query) {
+  std::vector<std::uint32_t> out;
+  am.mvm(query, out);
+  return out;
+}
+
+TEST(PartitionedSearch, OnePartitionEqualsDense) {
+  Rng rng(1);
+  const BitMatrix am = BitMatrix::random(10, 1024, rng);
+  PartitionedAm part(am, 1, ArrayGeometry{128, 128});
+  const auto q = BitVector::random(1024, rng);
+  EXPECT_EQ(part.scores(q), dense_scores(am, q));
+}
+
+class PartitionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionSweep, ScoresIdenticalToDenseSearch) {
+  const std::size_t p = GetParam();
+  Rng rng(10 + p);
+  const BitMatrix am = BitMatrix::random(10, 1024, rng);
+  PartitionedAm part(am, p, ArrayGeometry{128, 128});
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto q = BitVector::random(1024, rng);
+    ASSERT_EQ(part.scores(q), dense_scores(am, q)) << "P=" << p;
+  }
+}
+
+TEST_P(PartitionSweep, PredictMatchesArgmax) {
+  const std::size_t p = GetParam();
+  Rng rng(20 + p);
+  const BitMatrix am = BitMatrix::random(26, 512, rng);
+  PartitionedAm part(am, p, ArrayGeometry{128, 128});
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto q = BitVector::random(512, rng);
+    const auto dense = dense_scores(am, q);
+    ASSERT_EQ(part.predict(q), common::argmax_u32(dense));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PartitionSweep,
+                         ::testing::Values(1u, 2u, 4u, 5u, 8u, 10u));
+
+TEST(PartitionedSearch, NonDividingPartitionCount) {
+  // P = 3 does not divide D = 1000: the tail partition is short; results
+  // must still match the dense search exactly.
+  Rng rng(3);
+  const BitMatrix am = BitMatrix::random(7, 1000, rng);
+  PartitionedAm part(am, 3, ArrayGeometry{128, 128});
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto q = BitVector::random(1000, rng);
+    ASSERT_EQ(part.scores(q), dense_scores(am, q));
+  }
+}
+
+TEST(PartitionedSearch, ArrayCountMatchesMappingEngine) {
+  // The functional deployment must occupy exactly the arrays the
+  // architectural mapping predicts (MNIST P=10 case: 8 arrays).
+  Rng rng(4);
+  const BitMatrix am = BitMatrix::random(10, 10240, rng);
+  PartitionedAm part(am, 10, ArrayGeometry{128, 128});
+  const auto cost = map_partitioned(10240, 10, 10, ArrayGeometry{128, 128});
+  EXPECT_EQ(part.num_arrays(), cost.arrays);
+  EXPECT_EQ(part.num_arrays(), 8u);
+}
+
+TEST(PartitionedSearch, ActivationsScaleWithPartitions) {
+  // Each query costs P passes over the row tiles whose columns intersect
+  // the partition group — the cycle pathology of Fig. 1-(b).
+  Rng rng(5);
+  const BitMatrix am = BitMatrix::random(10, 1024, rng);
+
+  PartitionedAm p1(am, 1, ArrayGeometry{128, 128});
+  const auto q = BitVector::random(1024, rng);
+  p1.scores(q);
+  const std::size_t base = p1.activations();
+
+  PartitionedAm p8(am, 8, ArrayGeometry{128, 128});
+  p8.scores(q);
+  EXPECT_GE(p8.activations(), base);
+  EXPECT_LE(p8.num_arrays(), p1.num_arrays());
+}
+
+}  // namespace
+}  // namespace memhd::imc

@@ -1,0 +1,108 @@
+#include "src/imc/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memhd::imc {
+namespace {
+
+constexpr ArrayGeometry k128{128, 128};
+
+TEST(Scheduler, SingleArrayReproducesTableIICycles) {
+  // One physical array, no reprogram cost: makespan == Table II's cycle
+  // column for every mapping.
+  SchedulerConfig bank;
+  bank.physical_arrays = 1;
+
+  const auto basic = map_basic_model(784, 10240, 10, k128);
+  EXPECT_EQ(schedule_inference(basic, bank).makespan_cycles, 640u);
+
+  const auto memhd = map_memhd_model(784, 128, 128, k128);
+  EXPECT_EQ(schedule_inference(memhd, bank).makespan_cycles, 8u);
+
+  const auto isolet = map_memhd_model(617, 512, 128, k128);
+  EXPECT_EQ(schedule_inference(isolet, bank).makespan_cycles, 24u);
+}
+
+TEST(Scheduler, FullBankReachesTwoStageIdeal) {
+  // Enough arrays for every tile: one wave per stage.
+  const auto basic = map_basic_model(784, 10240, 10, k128);
+  SchedulerConfig bank;
+  bank.physical_arrays = 1000;
+  const auto s = schedule_inference(basic, bank);
+  EXPECT_EQ(s.makespan_cycles, 2u);  // EM wave + AM wave
+  EXPECT_EQ(s.reprograms_per_query, 0u);
+}
+
+TEST(Scheduler, MemhdFullBankIsTwoCycles) {
+  const auto memhd = map_memhd_model(784, 128, 128, k128);
+  SchedulerConfig bank;
+  bank.physical_arrays = 8;
+  const auto s = schedule_inference(memhd, bank);
+  EXPECT_EQ(s.makespan_cycles, 2u);
+  EXPECT_EQ(s.reprograms_per_query, 0u);
+  // 8 tiles over 7-array peak stage: arrays_used = min(8, max(7,1)) = 7.
+  EXPECT_EQ(s.arrays_used, 7u);
+}
+
+TEST(Scheduler, MakespanMonotoneInBankSize) {
+  const auto model = map_basic_model(784, 10240, 10, k128);
+  std::size_t prev = ~0ULL;
+  for (const std::size_t n : {1u, 2u, 4u, 16u, 64u, 640u}) {
+    SchedulerConfig bank;
+    bank.physical_arrays = n;
+    const auto s = schedule_inference(model, bank);
+    EXPECT_LE(s.makespan_cycles, prev) << "n=" << n;
+    prev = s.makespan_cycles;
+  }
+}
+
+TEST(Scheduler, ReprogramOverheadCountsSwaps) {
+  // MEMHD has 8 tiles; with a 4-array bank, 4 tiles must be swapped in.
+  const auto memhd = map_memhd_model(784, 128, 128, k128);
+  SchedulerConfig bank;
+  bank.physical_arrays = 4;
+  bank.reprogram_cycles = 10;
+  const auto s = schedule_inference(memhd, bank);
+  EXPECT_EQ(s.reprograms_per_query, 4u);
+  EXPECT_EQ(s.reprogram_overhead_cycles, 40u);
+  EXPECT_EQ(s.makespan_cycles, s.compute_cycles + 40u);
+}
+
+TEST(Scheduler, ZeroReprogramMatchesPaperAccounting) {
+  // Paper-mode (reprogram free): compute cycles only, and the makespan at
+  // n=1 equals em + am activations.
+  const auto model = map_partitioned_model(784, 10240, 10, 10, k128);
+  SchedulerConfig bank;
+  bank.physical_arrays = 1;
+  const auto s = schedule_inference(model, bank);
+  EXPECT_EQ(s.reprogram_overhead_cycles, 0u);
+  EXPECT_EQ(s.makespan_cycles,
+            model.em_cost.activations + model.am_cost.activations);
+}
+
+TEST(Scheduler, BankUtilizationBounds) {
+  const auto model = map_memhd_model(784, 128, 128, k128);
+  for (const std::size_t n : {1u, 2u, 7u, 8u, 100u}) {
+    SchedulerConfig bank;
+    bank.physical_arrays = n;
+    const auto s = schedule_inference(model, bank);
+    EXPECT_GT(s.bank_utilization, 0.0) << "n=" << n;
+    EXPECT_LE(s.bank_utilization, 1.0 + 1e-12) << "n=" << n;
+  }
+  // A single array is always 100% time-utilized with free reprogramming.
+  SchedulerConfig one;
+  one.physical_arrays = 1;
+  EXPECT_DOUBLE_EQ(schedule_inference(model, one).bank_utilization, 1.0);
+}
+
+TEST(Scheduler, ThroughputInvertsLatency) {
+  const auto model = map_memhd_model(784, 128, 128, k128);
+  SchedulerConfig bank;
+  bank.physical_arrays = 1;
+  const auto s = schedule_inference(model, bank);
+  // 8 cycles * 5 ns = 40 ns per query -> 25M queries/s.
+  EXPECT_NEAR(throughput_qps(s, 5.0), 25e6, 1.0);
+}
+
+}  // namespace
+}  // namespace memhd::imc

@@ -1,0 +1,141 @@
+// Cross-module integration tests: the paper's claims in miniature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baselines/basic_hdc.hpp"
+#include "src/core/memory_model.hpp"
+#include "src/core/model.hpp"
+#include "src/imc/pipeline.hpp"
+#include "test_util.hpp"
+
+namespace memhd {
+namespace {
+
+TEST(EndToEnd, MultiCentroidBeatsSingleCentroidAtEqualAmMemory) {
+  // The paper's central claim, miniaturized: on multi-modal data, MEMHD
+  // with D=128 and C=16 centroids must beat a single-centroid BasicHDC
+  // whose AM uses MORE memory via a larger dimension.
+  //   MEMHD AM:   C*D = 16*128 = 2048 bits (+ encoder 64*128)
+  //   BasicHDC AM: k*D = 4*512 = 2048 bits (+ encoder 64*512, 4x larger)
+  const auto split = testing::tiny_hard_multimodal(/*seed=*/42, 120, 60);
+
+  core::MemhdConfig mc;
+  mc.dim = 128;
+  mc.columns = 16;
+  mc.epochs = 20;
+  mc.learning_rate = 0.1f;
+  mc.seed = 1;
+  core::MemhdModel memhd(mc, split.train.num_features(),
+                         split.train.num_classes());
+  memhd.fit(split.train, &split.test);
+  const double acc_memhd = memhd.evaluate(split.test);
+
+  baselines::BaselineConfig bc;
+  bc.dim = 512;
+  bc.epochs = 0;  // single-pass BasicHDC per Table I
+  baselines::BasicHdc basic(split.train.num_features(),
+                            split.train.num_classes(), bc);
+  basic.fit(split.train);
+  const double acc_basic = basic.evaluate(split.test);
+
+  EXPECT_GT(acc_memhd, acc_basic)
+      << "MEMHD " << acc_memhd << " vs BasicHDC " << acc_basic;
+}
+
+TEST(EndToEnd, TrainedMemhdDeploysOnArraysWithSameAccuracy) {
+  // Software accuracy and in-array accuracy must be identical on
+  // DAC-quantized inputs.
+  auto split = testing::tiny_multimodal(/*seed=*/5, 50, 30);
+  for (auto* ds : {&split.train, &split.test})
+    for (std::size_t i = 0; i < ds->size(); ++i)
+      for (auto& v : ds->features().row(i))
+        v = std::floor(v * 256.0f) / 256.0f;
+
+  core::MemhdConfig cfg;
+  cfg.dim = 128;
+  cfg.columns = 16;
+  cfg.epochs = 8;
+  cfg.seed = 2;
+  core::MemhdModel model(cfg, split.train.num_features(),
+                         split.train.num_classes());
+  model.fit(split.train);
+  const double sw_acc = model.evaluate(split.test);
+
+  imc::InMemoryPipeline pipe(model.encoder(), model.am(),
+                             imc::ArrayGeometry{128, 128});
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < split.test.size(); ++i)
+    if (pipe.predict(split.test.sample(i)) == split.test.label(i)) ++correct;
+  const double hw_acc =
+      static_cast<double>(correct) / static_cast<double>(split.test.size());
+  EXPECT_DOUBLE_EQ(hw_acc, sw_acc);
+}
+
+TEST(EndToEnd, MoreColumnsHelpOnMultiModalData) {
+  // Fig. 4's MNIST/FMNIST trend in miniature: accuracy is non-decreasing
+  // (within tolerance) as C grows on sample-rich multi-modal data.
+  const auto split = testing::tiny_multimodal(/*seed=*/11, 100, 50);
+  double prev = 0.0;
+  for (const std::size_t columns : {4u, 16u, 32u}) {
+    core::MemhdConfig cfg;
+    cfg.dim = 128;
+    cfg.columns = columns;
+    cfg.epochs = 12;
+    cfg.seed = 3;
+    core::MemhdModel model(cfg, split.train.num_features(),
+                           split.train.num_classes());
+    model.fit(split.train, &split.test);
+    const double acc = model.evaluate(split.test);
+    EXPECT_GE(acc + 0.08, prev) << "C=" << columns;
+    prev = std::max(prev, acc);
+  }
+}
+
+TEST(EndToEnd, MemoryAccountingConsistentAcrossLayers) {
+  // MemhdModel::memory_bits must equal the Table I formula and the sum of
+  // its parts' self-reports.
+  const auto split = testing::tiny_separable();
+  core::MemhdConfig cfg;
+  cfg.dim = 256;
+  cfg.columns = 12;
+  cfg.epochs = 1;
+  core::MemhdModel model(cfg, split.train.num_features(),
+                         split.train.num_classes());
+  model.fit(split.train);
+
+  core::MemoryParams p;
+  p.num_features = split.train.num_features();
+  p.dim = 256;
+  p.num_classes = split.train.num_classes();
+  p.columns = 12;
+  const auto table1 = core::memory_requirement(core::ModelKind::kMemhd, p);
+  EXPECT_EQ(model.memory_bits(), table1.total_bits());
+  EXPECT_EQ(model.encoder().memory_bits() + model.am().memory_bits(),
+            table1.total_bits());
+}
+
+TEST(EndToEnd, FiveTrialStability) {
+  // The paper averages 5 trials; across seeds the accuracy spread on an
+  // easy task must stay tight (no degenerate trials).
+  const auto split = testing::tiny_separable(/*seed=*/99);
+  double min_acc = 1.0, max_acc = 0.0;
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    core::MemhdConfig cfg;
+    cfg.dim = 128;
+    cfg.columns = 9;
+    cfg.epochs = 8;
+    cfg.seed = 100 + trial;
+    core::MemhdModel model(cfg, split.train.num_features(),
+                           split.train.num_classes());
+    model.fit(split.train);
+    const double acc = model.evaluate(split.test);
+    min_acc = std::min(min_acc, acc);
+    max_acc = std::max(max_acc, acc);
+  }
+  EXPECT_GT(min_acc, 0.8);
+  EXPECT_LT(max_acc - min_acc, 0.2);
+}
+
+}  // namespace
+}  // namespace memhd

@@ -1,0 +1,32 @@
+// Compile-level test: the umbrella header must pull in the whole public
+// API without conflicts, and the headline types must be usable from it.
+#include "src/memhd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, CoreTypesAreVisible) {
+  memhd::core::MemhdConfig cfg;
+  EXPECT_EQ(cfg.dim, 128u);
+  EXPECT_EQ(cfg.columns, 128u);
+
+  memhd::common::Rng rng(1);
+  const auto hv = memhd::common::BitVector::random(64, rng);
+  EXPECT_EQ(hv.size(), 64u);
+
+  const auto mapping = memhd::imc::map_memhd_model(
+      784, 128, 128, memhd::imc::ArrayGeometry{128, 128});
+  EXPECT_EQ(mapping.total_cycles(), 8u);
+
+  memhd::core::MemoryParams p;
+  p.num_features = 784;
+  p.dim = 128;
+  p.num_classes = 10;
+  p.columns = 128;
+  const auto mem =
+      memhd::core::memory_requirement(memhd::core::ModelKind::kMemhd, p);
+  EXPECT_GT(mem.total_bits(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Shared fixtures: small, fast synthetic workloads for unit tests.
+#pragma once
+
+#include <cstdint>
+
+#include "src/data/dataset.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/hdc/encoded_dataset.hpp"
+
+namespace memhd::testing {
+
+/// Tiny, well-separated multi-modal task: 4 classes x 3 modes, 64 features.
+/// Fast enough for per-test generation; hard enough that multi-centroid
+/// beats single-centroid.
+data::TrainTestSplit tiny_multimodal(std::uint64_t seed = 7,
+                                     std::size_t train_per_class = 60,
+                                     std::size_t test_per_class = 30);
+
+/// Unimodal, trivially separable 3-class task (for "learns at all" floors).
+data::TrainTestSplit tiny_separable(std::uint64_t seed = 11);
+
+/// Hard multi-modal task: class centers nearly coincide while each class's
+/// modes are far apart, so a class is a union of scattered clusters. A
+/// single averaged class vector collapses toward the shared center (near
+/// chance); per-mode centroids separate cleanly. This is the regime that
+/// motivates the multi-centroid AM.
+data::TrainTestSplit tiny_hard_multimodal(std::uint64_t seed = 7,
+                                          std::size_t train_per_class = 100,
+                                          std::size_t test_per_class = 50);
+
+/// Random encoded dataset with the given shape (labels uniform).
+hdc::EncodedDataset random_encoded(std::size_t n, std::size_t dim,
+                                   std::size_t num_classes,
+                                   std::uint64_t seed = 3);
+
+/// Clustered encoded dataset: per class, `modes` random prototype HVs;
+/// samples are prototypes with `noise_bits` random flips. The canonical
+/// input for initializer / QAT tests (no float encoder involved).
+hdc::EncodedDataset clustered_encoded(std::size_t per_class, std::size_t dim,
+                                      std::size_t num_classes,
+                                      std::size_t modes,
+                                      std::size_t noise_bits,
+                                      std::uint64_t seed = 5);
+
+}  // namespace memhd::testing
