@@ -1,11 +1,31 @@
 // Google-benchmark microbenchmarks of the kernels everything else is built
-// on: packed popcount dot products, binary AM MVM (associative search),
-// projection / ID-Level encoding, K-means iterations, and one QAT epoch.
+// on: packed popcount dot products, binary AM MVM (associative search, both
+// per-query and batched), projection / ID-Level encoding, K-means
+// iterations, and one QAT epoch.
+//
+// Before the google-benchmark suite runs, a small deterministic comparison
+// suite times the per-query scalar paths against the blocked batch engine
+// and writes BENCH_micro_kernels.json (queries/sec for each path plus the
+// speedup), so the perf trajectory of the batch kernels is tracked run over
+// run. MEMHD_BENCH_JSON overrides the output path; --json-only skips the
+// google-benchmark suite.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
 
 #include "src/clustering/kmeans.hpp"
 #include "src/common/bit_matrix.hpp"
+#include "src/common/bitops_batch.hpp"
+#include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
 #include "src/core/initializer.hpp"
 #include "src/core/qat_trainer.hpp"
 #include "src/hdc/id_level_encoder.hpp"
@@ -78,6 +98,55 @@ void BM_IdLevelEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_IdLevelEncode)->Arg(1024);
 
+void BM_BatchAssociativeSearch2048x256(benchmark::State& state) {
+  // The blocked batch engine on the JSON suite's shape (1024 queries).
+  const std::size_t batch = 1024;
+  common::Rng rng(12);
+  const auto am = common::BitMatrix::random(256, 2048, rng);
+  const auto queries = common::BitMatrix::random(batch, 2048, rng);
+  std::vector<std::uint32_t> scores;
+  for (auto _ : state) {
+    common::blocked_popcount_scores(am, queries, common::PopcountOp::kAnd,
+                                    scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BatchAssociativeSearch2048x256);
+
+void BM_ScalarAssociativeSearch2048x256(benchmark::State& state) {
+  // The same workload through the per-query scalar path, for the ratio.
+  const std::size_t batch = 1024;
+  common::Rng rng(12);
+  const auto am = common::BitMatrix::random(256, 2048, rng);
+  const auto queries = common::BitMatrix::random(batch, 2048, rng);
+  std::vector<common::BitVector> qs;
+  for (std::size_t q = 0; q < batch; ++q) qs.push_back(queries.row_vector(q));
+  std::vector<std::uint32_t> scores;
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < batch; ++q) am.mvm(qs[q], scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ScalarAssociativeSearch2048x256);
+
+void BM_BatchProjectionEncode(benchmark::State& state) {
+  // Sample-blocked matmul encoding of 256 samples at once.
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  hdc::ProjectionEncoderConfig cfg;
+  cfg.num_features = 784;
+  cfg.dim = dim;
+  const hdc::ProjectionEncoder enc(cfg);
+  common::Rng rng(13);
+  const auto features = common::Matrix::random_uniform(256, 784, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(enc.encode_batch(features));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_BatchProjectionEncode)->Arg(1024)->Arg(2048);
+
 void BM_KMeansIteration(benchmark::State& state) {
   // One full k-means fit on a 600 x 256 bipolar cloud with k=12 (a typical
   // per-class clustering job inside MEMHD initialization).
@@ -121,6 +190,218 @@ void BM_QatEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_QatEpoch);
 
+// ------------------------------------------------------------ JSON suite --
+// Deterministic scalar-vs-batched comparison, written to
+// BENCH_micro_kernels.json. Best-of-N timing so a background-noise spike on
+// one repetition cannot masquerade as a regression (or an improvement).
+
+double best_seconds(int reps, const std::function<void()>& fn) {
+  fn();  // warm-up: page in buffers, settle the dispatch
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct PathComparison {
+  double scalar_per_sec = 0.0;
+  double batch_per_sec = 0.0;
+  bool bit_identical = false;
+
+  double speedup() const {
+    return scalar_per_sec > 0.0 ? batch_per_sec / scalar_per_sec : 0.0;
+  }
+};
+
+// The headline comparison: the seed's per-query associative search (one
+// popcount MVM, a fresh score vector, and a first-wins argmax per query —
+// the predict_binary code path) against the fused batch recall kernel.
+// Outputs must agree exactly.
+PathComparison compare_associative_search(std::size_t dim,
+                                          std::size_t centroids,
+                                          std::size_t batch, int reps) {
+  common::Rng rng(1);
+  const auto am = common::BitMatrix::random(centroids, dim, rng);
+  std::vector<common::BitVector> qs;
+  qs.reserve(batch);
+  for (std::size_t q = 0; q < batch; ++q)
+    qs.push_back(common::BitVector::random(dim, rng));
+
+  PathComparison cmp;
+  std::vector<std::uint32_t> scalar_best(batch);
+  const double t_scalar = best_seconds(reps, [&] {
+    for (std::size_t q = 0; q < batch; ++q) {
+      std::vector<std::uint32_t> scores;  // fresh per query, as in the
+      am.mvm(qs[q], scores);              // per-query predict path
+      scalar_best[q] = static_cast<std::uint32_t>(common::argmax_u32(scores));
+    }
+  });
+  // Engine steady state: the scorer's one-time repack of the AM amortizes
+  // across batches exactly as it does across QAT / evaluation chunks.
+  const common::BatchScorer scorer(am);
+  std::vector<std::uint32_t> batch_best;
+  const double t_batch = best_seconds(reps, [&] {
+    scorer.dot_argmax(std::span<const common::BitVector>(qs), batch_best);
+  });
+  cmp.scalar_per_sec = static_cast<double>(batch) / t_scalar;
+  cmp.batch_per_sec = static_cast<double>(batch) / t_batch;
+  cmp.bit_identical = (scalar_best == batch_best);
+  return cmp;
+}
+
+// Secondary: full score-table materialization through both paths.
+PathComparison compare_score_table(std::size_t dim, std::size_t centroids,
+                                   std::size_t batch, int reps) {
+  common::Rng rng(1);
+  const auto am = common::BitMatrix::random(centroids, dim, rng);
+  const auto queries = common::BitMatrix::random(batch, dim, rng);
+  std::vector<common::BitVector> qs;
+  qs.reserve(batch);
+  for (std::size_t q = 0; q < batch; ++q) qs.push_back(queries.row_vector(q));
+
+  PathComparison cmp;
+  std::vector<std::uint32_t> scalar_scores(batch * centroids);
+  std::vector<std::uint32_t> row;
+  const double t_scalar = best_seconds(reps, [&] {
+    for (std::size_t q = 0; q < batch; ++q) {
+      am.mvm(qs[q], row);
+      std::memcpy(scalar_scores.data() + q * centroids, row.data(),
+                  centroids * sizeof(std::uint32_t));
+    }
+  });
+  std::vector<std::uint32_t> batch_scores;
+  const double t_batch = best_seconds(reps, [&] {
+    common::blocked_popcount_scores(am, queries, common::PopcountOp::kAnd,
+                                    batch_scores);
+  });
+  cmp.scalar_per_sec = static_cast<double>(batch) / t_scalar;
+  cmp.batch_per_sec = static_cast<double>(batch) / t_batch;
+  cmp.bit_identical = (scalar_scores == batch_scores);
+  return cmp;
+}
+
+PathComparison compare_projection_encode(std::size_t num_features,
+                                         std::size_t dim, std::size_t batch,
+                                         int reps) {
+  hdc::ProjectionEncoderConfig cfg;
+  cfg.num_features = num_features;
+  cfg.dim = dim;
+  const hdc::ProjectionEncoder enc(cfg);
+  common::Rng rng(2);
+  const auto features =
+      common::Matrix::random_uniform(batch, num_features, rng);
+
+  PathComparison cmp;
+  std::vector<common::BitVector> scalar_out(batch);
+  const double t_scalar = best_seconds(reps, [&] {
+    for (std::size_t s = 0; s < batch; ++s)
+      scalar_out[s] = enc.encode(features.row(s));
+  });
+  std::vector<common::BitVector> batch_out;
+  const double t_batch =
+      best_seconds(reps, [&] { batch_out = enc.encode_batch(features); });
+  cmp.scalar_per_sec = static_cast<double>(batch) / t_scalar;
+  cmp.batch_per_sec = static_cast<double>(batch) / t_batch;
+  cmp.bit_identical = (scalar_out == batch_out);
+  return cmp;
+}
+
+void write_comparison(std::FILE* f, const char* name,
+                      const PathComparison& cmp, std::size_t dim,
+                      std::size_t rows, std::size_t batch,
+                      const char* rows_key, bool trailing_comma) {
+  std::fprintf(f,
+               "  \"%s\": {\n"
+               "    \"dim\": %zu,\n"
+               "    \"%s\": %zu,\n"
+               "    \"batch\": %zu,\n"
+               "    \"scalar_queries_per_sec\": %.1f,\n"
+               "    \"batch_queries_per_sec\": %.1f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"bit_identical\": %s\n"
+               "  }%s\n",
+               name, dim, rows_key, rows, batch, cmp.scalar_per_sec,
+               cmp.batch_per_sec, cmp.speedup(),
+               cmp.bit_identical ? "true" : "false",
+               trailing_comma ? "," : "");
+}
+
+int run_json_suite() {
+  const char* path_env = std::getenv("MEMHD_BENCH_JSON");
+  const std::string path =
+      (path_env && *path_env) ? path_env : "BENCH_micro_kernels.json";
+
+  // The acceptance shape: D=2048, C=256, batch=1024.
+  const auto search = compare_associative_search(2048, 256, 1024, /*reps=*/9);
+  const auto table = compare_score_table(2048, 256, 1024, /*reps=*/9);
+  const auto encode = compare_projection_encode(784, 2048, 256, /*reps=*/5);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"kernel\": \"%s\",\n", common::batch_kernel_name());
+  std::fprintf(f, "  \"threads\": %u,\n", common::configured_num_threads());
+  write_comparison(f, "associative_search", search, 2048, 256, 1024,
+                   "centroids", /*trailing_comma=*/true);
+  write_comparison(f, "score_table", table, 2048, 256, 1024, "centroids",
+                   /*trailing_comma=*/true);
+  write_comparison(f, "projection_encode", encode, 2048, 784, 256, "features",
+                   /*trailing_comma=*/false);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf(
+      "associative search (predict) D=2048 C=256 B=1024 [%s, %u thread(s)]:\n"
+      "  scalar %.0f q/s | batched %.0f q/s | speedup %.2fx | bit-identical "
+      "%s\n",
+      common::batch_kernel_name(), common::configured_num_threads(),
+      search.scalar_per_sec, search.batch_per_sec, search.speedup(),
+      search.bit_identical ? "yes" : "NO");
+  std::printf(
+      "score table D=2048 C=256 B=1024:\n"
+      "  scalar %.0f q/s | batched %.0f q/s | speedup %.2fx | bit-identical "
+      "%s\n",
+      table.scalar_per_sec, table.batch_per_sec, table.speedup(),
+      table.bit_identical ? "yes" : "NO");
+  std::printf(
+      "projection encode F=784 D=2048 B=256:\n"
+      "  scalar %.0f enc/s | batched %.0f enc/s | speedup %.2fx | "
+      "bit-identical %s\n",
+      encode.scalar_per_sec, encode.batch_per_sec, encode.speedup(),
+      encode.bit_identical ? "yes" : "NO");
+  std::printf("wrote %s\n", path.c_str());
+  return (search.bit_identical && table.bit_identical && encode.bit_identical)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json_only = false;
+  // Strip our flag before google-benchmark parses the rest.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0)
+      json_only = true;
+    else
+      argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  const int json_status = run_json_suite();
+  if (json_only) return json_status;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return json_status;
+}

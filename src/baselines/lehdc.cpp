@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/assert.hpp"
+#include "src/common/bitops_batch.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
 #include "src/hdc/trainers.hpp"
@@ -156,12 +157,44 @@ data::Label LeHdc::predict(const common::BitVector& query) const {
   return static_cast<data::Label>(best);
 }
 
+std::vector<data::Label> LeHdc::predict_batch(
+    std::span<const common::BitVector> queries) const {
+  std::vector<std::uint32_t> scores;
+  common::blocked_popcount_scores(binary_, queries, common::PopcountOp::kAnd,
+                                  scores);
+  // Row popcounts are query-independent; hoisted out of the query loop but
+  // identical to the per-call values predict() computes.
+  std::vector<std::int64_t> row_pc(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c)
+    row_pc[c] = static_cast<std::int64_t>(
+        common::and_popcount(binary_.row(c), binary_.row(c),
+                             binary_.words_per_row()));
+
+  std::vector<data::Label> out(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::uint32_t* s = scores.data() + q * num_classes_;
+    std::size_t best = 0;
+    std::int64_t best_score = std::numeric_limits<std::int64_t>::min();
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const std::int64_t corrected =
+          2 * static_cast<std::int64_t>(s[c]) - row_pc[c];
+      if (corrected > best_score) {
+        best_score = corrected;
+        best = c;
+      }
+    }
+    out[q] = static_cast<data::Label>(best);
+  }
+  return out;
+}
+
 double LeHdc::evaluate(const data::Dataset& test) const {
   const auto encoded = encoder_.encode_dataset(test);
   if (encoded.empty()) return 0.0;
+  const auto predicted = predict_batch(encoded.hypervectors);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < encoded.size(); ++i)
-    if (predict(encoded.hypervectors[i]) == encoded.labels[i]) ++correct;
+    if (predicted[i] == encoded.labels[i]) ++correct;
   return static_cast<double>(correct) / static_cast<double>(encoded.size());
 }
 

@@ -12,6 +12,7 @@
 // as every other baseline.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "src/baselines/baseline.hpp"
@@ -45,8 +46,16 @@ class LeHdc final : public BaselineModel {
   /// Deployed binary class matrix (k x D), valid after fit().
   const common::BitMatrix& binary_weights() const { return binary_; }
 
- private:
+  /// Per-query inference on a pre-encoded query (valid after fit()).
   data::Label predict(const common::BitVector& query) const;
+
+  /// Batched inference over pre-encoded queries: blocked MVM plus the same
+  /// popcount tie-break correction as predict(). Bit-identical (asserted
+  /// by tests/baselines/test_lehdc.cpp).
+  std::vector<data::Label> predict_batch(
+      std::span<const common::BitVector> queries) const;
+
+ private:
 
   BaselineConfig config_;
   std::size_t num_classes_;

@@ -1,6 +1,7 @@
 #include "src/baselines/searchd.hpp"
 
 #include "src/common/assert.hpp"
+#include "src/common/bitops_batch.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
 
@@ -87,12 +88,25 @@ data::Label SearcHd::predict(const common::BitVector& query) const {
   return static_cast<data::Label>(best / config_.n_models);
 }
 
+std::vector<data::Label> SearcHd::predict_batch(
+    std::span<const common::BitVector> queries) const {
+  // Fused winner-take-all over all k*N model vectors, then map the winning
+  // row to its owning class (same first-wins argmax as predict()).
+  std::vector<std::uint32_t> best;
+  common::blocked_dot_argmax(models_, queries, best);
+  std::vector<data::Label> out(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    out[q] = static_cast<data::Label>(best[q] / config_.n_models);
+  return out;
+}
+
 double SearcHd::evaluate(const data::Dataset& test) const {
   const auto encoded = encoder_.encode_dataset(test);
   if (encoded.empty()) return 0.0;
+  const auto predicted = predict_batch(encoded.hypervectors);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < encoded.size(); ++i)
-    if (predict(encoded.hypervectors[i]) == encoded.labels[i]) ++correct;
+    if (predicted[i] == encoded.labels[i]) ++correct;
   return static_cast<double>(correct) / static_cast<double>(encoded.size());
 }
 

@@ -13,6 +13,7 @@
 // Inference: argmax of binary dot similarity over all k*N vectors.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "src/baselines/baseline.hpp"
@@ -43,9 +44,17 @@ class SearcHd final : public BaselineModel {
   /// update. SearcHD's alpha; defaults to 0.25.
   void set_flip_rate(double rate) { flip_rate_ = rate; }
 
+  /// Per-query inference on a pre-encoded query (valid after fit()).
+  data::Label predict(const common::BitVector& query) const;
+
+  /// Batched inference over pre-encoded queries: one blocked MVM over all
+  /// k*N model vectors per query block. Bit-identical to per-query search
+  /// (asserted by tests/baselines/test_searchd.cpp).
+  std::vector<data::Label> predict_batch(
+      std::span<const common::BitVector> queries) const;
+
  private:
   std::size_t row_of(std::size_t c, std::size_t j) const;
-  data::Label predict(const common::BitVector& query) const;
 
   BaselineConfig config_;
   std::size_t num_classes_;

@@ -1,0 +1,135 @@
+// Blocked batch kernels for packed binary scoring: the software analogue of
+// driving a whole query batch through an IMC array instead of one wordline
+// pattern at a time.
+//
+// The core operation is BitMatrix x query-batch popcount scoring,
+//
+//   out[q][r] = popcount(row_r OP query_q),   OP in {AND, XOR},
+//
+// which is the associative-search MVM (AND = dot similarity) and the
+// Hamming-distance table (XOR) over a batch of queries. Per-query calls
+// walk the full row matrix once per query; the batch kernels tile over the
+// row (centroid) dimension with 4-8 independent accumulators per tile and
+// parallel_for over query blocks, so the row matrix streams through cache
+// once per block instead of once per query.
+//
+// Two implementations sit behind one entry point, selected once at runtime:
+//   * a portable register-tiled path (4 rows x 2 queries per tile), and
+//   * an x86-64 AVX-512 VPOPCNTDQ path that keeps a word-transposed copy of
+//     the row matrix and scores 16 rows x 4 queries per tile with vertical
+//     64-bit-lane accumulators.
+// Both are bit-identical to the per-query loops (popcounts are exact
+// integer arithmetic; zero-padded tail words contribute nothing to AND and
+// cancel in XOR).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/bit_matrix.hpp"
+#include "src/common/bit_vector.hpp"
+
+namespace memhd::common {
+
+/// Word-combining operation applied before the popcount.
+enum class PopcountOp {
+  kAnd,  // dot similarity of {0,1} vectors
+  kXor,  // Hamming distance
+};
+
+/// Name of the dispatched kernel ("avx512-vpopcntdq" or "portable-tiled"),
+/// for logs and benchmark records. Setting MEMHD_BATCH_KERNEL=portable in
+/// the environment forces the fallback tile path (checked once per
+/// process), so both production kernels can be exercised on one machine.
+const char* batch_kernel_name();
+
+/// Scores every query row pointer against every row of `rows`:
+/// out[q * rows.rows() + r] = popcount(rows.row(r) OP queries[q]).
+/// Each queries[q] must point at words_for_bits(rows.cols()) words with the
+/// tail bits beyond cols() clear (BitVector/BitMatrix storage guarantees
+/// this). `out` must hold num_queries * rows.rows() entries.
+void blocked_popcount_scores(const BitMatrix& rows,
+                             const std::uint64_t* const* queries,
+                             std::size_t num_queries, PopcountOp op,
+                             std::uint32_t* out);
+
+/// Convenience over a span of BitVectors (each of length rows.cols());
+/// resizes `out` to queries.size() * rows.rows().
+void blocked_popcount_scores(const BitMatrix& rows,
+                             std::span<const BitVector> queries, PopcountOp op,
+                             std::vector<std::uint32_t>& out);
+
+/// Convenience over a query matrix (queries.cols() == rows.cols()).
+void blocked_popcount_scores(const BitMatrix& rows, const BitMatrix& queries,
+                             PopcountOp op, std::vector<std::uint32_t>& out);
+
+/// Fused batch associative recall: out[q] = argmax over r of
+/// popcount(rows.row(r) AND queries[q]), first occurrence winning ties —
+/// exactly argmax_u32 over the query's score row, but computed inside the
+/// scoring tiles (a running winner-take-all in the accumulator lanes, the
+/// software analogue of the IMC array's in-place winner search) without
+/// materializing the batch * rows score table.
+void blocked_dot_argmax(const BitMatrix& rows,
+                        const std::uint64_t* const* queries,
+                        std::size_t num_queries, std::uint32_t* out);
+
+/// Convenience over a span of BitVectors; resizes `out` to queries.size().
+void blocked_dot_argmax(const BitMatrix& rows,
+                        std::span<const BitVector> queries,
+                        std::vector<std::uint32_t>& out);
+
+/// Reusable batch engine over a fixed row matrix: performs the kernel's
+/// word-major repack once at construction and then serves any number of
+/// query batches. This is the steady-state shape of the heavy callers — a
+/// QAT epoch scores every training chunk against one frozen binary AM, and
+/// an evaluation sweep scores every test chunk against the deployed AM —
+/// so the repack cost amortizes to zero instead of recurring per call.
+/// The scorer snapshots the rows; rebuild it after the AM changes.
+class BatchScorer {
+ public:
+  explicit BatchScorer(const BitMatrix& rows);
+
+  std::size_t rows() const { return rows_.rows(); }
+  std::size_t cols() const { return rows_.cols(); }
+
+  /// out[q * rows() + r] = popcount(row_r OP query_q); same contract as
+  /// blocked_popcount_scores.
+  void scores(std::span<const BitVector> queries, PopcountOp op,
+              std::vector<std::uint32_t>& out) const;
+  void scores(const std::uint64_t* const* queries, std::size_t num_queries,
+              PopcountOp op, std::uint32_t* out) const;
+
+  /// out[q] = first-wins argmax_r popcount(row_r AND query_q); same
+  /// contract as blocked_dot_argmax.
+  void dot_argmax(std::span<const BitVector> queries,
+                  std::vector<std::uint32_t>& out) const;
+  void dot_argmax(const std::uint64_t* const* queries,
+                  std::size_t num_queries, std::uint32_t* out) const;
+
+ private:
+  BitMatrix rows_;                       // snapshot (portable path + shape)
+  std::vector<std::uint64_t> packed_;    // word-major repack (SIMD path)
+  std::size_t rpad_ = 0;                 // rows padded for the lane width
+};
+
+/// Runs the fused batch recall over `queries` in bounded chunks through one
+/// reusable scorer and calls visit(query_index, best_row) for each query —
+/// the shared scaffold of the evaluation loops (chunking bounds the
+/// per-call working set while the scorer's repack amortizes across chunks).
+template <typename Visit>
+void chunked_dot_argmax(const BitMatrix& rows,
+                        std::span<const BitVector> queries, Visit&& visit,
+                        std::size_t chunk = 2048) {
+  if (queries.empty() || rows.empty()) return;
+  const BatchScorer scorer(rows);
+  std::vector<std::uint32_t> best;
+  for (std::size_t begin = 0; begin < queries.size(); begin += chunk) {
+    const std::size_t n = std::min(chunk, queries.size() - begin);
+    scorer.dot_argmax(queries.subspan(begin, n), best);
+    for (std::size_t i = 0; i < n; ++i) visit(begin + i, best[i]);
+  }
+}
+
+}  // namespace memhd::common

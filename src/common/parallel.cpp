@@ -1,10 +1,18 @@
 #include "src/common/parallel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/common/assert.hpp"
 
 namespace memhd::common {
+
+namespace {
+// Set while a pool worker runs a task; a nested parallel_for from inside a
+// task must run inline, because enqueueing and waiting from a worker thread
+// can deadlock (the waiter occupies the thread its own chunks need).
+thread_local bool t_in_pool_worker = false;
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   MEMHD_EXPECTS(num_threads >= 1);
@@ -35,7 +43,9 @@ void ThreadPool::worker_loop() {
       task = queue_.back();
       queue_.pop_back();
     }
+    t_in_pool_worker = true;
     for (std::size_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
+    t_in_pool_worker = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -66,8 +76,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+unsigned parse_num_threads(const char* value) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (value == nullptr || *value == '\0') return hw;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) return hw;
+  // Cap at a sane worker count: a fat-fingered MEMHD_NUM_THREADS must not
+  // ask the pool constructor for a million std::threads.
+  constexpr long kMaxThreads = 256;
+  return static_cast<unsigned>(std::min(parsed, kMaxThreads));
+}
+
+unsigned configured_num_threads() {
+  static const unsigned n = parse_num_threads(std::getenv("MEMHD_NUM_THREADS"));
+  return n;
+}
+
 ThreadPool& global_pool() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  static ThreadPool pool(configured_num_threads());
   return pool;
 }
 
@@ -75,8 +102,8 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain) {
   if (begin >= end) return;
-  const bool sequential =
-      (end - begin) < grain || std::thread::hardware_concurrency() <= 1;
+  const bool sequential = (end - begin) < grain ||
+                          configured_num_threads() <= 1 || t_in_pool_worker;
   if (sequential) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;

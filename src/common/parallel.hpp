@@ -48,11 +48,28 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
-/// Process-wide pool sized to the hardware (at least 1 worker).
+/// Process-wide pool, created once on first use and reused by every
+/// parallel_for for the lifetime of the process (the batch kernels issue one
+/// parallel_for per query block; re-creating threads there would dominate).
+/// Sized by MEMHD_NUM_THREADS when set (see parse_num_threads), otherwise by
+/// the hardware (at least 1 worker).
 ThreadPool& global_pool();
 
+/// Worker count the global pool uses / would use. Unlike
+/// std::thread::hardware_concurrency this honors the MEMHD_NUM_THREADS
+/// override, so callers deciding between sequential and pooled execution
+/// agree with the pool itself.
+unsigned configured_num_threads();
+
+/// Parses a MEMHD_NUM_THREADS-style value: a positive integer fixes the
+/// worker count (capped at 256); null, empty, "0", or garbage fall back to
+/// hardware_concurrency (at least 1).
+unsigned parse_num_threads(const char* value);
+
 /// Runs fn(i) for i in [begin, end). Falls back to a plain loop when the
-/// range is smaller than `grain` or only one hardware thread exists.
+/// range is smaller than `grain`, when only one worker is configured, or
+/// when called from inside a pool worker (nested parallel_for would
+/// otherwise deadlock waiting on its own thread).
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 256);

@@ -68,6 +68,13 @@ data::Label MemhdModel::predict(std::span<const float> features) const {
   return am_->predict_binary(encoder_.encode(features));
 }
 
+std::vector<data::Label> MemhdModel::predict_batch(
+    const common::Matrix& features) const {
+  MEMHD_EXPECTS(am_ != nullptr);
+  const auto encoded = encoder_.encode_batch(features);
+  return am_->predict_batch(encoded);
+}
+
 bool MemhdModel::update(std::span<const float> features, data::Label truth) {
   MEMHD_EXPECTS(am_ != nullptr);
   MEMHD_EXPECTS(truth < num_classes_);
@@ -101,9 +108,10 @@ QatTrace MemhdModel::adapt(const data::Dataset& data, std::size_t epochs) {
 double MemhdModel::evaluate(const data::Dataset& test) const {
   MEMHD_EXPECTS(am_ != nullptr);
   if (test.empty()) return 0.0;
+  const auto predicted = predict_batch(test.features());
   std::size_t correct = 0;
   for (std::size_t i = 0; i < test.size(); ++i)
-    if (predict(test.sample(i)) == test.label(i)) ++correct;
+    if (predicted[i] == test.label(i)) ++correct;
   return static_cast<double>(correct) / static_cast<double>(test.size());
 }
 

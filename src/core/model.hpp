@@ -58,6 +58,11 @@ class MemhdModel {
   /// Predicts the class of one raw feature vector.
   data::Label predict(std::span<const float> features) const;
 
+  /// Batched inference over a feature matrix (one row per sample): blocked
+  /// batch encode followed by the blocked associative-search kernel.
+  /// Bit-identical to predict() per row.
+  std::vector<data::Label> predict_batch(const common::Matrix& features) const;
+
   /// Online learning: one quantization-aware update step on a single
   /// labeled sample (encode, search, Eq. 4-6 on misprediction, re-binarize).
   /// Returns true when the sample was mispredicted (i.e. an update was

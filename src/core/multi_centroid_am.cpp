@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/assert.hpp"
+#include "src/common/bitops_batch.hpp"
 #include "src/common/stats.hpp"
 
 namespace memhd::core {
@@ -103,6 +104,12 @@ void MultiCentroidAM::scores_binary(const common::BitVector& query,
   binary_.mvm(query, out);
 }
 
+void MultiCentroidAM::scores_batch(std::span<const common::BitVector> queries,
+                                   std::vector<std::uint32_t>& out) const {
+  common::blocked_popcount_scores(binary_, queries, common::PopcountOp::kAnd,
+                                  out);
+}
+
 void MultiCentroidAM::scores_fp(const common::BitVector& query,
                                 std::vector<float>& out) const {
   MEMHD_EXPECTS(query.size() == dim_);
@@ -143,6 +150,20 @@ data::Label MultiCentroidAM::predict_binary(
   const std::size_t best = best_centroid(scores);
   MEMHD_ENSURES(owner_[best] != kUnassigned);
   return owner_[best];
+}
+
+std::vector<data::Label> MultiCentroidAM::predict_batch(
+    std::span<const common::BitVector> queries) const {
+  // Fused winner-take-all search: same first-wins argmax as predict_binary,
+  // computed inside the scoring tiles (no per-query score table).
+  std::vector<std::uint32_t> best;
+  common::blocked_dot_argmax(binary_, queries, best);
+  std::vector<data::Label> out(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    MEMHD_ENSURES(owner_[best[q]] != kUnassigned);
+    out[q] = owner_[best[q]];
+  }
+  return out;
 }
 
 data::Label MultiCentroidAM::predict_fp(const common::BitVector& query) const {
@@ -193,9 +214,13 @@ double evaluate_binary(const MultiCentroidAM& am,
                        const hdc::EncodedDataset& test) {
   MEMHD_EXPECTS(am.dim() == test.dim);
   if (test.empty()) return 0.0;
+  // Batched recall in chunks: same predictions as per-query predict_binary.
   std::size_t correct = 0;
-  for (std::size_t i = 0; i < test.size(); ++i)
-    if (am.predict_binary(test.hypervectors[i]) == test.labels[i]) ++correct;
+  common::chunked_dot_argmax(
+      am.binary(), std::span<const common::BitVector>(test.hypervectors),
+      [&](std::size_t i, std::uint32_t best) {
+        if (am.owner(best) == test.labels[i]) ++correct;
+      });
   return static_cast<double>(correct) / static_cast<double>(test.size());
 }
 

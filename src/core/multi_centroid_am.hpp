@@ -70,6 +70,12 @@ class MultiCentroidAM {
   /// Binary dot similarity (popcount AND) of `query` against every centroid.
   void scores_binary(const common::BitVector& query,
                      std::vector<std::uint32_t>& out) const;
+  /// Blocked batch form of scores_binary: out[q * columns() + c] is query
+  /// q's dot score against centroid c. Bit-identical to calling
+  /// scores_binary per query, but streams the AM through cache once per
+  /// query block (src/common/bitops_batch.hpp).
+  void scores_batch(std::span<const common::BitVector> queries,
+                    std::vector<std::uint32_t>& out) const;
   /// FP dot similarity of the bipolar interpretation of `query` against
   /// every FP centroid (used during initialization, pre-quantization).
   void scores_fp(const common::BitVector& query,
@@ -83,6 +89,9 @@ class MultiCentroidAM {
 
   /// Predicted class via binary search: owner of the best slot.
   data::Label predict_binary(const common::BitVector& query) const;
+  /// Batched predict_binary (same argmax and tie-breaking per query).
+  std::vector<data::Label> predict_batch(
+      std::span<const common::BitVector> queries) const;
   /// Predicted class via FP search (initialization-time validation).
   data::Label predict_fp(const common::BitVector& query) const;
 

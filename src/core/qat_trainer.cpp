@@ -1,6 +1,7 @@
 #include "src/core/qat_trainer.hpp"
 
 #include "src/common/assert.hpp"
+#include "src/common/bitops_batch.hpp"
 #include "src/common/rng.hpp"
 #include "src/hdc/associative_memory.hpp"  // add_bipolar
 
@@ -19,25 +20,34 @@ QatTrace train_qat(MultiCentroidAM& am, const hdc::EncodedDataset& train,
   common::BitMatrix best_binary = am.binary();
   const bool track_best = cfg.keep_best && eval != nullptr;
 
+  // Step 1 consumes only the *binary* AM, which steps 2-3 never touch; with
+  // the per-epoch binarization cadence it is constant across a whole epoch,
+  // so all similarity searches of an epoch form one batch MVM. Samples are
+  // scored in blocked chunks (in shuffled order) through the cache-tiled
+  // kernel, and the update loop reads the precomputed score rows —
+  // bit-identical to scoring each sample at its turn. Per-sample
+  // binarization invalidates the AM after every update, so that mode keeps
+  // the streaming path.
+  constexpr std::size_t kChunk = 512;
   std::vector<std::uint32_t> scores;
+  std::vector<std::uint32_t> chunk_scores;
+  std::vector<const std::uint64_t*> chunk_queries;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     if (cfg.shuffle) rng.shuffle(order);
 
     std::size_t correct = 0;
-    for (const std::size_t i : order) {
+    const auto update_sample = [&](std::size_t i,
+                                   std::span<const std::uint32_t> s) {
       const auto& hv = train.hypervectors[i];
       const data::Label truth = train.labels[i];
-
-      // Step 1: binary dot similarity against every centroid.
-      am.scores_binary(hv, scores);
-      const std::size_t predicted_slot = am.best_centroid(scores);
+      const std::size_t predicted_slot = am.best_centroid(s);
       if (am.owner(predicted_slot) == truth) {
         ++correct;
-        continue;
+        return;
       }
 
       // Step 2: update-target selection (Eq. 4 / Eq. 5).
-      const std::size_t true_slot = am.best_centroid_of_class(scores, truth);
+      const std::size_t true_slot = am.best_centroid_of_class(s, truth);
 
       // Step 3: FP iterative update (Eq. 6).
       hdc::add_bipolar(am.fp().row(true_slot), hv, cfg.learning_rate);
@@ -47,6 +57,31 @@ QatTrace train_qat(MultiCentroidAM& am, const hdc::EncodedDataset& train,
       if (cfg.binarize_per_sample) {
         am.normalize(cfg.normalization);
         am.binarize();
+      }
+    };
+
+    if (cfg.binarize_per_sample) {
+      for (const std::size_t i : order) {
+        am.scores_binary(train.hypervectors[i], scores);
+        update_sample(i, scores);
+      }
+    } else {
+      const std::size_t columns = am.columns();
+      // One scorer per epoch: the repack of the frozen binary AM amortizes
+      // across every chunk of the epoch.
+      const common::BatchScorer scorer(am.binary());
+      for (std::size_t begin = 0; begin < order.size(); begin += kChunk) {
+        const std::size_t n = std::min(kChunk, order.size() - begin);
+        chunk_queries.resize(n);
+        for (std::size_t j = 0; j < n; ++j)
+          chunk_queries[j] = train.hypervectors[order[begin + j]].words();
+        chunk_scores.resize(n * columns);
+        scorer.scores(chunk_queries.data(), n, common::PopcountOp::kAnd,
+                      chunk_scores.data());
+        for (std::size_t j = 0; j < n; ++j)
+          update_sample(order[begin + j],
+                        std::span<const std::uint32_t>(
+                            chunk_scores.data() + j * columns, columns));
       }
     }
 

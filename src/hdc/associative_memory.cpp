@@ -1,6 +1,7 @@
 #include "src/hdc/associative_memory.hpp"
 
 #include "src/common/assert.hpp"
+#include "src/common/bitops_batch.hpp"
 #include "src/common/stats.hpp"
 
 namespace memhd::hdc {
@@ -64,6 +65,23 @@ void AssociativeMemory::scores_binary(const common::BitVector& query,
                                       std::vector<std::uint32_t>& out) const {
   MEMHD_EXPECTS(query.size() == dim_);
   binary_.mvm(query, out);
+}
+
+void AssociativeMemory::scores_batch(std::span<const common::BitVector> queries,
+                                     std::vector<std::uint32_t>& out) const {
+  common::blocked_popcount_scores(binary_, queries, common::PopcountOp::kAnd,
+                                  out);
+}
+
+std::vector<data::Label> AssociativeMemory::predict_batch(
+    std::span<const common::BitVector> queries) const {
+  // Fused winner-take-all search (same first-wins argmax as argmax_u32).
+  std::vector<std::uint32_t> best;
+  common::blocked_dot_argmax(binary_, queries, best);
+  std::vector<data::Label> out(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    out[q] = static_cast<data::Label>(best[q]);
+  return out;
 }
 
 data::Label AssociativeMemory::predict_fp(const common::BitVector& query) const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/bit_matrix.hpp"
@@ -46,9 +47,16 @@ class AssociativeMemory {
   /// Binary dot-similarity (popcount AND) against every binary class vector.
   void scores_binary(const common::BitVector& query,
                      std::vector<std::uint32_t>& out) const;
+  /// Blocked batch form of scores_binary: out[q * num_classes() + c].
+  /// Bit-identical to per-query scores_binary (src/common/bitops_batch.hpp).
+  void scores_batch(std::span<const common::BitVector> queries,
+                    std::vector<std::uint32_t>& out) const;
 
   data::Label predict_fp(const common::BitVector& query) const;
   data::Label predict_binary(const common::BitVector& query) const;
+  /// Batched predict_binary (same argmax and tie-breaking per query).
+  std::vector<data::Label> predict_batch(
+      std::span<const common::BitVector> queries) const;
 
   /// AM memory in bits when deployed binary: k * D (Table I).
   std::size_t memory_bits() const { return num_classes_ * dim_; }

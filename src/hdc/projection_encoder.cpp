@@ -52,6 +52,106 @@ common::BitVector ProjectionEncoder::encode(
   return common::BitVector::from_threshold(h.data(), h.size(), threshold);
 }
 
+void ProjectionEncoder::encode_block(const common::Matrix& features,
+                                     std::size_t begin, std::size_t count,
+                                     common::BitVector* out) const {
+  MEMHD_EXPECTS(count <= kSampleBlock);
+  const std::size_t nf = config_.num_features;
+
+  // Feature-major transpose of the block, padded to kSampleBlock columns:
+  // xt[f * kSampleBlock + s] = features(begin + s, f). One weight element
+  // then multiplies a contiguous run of samples, so the inner sample loop
+  // below vectorizes while each sample's own accumulation stays in feature
+  // order — the projection is bit-identical to project()'s sequential dot,
+  // with kSampleBlock independent chains instead of one.
+  std::vector<float> xt(nf * kSampleBlock, 0.0f);
+  for (std::size_t s = 0; s < count; ++s) {
+    const auto row = features.row(begin + s);
+    for (std::size_t f = 0; f < nf; ++f) xt[f * kSampleBlock + s] = row[f];
+  }
+
+  std::vector<float> block(count * config_.dim);
+  const std::size_t dim = config_.dim;
+#if defined(__GNUC__) || defined(__clang__)
+  // One vector register of per-sample accumulators; four output dimensions
+  // in flight so the per-lane FMA chains overlap instead of serializing on
+  // FMA latency. Lane s accumulates sample s's projection in feature order,
+  // exactly like the sequential scalar dot.
+  typedef float SampleVec
+      __attribute__((vector_size(kSampleBlock * sizeof(float)), aligned(4)));
+  const SampleVec* xv = reinterpret_cast<const SampleVec*>(xt.data());
+  std::size_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    const float* w0 = weights_.row(d).data();
+    const float* w1 = weights_.row(d + 1).data();
+    const float* w2 = weights_.row(d + 2).data();
+    const float* w3 = weights_.row(d + 3).data();
+    SampleVec a0{}, a1{}, a2{}, a3{};
+    for (std::size_t f = 0; f < nf; ++f) {
+      const SampleVec x = xv[f];
+      a0 += x * w0[f];
+      a1 += x * w1[f];
+      a2 += x * w2[f];
+      a3 += x * w3[f];
+    }
+    for (std::size_t s = 0; s < count; ++s) {
+      float* o = block.data() + s * dim + d;
+      o[0] = a0[s];
+      o[1] = a1[s];
+      o[2] = a2[s];
+      o[3] = a3[s];
+    }
+  }
+  for (; d < dim; ++d) {
+    const float* w = weights_.row(d).data();
+    SampleVec a{};
+    for (std::size_t f = 0; f < nf; ++f) a += xv[f] * w[f];
+    for (std::size_t s = 0; s < count; ++s) block[s * dim + d] = a[s];
+  }
+#else
+  for (std::size_t d = 0; d < dim; ++d) {
+    const float* w = weights_.row(d).data();
+    float acc[kSampleBlock] = {};
+    for (std::size_t f = 0; f < nf; ++f) {
+      const float wf = w[f];
+      const float* x = xt.data() + f * kSampleBlock;
+      for (std::size_t s = 0; s < kSampleBlock; ++s) acc[s] += wf * x[s];
+    }
+    for (std::size_t s = 0; s < count; ++s) block[s * dim + d] = acc[s];
+  }
+#endif
+
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::span<const float> hs(block.data() + s * config_.dim,
+                                    config_.dim);
+    out[s] = common::BitVector::from_threshold(hs.data(), hs.size(),
+                                               binarize_threshold(hs));
+  }
+}
+
+std::vector<common::BitVector> ProjectionEncoder::encode_batch(
+    const common::Matrix& features, std::size_t begin,
+    std::size_t count) const {
+  MEMHD_EXPECTS(features.cols() == config_.num_features);
+  MEMHD_EXPECTS(begin + count <= features.rows());
+  std::vector<common::BitVector> out(count);
+  const std::size_t nblocks = (count + kSampleBlock - 1) / kSampleBlock;
+  common::parallel_for(
+      0, nblocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * kSampleBlock;
+        const std::size_t n = std::min(kSampleBlock, count - lo);
+        encode_block(features, begin + lo, n, out.data() + lo);
+      },
+      /*grain=*/8);
+  return out;
+}
+
+std::vector<common::BitVector> ProjectionEncoder::encode_batch(
+    const common::Matrix& features) const {
+  return encode_batch(features, 0, features.rows());
+}
+
 EncodedDataset ProjectionEncoder::encode_dataset(
     const data::Dataset& dataset) const {
   MEMHD_EXPECTS(dataset.num_features() == config_.num_features);
@@ -59,14 +159,7 @@ EncodedDataset ProjectionEncoder::encode_dataset(
   out.dim = config_.dim;
   out.num_classes = dataset.num_classes();
   out.labels = dataset.labels();
-  out.hypervectors.resize(dataset.size());
-
-  common::parallel_for(
-      0, dataset.size(),
-      [&](std::size_t i) {
-        out.hypervectors[i] = encode(dataset.sample(i));
-      },
-      /*grain=*/64);
+  out.hypervectors = encode_batch(dataset.features());
   return out;
 }
 

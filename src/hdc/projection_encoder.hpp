@@ -57,7 +57,20 @@ class ProjectionEncoder {
   /// the IMC pipeline's column-comparator model.
   std::vector<float> project(std::span<const float> features) const;
 
-  /// Encodes a whole dataset (the heavy path; row-blocked matmul).
+  /// Encodes rows [begin, begin + count) of a feature matrix (cols ==
+  /// num_features) as one sample-blocked matmul: each projection row is
+  /// loaded once per block of samples instead of once per sample, so the
+  /// D x F weight matrix streams through cache 1/block_size times as often.
+  /// Bit-identical to encode() on each row.
+  std::vector<common::BitVector> encode_batch(const common::Matrix& features,
+                                              std::size_t begin,
+                                              std::size_t count) const;
+  /// Batch-encodes every row of `features`.
+  std::vector<common::BitVector> encode_batch(
+      const common::Matrix& features) const;
+
+  /// Encodes a whole dataset (the heavy path: blocked batch encoding,
+  /// parallel over sample blocks).
   EncodedDataset encode_dataset(const data::Dataset& dataset) const;
 
   /// The packed sign matrix (D rows x f cols; bit=1 means +1 weight).
@@ -69,6 +82,13 @@ class ProjectionEncoder {
 
  private:
   float binarize_threshold(std::span<const float> projected) const;
+  /// Encodes one block of <= kSampleBlock rows into `out[0..count)`.
+  void encode_block(const common::Matrix& features, std::size_t begin,
+                    std::size_t count, common::BitVector* out) const;
+
+  /// Samples per matmul block: one SIMD register of independent per-sample
+  /// accumulators; weight row + transposed block features stay L1-hot.
+  static constexpr std::size_t kSampleBlock = 16;
 
   ProjectionEncoderConfig config_;
   common::BitMatrix signs_;     // dim x num_features packed bipolar signs

@@ -1,6 +1,7 @@
 #include "src/hdc/trainers.hpp"
 
 #include "src/common/assert.hpp"
+#include "src/common/bitops_batch.hpp"
 #include "src/common/stats.hpp"
 
 namespace memhd::hdc {
@@ -53,14 +54,14 @@ double evaluate_binary(const AssociativeMemory& am,
                        const EncodedDataset& test) {
   MEMHD_EXPECTS(am.dim() == test.dim);
   if (test.empty()) return 0.0;
+  // Batched recall in chunks; predictions are bit-identical to the
+  // per-query scores_binary + argmax loop.
   std::size_t correct = 0;
-  std::vector<std::uint32_t> scores;
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    am.scores_binary(test.hypervectors[i], scores);
-    if (static_cast<data::Label>(common::argmax_u32(scores)) ==
-        test.labels[i])
-      ++correct;
-  }
+  common::chunked_dot_argmax(
+      am.binary(), std::span<const common::BitVector>(test.hypervectors),
+      [&](std::size_t i, std::uint32_t best) {
+        if (static_cast<data::Label>(best) == test.labels[i]) ++correct;
+      });
   return static_cast<double>(correct) / static_cast<double>(test.size());
 }
 

@@ -96,9 +96,63 @@ std::vector<std::uint32_t> PartitionedAm::scores(
   return totals;
 }
 
+std::vector<std::uint32_t> PartitionedAm::scores_batch(
+    std::span<const common::BitVector> queries) {
+  for (const auto& query : queries) MEMHD_EXPECTS(query.size() == dim_);
+  std::vector<std::uint32_t> totals(queries.size() * num_classes_, 0);
+
+  // Same partition / tile walk as scores(); the query loop sits inside the
+  // row-tile loop so each array services the whole batch while its tile is
+  // "selected". Per query the partial sums arrive in the same (p, rt, ct)
+  // order as scores(), so the totals are bit-identical.
+  for (std::size_t p = 0; p < partitions_; ++p) {
+    const std::size_t j0 = p * rows_per_partition_;
+    const std::size_t j1 = std::min(dim_, j0 + rows_per_partition_);
+    const std::size_t g0 = p * num_classes_;
+    const std::size_t g1 = g0 + num_classes_;
+
+    for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+      const std::size_t r0 = rt * geometry_.rows;
+      const std::size_t r1 =
+          std::min(rows_per_partition_, r0 + geometry_.rows);
+      if (j0 + r0 >= j1) continue;  // tail partition may be short
+
+      common::BitVector segment(r1 - r0);  // reused across the batch
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto& query = queries[q];
+        segment.fill(false);
+        for (std::size_t r = r0; r < r1 && j0 + r < j1; ++r)
+          if (query.get(j0 + r)) segment.set(r - r0, true);
+
+        std::uint32_t* qtotals = totals.data() + q * num_classes_;
+        for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+          const std::size_t c0 = ct * geometry_.cols;
+          const std::size_t c1 = std::min(logical_cols_, c0 + geometry_.cols);
+          if (c1 <= g0 || c0 >= g1) continue;
+          const auto partial =
+              arrays_[rt * col_tiles_ + ct].mvm_binary(segment);
+          for (std::size_t c = std::max(c0, g0); c < std::min(c1, g1); ++c)
+            qtotals[c - g0] += partial[c - c0];
+        }
+      }
+    }
+  }
+  return totals;
+}
+
 std::size_t PartitionedAm::predict(const common::BitVector& query) {
   const auto s = scores(query);
   return common::argmax_u32(s);
+}
+
+std::vector<std::size_t> PartitionedAm::predict_batch(
+    std::span<const common::BitVector> queries) {
+  const auto totals = scores_batch(queries);
+  std::vector<std::size_t> out(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    out[q] = common::argmax_u32(std::span<const std::uint32_t>(
+        totals.data() + q * num_classes_, num_classes_));
+  return out;
 }
 
 std::size_t PartitionedAm::activations() const {

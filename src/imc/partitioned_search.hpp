@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/bit_matrix.hpp"
@@ -41,8 +42,21 @@ class PartitionedAm {
   /// partition passes over the arrays.
   std::vector<std::uint32_t> scores(const common::BitVector& query);
 
+  /// Batched scores: out[q * num_classes() + c]. One pass over the
+  /// partition / tile structure drives every query through each array
+  /// before moving on (the array-parallel search pattern), with per-query
+  /// totals accumulated exactly as in scores() — the result is
+  /// bit-identical, and activations() advances by the same amount as
+  /// queries.size() scores() calls.
+  std::vector<std::uint32_t> scores_batch(
+      std::span<const common::BitVector> queries);
+
   /// argmax class of scores().
   std::size_t predict(const common::BitVector& query);
+
+  /// Batched predict (same argmax and tie-breaking per query).
+  std::vector<std::size_t> predict_batch(
+      std::span<const common::BitVector> queries);
 
   /// Compute cycles consumed so far (one per array activation).
   std::size_t activations() const;

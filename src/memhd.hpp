@@ -5,11 +5,34 @@
 //
 // Individual headers remain includable on their own; this is a convenience
 // for applications.
+//
+// ## Batch API
+//
+// Every inference surface has a batched, cache-blocked counterpart that is
+// bit-identical to its per-query form and substantially faster (the blocked
+// kernels live in src/common/bitops_batch.hpp and carry their own runtime
+// CPU dispatch):
+//
+//   common::blocked_popcount_scores / blocked_dot_argmax / BatchScorer
+//       — the engine: BitMatrix x query-batch AND/XOR-popcount scoring and
+//         fused winner-take-all recall; BatchScorer amortizes the kernel's
+//         row repack across many batches (rebuild it when the AM changes).
+//   core::MultiCentroidAM::scores_batch / predict_batch
+//   hdc::AssociativeMemory::scores_batch / predict_batch
+//   hdc::ProjectionEncoder::encode_batch        (sample-blocked matmul)
+//   core::MemhdModel::predict_batch             (encode + search pipeline)
+//   imc::PartitionedAm::scores_batch / predict_batch
+//   baselines::SearcHd / LeHdc ::predict_batch
+//
+// The per-query entry points remain and are thin equivalents; evaluation
+// loops and the QAT trainer route through the batch engine internally.
+// MEMHD_NUM_THREADS caps the worker pool used for query-block parallelism.
 #pragma once
 
 // Substrate
 #include "src/common/bit_matrix.hpp"
 #include "src/common/bit_vector.hpp"
+#include "src/common/bitops_batch.hpp"
 #include "src/common/cli.hpp"
 #include "src/common/csv.hpp"
 #include "src/common/log.hpp"

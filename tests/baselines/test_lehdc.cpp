@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.hpp"
 #include "test_util.hpp"
 
 namespace memhd::baselines {
@@ -65,6 +66,26 @@ TEST(LeHdc, BnnTrainingBeatsWarmStartOnTrain) {
   LeHdc trained(split.train.num_features(), split.train.num_classes(), cfg);
   trained.fit(split.train);
   EXPECT_GE(trained.evaluate(split.train), base - 0.02);
+}
+
+TEST(LeHdc, BatchPredictBitIdenticalToPerQuery) {
+  // The batch path duplicates the corrected-argmax (2*dot - popcount(row))
+  // logic; this pins the two implementations together, including on the
+  // tie-heavy regime of random queries far from every class vector.
+  const auto split = testing::tiny_separable(23);
+  LeHdc model(split.train.num_features(), split.train.num_classes(),
+              small_config());
+  model.fit(split.train);
+
+  common::Rng rng(41);
+  std::vector<common::BitVector> queries;
+  for (int i = 0; i < 40; ++i)
+    queries.push_back(common::BitVector::random(model.dim(), rng));
+
+  const auto batch = model.predict_batch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    ASSERT_EQ(batch[q], model.predict(queries[q])) << "q=" << q;
 }
 
 TEST(LeHdc, FactoryBuildsItAndRejectsMemhd) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.hpp"
 #include "test_util.hpp"
 
 namespace memhd::baselines {
@@ -68,6 +69,24 @@ TEST(SearcHd, MultiModelBeatsSingleModelOnMultiModalData) {
   many.fit(split.train);
   const double acc8 = many.evaluate(split.test);
   EXPECT_GE(acc8 + 0.05, acc1);
+}
+
+TEST(SearcHd, BatchPredictBitIdenticalToPerQuery) {
+  const auto split = testing::tiny_separable(29);
+  auto cfg = small_config();
+  cfg.n_models = 4;
+  SearcHd model(split.train.num_features(), split.train.num_classes(), cfg);
+  model.fit(split.train);
+
+  common::Rng rng(43);
+  std::vector<common::BitVector> queries;
+  for (int i = 0; i < 40; ++i)
+    queries.push_back(common::BitVector::random(model.dim(), rng));
+
+  const auto batch = model.predict_batch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    ASSERT_EQ(batch[q], model.predict(queries[q])) << "q=" << q;
 }
 
 TEST(SearcHd, FactoryBuildsIt) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace memhd::common {
@@ -61,6 +63,47 @@ TEST(ThreadPool, ReusableAcrossCalls) {
 
 TEST(GlobalPool, AtLeastOneWorker) {
   EXPECT_GE(global_pool().num_threads(), 1u);
+}
+
+TEST(GlobalPool, IsProcessWideSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_EQ(global_pool().num_threads(), configured_num_threads());
+}
+
+TEST(ParseNumThreads, PositiveIntegerWins) {
+  EXPECT_EQ(parse_num_threads("1"), 1u);
+  EXPECT_EQ(parse_num_threads("7"), 7u);
+  EXPECT_EQ(parse_num_threads("64"), 64u);
+}
+
+TEST(ParseNumThreads, CapsRunawayValues) {
+  EXPECT_EQ(parse_num_threads("256"), 256u);
+  EXPECT_EQ(parse_num_threads("1000000"), 256u);
+  EXPECT_EQ(parse_num_threads("99999999999999999999"), 256u);  // ERANGE
+}
+
+TEST(ParseNumThreads, FallsBackToHardware) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(parse_num_threads(nullptr), hw);
+  EXPECT_EQ(parse_num_threads(""), hw);
+  EXPECT_EQ(parse_num_threads("0"), hw);
+  EXPECT_EQ(parse_num_threads("-3"), hw);
+  EXPECT_EQ(parse_num_threads("lots"), hw);
+  EXPECT_EQ(parse_num_threads("4cores"), hw);
+}
+
+TEST(ParallelFor, NestedCallRunsInlineWithoutDeadlock) {
+  // A task body that issues its own parallel_for must not deadlock on the
+  // shared pool; the inner loop runs inline on the worker.
+  std::vector<std::atomic<int>> hits(64 * 64);
+  parallel_for(
+      0, 64,
+      [&](std::size_t i) {
+        parallel_for(
+            0, 64, [&](std::size_t j) { ++hits[i * 64 + j]; }, /*grain=*/1);
+      },
+      /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+// Batch-vs-scalar equivalence at the hdc layer: single-centroid AM search
+// and the blocked projection-encoder batch path.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/hdc/projection_encoder.hpp"
+#include "src/hdc/trainers.hpp"
+#include "test_util.hpp"
+
+namespace memhd::hdc {
+namespace {
+
+AssociativeMemory make_trained_am(const EncodedDataset& train,
+                                  std::size_t dim) {
+  AssociativeMemory am(train.num_classes, dim);
+  train_single_pass(am, train);
+  return am;
+}
+
+TEST(AssociativeMemoryBatch, ScoresAndPredictionsMatchScalarPath) {
+  for (const std::size_t dim : {65UL, 128UL, 257UL}) {
+    const auto train = testing::clustered_encoded(25, dim, 5, 2, dim / 20, 7);
+    const auto am = make_trained_am(train, dim);
+    const auto queries =
+        testing::random_encoded(50, dim, 5, dim).hypervectors;
+
+    std::vector<std::uint32_t> batch;
+    am.scores_batch(queries, batch);
+    std::vector<std::uint32_t> single;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      am.scores_binary(queries[q], single);
+      for (std::size_t c = 0; c < am.num_classes(); ++c)
+        ASSERT_EQ(batch[q * am.num_classes() + c], single[c])
+            << "dim=" << dim << " q=" << q;
+    }
+
+    const auto predicted = am.predict_batch(queries);
+    for (std::size_t q = 0; q < queries.size(); ++q)
+      ASSERT_EQ(predicted[q], am.predict_binary(queries[q]))
+          << "dim=" << dim << " q=" << q;
+  }
+}
+
+TEST(AssociativeMemoryBatch, EvaluateBinaryMatchesPerQueryLoop) {
+  const std::size_t dim = 127;
+  const auto train = testing::clustered_encoded(30, dim, 4, 2, 5, 11);
+  const auto test = testing::clustered_encoded(20, dim, 4, 2, 5, 12);
+  const auto am = make_trained_am(train, dim);
+
+  std::size_t correct = 0;
+  std::vector<std::uint32_t> scores;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    am.scores_binary(test.hypervectors[i], scores);
+    if (static_cast<data::Label>(common::argmax_u32(scores)) ==
+        test.labels[i])
+      ++correct;
+  }
+  EXPECT_DOUBLE_EQ(
+      evaluate_binary(am, test),
+      static_cast<double>(correct) / static_cast<double>(test.size()));
+}
+
+// The blocked batch encoder must produce bit-identical hypervectors to the
+// per-sample path: it issues the same common::dot calls per (dim, sample)
+// pair, only reordered across samples.
+TEST(ProjectionEncoderBatch, BatchEncodeBitIdenticalToPerSample) {
+  for (const auto binarize :
+       {BinarizeMode::kSampleMean, BinarizeMode::kZeroThreshold}) {
+    ProjectionEncoderConfig cfg;
+    cfg.num_features = 37;  // odd: exercises ragged dot lengths
+    cfg.dim = 195;          // odd: tail word in the packed output
+    cfg.binarize = binarize;
+    cfg.seed = 5;
+    const ProjectionEncoder enc(cfg);
+
+    common::Rng rng(17);
+    const auto features =
+        common::Matrix::random_uniform(29, cfg.num_features, rng);
+
+    const auto batch = enc.encode_batch(features);
+    ASSERT_EQ(batch.size(), features.rows());
+    for (std::size_t i = 0; i < features.rows(); ++i)
+      ASSERT_TRUE(batch[i] == enc.encode(features.row(i))) << "sample " << i;
+  }
+}
+
+TEST(ProjectionEncoderBatch, SubrangeMatchesFullBatch) {
+  ProjectionEncoderConfig cfg;
+  cfg.num_features = 16;
+  cfg.dim = 64;
+  cfg.seed = 9;
+  const ProjectionEncoder enc(cfg);
+
+  common::Rng rng(23);
+  const auto features = common::Matrix::random_uniform(20, 16, rng);
+
+  const auto full = enc.encode_batch(features);
+  const auto sub = enc.encode_batch(features, 5, 11);
+  ASSERT_EQ(sub.size(), 11u);
+  for (std::size_t i = 0; i < sub.size(); ++i)
+    EXPECT_TRUE(sub[i] == full[5 + i]) << "sample " << i;
+}
+
+TEST(ProjectionEncoderBatch, EncodeDatasetMatchesPerSampleEncode) {
+  const auto split = testing::tiny_separable(31);
+  ProjectionEncoderConfig cfg;
+  cfg.num_features = split.train.num_features();
+  cfg.dim = 97;
+  cfg.seed = 2;
+  const ProjectionEncoder enc(cfg);
+
+  const auto encoded = enc.encode_dataset(split.train);
+  ASSERT_EQ(encoded.size(), split.train.size());
+  EXPECT_EQ(encoded.dim, cfg.dim);
+  for (std::size_t i = 0; i < split.train.size(); ++i)
+    ASSERT_TRUE(encoded.hypervectors[i] == enc.encode(split.train.sample(i)))
+        << "sample " << i;
+}
+
+}  // namespace
+}  // namespace memhd::hdc

@@ -71,6 +71,49 @@ TEST(PartitionedSearch, NonDividingPartitionCount) {
   }
 }
 
+TEST(PartitionedSearch, BatchScoresMatchPerQueryAndDense) {
+  // The batch path must preserve the partitioned-search equivalence
+  // invariant: scores_batch == per-query scores() == dense dot search,
+  // including non-dividing P (short tail partition) and odd batch sizes.
+  Rng rng(6);
+  const BitMatrix am = BitMatrix::random(9, 1000, rng);
+  std::vector<BitVector> queries;
+  for (int i = 0; i < 23; ++i) queries.push_back(BitVector::random(1000, rng));
+
+  for (const std::size_t p : {1UL, 3UL, 7UL}) {
+    PartitionedAm batch_am(am, p, ArrayGeometry{128, 128});
+    PartitionedAm single_am(am, p, ArrayGeometry{128, 128});
+
+    const auto batch = batch_am.scores_batch(queries);
+    ASSERT_EQ(batch.size(), queries.size() * am.rows());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto single = single_am.scores(queries[q]);
+      const auto dense = dense_scores(am, queries[q]);
+      for (std::size_t c = 0; c < am.rows(); ++c) {
+        ASSERT_EQ(batch[q * am.rows() + c], single[c])
+            << "P=" << p << " q=" << q;
+        ASSERT_EQ(batch[q * am.rows() + c], dense[c])
+            << "P=" << p << " q=" << q;
+      }
+    }
+    // Batch accounting equals the sum of the per-query passes.
+    EXPECT_EQ(batch_am.activations(), single_am.activations()) << "P=" << p;
+  }
+}
+
+TEST(PartitionedSearch, BatchPredictMatchesPerQueryPredict) {
+  Rng rng(7);
+  const BitMatrix am = BitMatrix::random(12, 512, rng);
+  std::vector<BitVector> queries;
+  for (int i = 0; i < 11; ++i) queries.push_back(BitVector::random(512, rng));
+
+  PartitionedAm batch_am(am, 4, ArrayGeometry{128, 128});
+  PartitionedAm single_am(am, 4, ArrayGeometry{128, 128});
+  const auto batch = batch_am.predict_batch(queries);
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    ASSERT_EQ(batch[q], single_am.predict(queries[q])) << "q=" << q;
+}
+
 TEST(PartitionedSearch, ArrayCountMatchesMappingEngine) {
   // The functional deployment must occupy exactly the arrays the
   // architectural mapping predicts (MNIST P=10 case: 8 arrays).
