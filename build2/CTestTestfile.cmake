@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build2
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(baselines "/root/repo/build2/memhd_test_baselines")
+set_tests_properties(baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;87;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(clustering "/root/repo/build2/memhd_test_clustering")
+set_tests_properties(clustering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;87;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(common "/root/repo/build2/memhd_test_common")
+set_tests_properties(common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;87;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core "/root/repo/build2/memhd_test_core")
+set_tests_properties(core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;87;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(data "/root/repo/build2/memhd_test_data")
+set_tests_properties(data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;87;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(hdc "/root/repo/build2/memhd_test_hdc")
+set_tests_properties(hdc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;87;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(imc "/root/repo/build2/memhd_test_imc")
+set_tests_properties(imc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;87;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration "/root/repo/build2/memhd_test_integration")
+set_tests_properties(integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;87;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(top "/root/repo/build2/memhd_test_top")
+set_tests_properties(top PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;99;add_test;/root/repo/CMakeLists.txt;0;")
