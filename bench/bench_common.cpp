@@ -66,9 +66,25 @@ MemhdRun run_memhd(const data::TrainTestSplit& split,
 
 double run_baseline(core::ModelKind kind, const data::TrainTestSplit& split,
                     const baselines::BaselineConfig& cfg) {
-  const auto model = baselines::make_baseline(
-      kind, split.train.num_features(), split.train.num_classes(), cfg);
+  api::ModelOptions opts;
+  opts.dim = cfg.dim;
+  opts.epochs = cfg.epochs;
+  opts.learning_rate = cfg.learning_rate;
+  opts.num_levels = cfg.num_levels;
+  opts.n_models = cfg.n_models;
+  opts.seed = cfg.seed;
+  const auto model = api::make(kind, split.train.num_features(),
+                               split.train.num_classes(), opts);
   model->fit(split.train);
+  return model->evaluate(split.test);
+}
+
+double run_classifier(const std::string& name,
+                      const data::TrainTestSplit& split,
+                      const api::ModelOptions& opts) {
+  const auto model = api::make(name, split.train.num_features(),
+                               split.train.num_classes(), opts);
+  model->fit(split.train, &split.test);
   return model->evaluate(split.test);
 }
 

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <string>
 
+#include "src/api/registry.hpp"
 #include "src/baselines/baseline.hpp"
 #include "src/common/cli.hpp"
 #include "src/common/csv.hpp"
@@ -57,9 +58,17 @@ struct MemhdRun {
 MemhdRun run_memhd(const data::TrainTestSplit& split,
                    const core::MemhdConfig& cfg);
 
-/// Trains one baseline on the split; returns test accuracy.
+/// Trains one baseline on the split; returns test accuracy. Routed through
+/// api::make — same code path as run_classifier.
 double run_baseline(core::ModelKind kind, const data::TrainTestSplit& split,
                     const baselines::BaselineConfig& cfg);
+
+/// Builds any registry model (`name` from api::list_models()), trains it on
+/// the split, and returns test accuracy — the one construction path every
+/// bench shares.
+double run_classifier(const std::string& name,
+                      const data::TrainTestSplit& split,
+                      const api::ModelOptions& opts);
 
 /// Wall-clock timer for progress lines.
 class Timer {

@@ -93,55 +93,56 @@ int main(int argc, char** argv) {
       const bool isolet = dataset == "isolet";
       const auto& dims = isolet ? isolet_dims : memhd_square;
       for (const std::size_t d : dims) {
-        core::MemhdConfig cfg;
-        cfg.dim = d;
-        cfg.columns = isolet ? 128 : d;  // square for images, C=128 ISOLET
-        cfg.epochs = memhd_epochs;
-        cfg.learning_rate = isolet ? 0.02f : (d >= 512 ? 0.05f : 0.03f);
-        cfg.seed = ctx.seed + trial;
-        const auto run = bench::run_memhd(split, cfg);
+        api::ModelOptions opts;
+        opts.dim = d;
+        opts.columns = isolet ? 128 : d;  // square for images, C=128 ISOLET
+        opts.epochs = memhd_epochs;
+        opts.learning_rate = isolet ? 0.02f : (d >= 512 ? 0.05f : 0.03f);
+        opts.seed = ctx.seed + trial;
+        const double acc = bench::run_classifier("memhd", split, opts);
         const auto mem = core::memory_requirement(
-            core::ModelKind::kMemhd, memory_params(split, d, cfg.columns));
+            core::ModelKind::kMemhd, memory_params(split, d, opts.columns));
         const std::string shape =
-            std::to_string(d) + "x" + std::to_string(cfg.columns);
-        points.push_back(
-            {"MEMHD", shape, mem.total_kb(), run.test_accuracy});
+            std::to_string(d) + "x" + std::to_string(opts.columns);
+        points.push_back({"MEMHD", shape, mem.total_kb(), acc});
         csv.write_row({dataset, "MEMHD", shape,
                        common::format_double(mem.total_kb(), 2),
-                       bench::pct(run.test_accuracy), std::to_string(trial)});
+                       bench::pct(acc), std::to_string(trial)});
         std::printf("  [%6.1fs] MEMHD %-9s  %8.1f KB  acc %s%%\n",
                     total.seconds(), shape.c_str(), mem.total_kb(),
-                    bench::pct(run.test_accuracy).c_str());
+                    bench::pct(acc).c_str());
       }
 
-      // ---- Baselines ----
+      // ---- Baselines: every non-MEMHD registry entry, one code path ----
       data::TrainTestSplit capped = split;
       if (baseline_cap > 0)
         capped.train =
             bench::subsample_per_class(split.train, baseline_cap, rng);
       for (const std::size_t d : baseline_dims) {
-        for (const auto kind :
-             {core::ModelKind::kBasicHDC, core::ModelKind::kQuantHD,
-              core::ModelKind::kSearcHD, core::ModelKind::kLeHDC}) {
-          baselines::BaselineConfig bc;
-          bc.dim = d;
-          bc.epochs = kind == core::ModelKind::kBasicHDC ? 0 : baseline_epochs;
-          bc.learning_rate = kind == core::ModelKind::kLeHDC ? 0.01f : 0.05f;
-          bc.seed = ctx.seed + trial;
+        for (const auto& info : api::model_infos()) {
+          if (info.kind == core::ModelKind::kMemhd) continue;
+          api::ModelOptions opts;
+          opts.dim = d;
+          opts.epochs =
+              info.kind == core::ModelKind::kBasicHDC ? 0 : baseline_epochs;
+          opts.learning_rate =
+              info.kind == core::ModelKind::kLeHDC ? 0.01f : 0.05f;
+          opts.seed = ctx.seed + trial;
           // SearcHD's N=64 AM at D=10240 is enormous; the paper fixes N=64.
-          bc.n_models = 64;
-          const bool idlevel = kind != core::ModelKind::kBasicHDC;
+          opts.n_models = 64;
+          const bool idlevel = info.kind != core::ModelKind::kBasicHDC;
           const double acc =
-              bench::run_baseline(kind, idlevel ? capped : split, bc);
+              bench::run_classifier(info.name, idlevel ? capped : split, opts);
           core::MemoryParams p = memory_params(split, d, 0);
-          const auto mem = core::memory_requirement(kind, p);
-          points.push_back({core::model_name(kind), std::to_string(d),
+          const auto mem = core::memory_requirement(info.kind, p);
+          points.push_back({core::model_name(info.kind), std::to_string(d),
                             mem.total_kb(), acc});
-          csv.write_row({dataset, core::model_name(kind), std::to_string(d),
+          csv.write_row({dataset, core::model_name(info.kind),
+                         std::to_string(d),
                          common::format_double(mem.total_kb(), 2),
                          bench::pct(acc), std::to_string(trial)});
           std::printf("  [%6.1fs] %-8s D=%-6zu %8.1f KB  acc %s%%\n",
-                      total.seconds(), core::model_name(kind), d,
+                      total.seconds(), core::model_name(info.kind), d,
                       mem.total_kb(), bench::pct(acc).c_str());
         }
       }

@@ -1,17 +1,16 @@
 // Table I: memory requirements of the baseline binary HDC models and MEMHD.
 //
-// Prints the symbolic formulas plus concrete KB numbers for the paper's
-// evaluation shapes on all three dataset geometries. Pure arithmetic — no
-// training — so this binary is instant at any scale.
+// Rows are driven by the model registry: api::model_infos() supplies every
+// model's kind, keywords and formula strings, and core::memory_requirement
+// evaluates the formula at the paper's representative shape (the same
+// arithmetic Classifier::memory() performs on a live instance, minus the
+// instance — no encoders are allocated, so this binary is instant at any
+// scale). Adding a registry entry adds a row.
 #include "bench_common.hpp"
-
-#include "src/core/memory_model.hpp"
 
 namespace {
 
 using namespace memhd;
-using core::MemoryParams;
-using core::ModelKind;
 
 struct DatasetGeometry {
   const char* name;
@@ -22,27 +21,21 @@ struct DatasetGeometry {
 constexpr DatasetGeometry kGeometries[] = {
     {"MNIST", 784, 10}, {"FMNIST", 784, 10}, {"ISOLET", 617, 26}};
 
-struct ModelRow {
-  ModelKind kind;
-  const char* keywords;
-  const char* em_formula;
-  const char* am_formula;
-  std::size_t dim;      // representative D used in the paper's evaluation
-  std::size_t columns;  // MEMHD only
-};
-
-constexpr ModelRow kRows[] = {
-    {ModelKind::kSearcHD, "Multi-model / ID-Level / Single-pass",
-     "(f + L) x D", "k x D x N", 8000, 0},
-    {ModelKind::kQuantHD, "ID-Level / Quantization-aware / Iterative",
-     "(f + L) x D", "k x D", 1600, 0},
-    {ModelKind::kLeHDC, "ID-Level / BNN-based training", "(f + L) x D",
-     "k x D", 400, 0},
-    {ModelKind::kBasicHDC, "Projection / Single-pass", "f x D", "k x D",
-     10240, 0},
-    {ModelKind::kMemhd, "Multi-centroid / Projection / Quant-aware",
-     "f x D", "C x D", 128, 128},
-};
+/// Representative D (and C for MEMHD) used in the paper's evaluation.
+api::ModelOptions representative_options(core::ModelKind kind) {
+  api::ModelOptions opts;
+  switch (kind) {
+    case core::ModelKind::kSearcHD: opts.dim = 8000; break;
+    case core::ModelKind::kQuantHD: opts.dim = 1600; break;
+    case core::ModelKind::kLeHDC: opts.dim = 400; break;
+    case core::ModelKind::kBasicHDC: opts.dim = 10240; break;
+    case core::ModelKind::kMemhd:
+      opts.dim = 128;
+      opts.columns = 128;
+      break;
+  }
+  return opts;
+}
 
 }  // namespace
 
@@ -65,20 +58,24 @@ int main(int argc, char** argv) {
     common::TablePrinter table({"Model", "Keywords", "EM formula",
                                 "AM formula", "D", "EM (KB)", "AM (KB)",
                                 "Total (KB)"});
-    for (const auto& row : kRows) {
-      MemoryParams p;
+    for (const auto& info : api::model_infos()) {
+      const auto opts = representative_options(info.kind);
+      core::MemoryParams p;
       p.num_features = geo.features;
       p.num_classes = geo.classes;
-      p.dim = row.dim;
-      p.columns = row.columns;
-      const auto mem = core::memory_requirement(row.kind, p);
-      table.add_row({core::model_name(row.kind), row.keywords, row.em_formula,
-                     row.am_formula, std::to_string(row.dim),
+      p.dim = opts.dim;
+      p.columns = info.kind == core::ModelKind::kMemhd ? opts.columns : 0;
+      p.num_levels = opts.num_levels;
+      p.n_models = opts.n_models;
+      const auto mem = core::memory_requirement(info.kind, p);
+      const char* display = core::model_name(info.kind);
+      table.add_row({display, info.keywords, info.em_formula,
+                     info.am_formula, std::to_string(opts.dim),
                      common::format_double(mem.encoder_kb(), 1),
                      common::format_double(mem.am_kb(), 1),
                      common::format_double(mem.total_kb(), 1)});
-      csv.write_row({geo.name, core::model_name(row.kind),
-                     std::to_string(row.dim), std::to_string(row.columns),
+      csv.write_row({geo.name, display, std::to_string(opts.dim),
+                     std::to_string(p.columns),
                      common::format_double(mem.encoder_kb(), 3),
                      common::format_double(mem.am_kb(), 3),
                      common::format_double(mem.total_kb(), 3)});

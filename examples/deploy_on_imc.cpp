@@ -9,9 +9,10 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/api/adapters.hpp"
+#include "src/api/registry.hpp"
 #include "src/common/cli.hpp"
 #include "src/common/rng.hpp"
-#include "src/core/model.hpp"
 #include "src/data/loaders.hpp"
 #include "src/data/scaling.hpp"
 #include "src/imc/cost_model.hpp"
@@ -41,20 +42,25 @@ int main(int argc, char** argv) {
       for (auto& v : ds->features().row(i))
         v = std::floor(v * 256.0f) / 256.0f;
 
-  core::MemhdConfig cfg;
-  cfg.dim = static_cast<std::size_t>(cli.get_int("dim"));
-  cfg.columns = static_cast<std::size_t>(cli.get_int("columns"));
-  cfg.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
-  cfg.learning_rate = 0.03f;
-  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  // The registry is the construction path even when the workload needs
+  // MEMHD-specific surfaces: the adapter hands back the wrapped
+  // core::MemhdModel for the IMC programming step.
+  api::ModelOptions opts;
+  opts.dim = static_cast<std::size_t>(cli.get_int("dim"));
+  opts.columns = static_cast<std::size_t>(cli.get_int("columns"));
+  opts.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  opts.learning_rate = 0.03f;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
-  std::printf("training MEMHD %zux%zu on %s...\n", cfg.dim, cfg.columns,
-              split.train.summary().c_str());
-  core::MemhdModel model(cfg, split.train.num_features(),
-                         split.train.num_classes());
-  model.fit(split.train, &split.test);
-  const double sw_acc = model.evaluate(split.test);
+  const auto clf = api::make("memhd", split.train.num_features(),
+                             split.train.num_classes(), opts);
+  std::printf("training %s %zux%zu on %s...\n", clf->name(), opts.dim,
+              opts.columns, split.train.summary().c_str());
+  clf->fit(split.train, &split.test);
+  const double sw_acc = clf->evaluate(split.test);
 
+  const core::MemhdModel& model =
+      dynamic_cast<const api::MemhdClassifier&>(*clf).model();
   const auto a = static_cast<std::size_t>(cli.get_int("array"));
   const imc::ArrayGeometry geometry{a, a};
   imc::InMemoryPipeline pipeline(model.encoder(), model.am(), geometry);

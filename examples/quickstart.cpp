@@ -1,15 +1,23 @@
-// Quickstart: train a MEMHD classifier sized for one 128x128 IMC array,
-// evaluate it, save it, and reload it.
+// Quickstart: the api:: layer end to end — build a model from the registry,
+// train it, evaluate it through the fused batch path, persist it in the
+// tagged format, reload it, and serve single queries through the
+// micro-batching front end.
 //
-//   $ ./quickstart [--dim 128] [--columns 128] [--epochs 30]
+//   $ ./quickstart [--model memhd] [--dim 128] [--columns 128] [--epochs 30]
 //
-// The workload is the MNIST-like synthetic profile (the real MNIST IDX
-// files are used automatically if MEMHD_DATA_DIR points at them).
+// --model accepts any registry name (api::list_models()): memhd, basichdc,
+// quanthd, searchd, lehdc. The default trains MEMHD sized for one 128x128
+// IMC array. The workload is the MNIST-like synthetic profile (the real
+// MNIST IDX files are used automatically if MEMHD_DATA_DIR points at them).
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "src/api/batch_server.hpp"
+#include "src/api/registry.hpp"
 #include "src/common/cli.hpp"
 #include "src/common/rng.hpp"
-#include "src/core/model.hpp"
 #include "src/data/loaders.hpp"
 #include "src/data/scaling.hpp"
 
@@ -17,11 +25,12 @@ int main(int argc, char** argv) {
   using namespace memhd;
 
   common::CliParser cli(
-      "MEMHD quickstart: train, evaluate, save and reload a model sized "
-      "for one IMC array.");
+      "MEMHD quickstart: build any registry model, train, evaluate, persist "
+      "and serve it.");
+  cli.add_flag("model", "memhd", "Registry name (see api::list_models())");
   cli.add_flag("dim", "128", "Hypervector dimension D (= array rows)");
-  cli.add_flag("columns", "128", "AM columns C (= array columns)");
-  cli.add_flag("epochs", "30", "Quantization-aware training epochs");
+  cli.add_flag("columns", "128", "AM columns C (= array columns, MEMHD)");
+  cli.add_flag("epochs", "30", "Training epochs");
   cli.add_flag("seed", "1", "RNG seed");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -33,46 +42,64 @@ int main(int argc, char** argv) {
   std::printf("train: %s\ntest:  %s\n", split.train.summary().c_str(),
               split.test.summary().c_str());
 
-  // 2. Configure MEMHD: D x C sized to the IMC array, clustering-based
-  //    initialization, quantization-aware iterative learning.
-  core::MemhdConfig cfg;
-  cfg.dim = static_cast<std::size_t>(cli.get_int("dim"));
-  cfg.columns = static_cast<std::size_t>(cli.get_int("columns"));
-  cfg.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
-  cfg.learning_rate = 0.03f;
-  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  // 2. One options struct configures every model; fields a model does not
+  //    use are ignored. The registry is the single construction path.
+  const std::string name = cli.get_string("model");
+  if (api::find_model(name) == nullptr) {
+    std::printf("unknown model \"%s\"; available:", name.c_str());
+    for (const auto& known : api::list_models())
+      std::printf(" %s", known.c_str());
+    std::printf("\n");
+    return 1;
+  }
+  api::ModelOptions opts;
+  opts.dim = static_cast<std::size_t>(cli.get_int("dim"));
+  opts.columns = static_cast<std::size_t>(cli.get_int("columns"));
+  opts.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  opts.learning_rate = 0.03f;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
-  core::MemhdModel model(cfg, split.train.num_features(),
-                         split.train.num_classes());
+  auto model = api::make(name, split.train.num_features(),
+                         split.train.num_classes(), opts);
 
-  // 3. Fit: encode -> cluster-initialize -> QAT. The report carries the
-  //    whole training story.
-  std::printf("\ntraining %zux%zu (R=%.2f, lr=%.3f, %zu epochs)...\n",
-              cfg.dim, cfg.columns, cfg.initial_ratio, cfg.learning_rate,
-              cfg.epochs);
-  const auto report = model.fit(split.train, &split.test);
-  std::printf("  initial columns by clustering: %zu, allocation rounds: %zu\n",
-              report.init.initial_columns, report.init.allocation_rounds);
-  std::printf("  accuracy after init:  %.2f%%\n",
-              100.0 * report.post_init_eval_accuracy);
-  std::printf("  best epoch: %zu (%.2f%%)\n", report.training.best_epoch + 1,
-              100.0 * report.training.best_eval_accuracy);
+  // 3. Fit and evaluate through the batch-first Classifier surface; the
+  //    whole test set goes through one fused batch search.
+  std::printf("\ntraining %s (D=%zu, %zu epochs)...\n", model->name(),
+              model->dim(), opts.epochs);
+  model->fit(split.train, &split.test);
+  const double accuracy = model->evaluate(split.test);
+  const auto mem = model->memory();
+  std::printf("  test accuracy:   %.2f%%\n", 100.0 * accuracy);
+  std::printf("  deployed memory: %.1f KB (encoder %.1f + AM %.1f)\n",
+              mem.total_kb(), mem.encoder_kb(), mem.am_kb());
 
-  // 4. Evaluate the deployed binary model.
-  const double accuracy = model.evaluate(split.test);
-  std::printf("  final test accuracy:  %.2f%%\n", 100.0 * accuracy);
-  std::printf("  deployed memory:      %.1f KB (encoder %zu + AM %zu bits)\n",
-              static_cast<double>(model.memory_bits()) / 8192.0,
-              model.encoder().memory_bits(), model.am().memory_bits());
-
-  // 5. Persist and reload; predictions are bit-exact across the round trip.
-  const std::string path = "quickstart.memhd";
-  model.save(path);
-  const auto reloaded = core::MemhdModel::load(path);
+  // 4. Persist in the tagged container and reload polymorphically;
+  //    predictions are bit-exact across the round trip.
+  const std::string path = "quickstart.mhd";
+  model->save(path);
+  const auto reloaded = api::load(path);
   const auto sample = split.test.sample(0);
-  std::printf("\nsaved to %s; reloaded model predicts class %u "
+  std::printf("\nsaved to %s; reloaded %s predicts class %u "
               "(original: %u, truth: %u)\n",
-              path.c_str(), reloaded.predict(sample), model.predict(sample),
-              split.test.label(0));
+              path.c_str(), reloaded->name(), reloaded->predict(sample),
+              model->predict(sample), split.test.label(0));
+
+  // 5. Serve single-query traffic through the micro-batching front end:
+  //    requests batch up and run as one fused predict_batch.
+  api::BatchServerOptions server_opts;
+  server_opts.max_batch = 32;
+  api::BatchServer server(*model, server_opts);
+  std::vector<std::future<data::Label>> answers;
+  const std::size_t queries = std::min<std::size_t>(64, split.test.size());
+  for (std::size_t i = 0; i < queries; ++i)
+    answers.push_back(server.submit(split.test.sample(i)));
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < queries; ++i)
+    if (answers[i].get() == split.test.label(i)) ++correct;
+  const auto stats = server.stats();
+  std::printf("served %zu queries in %llu fused batches (largest %llu): "
+              "%zu correct\n",
+              queries, static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.largest_batch), correct);
   return 0;
 }

@@ -1,0 +1,124 @@
+#include "src/api/batch_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::api {
+
+BatchServer::BatchServer(const Classifier& model,
+                         const BatchServerOptions& options)
+    : model_(model), options_(options) {
+  MEMHD_EXPECTS(options_.max_batch >= 1);
+  MEMHD_EXPECTS(model_.fitted());
+  if (options_.background) worker_ = std::thread([this] { worker_loop(); });
+}
+
+BatchServer::~BatchServer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Manual mode (or requests that raced shutdown): complete stragglers so
+  // no future is left dangling.
+  flush();
+}
+
+std::future<data::Label> BatchServer::submit(std::span<const float> features) {
+  if (features.size() != model_.num_features())
+    throw std::invalid_argument(
+        "BatchServer::submit: feature length mismatch");
+
+  Request request;
+  request.features.assign(features.begin(), features.end());
+  std::future<data::Label> future = request.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty())
+      oldest_arrival_ = std::chrono::steady_clock::now();
+    pending_.push_back(std::move(request));
+    ++stats_.requests;
+  }
+  // Wakes the worker both out of its idle wait (first request) and out of
+  // the batching window once the batch fills.
+  cv_.notify_one();
+  return future;
+}
+
+std::size_t BatchServer::flush() {
+  std::vector<Request> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch.swap(pending_);
+  }
+  const std::size_t n = batch.size();
+  if (n > 0) run_batch(std::move(batch));
+  return n;
+}
+
+std::size_t BatchServer::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+BatchServerStats BatchServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BatchServer::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (stop_) return;  // destructor's flush() completes leftovers
+
+    // Micro-batch window: hold the batch open until it fills or the oldest
+    // request has waited out the delay budget.
+    const auto deadline = oldest_arrival_ + options_.max_delay;
+    cv_.wait_until(lock, deadline, [this] {
+      return stop_ || pending_.size() >= options_.max_batch;
+    });
+    if (stop_) return;
+    if (pending_.empty()) continue;  // a flush() raced us
+
+    std::vector<Request> batch;
+    batch.swap(pending_);
+    lock.unlock();
+    run_batch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void BatchServer::run_batch(std::vector<Request> batch) {
+  common::Matrix features(batch.size(), model_.num_features());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto row = features.row(i);
+    std::copy(batch[i].features.begin(), batch[i].features.end(), row.begin());
+  }
+
+  // Stats are bumped before the promises complete so a caller that joins
+  // its futures and then reads stats() sees this batch counted.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batches;
+    stats_.largest_batch =
+        std::max<std::uint64_t>(stats_.largest_batch, batch.size());
+  }
+
+  try {
+    const std::vector<data::Label> labels = model_.predict_batch(features);
+    MEMHD_EXPECTS(labels.size() == batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      batch[i].promise.set_value(labels[i]);
+  } catch (...) {
+    const auto error = std::current_exception();
+    for (auto& request : batch) request.promise.set_exception(error);
+  }
+}
+
+}  // namespace memhd::api

@@ -1,0 +1,101 @@
+// Micro-batching serve front end (the ROADMAP serve-path item).
+//
+// Single-query requests arriving from many threads are collected into one
+// queue; a batch is cut when either `max_batch` requests are pending or the
+// oldest request has waited `max_delay`, and the whole batch runs through
+// one fused Classifier::predict_batch call — the software shape of driving
+// a full wordline batch through the IMC array instead of one query at a
+// time. Each submit() returns a future that completes with that request's
+// label.
+//
+// Because predict_batch is bit-identical to per-sample predict() for every
+// registry model (asserted by tests/api/), the server's answers do not
+// depend on how requests happen to be grouped into batches — any
+// interleaving yields the labels a direct predict_batch over the same rows
+// would.
+//
+//   api::BatchServer server(*clf);
+//   auto f = server.submit(features);     // from any thread
+//   data::Label label = f.get();
+//
+// Deterministic/manual mode: construct with background = false and call
+// flush() — no worker thread, batches are cut exactly where the caller
+// says, which is what the unit tests drive.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/api/classifier.hpp"
+
+namespace memhd::api {
+
+struct BatchServerOptions {
+  /// Cut a batch as soon as this many requests are pending.
+  std::size_t max_batch = 64;
+  /// ... or when the oldest pending request has waited this long.
+  std::chrono::microseconds max_delay{200};
+  /// Spawn the background batching thread. false = manual mode: nothing
+  /// runs until flush().
+  bool background = true;
+};
+
+struct BatchServerStats {
+  std::uint64_t requests = 0;       // submits accepted
+  std::uint64_t batches = 0;        // fused predict_batch calls
+  std::uint64_t largest_batch = 0;  // max rows in one fused call
+};
+
+class BatchServer {
+ public:
+  /// The classifier must be fitted and must outlive the server. Inference
+  /// is const and the server serializes its own batches, so one model may
+  /// sit behind several servers.
+  explicit BatchServer(const Classifier& model,
+                       const BatchServerOptions& options = {});
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Enqueues one query (copied; length must equal model.num_features(),
+  /// else std::invalid_argument). Thread-safe.
+  std::future<data::Label> submit(std::span<const float> features);
+
+  /// Synchronously runs one fused batch over everything pending right now
+  /// (possibly a partial batch) in the calling thread; returns its size.
+  /// The deterministic path for tests and for draining in manual mode.
+  std::size_t flush();
+
+  std::size_t pending() const;
+  BatchServerStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<float> features;
+    std::promise<data::Label> promise;
+  };
+
+  void worker_loop();
+  /// Completes `batch` through one predict_batch call.
+  void run_batch(std::vector<Request> batch);
+
+  const Classifier& model_;
+  BatchServerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Request> pending_;
+  std::chrono::steady_clock::time_point oldest_arrival_{};
+  bool stop_ = false;
+  BatchServerStats stats_;
+  std::thread worker_;
+};
+
+}  // namespace memhd::api

@@ -1,0 +1,18 @@
+#include "src/api/classifier.hpp"
+
+namespace memhd::api {
+
+double Classifier::evaluate(const data::Dataset& test) const {
+  if (test.empty()) return 0.0;
+  const auto predicted = predict_batch(test.features());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if (predicted[i] == test.label(i)) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+void Classifier::save(const std::string& path) const {
+  api::save(*this, path);
+}
+
+}  // namespace memhd::api

@@ -1,0 +1,98 @@
+// api::Classifier — the batch-first inference contract every model in this
+// library satisfies (paper §IV-F: "all models employ MVM-based associative
+// search for inference", so one polymorphic surface covers MEMHD and all
+// four baselines).
+//
+// The contract is batch-first: predict_batch / scores_batch over a feature
+// matrix are the primary entry points and run through the blocked popcount
+// kernels (src/common/bitops_batch.hpp); predict(span) is the single-query
+// convenience and is bit-identical to the corresponding predict_batch row.
+// The serve front end (api::BatchServer) and the evaluation loops only ever
+// touch this interface, so anything the registry builds can be dropped
+// behind them.
+//
+//   auto clf = api::make("memhd", features, classes, opts);
+//   clf->fit(train, &test);
+//   auto labels = clf->predict_batch(test.features());
+//   api::save(*clf, "model.mhd");
+//   auto back = api::load("model.mhd");   // polymorphic, kind-tagged
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/matrix.hpp"
+#include "src/core/memory_model.hpp"
+#include "src/data/dataset.hpp"
+
+namespace memhd::api {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Display name ("MEMHD", "BasicHDC", ...; same strings as
+  /// core::model_name).
+  const char* name() const { return core::model_name(kind()); }
+  virtual core::ModelKind kind() const = 0;
+
+  virtual std::size_t num_features() const = 0;
+  virtual std::size_t num_classes() const = 0;
+  virtual std::size_t dim() const = 0;
+  /// True once fit() (or a load) produced a deployable model.
+  virtual bool fitted() const = 0;
+
+  /// Trains on `train`. `eval`, when given, drives whatever per-epoch
+  /// tracking the model supports (MEMHD's best-snapshot selection); models
+  /// without that concept ignore it.
+  virtual void fit(const data::Dataset& train,
+                   const data::Dataset* eval = nullptr) = 0;
+
+  /// Predicts one raw feature vector (length num_features()).
+  virtual data::Label predict(std::span<const float> features) const = 0;
+
+  /// Batched inference over a feature matrix (one row per sample):
+  /// batch-encode, then one blocked winner-take-all associative search.
+  /// Bit-identical to predict() on each row.
+  virtual std::vector<data::Label> predict_batch(
+      const common::Matrix& features) const = 0;
+
+  /// Rows of the deployed associative memory a query is scored against
+  /// (k, C, or k*N depending on the model).
+  virtual std::size_t score_rows() const = 0;
+
+  /// Raw batched MVM score table: out[q * score_rows() + r] =
+  /// popcount(row_r AND encode(features.row(q))).
+  virtual void scores_batch(const common::Matrix& features,
+                            std::vector<std::uint32_t>& out) const = 0;
+
+  /// Accuracy on `test` via predict_batch.
+  double evaluate(const data::Dataset& test) const;
+
+  /// Table I memory breakdown of the deployed model.
+  virtual core::MemoryBreakdown memory() const = 0;
+
+  /// Tagged persistence (see api::save / api::load below).
+  void save(const std::string& path) const;
+
+  /// Model payload, excluding the container header. Prefer api::save.
+  virtual void save_payload(std::ostream& out) const = 0;
+};
+
+/// Writes `classifier` to `path` in the tagged container format:
+/// magic "MHDAPI01", u8 core::ModelKind, then the model payload (the MEMHD
+/// core record or the generic baseline record). Throws std::runtime_error.
+void save(const Classifier& classifier, const std::string& path);
+void save(const Classifier& classifier, std::ostream& out);
+
+/// Reads any model written by api::save and reconstructs it behind the
+/// Classifier interface, dispatching on the kind tag. The reload is
+/// bit-exact: predictions match the saved model. Throws std::runtime_error
+/// on malformed input.
+std::unique_ptr<Classifier> load(const std::string& path);
+std::unique_ptr<Classifier> load(std::istream& in);
+
+}  // namespace memhd::api

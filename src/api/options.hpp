@@ -1,0 +1,65 @@
+// One options struct for every model the registry can build.
+//
+// api::ModelOptions subsumes core::MemhdConfig and baselines::BaselineConfig
+// so that benches, examples, and tests configure any of the five models from
+// one code path (`api::make(name, features, classes, opts)`). Fields a model
+// does not consume are ignored, mirroring BaselineConfig's contract.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "src/baselines/baseline.hpp"
+#include "src/core/config.hpp"
+
+namespace memhd::api {
+
+struct ModelOptions {
+  // Shared by every model.
+  std::size_t dim = 1024;          // D: hypervector dimensionality
+  std::size_t epochs = 20;         // training epochs (0 = single-pass only)
+  float learning_rate = 0.05f;
+  std::uint64_t seed = 1;
+
+  // MEMHD only.
+  std::size_t columns = 0;         // C: total centroids; 0 = square (C = D)
+  double initial_ratio = 0.9;      // R
+  core::InitMethod init = core::InitMethod::kClustering;
+  core::AllocationPolicy allocation = core::AllocationPolicy::kProportional;
+  core::NormalizationMode normalization = core::NormalizationMode::kZScore;
+  std::size_t kmeans_max_iterations = 25;
+
+  // ID-Level encoders (QuantHD / SearcHD / LeHDC).
+  std::size_t num_levels = 256;    // L
+
+  // SearcHD only.
+  std::size_t n_models = 64;       // N
+
+  core::MemhdConfig memhd() const {
+    core::MemhdConfig cfg;
+    cfg.dim = dim;
+    cfg.columns = columns == 0 ? dim : columns;
+    cfg.initial_ratio = initial_ratio;
+    cfg.init = init;
+    cfg.allocation = allocation;
+    cfg.normalization = normalization;
+    cfg.epochs = epochs;
+    cfg.learning_rate = learning_rate;
+    cfg.kmeans_max_iterations = kmeans_max_iterations;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  baselines::BaselineConfig baseline() const {
+    baselines::BaselineConfig cfg;
+    cfg.dim = dim;
+    cfg.epochs = epochs;
+    cfg.learning_rate = learning_rate;
+    cfg.num_levels = num_levels;
+    cfg.n_models = n_models;
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+}  // namespace memhd::api

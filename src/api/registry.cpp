@@ -1,0 +1,65 @@
+#include "src/api/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "src/api/adapters.hpp"
+
+namespace memhd::api {
+
+const std::vector<ModelInfo>& model_infos() {
+  static const std::vector<ModelInfo> kInfos = {
+      {"searchd", core::ModelKind::kSearcHD,
+       "Multi-model / ID-Level / Single-pass", "(f + L) x D", "k x D x N"},
+      {"quanthd", core::ModelKind::kQuantHD,
+       "ID-Level / Quantization-aware / Iterative", "(f + L) x D", "k x D"},
+      {"lehdc", core::ModelKind::kLeHDC, "ID-Level / BNN-based training",
+       "(f + L) x D", "k x D"},
+      {"basichdc", core::ModelKind::kBasicHDC, "Projection / Single-pass",
+       "f x D", "k x D"},
+      {"memhd", core::ModelKind::kMemhd,
+       "Multi-centroid / Projection / Quant-aware", "f x D", "C x D"},
+  };
+  return kInfos;
+}
+
+std::vector<std::string> list_models() {
+  std::vector<std::string> names;
+  names.reserve(model_infos().size());
+  for (const auto& info : model_infos()) names.emplace_back(info.name);
+  return names;
+}
+
+const ModelInfo* find_model(std::string_view name) {
+  std::string key(name);
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (const auto& info : model_infos())
+    if (key == info.name) return &info;
+  return nullptr;
+}
+
+std::unique_ptr<Classifier> make(std::string_view name,
+                                 std::size_t num_features,
+                                 std::size_t num_classes,
+                                 const ModelOptions& opts) {
+  const ModelInfo* info = find_model(name);
+  if (info == nullptr)
+    throw std::invalid_argument("api::make: unknown model \"" +
+                                std::string(name) +
+                                "\"; see api::list_models()");
+  return make(info->kind, num_features, num_classes, opts);
+}
+
+std::unique_ptr<Classifier> make(core::ModelKind kind,
+                                 std::size_t num_features,
+                                 std::size_t num_classes,
+                                 const ModelOptions& opts) {
+  if (kind == core::ModelKind::kMemhd)
+    return std::make_unique<MemhdClassifier>(opts, num_features, num_classes);
+  return std::make_unique<BaselineClassifier>(kind, opts, num_features,
+                                              num_classes);
+}
+
+}  // namespace memhd::api

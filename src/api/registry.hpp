@@ -1,0 +1,56 @@
+// String-keyed model registry: one construction path for all five models.
+//
+//   for (const auto& name : api::list_models()) {
+//     auto clf = api::make(name, train.num_features(), train.num_classes(),
+//                          opts);
+//     clf->fit(train);
+//     ...
+//   }
+//
+// The registry also carries each model's Table-I metadata (keywords and
+// memory formulas), so benches print the paper's rows without hand-rolled
+// per-model tables.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/api/classifier.hpp"
+#include "src/api/options.hpp"
+
+namespace memhd::api {
+
+struct ModelInfo {
+  const char* name;        // registry key, lowercase ("memhd", "searchd", ...)
+  core::ModelKind kind;
+  const char* keywords;    // Table I "keywords" column
+  const char* em_formula;  // encoding-module memory formula
+  const char* am_formula;  // associative-memory formula
+};
+
+/// Every registered model, in the paper's Table-I row order (the four
+/// baselines, then MEMHD).
+const std::vector<ModelInfo>& model_infos();
+
+/// Registry keys of every model, in model_infos() order.
+std::vector<std::string> list_models();
+
+/// Metadata for `name` (case-insensitive; display names like "MEMHD" also
+/// resolve). nullptr when unknown.
+const ModelInfo* find_model(std::string_view name);
+
+/// Builds the named model. Throws std::invalid_argument on unknown names.
+std::unique_ptr<Classifier> make(std::string_view name,
+                                 std::size_t num_features,
+                                 std::size_t num_classes,
+                                 const ModelOptions& opts = {});
+
+/// Same, keyed on the enum.
+std::unique_ptr<Classifier> make(core::ModelKind kind,
+                                 std::size_t num_features,
+                                 std::size_t num_classes,
+                                 const ModelOptions& opts = {});
+
+}  // namespace memhd::api

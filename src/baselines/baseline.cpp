@@ -6,8 +6,48 @@
 #include "src/baselines/lehdc.hpp"
 #include "src/baselines/quanthd.hpp"
 #include "src/baselines/searchd.hpp"
+#include "src/common/assert.hpp"
 
 namespace memhd::baselines {
+
+BaselineModel::BaselineModel(const BaselineConfig& config,
+                             std::size_t num_features,
+                             std::size_t num_classes)
+    : config_(config), num_features_(num_features), num_classes_(num_classes) {
+  MEMHD_EXPECTS(num_features >= 1);
+  MEMHD_EXPECTS(num_classes >= 2);
+  MEMHD_EXPECTS(config.dim >= 1);
+}
+
+std::vector<common::BitVector> BaselineModel::encode_batch(
+    const common::Matrix& features) const {
+  MEMHD_EXPECTS(features.cols() == num_features_);
+  std::vector<common::BitVector> out;
+  out.reserve(features.rows());
+  for (std::size_t i = 0; i < features.rows(); ++i)
+    out.push_back(encode(features.row(i)));
+  return out;
+}
+
+double BaselineModel::evaluate(const data::Dataset& test) const {
+  if (test.empty()) return 0.0;
+  const auto encoded = encode_dataset(test);
+  const auto predicted = predict_batch(encoded.hypervectors);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < encoded.size(); ++i)
+    if (predicted[i] == encoded.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(encoded.size());
+}
+
+core::MemoryBreakdown BaselineModel::memory() const {
+  core::MemoryParams p;
+  p.num_features = num_features_;
+  p.dim = config_.dim;
+  p.num_classes = num_classes_;
+  p.num_levels = config_.num_levels;
+  p.n_models = config_.n_models;
+  return core::memory_requirement(kind(), p);
+}
 
 std::unique_ptr<BaselineModel> make_baseline(core::ModelKind kind,
                                              std::size_t num_features,

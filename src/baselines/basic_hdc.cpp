@@ -1,5 +1,6 @@
 #include "src/baselines/basic_hdc.hpp"
 
+#include "src/common/io.hpp"
 #include "src/hdc/trainers.hpp"
 
 namespace memhd::baselines {
@@ -17,8 +18,7 @@ hdc::ProjectionEncoderConfig make_encoder_config(std::size_t num_features,
 
 BasicHdc::BasicHdc(std::size_t num_features, std::size_t num_classes,
                    const BaselineConfig& config)
-    : config_(config),
-      num_classes_(num_classes),
+    : BaselineModel(config, num_features, num_classes),
       encoder_(make_encoder_config(num_features, config)),
       am_(num_classes, config.dim) {}
 
@@ -36,17 +36,43 @@ void BasicHdc::fit(const data::Dataset& train) {
   }
 }
 
-double BasicHdc::evaluate(const data::Dataset& test) const {
-  const auto encoded = encoder_.encode_dataset(test);
-  return hdc::evaluate_binary(am_, encoded);
+common::BitVector BasicHdc::encode(std::span<const float> features) const {
+  return encoder_.encode(features);
 }
 
-core::MemoryBreakdown BasicHdc::memory() const {
-  core::MemoryParams p;
-  p.num_features = encoder_.num_features();
-  p.dim = config_.dim;
-  p.num_classes = num_classes_;
-  return core::memory_requirement(core::ModelKind::kBasicHDC, p);
+std::vector<common::BitVector> BasicHdc::encode_batch(
+    const common::Matrix& features) const {
+  return encoder_.encode_batch(features);
+}
+
+hdc::EncodedDataset BasicHdc::encode_dataset(
+    const data::Dataset& dataset) const {
+  return encoder_.encode_dataset(dataset);
+}
+
+data::Label BasicHdc::predict(const common::BitVector& query) const {
+  return am_.predict_binary(query);
+}
+
+std::vector<data::Label> BasicHdc::predict_batch(
+    std::span<const common::BitVector> queries) const {
+  return am_.predict_batch(queries);
+}
+
+void BasicHdc::scores_batch(std::span<const common::BitVector> queries,
+                            std::vector<std::uint32_t>& out) const {
+  am_.scores_batch(queries, out);
+}
+
+void BasicHdc::save_state(std::ostream& out) const {
+  common::write_matrix(out, am_.fp());
+  common::write_bit_matrix(out, am_.binary());
+}
+
+void BasicHdc::load_state(std::istream& in) {
+  const auto fp = common::read_matrix(in, num_classes_, config_.dim);
+  const auto bin = common::read_bit_matrix(in, num_classes_, config_.dim);
+  am_.restore(fp, bin);
 }
 
 }  // namespace memhd::baselines

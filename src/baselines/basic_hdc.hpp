@@ -15,20 +15,31 @@ class BasicHdc final : public BaselineModel {
   BasicHdc(std::size_t num_features, std::size_t num_classes,
            const BaselineConfig& config);
 
-  const char* name() const override { return "BasicHDC"; }
   core::ModelKind kind() const override { return core::ModelKind::kBasicHDC; }
-  std::size_t dim() const override { return config_.dim; }
 
   void fit(const data::Dataset& train) override;
-  double evaluate(const data::Dataset& test) const override;
-  core::MemoryBreakdown memory() const override;
+
+  common::BitVector encode(std::span<const float> features) const override;
+  /// Sample-blocked projection matmul (bit-identical to per-row encode()).
+  std::vector<common::BitVector> encode_batch(
+      const common::Matrix& features) const override;
+  hdc::EncodedDataset encode_dataset(
+      const data::Dataset& dataset) const override;
+
+  data::Label predict(const common::BitVector& query) const override;
+  std::vector<data::Label> predict_batch(
+      std::span<const common::BitVector> queries) const override;
+  std::size_t score_rows() const override { return num_classes_; }
+  void scores_batch(std::span<const common::BitVector> queries,
+                    std::vector<std::uint32_t>& out) const override;
+
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
   const hdc::AssociativeMemory& am() const { return am_; }
   const hdc::ProjectionEncoder& encoder() const { return encoder_; }
 
  private:
-  BaselineConfig config_;
-  std::size_t num_classes_;
   hdc::ProjectionEncoder encoder_;
   hdc::AssociativeMemory am_;
 };

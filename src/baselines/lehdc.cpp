@@ -5,6 +5,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/bitops_batch.hpp"
+#include "src/common/io.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
 #include "src/hdc/trainers.hpp"
@@ -25,12 +26,19 @@ hdc::IdLevelEncoderConfig make_encoder_config(std::size_t num_features,
 
 LeHdc::LeHdc(std::size_t num_features, std::size_t num_classes,
              const BaselineConfig& config)
-    : config_(config),
-      num_classes_(num_classes),
+    : BaselineModel(config, num_features, num_classes),
       encoder_(make_encoder_config(num_features, config)),
       weights_(num_classes, config.dim, 0.0f),
       binary_(num_classes, config.dim) {
   hyper_.learning_rate = config.learning_rate;
+}
+
+common::BitVector LeHdc::encode(std::span<const float> features) const {
+  return encoder_.encode(features);
+}
+
+hdc::EncodedDataset LeHdc::encode_dataset(const data::Dataset& dataset) const {
+  return encoder_.encode_dataset(dataset);
 }
 
 void LeHdc::fit(const data::Dataset& train) {
@@ -188,23 +196,29 @@ std::vector<data::Label> LeHdc::predict_batch(
   return out;
 }
 
-double LeHdc::evaluate(const data::Dataset& test) const {
-  const auto encoded = encoder_.encode_dataset(test);
-  if (encoded.empty()) return 0.0;
-  const auto predicted = predict_batch(encoded.hypervectors);
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < encoded.size(); ++i)
-    if (predicted[i] == encoded.labels[i]) ++correct;
-  return static_cast<double>(correct) / static_cast<double>(encoded.size());
+void LeHdc::scores_batch(std::span<const common::BitVector> queries,
+                         std::vector<std::uint32_t>& out) const {
+  common::blocked_popcount_scores(binary_, queries, common::PopcountOp::kAnd,
+                                  out);
 }
 
-core::MemoryBreakdown LeHdc::memory() const {
-  core::MemoryParams p;
-  p.num_features = encoder_.num_features();
-  p.dim = config_.dim;
-  p.num_classes = num_classes_;
-  p.num_levels = config_.num_levels;
-  return core::memory_requirement(core::ModelKind::kLeHDC, p);
+void LeHdc::save_state(std::ostream& out) const {
+  common::write_pod<float>(out, hyper_.learning_rate);
+  common::write_pod<float>(out, hyper_.momentum);
+  common::write_pod<float>(out, hyper_.weight_decay);
+  common::write_pod<std::uint64_t>(out, hyper_.batch_size);
+  common::write_matrix(out, weights_);
+  common::write_bit_matrix(out, binary_);
+}
+
+void LeHdc::load_state(std::istream& in) {
+  hyper_.learning_rate = common::read_pod<float>(in);
+  hyper_.momentum = common::read_pod<float>(in);
+  hyper_.weight_decay = common::read_pod<float>(in);
+  hyper_.batch_size =
+      static_cast<std::size_t>(common::read_pod<std::uint64_t>(in));
+  weights_ = common::read_matrix(in, num_classes_, config_.dim);
+  binary_ = common::read_bit_matrix(in, num_classes_, config_.dim);
 }
 
 }  // namespace memhd::baselines

@@ -34,31 +34,39 @@ class LeHdc final : public BaselineModel {
   LeHdc(std::size_t num_features, std::size_t num_classes,
         const BaselineConfig& config);
 
-  const char* name() const override { return "LeHDC"; }
   core::ModelKind kind() const override { return core::ModelKind::kLeHDC; }
-  std::size_t dim() const override { return config_.dim; }
 
   void fit(const data::Dataset& train) override;
-  double evaluate(const data::Dataset& test) const override;
-  core::MemoryBreakdown memory() const override;
 
-  LeHdcHyperParams& hyper() { return hyper_; }
-  /// Deployed binary class matrix (k x D), valid after fit().
-  const common::BitMatrix& binary_weights() const { return binary_; }
+  common::BitVector encode(std::span<const float> features) const override;
+  hdc::EncodedDataset encode_dataset(
+      const data::Dataset& dataset) const override;
 
   /// Per-query inference on a pre-encoded query (valid after fit()).
-  data::Label predict(const common::BitVector& query) const;
+  data::Label predict(const common::BitVector& query) const override;
 
   /// Batched inference over pre-encoded queries: blocked MVM plus the same
   /// popcount tie-break correction as predict(). Bit-identical (asserted
   /// by tests/baselines/test_lehdc.cpp).
   std::vector<data::Label> predict_batch(
-      std::span<const common::BitVector> queries) const;
+      std::span<const common::BitVector> queries) const override;
+
+  std::size_t score_rows() const override { return num_classes_; }
+  /// Raw AND-popcount MVM scores (the tie-break correction of predict() is
+  /// a ranking refinement on top of these, not part of the raw table).
+  void scores_batch(std::span<const common::BitVector> queries,
+                    std::vector<std::uint32_t>& out) const override;
+
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
+  LeHdcHyperParams& hyper() { return hyper_; }
+  /// Deployed binary class matrix (k x D), valid after fit().
+  const common::BitMatrix& binary_weights() const { return binary_; }
+  /// Latent FP weights W (clip box [-1, 1]); the training state.
+  const common::Matrix& latent_weights() const { return weights_; }
 
  private:
-
-  BaselineConfig config_;
-  std::size_t num_classes_;
   hdc::IdLevelEncoder encoder_;
   LeHdcHyperParams hyper_;
   common::Matrix weights_;     // latent FP weights, clipped to [-1, 1]

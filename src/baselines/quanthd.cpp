@@ -1,5 +1,6 @@
 #include "src/baselines/quanthd.hpp"
 
+#include "src/common/io.hpp"
 #include "src/hdc/trainers.hpp"
 
 namespace memhd::baselines {
@@ -18,8 +19,7 @@ hdc::IdLevelEncoderConfig make_encoder_config(std::size_t num_features,
 
 QuantHd::QuantHd(std::size_t num_features, std::size_t num_classes,
                  const BaselineConfig& config)
-    : config_(config),
-      num_classes_(num_classes),
+    : BaselineModel(config, num_features, num_classes),
       encoder_(make_encoder_config(num_features, config)),
       am_(num_classes, config.dim) {}
 
@@ -33,18 +33,38 @@ void QuantHd::fit(const data::Dataset& train) {
   hdc::train_iterative(am_, encoded, ic);
 }
 
-double QuantHd::evaluate(const data::Dataset& test) const {
-  const auto encoded = encoder_.encode_dataset(test);
-  return hdc::evaluate_binary(am_, encoded);
+common::BitVector QuantHd::encode(std::span<const float> features) const {
+  return encoder_.encode(features);
 }
 
-core::MemoryBreakdown QuantHd::memory() const {
-  core::MemoryParams p;
-  p.num_features = encoder_.num_features();
-  p.dim = config_.dim;
-  p.num_classes = num_classes_;
-  p.num_levels = config_.num_levels;
-  return core::memory_requirement(core::ModelKind::kQuantHD, p);
+hdc::EncodedDataset QuantHd::encode_dataset(
+    const data::Dataset& dataset) const {
+  return encoder_.encode_dataset(dataset);
+}
+
+data::Label QuantHd::predict(const common::BitVector& query) const {
+  return am_.predict_binary(query);
+}
+
+std::vector<data::Label> QuantHd::predict_batch(
+    std::span<const common::BitVector> queries) const {
+  return am_.predict_batch(queries);
+}
+
+void QuantHd::scores_batch(std::span<const common::BitVector> queries,
+                           std::vector<std::uint32_t>& out) const {
+  am_.scores_batch(queries, out);
+}
+
+void QuantHd::save_state(std::ostream& out) const {
+  common::write_matrix(out, am_.fp());
+  common::write_bit_matrix(out, am_.binary());
+}
+
+void QuantHd::load_state(std::istream& in) {
+  const auto fp = common::read_matrix(in, num_classes_, config_.dim);
+  const auto bin = common::read_bit_matrix(in, num_classes_, config_.dim);
+  am_.restore(fp, bin);
 }
 
 }  // namespace memhd::baselines

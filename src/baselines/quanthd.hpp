@@ -16,19 +16,28 @@ class QuantHd final : public BaselineModel {
   QuantHd(std::size_t num_features, std::size_t num_classes,
           const BaselineConfig& config);
 
-  const char* name() const override { return "QuantHD"; }
   core::ModelKind kind() const override { return core::ModelKind::kQuantHD; }
-  std::size_t dim() const override { return config_.dim; }
 
   void fit(const data::Dataset& train) override;
-  double evaluate(const data::Dataset& test) const override;
-  core::MemoryBreakdown memory() const override;
+
+  common::BitVector encode(std::span<const float> features) const override;
+  hdc::EncodedDataset encode_dataset(
+      const data::Dataset& dataset) const override;
+
+  data::Label predict(const common::BitVector& query) const override;
+  std::vector<data::Label> predict_batch(
+      std::span<const common::BitVector> queries) const override;
+  std::size_t score_rows() const override { return num_classes_; }
+  void scores_batch(std::span<const common::BitVector> queries,
+                    std::vector<std::uint32_t>& out) const override;
+
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
   const hdc::AssociativeMemory& am() const { return am_; }
+  const hdc::IdLevelEncoder& encoder() const { return encoder_; }
 
  private:
-  BaselineConfig config_;
-  std::size_t num_classes_;
   hdc::IdLevelEncoder encoder_;
   hdc::AssociativeMemory am_;
 };

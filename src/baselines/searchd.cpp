@@ -2,6 +2,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/bitops_batch.hpp"
+#include "src/common/io.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
 
@@ -21,11 +22,19 @@ hdc::IdLevelEncoderConfig make_encoder_config(std::size_t num_features,
 
 SearcHd::SearcHd(std::size_t num_features, std::size_t num_classes,
                  const BaselineConfig& config)
-    : config_(config),
-      num_classes_(num_classes),
+    : BaselineModel(config, num_features, num_classes),
       encoder_(make_encoder_config(num_features, config)),
       models_(num_classes * config.n_models, config.dim) {
   MEMHD_EXPECTS(config.n_models >= 1);
+}
+
+common::BitVector SearcHd::encode(std::span<const float> features) const {
+  return encoder_.encode(features);
+}
+
+hdc::EncodedDataset SearcHd::encode_dataset(
+    const data::Dataset& dataset) const {
+  return encoder_.encode_dataset(dataset);
 }
 
 std::size_t SearcHd::row_of(std::size_t c, std::size_t j) const {
@@ -100,24 +109,21 @@ std::vector<data::Label> SearcHd::predict_batch(
   return out;
 }
 
-double SearcHd::evaluate(const data::Dataset& test) const {
-  const auto encoded = encoder_.encode_dataset(test);
-  if (encoded.empty()) return 0.0;
-  const auto predicted = predict_batch(encoded.hypervectors);
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < encoded.size(); ++i)
-    if (predicted[i] == encoded.labels[i]) ++correct;
-  return static_cast<double>(correct) / static_cast<double>(encoded.size());
+void SearcHd::scores_batch(std::span<const common::BitVector> queries,
+                           std::vector<std::uint32_t>& out) const {
+  common::blocked_popcount_scores(models_, queries, common::PopcountOp::kAnd,
+                                  out);
 }
 
-core::MemoryBreakdown SearcHd::memory() const {
-  core::MemoryParams p;
-  p.num_features = encoder_.num_features();
-  p.dim = config_.dim;
-  p.num_classes = num_classes_;
-  p.num_levels = config_.num_levels;
-  p.n_models = config_.n_models;
-  return core::memory_requirement(core::ModelKind::kSearcHD, p);
+void SearcHd::save_state(std::ostream& out) const {
+  common::write_pod<double>(out, flip_rate_);
+  common::write_bit_matrix(out, models_);
+}
+
+void SearcHd::load_state(std::istream& in) {
+  flip_rate_ = common::read_pod<double>(in);
+  models_ = common::read_bit_matrix(in, num_classes_ * config_.n_models,
+                                    config_.dim);
 }
 
 }  // namespace memhd::baselines

@@ -28,36 +28,44 @@ class SearcHd final : public BaselineModel {
   SearcHd(std::size_t num_features, std::size_t num_classes,
           const BaselineConfig& config);
 
-  const char* name() const override { return "SearcHD"; }
   core::ModelKind kind() const override { return core::ModelKind::kSearcHD; }
-  std::size_t dim() const override { return config_.dim; }
 
   void fit(const data::Dataset& train) override;
-  double evaluate(const data::Dataset& test) const override;
-  core::MemoryBreakdown memory() const override;
 
-  std::size_t n_models() const { return config_.n_models; }
-  /// Model vector j of class c (j in [0, N)).
-  common::BitVector model_vector(std::size_t c, std::size_t j) const;
-
-  /// Probability that a disagreeing bit copies from the sample during an
-  /// update. SearcHD's alpha; defaults to 0.25.
-  void set_flip_rate(double rate) { flip_rate_ = rate; }
+  common::BitVector encode(std::span<const float> features) const override;
+  hdc::EncodedDataset encode_dataset(
+      const data::Dataset& dataset) const override;
 
   /// Per-query inference on a pre-encoded query (valid after fit()).
-  data::Label predict(const common::BitVector& query) const;
+  data::Label predict(const common::BitVector& query) const override;
 
   /// Batched inference over pre-encoded queries: one blocked MVM over all
   /// k*N model vectors per query block. Bit-identical to per-query search
   /// (asserted by tests/baselines/test_searchd.cpp).
   std::vector<data::Label> predict_batch(
-      std::span<const common::BitVector> queries) const;
+      std::span<const common::BitVector> queries) const override;
+
+  std::size_t score_rows() const override {
+    return num_classes_ * config_.n_models;
+  }
+  void scores_batch(std::span<const common::BitVector> queries,
+                    std::vector<std::uint32_t>& out) const override;
+
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
+  std::size_t n_models() const { return config_.n_models; }
+  /// Model vector j of class c (j in [0, N)).
+  common::BitVector model_vector(std::size_t c, std::size_t j) const;
+  const common::BitMatrix& models() const { return models_; }
+
+  /// Probability that a disagreeing bit copies from the sample during an
+  /// update. SearcHD's alpha; defaults to 0.25.
+  void set_flip_rate(double rate) { flip_rate_ = rate; }
 
  private:
   std::size_t row_of(std::size_t c, std::size_t j) const;
 
-  BaselineConfig config_;
-  std::size_t num_classes_;
   hdc::IdLevelEncoder encoder_;
   common::BitMatrix models_;  // (k * N) x D
   double flip_rate_ = 0.25;

@@ -1,0 +1,75 @@
+// POD stream helpers shared by every binary model format
+// (src/core/serialize.cpp and the tagged api:: container). Values are
+// written in host byte order — little-endian on every supported target; the
+// formats are not an interchange medium for mixed-endian fleets. Reads
+// throw std::runtime_error on truncation so loaders never consume garbage.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/common/bit_matrix.hpp"
+#include "src/common/matrix.hpp"
+
+namespace memhd::common {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("memhd model stream: truncated");
+  return value;
+}
+
+/// Raw float payload of a Matrix whose shape the reader already knows
+/// (shape is part of the enclosing format, not repeated here).
+inline void write_matrix(std::ostream& out, const Matrix& m) {
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+inline Matrix read_matrix(std::istream& in, std::size_t rows,
+                          std::size_t cols) {
+  Matrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("memhd model stream: truncated matrix");
+  return m;
+}
+
+/// Packed rows of a BitMatrix (row padding words included; they are
+/// guaranteed zero by BitMatrix, so the payload is canonical).
+inline void write_bit_matrix(std::ostream& out, const BitMatrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    out.write(reinterpret_cast<const char*>(m.row(r)),
+              static_cast<std::streamsize>(m.words_per_row() *
+                                           sizeof(std::uint64_t)));
+}
+
+inline BitMatrix read_bit_matrix(std::istream& in, std::size_t rows,
+                                 std::size_t cols) {
+  BitMatrix m(rows, cols);
+  // Bits past `cols` in each row's last word must stay zero (the popcount
+  // kernels rely on it); mask rather than trust the stream, so a
+  // non-canonical file cannot smuggle phantom bits into the scores.
+  const std::size_t tail_bits = cols % kBitsPerWord;
+  const std::uint64_t tail_mask =
+      tail_bits == 0 ? ~0ULL : (1ULL << tail_bits) - 1;
+  for (std::size_t r = 0; r < rows; ++r) {
+    in.read(reinterpret_cast<char*>(m.row(r)),
+            static_cast<std::streamsize>(m.words_per_row() *
+                                         sizeof(std::uint64_t)));
+    if (m.words_per_row() > 0) m.row(r)[m.words_per_row() - 1] &= tail_mask;
+  }
+  if (!in) throw std::runtime_error("memhd model stream: truncated bit matrix");
+  return m;
+}
+
+}  // namespace memhd::common

@@ -10,6 +10,7 @@
 //   model.save("model.memhd");
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -86,7 +87,7 @@ class MemhdModel {
   static MemhdModel load(const std::string& path);
 
  private:
-  friend MemhdModel load_model(const std::string& path);
+  friend MemhdModel load_model(std::istream& in);
 
   MemhdConfig cfg_;
   std::size_t num_classes_ = 0;

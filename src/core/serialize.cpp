@@ -5,33 +5,19 @@
 #include <stdexcept>
 
 #include "src/common/assert.hpp"
+#include "src/common/io.hpp"
 #include "src/core/model.hpp"
 
 namespace memhd::core {
 
+using common::read_pod;
+using common::write_pod;
+
 namespace {
-
 constexpr char kMagic[8] = {'M', 'E', 'M', 'H', 'D', '0', '0', '1'};
-
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("memhd model file: truncated");
-  return value;
-}
-
 }  // namespace
 
-void save_model(const MemhdModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_model: cannot open " + path);
-
+void save_model(const MemhdModel& model, std::ostream& out) {
   const MemhdConfig& cfg = model.config();
   const MultiCentroidAM& am = model.am();
 
@@ -52,26 +38,23 @@ void save_model(const MemhdModel& model, const std::string& path) {
   for (std::size_t col = 0; col < am.columns(); ++col)
     write_pod<std::uint16_t>(out, am.owner(col));
 
-  const common::Matrix& fp = am.fp();
-  out.write(reinterpret_cast<const char*>(fp.data()),
-            static_cast<std::streamsize>(fp.size() * sizeof(float)));
+  common::write_matrix(out, am.fp());
+  common::write_bit_matrix(out, am.binary());
+  if (!out) throw std::runtime_error("save_model: write failed");
+}
 
-  const common::BitMatrix& bin = am.binary();
-  for (std::size_t col = 0; col < bin.rows(); ++col)
-    out.write(reinterpret_cast<const char*>(bin.row(col)),
-              static_cast<std::streamsize>(bin.words_per_row() *
-                                           sizeof(std::uint64_t)));
+void save_model(const MemhdModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_model: cannot open " + path);
+  save_model(model, out);
   if (!out) throw std::runtime_error("save_model: write failed for " + path);
 }
 
-MemhdModel load_model(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_model: cannot open " + path);
-
+MemhdModel load_model(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    throw std::runtime_error("load_model: bad magic in " + path);
+    throw std::runtime_error("load_model: bad magic");
 
   MemhdConfig cfg;
   cfg.dim = read_pod<std::uint64_t>(in);
@@ -88,36 +71,45 @@ MemhdModel load_model(const std::string& path) {
   cfg.normalization =
       static_cast<NormalizationMode>(read_pod<std::uint8_t>(in));
 
+  // Reject corrupt headers before they reach constructor contract checks
+  // (which abort) or drive multi-GB allocations.
+  constexpr std::uint64_t kShapeCap = 1ULL << 24;
+  const bool sane = cfg.dim >= 1 && cfg.dim <= kShapeCap &&
+                    cfg.columns <= kShapeCap && num_features >= 1 &&
+                    num_features <= kShapeCap && num_classes >= 2 &&
+                    num_classes <= kShapeCap && cfg.columns >= num_classes;
+  if (!sane) throw std::runtime_error("load_model: corrupt model header");
+
   MemhdModel model(cfg, num_features, num_classes);
 
   std::vector<std::uint16_t> owners(cfg.columns);
   for (auto& o : owners) o = read_pod<std::uint16_t>(in);
 
-  common::Matrix fp(cfg.columns, cfg.dim);
-  in.read(reinterpret_cast<char*>(fp.data()),
-          static_cast<std::streamsize>(fp.size() * sizeof(float)));
-  if (!in) throw std::runtime_error("load_model: truncated FP AM in " + path);
-
-  common::BitMatrix bin(cfg.columns, cfg.dim);
-  for (std::size_t col = 0; col < cfg.columns; ++col) {
-    in.read(reinterpret_cast<char*>(bin.row(col)),
-            static_cast<std::streamsize>(bin.words_per_row() *
-                                         sizeof(std::uint64_t)));
-  }
-  if (!in)
-    throw std::runtime_error("load_model: truncated binary AM in " + path);
+  const common::Matrix fp = common::read_matrix(in, cfg.columns, cfg.dim);
+  const common::BitMatrix bin =
+      common::read_bit_matrix(in, cfg.columns, cfg.dim);
 
   auto am = std::make_unique<MultiCentroidAM>(num_classes, cfg.dim,
                                               cfg.columns);
   for (std::size_t col = 0; col < cfg.columns; ++col) {
     if (owners[col] >= num_classes)
-      throw std::runtime_error("load_model: bad centroid owner in " + path);
+      throw std::runtime_error("load_model: bad centroid owner");
     am->set_centroid(col, static_cast<data::Label>(owners[col]),
                      fp.row(col));
   }
   am->restore_binary(bin);
   model.am_ = std::move(am);
   return model;
+}
+
+MemhdModel load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_model: cannot open " + path);
+  try {
+    return load_model(in);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " in " + path);
+  }
 }
 
 }  // namespace memhd::core

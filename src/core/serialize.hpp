@@ -1,6 +1,7 @@
 // Binary model persistence.
 //
-// Layout (little-endian, version-tagged):
+// Layout (host byte order — little-endian on every supported target —
+// version-tagged):
 //   magic "MEMHD001"
 //   u64 dim, columns, num_features, num_classes, epochs, kmeans_iters, seed
 //   f64 initial_ratio; f32 learning_rate
@@ -13,19 +14,27 @@
 // (seed, num_features, dim) and is rebuilt on load. A reload therefore
 // reproduces bit-exact predictions, which tests/core/test_serialize.cpp
 // asserts.
+//
+// The stream overloads exist so this record can be embedded in a larger
+// container — the tagged api:: model format (src/api/classifier.hpp) writes
+// its own header and then delegates the MEMHD payload here.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 namespace memhd::core {
 
 class MemhdModel;
 
-/// Writes `model` (must be fitted) to `path`. Throws std::runtime_error.
+/// Writes `model` (must be fitted) to `path` / onto a binary stream.
+/// Throws std::runtime_error on I/O errors.
 void save_model(const MemhdModel& model, const std::string& path);
+void save_model(const MemhdModel& model, std::ostream& out);
 
 /// Reads a model written by save_model. Throws std::runtime_error on
 /// malformed input.
 MemhdModel load_model(const std::string& path);
+MemhdModel load_model(std::istream& in);
 
 }  // namespace memhd::core

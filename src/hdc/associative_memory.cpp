@@ -43,6 +43,14 @@ void AssociativeMemory::binarize() {
   }
 }
 
+void AssociativeMemory::restore(const common::Matrix& fp,
+                                const common::BitMatrix& binary) {
+  MEMHD_EXPECTS(fp.rows() == num_classes_ && fp.cols() == dim_);
+  MEMHD_EXPECTS(binary.rows() == num_classes_ && binary.cols() == dim_);
+  fp_ = fp;
+  binary_ = binary;
+}
+
 void AssociativeMemory::scores_fp(const common::BitVector& query,
                                   std::vector<float>& out) const {
   MEMHD_EXPECTS(query.size() == dim_);

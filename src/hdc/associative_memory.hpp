@@ -41,6 +41,12 @@ class AssociativeMemory {
   /// (the same rule MEMHD uses, §III-B).
   void binarize();
 
+  /// Restores a serialized AM state (FP shadow + deployed binary plane)
+  /// verbatim — no re-binarization, so a load reproduces the saved
+  /// predictions bit-exactly even when the snapshot predates the last
+  /// binarize(). Shapes must match this AM.
+  void restore(const common::Matrix& fp, const common::BitMatrix& binary);
+
   /// FP dot-similarity scores of a bipolar query against every class vector.
   void scores_fp(const common::BitVector& query,
                  std::vector<float>& out) const;

@@ -6,7 +6,51 @@
 // Individual headers remain includable on their own; this is a convenience
 // for applications.
 //
-// ## Batch API
+// ## The api:: layer — start here
+//
+// Every model in the library (MEMHD and the four Table-I baselines) sits
+// behind one batch-first interface, api::Classifier, built through the
+// string-keyed registry:
+//
+//   api::ModelOptions opts;                  // one config for all models
+//   opts.dim = 128; opts.columns = 128; opts.epochs = 30;
+//   auto clf = api::make("memhd", train.num_features(),
+//                        train.num_classes(), opts);
+//   clf->fit(train, &test);
+//   auto labels = clf->predict_batch(test.features());   // fused batch MVM
+//   double acc  = clf->evaluate(test);
+//   clf->save("model.mhd");                  // tagged, kind-dispatched
+//   auto back   = api::load("model.mhd");    // bit-exact reload
+//
+// predict_batch is bit-identical to per-sample predict() for every
+// registered model (tests/api/ asserts it), so callers batch freely.
+//
+// ### Choosing a model (api::list_models())
+//
+//   "memhd"    — the paper's contribution: multi-centroid AM sized DxC to
+//                fill one IMC array, clustering init + quantization-aware
+//                training. Best accuracy per bit; the default choice.
+//   "basichdc" — projection encoding, one vector per class, single-pass.
+//                The IMC baseline: cheapest to train, weakest on
+//                multi-modal classes.
+//   "quanthd"  — ID-Level encoding + quantization-aware iterative training
+//                (the single-centroid scheme MEMHD generalizes).
+//   "lehdc"    — BNN-style gradient training; strongest single-centroid
+//                accuracy, slowest fit.
+//   "searchd"  — k*N multi-model AM, fully binary single-pass training;
+//                large memory (N=64), fast fit, modest accuracy.
+//
+// api::model_infos() carries each row's Table-I keywords and memory
+// formulas; Classifier::memory() evaluates them for a concrete instance.
+//
+// ### Serving (api::BatchServer)
+//
+// The micro-batching front end for query-at-a-time traffic: submit()
+// returns a future, requests batch up for at most {max_batch, max_delay},
+// and each batch runs one fused predict_batch. flush() cuts a batch
+// synchronously (deterministic tests, manual mode).
+//
+// ## Batch engine underneath
 //
 // Every inference surface has a batched, cache-blocked counterpart that is
 // bit-identical to its per-query form and substantially faster (the blocked
@@ -22,11 +66,17 @@
 //   hdc::ProjectionEncoder::encode_batch        (sample-blocked matmul)
 //   core::MemhdModel::predict_batch             (encode + search pipeline)
 //   imc::PartitionedAm::scores_batch / predict_batch
-//   baselines::SearcHd / LeHdc ::predict_batch
+//   baselines::*::predict_batch / scores_batch  (all four, via the base
+//       BaselineModel contract the api:: adapters drive)
 //
 // The per-query entry points remain and are thin equivalents; evaluation
 // loops and the QAT trainer route through the batch engine internally.
 // MEMHD_NUM_THREADS caps the worker pool used for query-block parallelism.
+//
+// Models that need more than the generic contract (MEMHD's online update()
+// and adapt(), the IMC deployment pipeline's encoder()/am()) are reachable
+// through the adapters in src/api/adapters.hpp or the concrete classes
+// below.
 #pragma once
 
 // Substrate
@@ -78,6 +128,13 @@
 #include "src/core/multi_centroid_am.hpp"
 #include "src/core/qat_trainer.hpp"
 #include "src/core/serialize.hpp"
+
+// Unified public surface (registry, adapters, serve front end)
+#include "src/api/adapters.hpp"
+#include "src/api/batch_server.hpp"
+#include "src/api/classifier.hpp"
+#include "src/api/options.hpp"
+#include "src/api/registry.hpp"
 
 // IMC substrate
 #include "src/imc/cost_model.hpp"

@@ -1,0 +1,149 @@
+// BatchServer determinism: however requests are grouped into micro-batches
+// (concurrent submitters, partial flushes, destructor drain), every future
+// resolves to exactly the label a direct predict_batch over the same rows
+// produces.
+#include "src/api/batch_server.hpp"
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/registry.hpp"
+#include "test_util.hpp"
+
+namespace memhd::api {
+namespace {
+
+struct Fixture {
+  data::TrainTestSplit split;
+  std::unique_ptr<Classifier> model;
+  std::vector<data::Label> direct;  // predict_batch over the whole test set
+
+  Fixture() : split(testing::tiny_multimodal(/*seed=*/31,
+                                             /*train_per_class=*/40,
+                                             /*test_per_class=*/25)) {
+    ModelOptions opts;
+    opts.dim = 256;
+    opts.columns = 16;
+    opts.epochs = 3;
+    opts.seed = 5;
+    model = make("memhd", split.train.num_features(),
+                 split.train.num_classes(), opts);
+    model->fit(split.train);
+    direct = model->predict_batch(split.test.features());
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+TEST(BatchServer, ManualFlushMatchesDirectBatch) {
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.background = false;
+  BatchServer server(*f.model, opts);
+
+  std::vector<std::future<data::Label>> futures;
+  for (std::size_t i = 0; i < f.split.test.size(); ++i)
+    futures.push_back(server.submit(f.split.test.sample(i)));
+
+  EXPECT_EQ(server.pending(), f.split.test.size());
+  EXPECT_EQ(server.flush(), f.split.test.size());
+  EXPECT_EQ(server.pending(), 0u);
+
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    EXPECT_EQ(futures[i].get(), f.direct[i]) << "query " << i;
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, f.split.test.size());
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.largest_batch, f.split.test.size());
+}
+
+TEST(BatchServer, PartialFlushesStayBitIdentical) {
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.background = false;
+  BatchServer server(*f.model, opts);
+
+  // Cut deliberately ragged batches: 1, 7, then the remainder.
+  std::vector<std::future<data::Label>> futures;
+  std::size_t i = 0;
+  const auto submit_n = [&](std::size_t n) {
+    for (std::size_t j = 0; j < n && i < f.split.test.size(); ++j, ++i)
+      futures.push_back(server.submit(f.split.test.sample(i)));
+  };
+  submit_n(1);
+  EXPECT_EQ(server.flush(), 1u);
+  submit_n(7);
+  EXPECT_EQ(server.flush(), 7u);
+  submit_n(f.split.test.size());
+  server.flush();
+  EXPECT_EQ(server.flush(), 0u);  // nothing pending: no-op
+
+  ASSERT_EQ(futures.size(), f.split.test.size());
+  for (std::size_t q = 0; q < futures.size(); ++q)
+    EXPECT_EQ(futures[q].get(), f.direct[q]) << "query " << q;
+  EXPECT_EQ(server.stats().batches, 3u);
+}
+
+TEST(BatchServer, ConcurrentSubmittersMatchDirectBatch) {
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay = std::chrono::microseconds(200);
+  BatchServer server(*f.model, opts);
+
+  const std::size_t n = f.split.test.size();
+  std::vector<data::Label> served(n);
+  constexpr std::size_t kThreads = 4;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1))
+        served[i] = server.submit(f.split.test.sample(i)).get();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(served[i], f.direct[i]) << "query " << i;
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, n);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.largest_batch, n);
+}
+
+TEST(BatchServer, DestructorCompletesLeftoverRequests) {
+  const auto& f = fixture();
+  std::vector<std::future<data::Label>> futures;
+  {
+    BatchServerOptions opts;
+    opts.background = false;
+    BatchServer server(*f.model, opts);
+    for (std::size_t i = 0; i < 5; ++i)
+      futures.push_back(server.submit(f.split.test.sample(i)));
+    // No flush: the destructor must drain.
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    EXPECT_EQ(futures[i].get(), f.direct[i]);
+}
+
+TEST(BatchServer, RejectsWrongFeatureLength) {
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.background = false;
+  BatchServer server(*f.model, opts);
+  const std::vector<float> wrong(f.model->num_features() + 1, 0.0f);
+  EXPECT_THROW(server.submit(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace memhd::api

@@ -1,0 +1,190 @@
+// The registry-wide Classifier contract: every model api::make can build
+// must (a) predict_batch bit-identically to per-sample predict, and
+// (b) round-trip through the tagged save/load format bit-exactly.
+#include "src/api/registry.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/api/adapters.hpp"
+#include "test_util.hpp"
+
+namespace memhd::api {
+namespace {
+
+/// Small-but-trainable options per model kind (the shared synthetic task
+/// has 64 features and 4 classes).
+api::ModelOptions small_options(core::ModelKind kind) {
+  api::ModelOptions opts;
+  opts.dim = 256;
+  opts.epochs = 3;
+  opts.num_levels = 16;
+  opts.n_models = 4;
+  opts.seed = 9;
+  switch (kind) {
+    case core::ModelKind::kMemhd:
+      opts.columns = 16;
+      break;
+    case core::ModelKind::kBasicHDC:
+      opts.epochs = 0;  // the paper's BasicHDC row is single-pass
+      break;
+    case core::ModelKind::kLeHDC:
+      opts.epochs = 2;
+      opts.learning_rate = 0.01f;
+      break;
+    default:
+      break;
+  }
+  return opts;
+}
+
+std::string temp_model_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class RegistryContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryContract, BatchIsBitIdenticalToPerSamplePredict) {
+  const auto split = testing::tiny_multimodal(/*seed=*/21,
+                                              /*train_per_class=*/40,
+                                              /*test_per_class=*/20);
+  const auto* info = api::find_model(GetParam());
+  ASSERT_NE(info, nullptr);
+
+  auto model = api::make(GetParam(), split.train.num_features(),
+                         split.train.num_classes(), small_options(info->kind));
+  EXPECT_FALSE(model->fitted());
+  model->fit(split.train);
+  ASSERT_TRUE(model->fitted());
+  EXPECT_EQ(model->kind(), info->kind);
+
+  const auto batched = model->predict_batch(split.test.features());
+  ASSERT_EQ(batched.size(), split.test.size());
+  for (std::size_t i = 0; i < split.test.size(); ++i)
+    EXPECT_EQ(batched[i], model->predict(split.test.sample(i)))
+        << model->name() << " row " << i;
+}
+
+TEST_P(RegistryContract, SaveLoadRoundTripsBitExactly) {
+  const auto split = testing::tiny_multimodal(/*seed=*/22,
+                                              /*train_per_class=*/40,
+                                              /*test_per_class=*/20);
+  const auto* info = api::find_model(GetParam());
+  ASSERT_NE(info, nullptr);
+
+  auto model = api::make(GetParam(), split.train.num_features(),
+                         split.train.num_classes(), small_options(info->kind));
+  model->fit(split.train);
+
+  const std::string path =
+      temp_model_path("api_roundtrip_" + GetParam() + ".mhd");
+  model->save(path);
+  const auto reloaded = api::load(path);
+  std::remove(path.c_str());
+
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(reloaded->kind(), model->kind());
+  EXPECT_TRUE(reloaded->fitted());
+  EXPECT_EQ(reloaded->num_features(), model->num_features());
+  EXPECT_EQ(reloaded->num_classes(), model->num_classes());
+  EXPECT_EQ(reloaded->dim(), model->dim());
+
+  EXPECT_EQ(reloaded->predict_batch(split.test.features()),
+            model->predict_batch(split.test.features()))
+      << model->name();
+  EXPECT_DOUBLE_EQ(reloaded->evaluate(split.test), model->evaluate(split.test));
+}
+
+TEST_P(RegistryContract, ScoresBatchHasScoreRowsPerQuery) {
+  const auto split = testing::tiny_multimodal(/*seed=*/23,
+                                              /*train_per_class=*/30,
+                                              /*test_per_class=*/10);
+  const auto* info = api::find_model(GetParam());
+  ASSERT_NE(info, nullptr);
+
+  auto model = api::make(GetParam(), split.train.num_features(),
+                         split.train.num_classes(), small_options(info->kind));
+  model->fit(split.train);
+
+  ASSERT_GE(model->score_rows(), split.train.num_classes());
+  std::vector<std::uint32_t> scores;
+  model->scores_batch(split.test.features(), scores);
+  EXPECT_EQ(scores.size(), split.test.size() * model->score_rows());
+}
+
+TEST_P(RegistryContract, MemoryBreakdownIsPopulated) {
+  const auto* info = api::find_model(GetParam());
+  ASSERT_NE(info, nullptr);
+  auto model = api::make(GetParam(), 64, 4, small_options(info->kind));
+  const auto mem = model->memory();
+  EXPECT_GT(mem.encoder_bits, 0u);
+  EXPECT_GT(mem.am_bits, 0u);
+  EXPECT_EQ(mem.total_bits(), mem.encoder_bits + mem.am_bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, RegistryContract,
+                         ::testing::ValuesIn(api::list_models()),
+                         [](const auto& info) { return info.param; });
+
+TEST(ApiRegistry, ListsFiveModelsInTableOrder) {
+  const auto names = api::list_models();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.front(), "searchd");
+  EXPECT_EQ(names.back(), "memhd");
+}
+
+TEST(ApiRegistry, FindModelIsCaseInsensitive) {
+  EXPECT_NE(api::find_model("MEMHD"), nullptr);
+  EXPECT_NE(api::find_model("LeHDC"), nullptr);
+  EXPECT_EQ(api::find_model("not-a-model"), nullptr);
+}
+
+TEST(ApiRegistry, MakeRejectsUnknownNames) {
+  EXPECT_THROW(api::make("hal9000", 8, 2, {}), std::invalid_argument);
+}
+
+TEST(ApiRegistry, ZeroColumnsMeansSquareMemhd) {
+  api::ModelOptions opts;
+  opts.dim = 64;
+  opts.columns = 0;
+  EXPECT_EQ(opts.memhd().columns, 64u);
+  opts.columns = 16;
+  EXPECT_EQ(opts.memhd().columns, 16u);
+}
+
+TEST(ApiRegistry, AdapterExposesTheWrappedModel) {
+  api::ModelOptions opts = small_options(core::ModelKind::kMemhd);
+  auto model = api::make("memhd", 64, 4, opts);
+  auto* adapter = dynamic_cast<api::MemhdClassifier*>(model.get());
+  ASSERT_NE(adapter, nullptr);
+  EXPECT_EQ(adapter->model().config().columns, opts.columns);
+}
+
+TEST(ApiSerialize, LoadRejectsGarbage) {
+  const std::string path = temp_model_path("api_garbage.mhd");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a model", f);
+  std::fclose(f);
+  EXPECT_THROW(api::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ApiSerialize, LoadThrowsOnCorruptFrameInsteadOfAborting) {
+  // Valid magic + kind tag, zeroed config/shape frame: must surface as the
+  // documented runtime_error, not as a contract abort deeper in the stack.
+  const std::string path = temp_model_path("api_zero_frame.mhd");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("MHDAPI01", f);
+  const char zeros[1 + 7 * 8 + 4] = {};  // tag 0 (BasicHDC) + empty frame
+  std::fwrite(zeros, 1, sizeof(zeros), f);
+  std::fclose(f);
+  EXPECT_THROW(api::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace memhd::api

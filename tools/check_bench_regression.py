@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Gate BENCH_micro_kernels.json against a checked-in baseline.
+
+Usage:
+    tools/check_bench_regression.py CURRENT_JSON [--baseline-dir DIR]
+        [--threshold 0.20] [--update]
+
+The micro-kernel bench records absolute throughput, which depends on both
+the dispatched kernel ("avx512-vpopcntdq" vs "portable-tiled") and the host
+CPU. Baselines are stored per kernel under
+bench/baselines/BENCH_micro_kernels.<kernel>.json, and raw queries/sec are
+additionally normalized by the scalar path's speed ratio between the two
+runs — the scalar loops are untouched reference code, so their ratio
+measures how fast this runner is relative to the baseline machine, and a
+batch-kernel regression shows up even on a slower or faster host.
+
+The gate:
+  * FAILS when any section's normalized batch queries/sec drops more than
+    --threshold (default 20%) below the same-kernel baseline, or when any
+    section reports bit_identical = false;
+  * PASSES with a notice when no baseline exists for the current kernel
+    (first run on new hardware — commit one with --update).
+
+--update rewrites the baseline for the current kernel from CURRENT_JSON
+(use after an intentional perf change, then commit the file).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+BATCH_KEY = "batch_queries_per_sec"
+SCALAR_KEY = "scalar_queries_per_sec"
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def sections(record):
+    return {k: v for k, v in record.items()
+            if isinstance(v, dict) and BATCH_KEY in v}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced bench JSON")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional drop in normalized q/s")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline for the current kernel")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    kernel = current.get("kernel", "unknown")
+    baseline_path = (pathlib.Path(args.baseline_dir) /
+                     f"BENCH_micro_kernels.{kernel}.json")
+
+    failures = []
+    for name, record in sections(current).items():
+        if not record.get("bit_identical", True):
+            failures.append(f"{name}: batch kernel is NOT bit-identical")
+
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {baseline_path}")
+    elif not baseline_path.exists():
+        print(f"NOTICE: no baseline for kernel '{kernel}' "
+              f"({baseline_path} missing); throughput gate skipped. "
+              f"Create one with --update.")
+    else:
+        baseline = load(baseline_path)
+        common = [n for n in sections(baseline) if n in sections(current)]
+        for name in sections(baseline):
+            if name not in sections(current):
+                failures.append(f"{name}: section missing from current run")
+
+        # Runner-speed factor: how fast this machine runs the (unchanged)
+        # scalar reference loops relative to the baseline machine.
+        factors = [current[n][SCALAR_KEY] / baseline[n][SCALAR_KEY]
+                   for n in common if baseline[n].get(SCALAR_KEY, 0) > 0
+                   and SCALAR_KEY in current[n]]
+        machine = sorted(factors)[len(factors) // 2] if factors else 1.0
+        print(f"runner speed vs baseline machine (scalar path): "
+              f"{machine:.2f}x")
+
+        for name in common:
+            base = baseline[name][BATCH_KEY]
+            now = current[name][BATCH_KEY]
+            normalized = now / machine if machine > 0 else now
+            ratio = normalized / base if base > 0 else float("inf")
+            status = "OK"
+            if ratio < 1.0 - args.threshold:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {now:.0f} q/s ({normalized:.0f} normalized) "
+                    f"is {100 * (1 - ratio):.1f}% below baseline "
+                    f"{base:.0f} q/s")
+            print(f"  {name:24s} {base:12.0f} -> {now:12.0f} q/s "
+                  f"(normalized {normalized:12.0f}, {ratio:6.2%})  {status}")
+
+    if failures:
+        print(f"\nFAIL ({kernel}):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nPASS ({kernel})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
