@@ -51,6 +51,27 @@ int main(int argc, char** argv) {
                 dataset, cfg.dim, cfg.columns,
                 bench::pct(model.evaluate_encoded(encoded_test)).c_str());
 
+    // The sweep runs through the batched noise model (one BatchScorer pass
+    // per trial, per-query seeded ADC/tie-break streams); assert its
+    // seeded reproducibility once up front so a silent determinism break
+    // is visible in the bench output.
+    {
+      imc::RobustnessConfig rc;
+      rc.weight_flip_probability = 0.01;
+      rc.adc_bits = 4;
+      rc.adc_noise_sigma = 0.5;
+      rc.trials = 2;
+      rc.seed = ctx.seed;
+      const auto a = imc::evaluate_noisy_search(model.am(), encoded_test, rc);
+      const auto b = imc::evaluate_noisy_search(model.am(), encoded_test, rc);
+      const bool reproducible = a.mean_accuracy == b.mean_accuracy &&
+                                a.min_accuracy == b.min_accuracy &&
+                                a.max_accuracy == b.max_accuracy;
+      std::printf("batched noise model, seed %llu: reproducible %s\n",
+                  static_cast<unsigned long long>(ctx.seed),
+                  reproducible ? "yes" : "NO — determinism regression");
+    }
+
     // (a) Weight-cell corruption sweep (ideal ADC).
     common::TablePrinter flips({"Flip prob", "Mean acc (%)", "Min (%)",
                                 "Max (%)"});

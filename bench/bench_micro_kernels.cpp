@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,8 @@
 #include "src/core/qat_trainer.hpp"
 #include "src/hdc/id_level_encoder.hpp"
 #include "src/hdc/projection_encoder.hpp"
+#include "src/imc/noise.hpp"
+#include "src/imc/partitioned_search.hpp"
 
 namespace {
 
@@ -310,6 +313,112 @@ PathComparison compare_projection_encode(std::size_t num_features,
   return cmp;
 }
 
+// The IMC functional-simulation batch path: per-query PartitionedAm::scores
+// (the tile walk calling ImcArray::mvm_binary once per query per column
+// tile) against the wordline-parallel scores_batch block drive. Outputs and
+// activation accounting must agree exactly.
+PathComparison compare_partitioned_search(std::size_t dim,
+                                          std::size_t classes,
+                                          std::size_t partitions,
+                                          std::size_t batch, int reps) {
+  common::Rng rng(3);
+  const auto am = common::BitMatrix::random(classes, dim, rng);
+  std::vector<common::BitVector> qs;
+  qs.reserve(batch);
+  for (std::size_t q = 0; q < batch; ++q)
+    qs.push_back(common::BitVector::random(dim, rng));
+  const imc::ArrayGeometry geometry{128, 128};
+  imc::PartitionedAm scalar_am(am, partitions, geometry);
+  imc::PartitionedAm batch_am(am, partitions, geometry);
+
+  PathComparison cmp;
+  std::vector<std::uint32_t> scalar_scores(batch * classes);
+  const double t_scalar = best_seconds(reps, [&] {
+    for (std::size_t q = 0; q < batch; ++q) {
+      const auto s = scalar_am.scores(qs[q]);
+      std::memcpy(scalar_scores.data() + q * classes, s.data(),
+                  classes * sizeof(std::uint32_t));
+    }
+  });
+  std::vector<std::uint32_t> batch_scores;
+  const double t_batch = best_seconds(reps, [&] {
+    batch_scores = batch_am.scores_batch(std::span<const common::BitVector>(qs));
+  });
+  cmp.scalar_per_sec = static_cast<double>(batch) / t_scalar;
+  cmp.batch_per_sec = static_cast<double>(batch) / t_batch;
+  cmp.bit_identical = (scalar_scores == batch_scores);
+  return cmp;
+}
+
+// Batched noise injection: the former per-cell Bernoulli loop (kept here as
+// the scalar reference) against the geometric-skip sampler. The two draw
+// different RNG streams, so "bit_identical" asserts the batch path's
+// contract instead: deterministic given the seed, and a flip rate within
+// the binomial 5-sigma band of p. Throughput is corrupted matrices/sec.
+PathComparison compare_noise_inject(std::size_t rows, std::size_t cols,
+                                    double p, int reps) {
+  PathComparison cmp;
+  const double cells = static_cast<double>(rows * cols);
+
+  const double t_scalar = best_seconds(reps, [&] {
+    common::Rng rng(4);
+    common::BitMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        if (rng.bernoulli(p)) m.flip(r, c);
+    benchmark::DoNotOptimize(m.popcount());
+  });
+
+  std::size_t flips_a = 0;
+  common::BitMatrix out_a;
+  const double t_batch = best_seconds(reps, [&] {
+    common::Rng rng(4);
+    common::BitMatrix m(rows, cols);
+    flips_a = imc::inject_weight_flips(m, p, rng);
+    out_a = std::move(m);
+  });
+
+  common::Rng rng_b(4);
+  common::BitMatrix out_b(rows, cols);
+  const std::size_t flips_b = imc::inject_weight_flips(out_b, p, rng_b);
+  const double rate = static_cast<double>(flips_a) / cells;
+  const double sigma = std::sqrt(p * (1.0 - p) / cells);
+  cmp.scalar_per_sec = 1.0 / t_scalar;
+  cmp.batch_per_sec = 1.0 / t_batch;
+  cmp.bit_identical = (out_a == out_b) && flips_a == flips_b &&
+                      std::abs(rate - p) <= 5.0 * sigma + 1e-9;
+  return cmp;
+}
+
+// K-means assignment step: per-point assign_point against the blocked
+// assign_batch (the initializer's inner loop). Winners must agree exactly.
+PathComparison compare_kmeans_assign(std::size_t n, std::size_t k,
+                                     std::size_t dim, int reps) {
+  common::Rng rng(5);
+  common::Matrix pts(n, dim);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < dim; ++j)
+      pts(i, j) = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  const common::Matrix centroids = common::Matrix::random_normal(k, dim, rng);
+
+  PathComparison cmp;
+  std::vector<std::uint32_t> scalar_out(n);
+  const double t_scalar = best_seconds(reps, [&] {
+    for (std::size_t i = 0; i < n; ++i)
+      scalar_out[i] = static_cast<std::uint32_t>(clustering::assign_point(
+          centroids, pts.row(i), clustering::Metric::kDotSimilarity));
+  });
+  std::vector<std::uint32_t> batch_out(n);
+  const double t_batch = best_seconds(reps, [&] {
+    clustering::assign_batch(centroids, pts,
+                             clustering::Metric::kDotSimilarity, batch_out);
+  });
+  cmp.scalar_per_sec = static_cast<double>(n) / t_scalar;
+  cmp.batch_per_sec = static_cast<double>(n) / t_batch;
+  cmp.bit_identical = (scalar_out == batch_out);
+  return cmp;
+}
+
 void write_comparison(std::FILE* f, const char* name,
                       const PathComparison& cmp, std::size_t dim,
                       std::size_t rows, std::size_t batch,
@@ -339,6 +448,12 @@ int run_json_suite() {
   const auto search = compare_associative_search(2048, 256, 1024, /*reps=*/9);
   const auto table = compare_score_table(2048, 256, 1024, /*reps=*/9);
   const auto encode = compare_projection_encode(784, 2048, 256, /*reps=*/5);
+  // IMC functional-simulation batch kernels (wordline-parallel partitioned
+  // search, geometric-skip noise injection) and the blocked K-means
+  // assignment step.
+  const auto part = compare_partitioned_search(1024, 16, 4, 256, /*reps=*/5);
+  const auto noise = compare_noise_inject(256, 2048, 0.01, /*reps=*/7);
+  const auto assign = compare_kmeans_assign(2048, 32, 256, /*reps=*/5);
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -353,6 +468,12 @@ int run_json_suite() {
   write_comparison(f, "score_table", table, 2048, 256, 1024, "centroids",
                    /*trailing_comma=*/true);
   write_comparison(f, "projection_encode", encode, 2048, 784, 256, "features",
+                   /*trailing_comma=*/true);
+  write_comparison(f, "partitioned_search", part, 1024, 16, 256, "classes",
+                   /*trailing_comma=*/true);
+  write_comparison(f, "noise_inject", noise, 2048, 256, 1, "rows",
+                   /*trailing_comma=*/true);
+  write_comparison(f, "kmeans_assign", assign, 256, 32, 2048, "centroids",
                    /*trailing_comma=*/false);
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -376,8 +497,28 @@ int run_json_suite() {
       "bit-identical %s\n",
       encode.scalar_per_sec, encode.batch_per_sec, encode.speedup(),
       encode.bit_identical ? "yes" : "NO");
+  std::printf(
+      "partitioned IMC search D=1024 C=16 P=4 B=256:\n"
+      "  scalar %.0f q/s | batched %.0f q/s | speedup %.2fx | bit-identical "
+      "%s\n",
+      part.scalar_per_sec, part.batch_per_sec, part.speedup(),
+      part.bit_identical ? "yes" : "NO");
+  std::printf(
+      "noise injection 256x2048 p=0.01:\n"
+      "  scalar %.1f matrices/s | batched %.1f matrices/s | speedup %.2fx | "
+      "deterministic+rate-ok %s\n",
+      noise.scalar_per_sec, noise.batch_per_sec, noise.speedup(),
+      noise.bit_identical ? "yes" : "NO");
+  std::printf(
+      "k-means assignment N=2048 k=32 D=256:\n"
+      "  scalar %.0f pts/s | batched %.0f pts/s | speedup %.2fx | "
+      "bit-identical %s\n",
+      assign.scalar_per_sec, assign.batch_per_sec, assign.speedup(),
+      assign.bit_identical ? "yes" : "NO");
   std::printf("wrote %s\n", path.c_str());
-  return (search.bit_identical && table.bit_identical && encode.bit_identical)
+  return (search.bit_identical && table.bit_identical &&
+          encode.bit_identical && part.bit_identical && noise.bit_identical &&
+          assign.bit_identical)
              ? 0
              : 1;
 }

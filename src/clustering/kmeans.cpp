@@ -1,10 +1,12 @@
 #include "src/clustering/kmeans.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "src/common/assert.hpp"
+#include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
 
 namespace memhd::clustering {
@@ -65,14 +67,7 @@ Matrix seed_kmeanspp(const Matrix& points, std::size_t k, Rng& rng) {
     if (total <= 0.0) {
       chosen = static_cast<std::size_t>(rng.uniform_index(n));
     } else {
-      double r = rng.uniform() * total;
-      for (std::size_t i = 0; i < n; ++i) {
-        r -= d2[i];
-        if (r <= 0.0) {
-          chosen = i;
-          break;
-        }
-      }
+      chosen = detail::weighted_pick(d2, rng.uniform() * total);
     }
     const auto src = points.row(chosen);
     std::copy(src.begin(), src.end(), centroids.row(c).begin());
@@ -97,6 +92,124 @@ std::size_t assign_point(const Matrix& centroids, std::span<const float> x,
   return best;
 }
 
+void assign_batch(const Matrix& centroids, const Matrix& points,
+                  Metric metric, std::span<std::uint32_t> out) {
+  MEMHD_EXPECTS(centroids.rows() > 0);
+  MEMHD_EXPECTS(centroids.cols() == points.cols());
+  MEMHD_EXPECTS(out.size() == points.rows());
+  const std::size_t n = points.rows();
+  const std::size_t k = centroids.rows();
+  const std::size_t dim = centroids.cols();
+
+  // The scalar kernels (common::dot / squared_distance) are serial float
+  // reductions — one dependent add per dimension, which the compiler must
+  // not reorder. The batch path instead tiles the centroids kLanes at a
+  // time in dimension-major (transposed) layout and keeps one independent
+  // float accumulator per lane: every lane reproduces the scalar kernel's
+  // summation order exactly (same float adds, same sequence), so the
+  // scores — and the strict-greater, ascending-centroid argmax — are
+  // bit-identical to assign_point, while the kLanes chains vectorize into
+  // one FMA per dimension step.
+  constexpr std::size_t kLanes = 8;
+  const std::size_t tiles = (k + kLanes - 1) / kLanes;
+  std::vector<float> tiled(tiles * dim * kLanes, 0.0f);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto row = centroids.row(c);
+    const std::size_t t = c / kLanes;
+    const std::size_t lane = c % kLanes;
+    for (std::size_t j = 0; j < dim; ++j)
+      tiled[(t * dim + j) * kLanes + lane] = row[j];
+  }
+  // Cosine hoists the per-centroid norms out of the pair loop; norm() is
+  // deterministic, so the per-pair values are unchanged.
+  std::vector<float> centroid_norm;
+  if (metric == Metric::kCosine) {
+    centroid_norm.resize(k);
+    for (std::size_t c = 0; c < k; ++c)
+      centroid_norm[c] = common::norm(centroids.row(c));
+  }
+
+  // Per-point work is independent (each i writes only out[i]), so point
+  // blocks fan out across the pool; results do not depend on the split.
+  common::parallel_for(0, n, [&](std::size_t i) {
+    std::array<float, kLanes> acc;
+    const auto x = points.row(i);
+    const float x_norm =
+        metric == Metric::kCosine ? common::norm(x) : 0.0f;
+    double best_score = 0.0;
+    std::size_t best = 0;
+    bool first = true;
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const float* tile = tiled.data() + t * dim * kLanes;
+      acc.fill(0.0f);
+      if (metric == Metric::kEuclidean) {
+        for (std::size_t j = 0; j < dim; ++j) {
+          const float xv = x[j];
+          const float* col = tile + j * kLanes;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            const float d = col[l] - xv;
+            acc[l] += d * d;
+          }
+        }
+      } else {
+        for (std::size_t j = 0; j < dim; ++j) {
+          const float xv = x[j];
+          const float* col = tile + j * kLanes;
+          for (std::size_t l = 0; l < kLanes; ++l) acc[l] += col[l] * xv;
+        }
+      }
+      const std::size_t lanes = std::min(kLanes, k - t * kLanes);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::size_t c = t * kLanes + l;
+        double s = 0.0;
+        switch (metric) {
+          case Metric::kDotSimilarity:
+            s = acc[l];
+            break;
+          case Metric::kEuclidean:
+            s = -static_cast<double>(acc[l]);
+            break;
+          case Metric::kCosine: {
+            const float nc = centroid_norm[c];
+            s = (nc == 0.0f || x_norm == 0.0f)
+                    ? -1.0
+                    : acc[l] / (static_cast<double>(nc) * x_norm);
+            break;
+          }
+        }
+        if (first || s > best_score) {
+          best_score = s;
+          best = c;
+          first = false;
+        }
+      }
+    }
+    out[i] = static_cast<std::uint32_t>(best);
+  });
+}
+
+namespace detail {
+
+std::size_t weighted_pick(std::span<const double> weights, double r) {
+  MEMHD_EXPECTS(!weights.empty());
+  std::size_t last_positive = 0;
+  bool seen_positive = false;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) {
+      last_positive = i;
+      seen_positive = true;
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+  }
+  // Floating-point residue left r positive after every weight was
+  // subtracted (or every weight was zero): fall back to the last
+  // positive-weight entry, never a zero-weight one.
+  return seen_positive ? last_positive : weights.size() - 1;
+}
+
+}  // namespace detail
+
 KMeansResult kmeans(const Matrix& points, const KMeansConfig& config,
                     Rng& rng) {
   MEMHD_EXPECTS(config.k >= 1);
@@ -117,14 +230,12 @@ KMeansResult kmeans(const Matrix& points, const KMeansConfig& config,
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
-    // Assignment step.
+    // Assignment step — blocked batch argmin over centroids (bit-identical
+    // to the per-point assign_point loop, one cache pass per point block).
+    assign_batch(result.centroids, points, config.metric, result.assignment);
     std::size_t reassigned = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto a = static_cast<std::uint32_t>(
-          assign_point(result.centroids, points.row(i), config.metric));
-      if (a != previous[i]) ++reassigned;
-      result.assignment[i] = a;
-    }
+    for (std::size_t i = 0; i < n; ++i)
+      if (result.assignment[i] != previous[i]) ++reassigned;
 
     // Update step: arithmetic mean of members.
     result.centroids.fill(0.0f);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/matrix.hpp"
@@ -59,5 +60,34 @@ KMeansResult kmeans(const common::Matrix& points, const KMeansConfig& config,
 /// Assignment step only: index of the best centroid for `x` under `metric`.
 std::size_t assign_point(const common::Matrix& centroids,
                          std::span<const float> x, Metric metric);
+
+/// Blocked batch assignment step: out[i] = assign_point(centroids,
+/// points.row(i), metric) for every row of `points`. Centroids are
+/// repacked into dimension-major lane tiles scored with one independent
+/// accumulator per centroid lane — the same tile structure as the batched
+/// AM search — and point blocks fan out across the thread pool. Every
+/// lane reproduces the scalar kernel's float summation order and the
+/// centroids are compared in ascending order with a strict-greater,
+/// first-wins argmax, so the result is bit-identical to the per-point
+/// loop regardless of thread count. `out.size()` must equal
+/// points.rows(). This is the assignment kernel clustering::kmeans — and
+/// through it every per-class clustering job in core::initializer — runs.
+void assign_batch(const common::Matrix& centroids,
+                  const common::Matrix& points, Metric metric,
+                  std::span<std::uint32_t> out);
+
+namespace detail {
+
+/// D^2-weighted sampling pick for k-means++ seeding: smallest index whose
+/// running cumulative weight reaches `r` (over positive-weight entries).
+/// When floating-point residue leaves r positive after the full scan — the
+/// caller draws r = u * total with total accumulated in the same order,
+/// but re-subtraction rounds differently — the pick falls back to the
+/// *last* index with positive weight. (The pre-fix code silently returned
+/// index 0 in that branch, selecting a point regardless of its distance —
+/// typically one coinciding with an existing centroid, i.e. weight 0.)
+std::size_t weighted_pick(std::span<const double> weights, double r);
+
+}  // namespace detail
 
 }  // namespace memhd::clustering

@@ -42,6 +42,32 @@ inline std::size_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
   return acc;
 }
 
+/// Copies the bit range [src_bit, src_bit + nbits) of a packed vector into
+/// `dst`, starting at bit 0. Writes exactly words_for_bits(nbits) words;
+/// bits of the last written word beyond nbits are cleared. `src` must hold
+/// at least words_for_bits(src_bit + nbits) words (a BitVector/BitMatrix
+/// row containing the range satisfies this). This is the wordline-segment
+/// extraction used when a query block is split across IMC row tiles.
+inline void copy_bit_range(const std::uint64_t* src, std::size_t src_bit,
+                           std::uint64_t* dst, std::size_t nbits) {
+  if (nbits == 0) return;
+  const std::size_t nwords = words_for_bits(nbits);
+  const std::size_t word0 = src_bit / kBitsPerWord;
+  const std::size_t shift = src_bit % kBitsPerWord;
+  if (shift == 0) {
+    for (std::size_t w = 0; w < nwords; ++w) dst[w] = src[word0 + w];
+  } else {
+    const std::size_t last_src_word = (src_bit + nbits - 1) / kBitsPerWord;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::uint64_t lo = src[word0 + w] >> shift;
+      const std::uint64_t hi =
+          word0 + w + 1 <= last_src_word ? src[word0 + w + 1] : 0ULL;
+      dst[w] = lo | (hi << (kBitsPerWord - shift));
+    }
+  }
+  dst[nwords - 1] &= tail_mask(nbits);
+}
+
 /// Popcount of the XOR of two equal-length word spans: the Hamming distance
 /// of two packed {0,1} vectors.
 inline std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,

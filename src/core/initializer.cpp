@@ -27,7 +27,11 @@ struct ClassState {
 };
 
 /// Runs K-means for one class with its current budget. Budgets are clamped
-/// to the class sample count by the caller.
+/// to the class sample count by the caller. The assignment step inside
+/// clustering::kmeans runs through the blocked clustering::assign_batch
+/// kernel, so every per-class clustering job here — the initializer's hot
+/// loop, re-run per allocation round — scores its point cloud against the
+/// centroid block in cache-resident tiles rather than per point.
 void recluster(ClassState& st, const MemhdConfig& cfg, Rng& rng) {
   MEMHD_EXPECTS(st.budget >= 1);
   MEMHD_EXPECTS(st.budget <= st.points.rows());

@@ -17,11 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "src/common/bit_matrix.hpp"
 #include "src/common/bit_vector.hpp"
+#include "src/common/bitops_batch.hpp"
 
 namespace memhd::imc {
 
@@ -55,6 +57,23 @@ class ImcArray {
   /// missing rows are undriven). Returns per-column popcount sums.
   std::vector<std::uint32_t> mvm_binary(const common::BitVector& input);
 
+  /// Wordline-parallel batch activation: drives the weight plane with a
+  /// whole block of binary wordline patterns (one row of `inputs` per
+  /// query, `inputs.cols()` == rows) and returns the query-major column-sum
+  /// matrix out[q * cols + c] = sum_r inputs[q][r] * w[r][c]. Bit-identical
+  /// to calling mvm_binary once per row of `inputs` (popcounts are exact
+  /// integer arithmetic), but computed through the blocked batch engine
+  /// over a cached column-major repack of the weights, so the weight plane
+  /// streams through cache once per query block instead of once per query.
+  /// activations() advances by inputs.rows() in a single bump — the same
+  /// cycle accounting as the per-query path, applied once per driven block.
+  std::vector<std::uint32_t> mvm_binary_batch(const common::BitMatrix& inputs);
+
+  /// Convenience overload over per-query BitVectors (each of size <= rows;
+  /// missing rows undriven). Packs the block and delegates.
+  std::vector<std::uint32_t> mvm_binary_batch(
+      std::span<const common::BitVector> inputs);
+
   /// One compute cycle with real-valued inputs.
   std::vector<float> mvm_real(std::span<const float> input);
 
@@ -65,8 +84,14 @@ class ImcArray {
   void reset_counters();
 
  private:
+  /// (Re)builds the batch scorer over the transposed weight plane.
+  const common::BatchScorer& batch_scorer();
+
   ArrayGeometry geometry_;
   common::BitMatrix weights_;  // rows x cols
+  // Lazy column-major repack serving mvm_binary_batch; invalidated by
+  // program / program_cell (the scorer snapshots the weights).
+  std::optional<common::BatchScorer> scorer_;
   std::size_t used_rows_ = 0;
   std::size_t used_cols_ = 0;
   std::size_t activations_ = 0;

@@ -10,14 +10,39 @@ namespace memhd::imc {
 std::size_t inject_weight_flips(common::BitMatrix& weights,
                                 double flip_probability, common::Rng& rng) {
   MEMHD_EXPECTS(flip_probability >= 0.0 && flip_probability <= 1.0);
-  if (flip_probability == 0.0) return 0;
+  const std::size_t total = weights.rows() * weights.cols();
+  if (flip_probability == 0.0 || total == 0) return 0;
+
+  if (flip_probability >= 1.0) {
+    // Word-wise complement; the tail mask keeps the padding bits beyond
+    // cols() clear (the BitMatrix storage invariant).
+    const std::uint64_t tail = common::tail_mask(weights.cols());
+    for (std::size_t r = 0; r < weights.rows(); ++r) {
+      std::uint64_t* row = weights.row(r);
+      for (std::size_t w = 0; w + 1 < weights.words_per_row(); ++w)
+        row[w] = ~row[w];
+      row[weights.words_per_row() - 1] ^= tail;
+    }
+    return total;
+  }
+
+  // Geometric skips over the row-major cell domain: the gap before the next
+  // flipped cell is floor(log(1-u) / log(1-p)), so the cost is one RNG draw
+  // and one log per *flip* instead of one Bernoulli per cell. Identical
+  // marginal distribution (each cell flips independently with probability
+  // p); only the stream consumption differs from the per-cell loop.
+  const double log1m = std::log1p(-flip_probability);
   std::size_t flipped = 0;
-  for (std::size_t r = 0; r < weights.rows(); ++r)
-    for (std::size_t c = 0; c < weights.cols(); ++c)
-      if (rng.bernoulli(flip_probability)) {
-        weights.flip(r, c);
-        ++flipped;
-      }
+  std::size_t i = 0;
+  const std::size_t cols = weights.cols();
+  while (i < total) {
+    const double skip = std::floor(std::log1p(-rng.uniform()) / log1m);
+    if (skip >= static_cast<double>(total - i)) break;
+    i += static_cast<std::size_t>(skip);
+    weights.flip(i / cols, i % cols);
+    ++flipped;
+    ++i;
+  }
   return flipped;
 }
 
@@ -34,8 +59,11 @@ std::uint32_t AdcModel::read(double ideal_sum, std::uint32_t full_scale,
   if (noise_sigma_ > 0.0) value += rng.normal(0.0, noise_sigma_);
   value = std::clamp(value, 0.0, static_cast<double>(full_scale));
 
-  // Uniform mid-rise quantization of [0, full_scale] into 2^bits codes,
-  // then reconstruction back to the count domain.
+  // Uniform mid-tread quantization of [0, full_scale] into 2^bits codes
+  // (reconstruction levels at code * step with both endpoints
+  // representable, decision thresholds at half-steps — std::round of
+  // value / step), then reconstruction back to the count domain.
+  // read_range applies the same transfer function over [lo, hi].
   const double nlevels = static_cast<double>(levels() - 1);
   const double step = static_cast<double>(full_scale) / nlevels;
   if (step <= 0.0) return static_cast<std::uint32_t>(value + 0.5);
@@ -64,6 +92,44 @@ void AdcModel::read_columns(std::vector<std::uint32_t>& sums,
                             common::Rng& rng) const {
   for (auto& s : sums)
     s = read(static_cast<double>(s), full_scale, rng);
+}
+
+std::uint64_t AdcModel::query_stream(std::uint64_t seed, std::uint64_t index) {
+  // Golden-ratio stride + SplitMix64 finalizer: decorrelated streams even
+  // for consecutive indices and seeds.
+  std::uint64_t s = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  return common::splitmix64(s);
+}
+
+void AdcModel::read_columns_batch(std::span<std::uint32_t> sums,
+                                  std::size_t num_queries,
+                                  std::span<const std::uint32_t> full_scales,
+                                  std::uint64_t stream_seed) const {
+  if (num_queries == 0) return;
+  MEMHD_EXPECTS(full_scales.size() == num_queries);
+  MEMHD_EXPECTS(sums.size() % num_queries == 0);
+  const std::size_t cols = sums.size() / num_queries;
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    common::Rng qrng(query_stream(stream_seed, q));
+    std::uint32_t* s = sums.data() + q * cols;
+    for (std::size_t c = 0; c < cols; ++c)
+      s[c] = read(static_cast<double>(s[c]), full_scales[q], qrng);
+  }
+}
+
+void AdcModel::read_range_batch(std::span<std::uint32_t> sums,
+                                std::size_t num_queries, double lo, double hi,
+                                std::uint64_t stream_seed) const {
+  if (num_queries == 0) return;
+  MEMHD_EXPECTS(sums.size() % num_queries == 0);
+  const std::size_t cols = sums.size() / num_queries;
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    common::Rng qrng(query_stream(stream_seed, q));
+    std::uint32_t* s = sums.data() + q * cols;
+    for (std::size_t c = 0; c < cols; ++c)
+      s[c] = static_cast<std::uint32_t>(std::lround(
+          read_range(static_cast<double>(s[c]), lo, hi, qrng)));
+  }
 }
 
 }  // namespace memhd::imc

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/bit_matrix.hpp"
@@ -27,6 +28,13 @@ namespace memhd::imc {
 
 /// Flips every bit of `weights` independently with probability
 /// `flip_probability`. Returns the number of flipped cells.
+///
+/// Sampled word-at-a-time: flip positions are drawn by geometric skips over
+/// the row-major cell domain (one RNG draw per flip instead of one per
+/// cell), and p == 1 collapses to a word-wise complement. Each cell is
+/// still flipped independently with the exact probability; only the RNG
+/// stream consumption differs from a per-cell Bernoulli loop. Deterministic
+/// given the Rng state.
 std::size_t inject_weight_flips(common::BitMatrix& weights,
                                 double flip_probability, common::Rng& rng);
 
@@ -34,9 +42,11 @@ std::size_t inject_weight_flips(common::BitMatrix& weights,
 ///
 /// An ideal column reading for a query driving `driven_rows` wordlines lies
 /// in [0, driven_rows]. The ADC adds N(0, noise_sigma) in LSB-of-the-ideal
-/// scale, then uniformly quantizes the range into 2^bits levels and maps
-/// back to the nearest representable count. bits >= ceil(log2(rows+1))
-/// reproduces the input exactly at noise_sigma = 0.
+/// scale, then applies uniform *mid-tread* quantization of the range into
+/// 2^bits levels (reconstruction levels at k * step including both range
+/// endpoints, decision thresholds halfway between levels) and maps back to
+/// the nearest representable count. bits >= ceil(log2(rows+1)) reproduces
+/// the input exactly at noise_sigma = 0.
 class AdcModel {
  public:
   /// `bits` in [1, 16]; `noise_sigma` is the std-dev of additive readout
@@ -63,6 +73,30 @@ class AdcModel {
   /// Digitizes a whole column-sum vector in place.
   void read_columns(std::vector<std::uint32_t>& sums,
                     std::uint32_t full_scale, common::Rng& rng) const;
+
+  /// Seed of query q's independent readout-noise stream. Batch reads use
+  /// one derived stream per query so results are reproducible regardless
+  /// of how a sweep is chunked into batches; scalar reference code can
+  /// reproduce a batch read exactly by seeding common::Rng with this value.
+  static std::uint64_t query_stream(std::uint64_t seed, std::uint64_t index);
+
+  /// Digitizes a query-major column-sum matrix in place: `sums` holds
+  /// `num_queries` consecutive blocks of sums.size() / num_queries columns
+  /// (the layout produced by ImcArray::mvm_binary_batch and
+  /// PartitionedAm::scores_batch). Query q reads against full scale
+  /// full_scales[q] through the stream query_stream(stream_seed, q) —
+  /// bit-identical to calling read_columns per query with that stream.
+  void read_columns_batch(std::span<std::uint32_t> sums,
+                          std::size_t num_queries,
+                          std::span<const std::uint32_t> full_scales,
+                          std::uint64_t stream_seed) const;
+
+  /// Calibrated-window batch variant: digitizes every query block against
+  /// the common window [lo, hi] (read_range semantics, rounded back to
+  /// counts), query q through query_stream(stream_seed, q).
+  void read_range_batch(std::span<std::uint32_t> sums,
+                        std::size_t num_queries, double lo, double hi,
+                        std::uint64_t stream_seed) const;
 
  private:
   unsigned bits_;

@@ -100,11 +100,16 @@ std::vector<std::uint32_t> PartitionedAm::scores_batch(
     std::span<const common::BitVector> queries) {
   for (const auto& query : queries) MEMHD_EXPECTS(query.size() == dim_);
   std::vector<std::uint32_t> totals(queries.size() * num_classes_, 0);
+  if (queries.empty()) return totals;
 
-  // Same partition / tile walk as scores(); the query loop sits inside the
-  // row-tile loop so each array services the whole batch while its tile is
-  // "selected". Per query the partial sums arrive in the same (p, rt, ct)
-  // order as scores(), so the totals are bit-identical.
+  // Same partition / tile walk as scores(), but wordline-parallel: per
+  // (partition, row tile) the query-segment block is extracted once for the
+  // whole batch, and every intersecting array is driven with the block in a
+  // single mvm_binary_batch call instead of one mvm_binary per query per
+  // column tile. Popcounts are exact integers, so the totals — and the
+  // activation accounting (one bump of queries.size() per driven array,
+  // against one increment per query on the scalar path) — are bit-identical
+  // to per-query scores().
   for (std::size_t p = 0; p < partitions_; ++p) {
     const std::size_t j0 = p * rows_per_partition_;
     const std::size_t j1 = std::min(dim_, j0 + rows_per_partition_);
@@ -116,23 +121,25 @@ std::vector<std::uint32_t> PartitionedAm::scores_batch(
       const std::size_t r1 =
           std::min(rows_per_partition_, r0 + geometry_.rows);
       if (j0 + r0 >= j1) continue;  // tail partition may be short
+      const std::size_t seg_len = std::min(r1, j1 - j0) - r0;
 
-      common::BitVector segment(r1 - r0);  // reused across the batch
-      for (std::size_t q = 0; q < queries.size(); ++q) {
-        const auto& query = queries[q];
-        segment.fill(false);
-        for (std::size_t r = r0; r < r1 && j0 + r < j1; ++r)
-          if (query.get(j0 + r)) segment.set(r - r0, true);
+      common::BitMatrix block(queries.size(), geometry_.rows);
+      for (std::size_t q = 0; q < queries.size(); ++q)
+        common::copy_bit_range(queries[q].words(), j0 + r0, block.row(q),
+                               seg_len);
 
-        std::uint32_t* qtotals = totals.data() + q * num_classes_;
-        for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
-          const std::size_t c0 = ct * geometry_.cols;
-          const std::size_t c1 = std::min(logical_cols_, c0 + geometry_.cols);
-          if (c1 <= g0 || c0 >= g1) continue;
-          const auto partial =
-              arrays_[rt * col_tiles_ + ct].mvm_binary(segment);
-          for (std::size_t c = std::max(c0, g0); c < std::min(c1, g1); ++c)
-            qtotals[c - g0] += partial[c - c0];
+      for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+        const std::size_t c0 = ct * geometry_.cols;
+        const std::size_t c1 = std::min(logical_cols_, c0 + geometry_.cols);
+        if (c1 <= g0 || c0 >= g1) continue;
+        const auto sums = arrays_[rt * col_tiles_ + ct].mvm_binary_batch(block);
+        const std::size_t lo = std::max(c0, g0);
+        const std::size_t hi = std::min(c1, g1);
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          std::uint32_t* qtotals = totals.data() + q * num_classes_;
+          const std::uint32_t* qsums = sums.data() + q * geometry_.cols;
+          for (std::size_t c = lo; c < hi; ++c)
+            qtotals[c - g0] += qsums[c - c0];
         }
       }
     }

@@ -43,11 +43,13 @@ class PartitionedAm {
   std::vector<std::uint32_t> scores(const common::BitVector& query);
 
   /// Batched scores: out[q * num_classes() + c]. One pass over the
-  /// partition / tile structure drives every query through each array
-  /// before moving on (the array-parallel search pattern), with per-query
-  /// totals accumulated exactly as in scores() — the result is
-  /// bit-identical, and activations() advances by the same amount as
-  /// queries.size() scores() calls.
+  /// partition / tile structure; per (partition, row tile) the query
+  /// segment block is extracted once for the whole batch and each
+  /// intersecting array is driven wordline-parallel with the block
+  /// (ImcArray::mvm_binary_batch), instead of one mvm_binary per query per
+  /// column tile. The result is bit-identical to per-query scores(), and
+  /// activations() advances by the same amount as queries.size() scores()
+  /// calls (one bump of the batch size per driven array).
   std::vector<std::uint32_t> scores_batch(
       std::span<const common::BitVector> queries);
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "src/common/assert.hpp"
+#include "src/common/stats.hpp"
 
 namespace memhd::imc {
 
@@ -81,6 +82,31 @@ std::vector<std::uint32_t> TiledMatrix::mvm_binary(
   return out;
 }
 
+std::vector<std::uint32_t> TiledMatrix::mvm_binary_batch(
+    std::span<const common::BitVector> inputs) {
+  for (const auto& in : inputs) MEMHD_EXPECTS(in.size() == logical_rows_);
+  std::vector<std::uint32_t> out(inputs.size() * logical_cols_, 0);
+  if (inputs.empty()) return out;
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::size_t r0 = rt * geometry_.rows;
+    const std::size_t r1 = std::min(logical_rows_, r0 + geometry_.rows);
+    common::BitMatrix block(inputs.size(), geometry_.rows);
+    for (std::size_t q = 0; q < inputs.size(); ++q)
+      common::copy_bit_range(inputs[q].words(), r0, block.row(q), r1 - r0);
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      const std::size_t c0 = ct * geometry_.cols;
+      const std::size_t width = std::min(logical_cols_ - c0, geometry_.cols);
+      const auto sums = tile_mut(rt, ct).mvm_binary_batch(block);
+      for (std::size_t q = 0; q < inputs.size(); ++q) {
+        std::uint32_t* qout = out.data() + q * logical_cols_ + c0;
+        const std::uint32_t* qsums = sums.data() + q * geometry_.cols;
+        for (std::size_t c = 0; c < width; ++c) qout[c] += qsums[c];
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<float> TiledMatrix::mvm_real(std::span<const float> input) {
   MEMHD_EXPECTS(input.size() == logical_rows_);
   std::vector<float> out(logical_cols_, 0.0f);
@@ -148,6 +174,18 @@ data::Label InMemoryPipeline::search(const common::BitVector& query) {
   for (std::size_t c = 1; c < scores.size(); ++c)
     if (scores[c] > scores[best]) best = c;
   return owners_[best];
+}
+
+std::vector<data::Label> InMemoryPipeline::search_batch(
+    std::span<const common::BitVector> queries) {
+  for (const auto& q : queries) MEMHD_EXPECTS(q.size() == dim_);
+  const auto scores = am_.mvm_binary_batch(queries);
+  std::vector<data::Label> out(queries.size());
+  const std::size_t cols = am_.logical_cols();
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    out[q] = owners_[common::argmax_u32(
+        std::span<const std::uint32_t>(scores.data() + q * cols, cols))];
+  return out;
 }
 
 data::Label InMemoryPipeline::predict(std::span<const float> features) {

@@ -50,6 +50,14 @@ class TiledMatrix {
   /// integer sums (length logical_cols).
   std::vector<std::uint32_t> mvm_binary(const common::BitVector& input);
 
+  /// Wordline-parallel batch MVM: out[q * logical_cols + c]. Per row tile
+  /// the segment block of the whole batch is extracted once and each tile
+  /// is driven with the block (ImcArray::mvm_binary_batch). Bit-identical
+  /// to per-query mvm_binary; activations() advances by the same amount as
+  /// inputs.size() mvm_binary calls.
+  std::vector<std::uint32_t> mvm_binary_batch(
+      std::span<const common::BitVector> inputs);
+
   /// Full-width real MVM (for the EM path): out[c] = sum_r x[r] * w[r][c].
   std::vector<float> mvm_real(std::span<const float> input);
 
@@ -94,6 +102,10 @@ class InMemoryPipeline {
   common::BitVector encode(std::span<const float> features);
   /// In-array associative search of an already-encoded query.
   data::Label search(const common::BitVector& query);
+  /// Batched in-array search through the wordline-parallel AM path; same
+  /// first-wins argmax per query as search(), bit-identical results.
+  std::vector<data::Label> search_batch(
+      std::span<const common::BitVector> queries);
   /// encode + search.
   data::Label predict(std::span<const float> features);
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/assert.hpp"
+#include "src/common/bitops_batch.hpp"
 #include "src/common/stats.hpp"
 
 namespace memhd::imc {
@@ -16,9 +17,13 @@ RobustnessResult evaluate_noisy_search(const core::MultiCentroidAM& am,
   MEMHD_EXPECTS(config.trials >= 1);
   MEMHD_EXPECTS(!test.empty());
 
-  common::Rng rng(config.seed ^ 0x401CEULL);
+  common::Rng rng(config.seed ^ 0x401CEULL);  // per-trial corruption stream
   RobustnessResult result;
   result.min_accuracy = 1.0;
+
+  const std::span<const common::BitVector> queries(test.hypervectors);
+  const std::size_t n = test.size();
+  const std::size_t columns = am.columns();
 
   std::vector<std::uint32_t> scores;
   for (std::size_t trial = 0; trial < config.trials; ++trial) {
@@ -26,57 +31,69 @@ RobustnessResult evaluate_noisy_search(const core::MultiCentroidAM& am,
     result.flipped_cells = inject_weight_flips(
         corrupted, config.weight_flip_probability, rng);
 
-    // ADC range calibration: sample the score distribution over a small
-    // calibration batch and set the input window to its [min, max].
+    // Every score this trial needs comes from one blocked batch pass of the
+    // corrupted AM over the whole test set (exact popcounts — identical to
+    // the former per-query mvm loop, the AM streams through cache once per
+    // query block instead of once per query).
+    const common::BatchScorer scorer(corrupted);
+    scorer.scores(queries, common::PopcountOp::kAnd, scores);
+
+    // ADC range calibration: the score distribution of a small calibration
+    // batch sets the input window to its [min, max].
     double cal_lo = 0.0;
     double cal_hi = 0.0;
     if (config.adc_bits > 0 && config.adc_calibrated) {
       cal_lo = std::numeric_limits<double>::infinity();
       cal_hi = -cal_lo;
-      const std::size_t batch = std::min<std::size_t>(32, test.size());
-      for (std::size_t i = 0; i < batch; ++i) {
-        corrupted.mvm(test.hypervectors[i], scores);
-        for (const auto s : scores) {
-          cal_lo = std::min(cal_lo, static_cast<double>(s));
-          cal_hi = std::max(cal_hi, static_cast<double>(s));
-        }
+      const std::size_t batch = std::min<std::size_t>(32, n);
+      for (std::size_t i = 0; i < batch * columns; ++i) {
+        cal_lo = std::min(cal_lo, static_cast<double>(scores[i]));
+        cal_hi = std::max(cal_hi, static_cast<double>(scores[i]));
       }
       if (cal_hi <= cal_lo) cal_hi = cal_lo + 1.0;
     }
 
-    std::size_t correct = 0;
-    for (std::size_t i = 0; i < test.size(); ++i) {
-      const auto& query = test.hypervectors[i];
-      corrupted.mvm(query, scores);
-      if (config.adc_bits > 0) {
-        const AdcModel adc(config.adc_bits, config.adc_noise_sigma);
-        if (config.adc_calibrated) {
-          for (auto& s : scores)
-            s = static_cast<std::uint32_t>(std::lround(
-                adc.read_range(static_cast<double>(s), cal_lo, cal_hi, rng)));
-        } else {
-          const auto full_scale = static_cast<std::uint32_t>(
-              std::max<std::size_t>(1, query.popcount()));
-          adc.read_columns(scores, full_scale, rng);
-        }
+    // Readout noise + tie-breaking draw from one derived stream per
+    // (trial, query), so the result is reproducible for a given seed no
+    // matter how the sweep is batched or chunked.
+    const std::uint64_t trial_seed =
+        AdcModel::query_stream(config.seed ^ 0x7121A1ULL, trial);
+    if (config.adc_bits > 0) {
+      const AdcModel adc(config.adc_bits, config.adc_noise_sigma);
+      if (config.adc_calibrated) {
+        adc.read_range_batch(scores, n, cal_lo, cal_hi, trial_seed);
+      } else {
+        std::vector<std::uint32_t> full_scales(n);
+        for (std::size_t i = 0; i < n; ++i)
+          full_scales[i] = static_cast<std::uint32_t>(
+              std::max<std::size_t>(1, queries[i].popcount()));
+        adc.read_columns_batch(scores, n, full_scales, trial_seed);
       }
+    }
+
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t* s = scores.data() + i * columns;
       // Random tie-breaking: a coarse ADC buckets many columns into the
       // same code, and a physical winner-take-all resolves such ties by
       // circuit noise, not by column index. Index-based argmax here would
       // inject a systematic class bias at low ADC resolutions.
+      common::Rng tie_rng(
+          AdcModel::query_stream(trial_seed ^ 0x71EB12EA4ULL, i));
       std::uint32_t best_score = 0;
-      for (const auto s : scores) best_score = std::max(best_score, s);
+      for (std::size_t col = 0; col < columns; ++col)
+        best_score = std::max(best_score, s[col]);
       std::size_t ties = 0;
       std::size_t chosen = 0;
-      for (std::size_t col = 0; col < scores.size(); ++col) {
-        if (scores[col] != best_score) continue;
+      for (std::size_t col = 0; col < columns; ++col) {
+        if (s[col] != best_score) continue;
         ++ties;
-        if (rng.uniform_index(ties) == 0) chosen = col;
+        if (tie_rng.uniform_index(ties) == 0) chosen = col;
       }
       if (am.owner(chosen) == test.labels[i]) ++correct;
     }
     const double acc =
-        static_cast<double>(correct) / static_cast<double>(test.size());
+        static_cast<double>(correct) / static_cast<double>(n);
     result.mean_accuracy += acc / static_cast<double>(config.trials);
     result.min_accuracy = std::min(result.min_accuracy, acc);
     result.max_accuracy = std::max(result.max_accuracy, acc);

@@ -43,6 +43,13 @@ struct RobustnessResult {
 /// Runs binary associative search over `test` against independently
 /// corrupted copies of `am`'s binary matrix. The ADC full scale per query
 /// is the query's popcount (the number of driven wordlines).
+///
+/// The whole sweep runs through the batch engine: per trial, one blocked
+/// batch pass scores the corrupted AM against every test query
+/// (common::BatchScorer — exact popcounts, identical to per-query MVMs),
+/// and ADC readout noise plus tie-breaking draw from one derived RNG
+/// stream per (trial, query) (AdcModel::query_stream), so a given seed
+/// reproduces the same result regardless of batching or chunk sizes.
 RobustnessResult evaluate_noisy_search(const core::MultiCentroidAM& am,
                                        const hdc::EncodedDataset& test,
                                        const RobustnessConfig& config);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 
 #include "src/common/rng.hpp"
 
@@ -185,6 +186,104 @@ TEST_P(KMeansSeedingSweep, BlobsRecoveredUnderBothSeedings) {
 INSTANTIATE_TEST_SUITE_P(Seedings, KMeansSeedingSweep,
                          ::testing::Values(Seeding::kRandomSamples,
                                            Seeding::kKMeansPlusPlus));
+
+// --- k-means++ D^2-sampling fallback (regression) ------------------------
+//
+// seed_kmeanspp draws r = u * total and walks the weights subtracting each
+// d2; floating-point residue can leave r > 0 after the full scan. The
+// pre-fix code then silently kept `chosen = 0` — picking point 0 regardless
+// of its distance, typically a point coinciding with an existing centroid
+// (weight exactly 0), i.e. a duplicated centroid. The fallback must land on
+// the *last positive-weight* point instead.
+
+TEST(WeightedPick, ResidueFallsBackToLastPositiveWeight) {
+  // r beyond the total weight models the rounding-residue branch. Index 0
+  // has zero weight (a point sitting on an existing centroid): the pre-fix
+  // behavior returned it; the fix must return index 2 — the last entry
+  // with positive weight — and never the zero-weight entries 0 or 3.
+  const std::vector<double> weights = {0.0, 2.0, 3.0, 0.0};
+  EXPECT_EQ(detail::weighted_pick(weights, 10.0), 2u);
+}
+
+TEST(WeightedPick, ResidueFallbackSkipsTrailingZeroRun) {
+  const std::vector<double> weights = {0.5, 0.0, 0.0, 0.0};
+  EXPECT_EQ(detail::weighted_pick(weights, 2.0), 0u);
+}
+
+TEST(WeightedPick, InRangeDrawsSelectByCumulativeWeight) {
+  const std::vector<double> weights = {1.0, 2.0, 0.0, 3.0};
+  EXPECT_EQ(detail::weighted_pick(weights, 0.5), 0u);
+  EXPECT_EQ(detail::weighted_pick(weights, 1.0), 0u);   // boundary: r <= cum
+  EXPECT_EQ(detail::weighted_pick(weights, 2.5), 1u);
+  EXPECT_EQ(detail::weighted_pick(weights, 3.5), 3u);   // skips zero weight
+  EXPECT_EQ(detail::weighted_pick(weights, 6.0), 3u);
+}
+
+TEST(WeightedPick, ZeroDrawNeverPicksZeroWeightPoint) {
+  // u == 0 gives r == 0; the pick must still land on a positive weight,
+  // not on a leading zero-weight (duplicate-centroid) entry.
+  const std::vector<double> weights = {0.0, 0.0, 4.0};
+  EXPECT_EQ(detail::weighted_pick(weights, 0.0), 2u);
+}
+
+TEST(KMeansPlusPlus, NeverDuplicatesTheFirstCentroidOnTinyClouds) {
+  // Two distinct points, k = 2: the second pick's weight vector is exactly
+  // {0, d} or {d, 0}; any fallback or boundary slip that picks the
+  // zero-distance point duplicates the first centroid. Sweep seeds so the
+  // uniform draw covers the [0, total) boundary region densely.
+  Matrix pts(2, 2);
+  pts(0, 0) = 0.0f; pts(0, 1) = 0.0f;
+  pts(1, 0) = 3.0f; pts(1, 1) = 4.0f;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    KMeansConfig cfg;
+    cfg.k = 2;
+    cfg.seeding = Seeding::kKMeansPlusPlus;
+    cfg.max_iterations = 1;
+    const auto result = kmeans(pts, cfg, rng);
+    // Both points end up in singleton clusters => both centroids distinct.
+    EXPECT_EQ(result.cluster_sizes[0], 1u) << "seed=" << seed;
+    EXPECT_EQ(result.cluster_sizes[1], 1u) << "seed=" << seed;
+  }
+}
+
+// --- blocked batch assignment --------------------------------------------
+
+TEST(AssignBatch, BitIdenticalToPerPointAssignAcrossMetricsAndShapes) {
+  Rng rng(31);
+  for (const auto metric :
+       {Metric::kDotSimilarity, Metric::kEuclidean, Metric::kCosine}) {
+    // Shapes straddle the point/centroid block sizes (128 and 16).
+    const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+        {1, 1, 3}, {7, 3, 5}, {128, 16, 8}, {129, 17, 8}, {300, 33, 12}};
+    for (const auto& [n, k, dim] : shapes) {
+      Matrix pts = Matrix::random_normal(n, dim, rng);
+      Matrix centroids = Matrix::random_normal(k, dim, rng);
+      std::vector<std::uint32_t> batch(n);
+      assign_batch(centroids, pts, metric, batch);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(batch[i], assign_point(centroids, pts.row(i), metric))
+            << "n=" << n << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(AssignBatch, TiesResolveToFirstCentroidLikeAssignPoint) {
+  // Duplicate centroids force exact score ties; both paths must pick the
+  // first occurrence.
+  Matrix centroids(3, 2);
+  centroids(0, 0) = 1.0f; centroids(0, 1) = 0.0f;
+  centroids(1, 0) = 1.0f; centroids(1, 1) = 0.0f;  // duplicate of 0
+  centroids(2, 0) = 0.0f; centroids(2, 1) = 1.0f;
+  Matrix pts(2, 2);
+  pts(0, 0) = 2.0f; pts(0, 1) = 0.1f;
+  pts(1, 0) = 0.1f; pts(1, 1) = 2.0f;
+  std::vector<std::uint32_t> out(2);
+  assign_batch(centroids, pts, Metric::kDotSimilarity, out);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 2u);
+  EXPECT_EQ(assign_point(centroids, pts.row(0), Metric::kDotSimilarity), 0u);
+}
 
 }  // namespace
 }  // namespace memhd::clustering

@@ -111,5 +111,85 @@ TEST(ImcArray, PaperGeometryDefault) {
   EXPECT_EQ(g.cells(), 16384u);
 }
 
+TEST(ImcArray, BatchMvmBitIdenticalToPerQuery) {
+  // The wordline-parallel block path must reproduce per-query mvm_binary
+  // exactly, including odd geometries that straddle word boundaries.
+  Rng rng(10);
+  for (const auto g : {ArrayGeometry{16, 16}, ArrayGeometry{100, 36},
+                       ArrayGeometry{128, 128}, ArrayGeometry{65, 130}}) {
+    ImcArray batch_array(g);
+    ImcArray scalar_array(g);
+    const BitMatrix tile = BitMatrix::random(g.rows, g.cols, rng);
+    batch_array.program(tile);
+    scalar_array.program(tile);
+
+    const std::size_t batch = 13;
+    const BitMatrix inputs = BitMatrix::random(batch, g.rows, rng);
+    const auto out = batch_array.mvm_binary_batch(inputs);
+    ASSERT_EQ(out.size(), batch * g.cols);
+    for (std::size_t q = 0; q < batch; ++q) {
+      const auto single = scalar_array.mvm_binary(inputs.row_vector(q));
+      for (std::size_t c = 0; c < g.cols; ++c)
+        ASSERT_EQ(out[q * g.cols + c], single[c])
+            << g.rows << "x" << g.cols << " q=" << q << " c=" << c;
+    }
+    // One bump of the batch size == one increment per query.
+    EXPECT_EQ(batch_array.activations(), scalar_array.activations());
+    EXPECT_EQ(batch_array.activations(), batch);
+  }
+}
+
+TEST(ImcArray, BatchMvmSpanOverloadHandlesShortInputs) {
+  // Per-query vectors shorter than the wordline count leave the missing
+  // rows undriven, exactly as mvm_binary does.
+  Rng rng(11);
+  const BitMatrix tile = BitMatrix::random(32, 8, rng);
+  ImcArray a(ArrayGeometry{32, 8});
+  a.program(tile);
+  std::vector<BitVector> inputs;
+  inputs.push_back(BitVector::random(5, rng));
+  inputs.push_back(BitVector::random(32, rng));
+  inputs.push_back(BitVector(0));
+  const auto out = a.mvm_binary_batch(std::span<const BitVector>(inputs));
+  ImcArray b(ArrayGeometry{32, 8});
+  b.program(tile);
+  for (std::size_t q = 0; q < inputs.size(); ++q) {
+    const auto single = b.mvm_binary(inputs[q]);
+    for (std::size_t c = 0; c < 8; ++c)
+      ASSERT_EQ(out[q * 8 + c], single[c]) << "q=" << q;
+  }
+}
+
+TEST(ImcArray, ReprogrammingInvalidatesBatchPath) {
+  // The batch path caches a repack of the weight plane; program() and
+  // program_cell() must invalidate it.
+  Rng rng(12);
+  ImcArray a(ArrayGeometry{16, 16});
+  a.program(BitMatrix::random(16, 16, rng));
+  const BitMatrix inputs = BitMatrix::random(4, 16, rng);
+  a.mvm_binary_batch(inputs);  // builds the cache
+
+  const BitMatrix tile2 = BitMatrix::random(16, 16, rng);
+  a.program(tile2);
+  const auto out = a.mvm_binary_batch(inputs);
+  for (std::size_t q = 0; q < 4; ++q)
+    for (std::size_t c = 0; c < 16; ++c) {
+      std::uint32_t naive = 0;
+      for (std::size_t r = 0; r < 16; ++r)
+        if (inputs.get(q, r) && tile2.get(r, c)) ++naive;
+      ASSERT_EQ(out[q * 16 + c], naive) << "q=" << q << " c=" << c;
+    }
+
+  a.program_cell(0, 0, !a.weight(0, 0));
+  const auto out2 = a.mvm_binary_batch(inputs);
+  for (std::size_t q = 0; q < 4; ++q)
+    for (std::size_t c = 0; c < 16; ++c) {
+      std::uint32_t naive = 0;
+      for (std::size_t r = 0; r < 16; ++r)
+        if (inputs.get(q, r) && a.weight(r, c)) ++naive;
+      ASSERT_EQ(out2[q * 16 + c], naive) << "q=" << q << " c=" << c;
+    }
+}
+
 }  // namespace
 }  // namespace memhd::imc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/core/initializer.hpp"
 #include "src/imc/robustness.hpp"
 #include "test_util.hpp"
@@ -83,6 +85,68 @@ TEST(Adc, NoiseIsZeroMeanish) {
   EXPECT_NEAR(acc / n, 50.0, 0.5);
 }
 
+TEST(Adc, TransferFunctionTableMidTread) {
+  // Pins the documented mid-tread transfer function at bits in {1, 4, 8}:
+  // codes = round(value / step) over [0, full_scale] with
+  // step = full_scale / (2^bits - 1), reconstruction at code * step.
+  Rng rng(40);
+  struct Row {
+    unsigned bits;
+    std::uint32_t full_scale;
+    double in;
+    std::uint32_t expected;
+  };
+  const Row rows[] = {
+      // 1 bit over [0, 100]: one step of 100; threshold at 50.
+      {1, 100, 0.0, 0},
+      {1, 100, 49.9, 0},
+      {1, 100, 50.1, 100},
+      {1, 100, 100.0, 100},
+      // 4 bits over [0, 90]: step = 6; thresholds at odd multiples of 3.
+      {4, 90, 0.0, 0},
+      {4, 90, 2.9, 0},
+      {4, 90, 3.1, 6},
+      {4, 90, 44.9, 42},
+      {4, 90, 45.1, 48},
+      {4, 90, 90.0, 90},
+      // 8 bits over [0, 128]: step = 128/255 < 1; every count is a level.
+      {8, 128, 0.0, 0},
+      {8, 128, 1.0, 1},
+      {8, 128, 64.0, 64},
+      {8, 128, 127.0, 127},
+      {8, 128, 128.0, 128},
+  };
+  for (const auto& row : rows) {
+    const AdcModel adc(row.bits);
+    EXPECT_EQ(adc.read(row.in, row.full_scale, rng), row.expected)
+        << "bits=" << row.bits << " in=" << row.in;
+  }
+}
+
+TEST(Adc, ReadRangeTableAgreesWithReadTransferFunction) {
+  // read_range over [0, full_scale] must implement the same mid-tread
+  // transfer function as read (up to the count rounding read applies).
+  Rng rng(41);
+  for (const unsigned bits : {1u, 4u, 8u}) {
+    const AdcModel adc(bits);
+    for (const double v : {0.0, 7.3, 31.0, 44.9, 45.1, 63.5, 90.0}) {
+      const double ranged = adc.read_range(v, 0.0, 90.0, rng);
+      EXPECT_EQ(static_cast<std::uint32_t>(std::lround(ranged)),
+                adc.read(v, 90, rng))
+          << "bits=" << bits << " v=" << v;
+    }
+    // And a shifted window: levels are lo + code * step.
+    const double lo = 10.0;
+    const double hi = 10.0 + 90.0;
+    const double step = 90.0 / static_cast<double>((1u << bits) - 1);
+    for (const double v : {12.0, 37.0, 55.0, 99.0}) {
+      const double out = adc.read_range(v, lo, hi, rng);
+      const double code = std::round((v - lo) / step);
+      EXPECT_DOUBLE_EQ(out, lo + code * step) << "bits=" << bits;
+    }
+  }
+}
+
 TEST(Adc, ReadColumnsAppliesToAll) {
   Rng rng(9);
   const AdcModel adc(2);  // 4 levels over [0, 90]: 0, 30, 60, 90
@@ -92,6 +156,91 @@ TEST(Adc, ReadColumnsAppliesToAll) {
   EXPECT_EQ(sums[1], 30u);
   EXPECT_EQ(sums[2], 30u);
   EXPECT_EQ(sums[3], 90u);
+}
+
+TEST(WeightFlips, DeterministicGivenSeedAndIndependentOfHistory) {
+  // The geometric-skip sampler must be a pure function of the Rng state.
+  Rng a(77), b(77);
+  BitMatrix ma = BitMatrix::random(24, 100, a);
+  BitMatrix mb = BitMatrix::random(24, 100, b);
+  EXPECT_EQ(inject_weight_flips(ma, 0.03, a), inject_weight_flips(mb, 0.03, b));
+  EXPECT_TRUE(ma == mb);
+}
+
+TEST(WeightFlips, FullProbabilityPreservesPaddingInvariant) {
+  // cols = 100 leaves 28 padding bits in the row tail; the word-wise
+  // complement must not touch them (popcount would over-count otherwise).
+  Rng rng(78);
+  BitMatrix m = BitMatrix::random(8, 100, rng);
+  const std::size_t ones = m.popcount();
+  EXPECT_EQ(inject_weight_flips(m, 1.0, rng), 8u * 100u);
+  EXPECT_EQ(m.popcount(), 8u * 100u - ones);
+}
+
+TEST(WeightFlips, GeometricSkipRateMatchesAcrossProbabilities) {
+  for (const double p : {0.001, 0.02, 0.3, 0.8}) {
+    Rng rng(79);
+    BitMatrix m(128, 256);
+    const auto n = static_cast<double>(128 * 256);
+    const double rate = static_cast<double>(inject_weight_flips(m, p, rng)) / n;
+    // 5-sigma band of the binomial rate.
+    const double sigma = std::sqrt(p * (1.0 - p) / n);
+    EXPECT_NEAR(rate, p, 5.0 * sigma + 1e-9) << "p=" << p;
+    EXPECT_EQ(m.popcount(), static_cast<std::size_t>(rate * n));
+  }
+}
+
+TEST(Adc, BatchReadMatchesPerQueryStreamAndIsChunkInvariant) {
+  // read_columns_batch must equal per-query read_columns seeded with
+  // query_stream(seed, q) — and therefore be invariant to how a sweep is
+  // split into batches, as long as callers keep global query indices.
+  Rng rng(42);
+  const std::size_t queries = 6, cols = 24;
+  std::vector<std::uint32_t> base(queries * cols);
+  for (auto& s : base) s = static_cast<std::uint32_t>(rng.uniform_index(100));
+  std::vector<std::uint32_t> full_scales(queries);
+  for (auto& f : full_scales)
+    f = 100u + static_cast<std::uint32_t>(rng.uniform_index(30));
+
+  const AdcModel adc(4, /*noise_sigma=*/2.0);
+  const std::uint64_t seed = 0xCAFE;
+  auto batch = base;
+  adc.read_columns_batch(batch, queries, full_scales, seed);
+
+  for (std::size_t q = 0; q < queries; ++q) {
+    std::vector<std::uint32_t> single(base.begin() + q * cols,
+                                      base.begin() + (q + 1) * cols);
+    Rng qrng(AdcModel::query_stream(seed, q));
+    adc.read_columns(single, full_scales[q], qrng);
+    for (std::size_t c = 0; c < cols; ++c)
+      ASSERT_EQ(batch[q * cols + c], single[c]) << "q=" << q << " c=" << c;
+  }
+
+  // Same seed, same input => identical output (reproducibility).
+  auto again = base;
+  adc.read_columns_batch(again, queries, full_scales, seed);
+  EXPECT_EQ(again, batch);
+}
+
+TEST(Adc, RangeBatchMatchesPerQueryStream) {
+  Rng rng(43);
+  const std::size_t queries = 5, cols = 16;
+  std::vector<std::uint32_t> base(queries * cols);
+  for (auto& s : base)
+    s = 20u + static_cast<std::uint32_t>(rng.uniform_index(60));
+  const AdcModel adc(3, /*noise_sigma=*/1.0);
+  const std::uint64_t seed = 0xBEEF;
+  auto batch = base;
+  adc.read_range_batch(batch, queries, 20.0, 80.0, seed);
+  for (std::size_t q = 0; q < queries; ++q) {
+    Rng qrng(AdcModel::query_stream(seed, q));
+    for (std::size_t c = 0; c < cols; ++c) {
+      const auto expected = static_cast<std::uint32_t>(std::lround(
+          adc.read_range(static_cast<double>(base[q * cols + c]), 20.0, 80.0,
+                         qrng)));
+      ASSERT_EQ(batch[q * cols + c], expected) << "q=" << q << " c=" << c;
+    }
+  }
 }
 
 class NoisySearchFixture : public ::testing::Test {

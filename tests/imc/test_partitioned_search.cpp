@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
 #include "src/imc/mapping.hpp"
+#include "src/imc/noise.hpp"
 
 namespace memhd::imc {
 namespace {
@@ -124,6 +127,84 @@ TEST(PartitionedSearch, ArrayCountMatchesMappingEngine) {
   EXPECT_EQ(part.num_arrays(), cost.arrays);
   EXPECT_EQ(part.num_arrays(), 8u);
 }
+
+// Property sweep for the wordline-parallel batch path: (dim, classes,
+// partitions, geometry) combinations chosen to hit partitions that do not
+// divide dim, segments that straddle word boundaries, and tile-boundary
+// geometries (both dividing and non-dividing row/column tile splits).
+class BatchShapeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, ArrayGeometry>> {};
+
+TEST_P(BatchShapeSweep, BatchBitIdenticalToScalarAcrossOddShapes) {
+  const auto [dim, classes, partitions, geometry] = GetParam();
+  Rng rng(100 + dim + partitions);
+  const BitMatrix am = BitMatrix::random(classes, dim, rng);
+  std::vector<BitVector> queries;
+  for (int i = 0; i < 17; ++i) queries.push_back(BitVector::random(dim, rng));
+
+  PartitionedAm batch_am(am, partitions, geometry);
+  PartitionedAm scalar_am(am, partitions, geometry);
+  const auto batch = batch_am.scores_batch(queries);
+  ASSERT_EQ(batch.size(), queries.size() * classes);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto single = scalar_am.scores(queries[q]);
+    for (std::size_t c = 0; c < classes; ++c)
+      ASSERT_EQ(batch[q * classes + c], single[c])
+          << "D=" << dim << " P=" << partitions << " g=" << geometry.rows
+          << "x" << geometry.cols << " q=" << q;
+  }
+  // The block path bumps each driven array by the batch size; the scalar
+  // path increments per query. The totals must agree exactly.
+  EXPECT_EQ(batch_am.activations(), scalar_am.activations());
+}
+
+TEST_P(BatchShapeSweep, NoisyBatchReproducesPerQuerySeededScalarReads) {
+  // Under readout noise the contract is stream-level: digitizing the batch
+  // score matrix with a per-query-seeded AdcModel stream must equal
+  // digitizing each per-query score vector with that query's stream.
+  const auto [dim, classes, partitions, geometry] = GetParam();
+  Rng rng(200 + dim + partitions);
+  const BitMatrix am = BitMatrix::random(classes, dim, rng);
+  std::vector<BitVector> queries;
+  for (int i = 0; i < 9; ++i) queries.push_back(BitVector::random(dim, rng));
+
+  PartitionedAm batch_am(am, partitions, geometry);
+  PartitionedAm scalar_am(am, partitions, geometry);
+  const AdcModel adc(4, /*noise_sigma=*/1.5);
+  const std::uint64_t stream_seed = 0xF00D;
+
+  auto batch = batch_am.scores_batch(queries);
+  std::vector<std::uint32_t> full_scales(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    full_scales[q] = static_cast<std::uint32_t>(
+        std::max<std::size_t>(1, queries[q].popcount()));
+  adc.read_columns_batch(batch, queries.size(), full_scales, stream_seed);
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    auto single = scalar_am.scores(queries[q]);
+    common::Rng qrng(AdcModel::query_stream(stream_seed, q));
+    adc.read_columns(single, full_scales[q], qrng);
+    for (std::size_t c = 0; c < classes; ++c)
+      ASSERT_EQ(batch[q * classes + c], single[c])
+          << "D=" << dim << " P=" << partitions << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, BatchShapeSweep,
+    ::testing::Values(
+        // P divides D, geometry divides everything (the clean case).
+        std::make_tuple(1024u, 10u, 4u, ArrayGeometry{128, 128}),
+        // P does not divide D: short tail partition.
+        std::make_tuple(1000u, 9u, 3u, ArrayGeometry{128, 128}),
+        std::make_tuple(1000u, 9u, 7u, ArrayGeometry{128, 128}),
+        // Tiny arrays: many row/column tiles, tile-boundary accumulation.
+        std::make_tuple(260u, 5u, 2u, ArrayGeometry{16, 16}),
+        std::make_tuple(260u, 5u, 3u, ArrayGeometry{32, 8}),
+        std::make_tuple(130u, 26u, 5u, ArrayGeometry{8, 32}),
+        // Word-straddling geometry rows (65 wordlines = one word + 1 bit).
+        std::make_tuple(512u, 12u, 4u, ArrayGeometry{65, 33})));
 
 TEST(PartitionedSearch, ActivationsScaleWithPartitions) {
   // Each query costs P passes over the row tiles whose columns intersect

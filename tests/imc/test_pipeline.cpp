@@ -179,6 +179,39 @@ TEST(Pipeline, ActivationCountsPerInference) {
   EXPECT_EQ(pipe.activations(), 16u);
 }
 
+TEST(TiledMatrix, BatchMvmBitIdenticalToPerQuery) {
+  // Wordline-parallel tile drive vs per-query mvm_binary, on a logical
+  // shape that does not divide the geometry in either direction.
+  Rng rng(20);
+  const auto logical = common::BitMatrix::random(300, 150, rng);
+  TiledMatrix batch_tiles(logical, ArrayGeometry{128, 128});
+  TiledMatrix scalar_tiles(logical, ArrayGeometry{128, 128});
+  std::vector<BitVector> inputs;
+  for (int i = 0; i < 9; ++i) inputs.push_back(BitVector::random(300, rng));
+  const auto out = batch_tiles.mvm_binary_batch(inputs);
+  ASSERT_EQ(out.size(), inputs.size() * 150u);
+  for (std::size_t q = 0; q < inputs.size(); ++q) {
+    const auto single = scalar_tiles.mvm_binary(inputs[q]);
+    for (std::size_t c = 0; c < 150; ++c)
+      ASSERT_EQ(out[q * 150 + c], single[c]) << "q=" << q << " c=" << c;
+  }
+  EXPECT_EQ(batch_tiles.activations(), scalar_tiles.activations());
+}
+
+TEST(Pipeline, SearchBatchBitIdenticalToPerQuerySearch) {
+  const auto d = make_deployed(64, 512, 24, 6, 99);
+  InMemoryPipeline batch_pipe(d.encoder, d.am, ArrayGeometry{128, 128});
+  InMemoryPipeline scalar_pipe(d.encoder, d.am, ArrayGeometry{128, 128});
+  Rng rng(10);
+  std::vector<BitVector> queries;
+  for (int i = 0; i < 25; ++i) queries.push_back(BitVector::random(512, rng));
+  const auto batch = batch_pipe.search_batch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    ASSERT_EQ(batch[q], scalar_pipe.search(queries[q])) << "q=" << q;
+  EXPECT_EQ(batch_pipe.activations(), scalar_pipe.activations());
+}
+
 TEST(Pipeline, OneShotSearchProperty) {
   // The paper's headline: when D and C both fit one array, associative
   // search is a single activation.

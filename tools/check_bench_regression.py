@@ -19,7 +19,9 @@ The gate:
     --threshold (default 20%) below the same-kernel baseline, or when any
     section reports bit_identical = false;
   * PASSES with a notice when no baseline exists for the current kernel
-    (first run on new hardware — commit one with --update).
+    (first run on new hardware — commit one with --update), and skips with
+    a notice any section the current run measures but the baseline file has
+    no entry for (a freshly added bench kernel — re-baseline to gate it).
 
 --update rewrites the baseline for the current kernel from CURRENT_JSON
 (use after an intentional perf change, then commit the file).
@@ -78,12 +80,21 @@ def main():
         for name in sections(baseline):
             if name not in sections(current):
                 failures.append(f"{name}: section missing from current run")
+        # A kernel the current run measures but the baseline has no entry
+        # for (a freshly added bench section) is skipped with a warning,
+        # not failed: there is nothing to gate against yet. Re-baseline
+        # with --update to start gating it.
+        for name in sections(current):
+            if name not in sections(baseline):
+                print(f"NOTICE: no baseline entry for '{name}' in "
+                      f"{baseline_path}; kernel skipped. Gate it by "
+                      f"re-baselining with --update.")
 
         # Runner-speed factor: how fast this machine runs the (unchanged)
         # scalar reference loops relative to the baseline machine.
         factors = [current[n][SCALAR_KEY] / baseline[n][SCALAR_KEY]
                    for n in common if baseline[n].get(SCALAR_KEY, 0) > 0
-                   and SCALAR_KEY in current[n]]
+                   and current[n].get(SCALAR_KEY, 0) > 0]
         machine = sorted(factors)[len(factors) // 2] if factors else 1.0
         print(f"runner speed vs baseline machine (scalar path): "
               f"{machine:.2f}x")
