@@ -19,8 +19,11 @@
 #include <cstring>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 
+#include "src/api/batch_server.hpp"
+#include "src/api/registry.hpp"
 #include "src/clustering/kmeans.hpp"
 #include "src/common/bit_matrix.hpp"
 #include "src/common/bitops_batch.hpp"
@@ -419,6 +422,83 @@ PathComparison compare_kmeans_assign(std::size_t n, std::size_t k,
   return cmp;
 }
 
+// The serve path end to end: a steady stream of max-batch-sized cut batches
+// through api::BatchServer, unsharded (one fused predict_batch per cut, the
+// "scalar" column) against the server-owned shard worker set (row-split
+// pieces, each scored through a pinned per-shard PredictContext). Labels
+// from both servers must match a direct predict_batch over the same rows.
+PathComparison compare_serve_sharded(std::size_t shards, std::size_t dim,
+                                     std::size_t columns, std::size_t total,
+                                     std::size_t per_flush, int reps) {
+  // A small fitted MEMHD model; training quality is irrelevant here, the
+  // serve path only needs a deployable AM of the right shape.
+  const std::size_t features = 64;
+  const std::size_t classes = 8;
+  api::ModelOptions opts;
+  opts.dim = dim;
+  opts.columns = columns;
+  opts.epochs = 1;
+  opts.seed = 7;
+  auto model = api::make("memhd", features, classes, opts);
+  {
+    common::Rng rng(8);
+    common::Matrix train_features =
+        common::Matrix::random_uniform(320, features, rng);
+    std::vector<data::Label> labels(train_features.rows());
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      labels[i] = static_cast<data::Label>(i % classes);
+    const data::Dataset train("serve-bench", std::move(train_features),
+                              std::move(labels), classes);
+    model->fit(train);
+  }
+
+  common::Rng rng(9);
+  const common::Matrix queries =
+      common::Matrix::random_uniform(total, features, rng);
+  const std::vector<data::Label> direct = model->predict_batch(queries);
+
+  // Manual mode: the caller cuts per_flush-row batches back to back — the
+  // steady-traffic shape without timer noise from the batching window. The
+  // servers live outside the timed region so shard-thread spawn and the
+  // per-shard context repack (one-time setup in a real deployment) don't
+  // bias the throughput columns.
+  const auto make_server = [&](std::size_t shard_count) {
+    api::BatchServerOptions server_opts;
+    server_opts.background = false;
+    server_opts.shards = shard_count;
+    server_opts.shard_quantum = 16;
+    return std::make_unique<api::BatchServer>(*model, server_opts);
+  };
+  const auto serve = [&](api::BatchServer& server,
+                         std::vector<data::Label>& out) {
+    out.resize(total);
+    std::vector<std::future<data::Label>> futures;
+    futures.reserve(per_flush);
+    for (std::size_t begin = 0; begin < total; begin += per_flush) {
+      const std::size_t n = std::min(per_flush, total - begin);
+      futures.clear();
+      for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(server.submit(queries.row(begin + i)));
+      server.flush();
+      for (std::size_t i = 0; i < n; ++i) out[begin + i] = futures[i].get();
+    }
+  };
+
+  PathComparison cmp;
+  const auto unsharded_server = make_server(1);
+  const auto sharded_server = make_server(shards);
+  std::vector<data::Label> unsharded;
+  const double t_scalar =
+      best_seconds(reps, [&] { serve(*unsharded_server, unsharded); });
+  std::vector<data::Label> sharded;
+  const double t_batch =
+      best_seconds(reps, [&] { serve(*sharded_server, sharded); });
+  cmp.scalar_per_sec = static_cast<double>(total) / t_scalar;
+  cmp.batch_per_sec = static_cast<double>(total) / t_batch;
+  cmp.bit_identical = (unsharded == direct) && (sharded == direct);
+  return cmp;
+}
+
 void write_comparison(std::FILE* f, const char* name,
                       const PathComparison& cmp, std::size_t dim,
                       std::size_t rows, std::size_t batch,
@@ -454,6 +534,14 @@ int run_json_suite() {
   const auto part = compare_partitioned_search(1024, 16, 4, 256, /*reps=*/5);
   const auto noise = compare_noise_inject(256, 2048, 0.01, /*reps=*/7);
   const auto assign = compare_kmeans_assign(2048, 32, 256, /*reps=*/5);
+  // Serve front end: unsharded BatchServer vs the server-owned shard set.
+  // The shard count is pinned so the checked-in baselines and every CI
+  // runner measure the same configuration (a host-dependent count would
+  // gate a 4-shard run against a 2-shard baseline).
+  const std::size_t serve_shards = 2;
+  const auto serve = compare_serve_sharded(serve_shards, 2048, 256,
+                                           /*total=*/512, /*per_flush=*/64,
+                                           /*reps=*/5);
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -474,7 +562,9 @@ int run_json_suite() {
   write_comparison(f, "noise_inject", noise, 2048, 256, 1, "rows",
                    /*trailing_comma=*/true);
   write_comparison(f, "kmeans_assign", assign, 256, 32, 2048, "centroids",
-                   /*trailing_comma=*/false);
+                   /*trailing_comma=*/true);
+  write_comparison(f, "serve_sharded", serve, 2048, serve_shards, 512,
+                   "shards", /*trailing_comma=*/false);
   std::fprintf(f, "}\n");
   std::fclose(f);
 
@@ -515,10 +605,16 @@ int run_json_suite() {
       "bit-identical %s\n",
       assign.scalar_per_sec, assign.batch_per_sec, assign.speedup(),
       assign.bit_identical ? "yes" : "NO");
+  std::printf(
+      "sharded serve (BatchServer) D=2048 C=256 cut=64 shards=%zu:\n"
+      "  unsharded %.0f q/s | sharded %.0f q/s | speedup %.2fx | "
+      "bit-identical %s\n",
+      serve_shards, serve.scalar_per_sec, serve.batch_per_sec, serve.speedup(),
+      serve.bit_identical ? "yes" : "NO");
   std::printf("wrote %s\n", path.c_str());
   return (search.bit_identical && table.bit_identical &&
           encode.bit_identical && part.bit_identical && noise.bit_identical &&
-          assign.bit_identical)
+          assign.bit_identical && serve.bit_identical)
              ? 0
              : 1;
 }

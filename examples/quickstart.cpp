@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   cli.add_flag("columns", "128", "AM columns C (= array columns, MEMHD)");
   cli.add_flag("epochs", "30", "Training epochs");
   cli.add_flag("seed", "1", "RNG seed");
+  cli.add_flag("shards", "2", "BatchServer shard workers (1 = unsharded)");
   if (!cli.parse(argc, argv)) return 1;
 
   // 1. Load data (synthetic MNIST-like profile unless MEMHD_DATA_DIR is
@@ -85,9 +86,14 @@ int main(int argc, char** argv) {
               model->predict(sample), split.test.label(0));
 
   // 5. Serve single-query traffic through the micro-batching front end:
-  //    requests batch up and run as one fused predict_batch.
+  //    requests batch up and run as fused predict_batch calls; with
+  //    --shards > 1 a cut batch is split row-wise across the server's
+  //    shard workers, each with its own pinned scoring context.
   api::BatchServerOptions server_opts;
   server_opts.max_batch = 32;
+  server_opts.shards = static_cast<std::size_t>(
+      std::max(1, cli.get_int("shards")));
+  server_opts.shard_quantum = 8;
   api::BatchServer server(*model, server_opts);
   std::vector<std::future<data::Label>> answers;
   const std::size_t queries = std::min<std::size_t>(64, split.test.size());
@@ -97,9 +103,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < queries; ++i)
     if (answers[i].get() == split.test.label(i)) ++correct;
   const auto stats = server.stats();
-  std::printf("served %zu queries in %llu fused batches (largest %llu): "
-              "%zu correct\n",
+  std::printf("served %zu queries in %llu fused batches (largest %llu, "
+              "%llu sharded into %llu shard jobs): %zu correct\n",
               queries, static_cast<unsigned long long>(stats.batches),
-              static_cast<unsigned long long>(stats.largest_batch), correct);
+              static_cast<unsigned long long>(stats.largest_batch),
+              static_cast<unsigned long long>(stats.sharded_batches),
+              static_cast<unsigned long long>(stats.shard_jobs), correct);
   return 0;
 }

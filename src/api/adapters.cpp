@@ -3,10 +3,22 @@
 #include <stdexcept>
 
 #include "src/common/assert.hpp"
+#include "src/common/bitops_batch.hpp"
 #include "src/common/io.hpp"
 #include "src/core/serialize.hpp"
 
 namespace memhd::api {
+
+namespace {
+// Pinned inference engine for one serving thread: snapshots the deployed
+// binary AM into a BatchScorer (one word-major repack) plus the argmax
+// scratch, so repeated serve batches pay neither again.
+struct MemhdPredictContext final : Classifier::PredictContext {
+  explicit MemhdPredictContext(const common::BitMatrix& am) : scorer(am) {}
+  common::BatchScorer scorer;
+  std::vector<std::uint32_t> best;
+};
+}  // namespace
 
 // ------------------------------------------------------------------ MEMHD --
 
@@ -31,6 +43,31 @@ data::Label MemhdClassifier::predict(std::span<const float> features) const {
 std::vector<data::Label> MemhdClassifier::predict_batch(
     const common::Matrix& features) const {
   return model_.predict_batch(features);
+}
+
+std::unique_ptr<Classifier::PredictContext>
+MemhdClassifier::make_predict_context() const {
+  MEMHD_EXPECTS(fitted_);
+  return std::make_unique<MemhdPredictContext>(model_.am().binary());
+}
+
+void MemhdClassifier::predict_batch_into(const common::Matrix& features,
+                                         std::span<data::Label> out,
+                                         PredictContext* context) const {
+  auto* ctx = dynamic_cast<MemhdPredictContext*>(context);
+  if (ctx == nullptr) {
+    Classifier::predict_batch_into(features, out);
+    return;
+  }
+  MEMHD_EXPECTS(out.size() == features.rows());
+  // Same batch encode and fused winner-take-all kernel as predict_batch
+  // (BatchScorer::dot_argmax and blocked_dot_argmax share one
+  // implementation), hence bit-identical — only the repack is pre-paid.
+  const auto encoded = model_.encoder().encode_batch(features);
+  ctx->scorer.dot_argmax(std::span<const common::BitVector>(encoded),
+                         ctx->best);
+  for (std::size_t q = 0; q < encoded.size(); ++q)
+    out[q] = model_.am().owner(ctx->best[q]);
 }
 
 void MemhdClassifier::scores_batch(const common::Matrix& features,

@@ -33,6 +33,13 @@ class MemhdClassifier final : public Classifier {
   data::Label predict(std::span<const float> features) const override;
   std::vector<data::Label> predict_batch(
       const common::Matrix& features) const override;
+  /// Context pins a common::BatchScorer over the deployed binary AM, so the
+  /// kernel's word-major repack happens once per context instead of once
+  /// per predict_batch call (the win for steady streams of serve batches).
+  std::unique_ptr<PredictContext> make_predict_context() const override;
+  void predict_batch_into(const common::Matrix& features,
+                          std::span<data::Label> out,
+                          PredictContext* context = nullptr) const override;
   std::size_t score_rows() const override { return model_.config().columns; }
   void scores_batch(const common::Matrix& features,
                     std::vector<std::uint32_t>& out) const override;

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/common/assert.hpp"
+#include "src/common/matrix.hpp"
+#include "src/common/parallel.hpp"
 
 namespace memhd::api {
 
@@ -12,8 +14,27 @@ BatchServer::BatchServer(const Classifier& model,
                          const BatchServerOptions& options)
     : model_(model), options_(options) {
   MEMHD_EXPECTS(options_.max_batch >= 1);
+  MEMHD_EXPECTS(options_.shards >= 1);
+  MEMHD_EXPECTS(options_.shard_quantum >= 1);
   MEMHD_EXPECTS(model_.fitted());
-  if (options_.background) worker_ = std::thread([this] { worker_loop(); });
+  try {
+    if (options_.shards > 1) {
+      shards_.reserve(options_.shards);
+      for (std::size_t s = 0; s < options_.shards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->thread =
+            std::thread([this, raw = shard.get()] { shard_loop(*raw); });
+        shards_.push_back(std::move(shard));
+      }
+    }
+    if (options_.background) worker_ = std::thread([this] { worker_loop(); });
+  } catch (...) {
+    // A later spawn failing (thread exhaustion, bad_alloc) must not unwind
+    // past joinable shard threads — that would std::terminate. Join what
+    // started, then let the caller see the original error.
+    stop_shards();
+    throw;
+  }
 }
 
 BatchServer::~BatchServer() {
@@ -24,8 +45,23 @@ BatchServer::~BatchServer() {
   cv_.notify_all();
   if (worker_.joinable()) worker_.join();
   // Manual mode (or requests that raced shutdown): complete stragglers so
-  // no future is left dangling.
+  // no future is left dangling. The shard set is still up at this point, so
+  // a large leftover batch drains through it like any other.
   flush();
+  stop_shards();
+}
+
+void BatchServer::stop_shards() {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->stop = true;
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_)
+    if (shard->thread.joinable()) shard->thread.join();
+  shards_.clear();
 }
 
 std::future<data::Label> BatchServer::submit(std::span<const float> features) {
@@ -78,13 +114,24 @@ void BatchServer::worker_loop() {
     if (stop_) return;  // destructor's flush() completes leftovers
 
     // Micro-batch window: hold the batch open until it fills or the oldest
-    // request has waited out the delay budget.
-    const auto deadline = oldest_arrival_ + options_.max_delay;
-    cv_.wait_until(lock, deadline, [this] {
-      return stop_ || pending_.size() >= options_.max_batch;
-    });
+    // pending request has waited out the delay budget. The deadline is
+    // re-derived from oldest_arrival_ on every wake: a racing flush() can
+    // drain the queue mid-window, after which the head request belongs to
+    // a NEW window — cutting it on the flushed batch's stale deadline
+    // would shrink its delay budget to whatever the old batch left behind.
+    for (;;) {
+      if (stop_) return;
+      if (pending_.empty()) break;  // a flush() raced us; back to idle
+      if (pending_.size() >= options_.max_batch) break;
+      const auto deadline = oldest_arrival_ + options_.max_delay;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      cv_.wait_until(lock, deadline, [this] {
+        return stop_ || pending_.empty() ||
+               pending_.size() >= options_.max_batch;
+      });
+    }
     if (stop_) return;
-    if (pending_.empty()) continue;  // a flush() raced us
+    if (pending_.empty()) continue;
 
     std::vector<Request> batch;
     batch.swap(pending_);
@@ -94,30 +141,113 @@ void BatchServer::worker_loop() {
   }
 }
 
-void BatchServer::run_batch(std::vector<Request> batch) {
-  common::Matrix features(batch.size(), model_.num_features());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    auto row = features.row(i);
-    std::copy(batch[i].features.begin(), batch[i].features.end(), row.begin());
+void BatchServer::shard_loop(Shard& shard) {
+  // Built on the shard's own thread and only ever touched from it: the
+  // context (for MEMHD a pre-repacked BatchScorer over the deployed AM) is
+  // this worker's private scoring engine. Construction failure (e.g.
+  // bad_alloc during the repack) must not escape the thread entry and
+  // terminate the process — the shard just runs context-free, which is the
+  // plain predict_batch path and bit-identical anyway.
+  try {
+    shard.context = model_.make_predict_context();
+  } catch (...) {
+    shard.context = nullptr;
   }
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  for (;;) {
+    shard.cv.wait(lock,
+                  [&shard] { return shard.stop || shard.piece != nullptr; });
+    if (shard.piece != nullptr) {
+      Request* piece = shard.piece;
+      const std::size_t count = shard.count;
+      lock.unlock();
+      {
+        // The shard set IS the parallelism: each worker scores its slice
+        // inline rather than fanning back into (and contending for) the
+        // one global pool alongside its sibling shards.
+        common::InlineParallelScope inline_scope;
+        run_rows(piece, count, shard.context.get());
+      }
+      lock.lock();
+      shard.piece = nullptr;
+      shard.count = 0;
+      shard.cv.notify_all();  // wakes the dispatcher waiting on completion
+      continue;  // an assigned piece outranks a pending stop
+    }
+    if (shard.stop) return;
+  }
+}
+
+void BatchServer::run_batch(std::vector<Request> batch) {
+  const std::size_t n = batch.size();
+  std::size_t pieces = 1;
+  if (!shards_.empty() && n > options_.shard_quantum)
+    pieces = std::min(shards_.size(),
+                      (n + options_.shard_quantum - 1) / options_.shard_quantum);
 
   // Stats are bumped before the promises complete so a caller that joins
   // its futures and then reads stats() sees this batch counted.
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.batches;
-    stats_.largest_batch =
-        std::max<std::uint64_t>(stats_.largest_batch, batch.size());
+    stats_.largest_batch = std::max<std::uint64_t>(stats_.largest_batch, n);
+    if (pieces > 1) {
+      ++stats_.sharded_batches;
+      stats_.shard_jobs += pieces;
+    }
   }
 
+  if (pieces <= 1) {
+    run_rows(batch.data(), n, nullptr);
+    return;
+  }
+
+  // Row-wise split into contiguous, near-equal pieces; piece p goes to
+  // shard p so each context stays single-threaded. Concurrent dispatchers
+  // (racing flush() callers) take whole turns at the shard set.
+  std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+  const std::size_t base = n / pieces;
+  const std::size_t extra = n % pieces;
+  std::size_t offset = 0;
+  for (std::size_t p = 0; p < pieces; ++p) {
+    const std::size_t count = base + (p < extra ? 1 : 0);
+    Shard& shard = *shards_[p];
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.piece = batch.data() + offset;
+      shard.count = count;
+    }
+    shard.cv.notify_all();
+    offset += count;
+  }
+  MEMHD_ENSURES(offset == n);
+  for (std::size_t p = 0; p < pieces; ++p) {
+    Shard& shard = *shards_[p];
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.cv.wait(lock, [&shard] { return shard.piece == nullptr; });
+  }
+}
+
+void BatchServer::run_rows(Request* requests, std::size_t count,
+                           Classifier::PredictContext* context) const {
+  // Everything — including the batch-matrix and label allocations — stays
+  // inside the try: any failure must land on the promises (and must never
+  // escape a shard thread's entry function, which would std::terminate).
   try {
-    const std::vector<data::Label> labels = model_.predict_batch(features);
-    MEMHD_EXPECTS(labels.size() == batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i)
-      batch[i].promise.set_value(labels[i]);
+    common::Matrix features(count, model_.num_features());
+    for (std::size_t i = 0; i < count; ++i) {
+      auto row = features.row(i);
+      std::copy(requests[i].features.begin(), requests[i].features.end(),
+                row.begin());
+    }
+    std::vector<data::Label> labels(count);
+    model_.predict_batch_into(features, labels, context);
+    for (std::size_t i = 0; i < count; ++i)
+      requests[i].promise.set_value(labels[i]);
   } catch (...) {
     const auto error = std::current_exception();
-    for (auto& request : batch) request.promise.set_exception(error);
+    for (std::size_t i = 0; i < count; ++i)
+      requests[i].promise.set_exception(error);
   }
 }
 

@@ -8,25 +8,41 @@
 // time. Each submit() returns a future that completes with that request's
 // label.
 //
-// Because predict_batch is bit-identical to per-sample predict() for every
-// registry model (asserted by tests/api/), the server's answers do not
-// depend on how requests happen to be grouped into batches — any
-// interleaving yields the labels a direct predict_batch over the same rows
-// would.
+// Sharding: with `shards` > 1 the server owns a set of shard worker
+// threads, the software analogue of a bank of independent IMC array groups.
+// A cut batch larger than `shard_quantum` rows is split row-wise into up to
+// `shards` contiguous pieces; each piece is scored by its shard worker
+// through Classifier::predict_batch_into with that shard's pinned
+// PredictContext (reusable scoring scratch — for MEMHD a pre-repacked
+// common::BatchScorer), and each row's future completes as soon as its
+// piece finishes. Shard workers score inline (common::InlineParallelScope)
+// so the shard set itself is the parallelism — sibling shards never contend
+// for the shared thread pool. Batches at or below the quantum run exactly
+// as in the unsharded server.
+//
+// Bit-identity contract: predict_batch is bit-identical to per-sample
+// predict() for every registry model, and predict_batch_into is
+// bit-identical to predict_batch row by row (both asserted by tests/api/).
+// Row-wise splitting therefore cannot change any answer: the server's
+// labels do not depend on how requests are grouped into batches NOR on how
+// a batch is cut into shard pieces — any interleaving and any shard count
+// yield the labels one direct predict_batch over the same rows would.
 //
 //   api::BatchServer server(*clf);
 //   auto f = server.submit(features);     // from any thread
 //   data::Label label = f.get();
 //
 // Deterministic/manual mode: construct with background = false and call
-// flush() — no worker thread, batches are cut exactly where the caller
-// says, which is what the unit tests drive.
+// flush() — no batching worker thread, batches are cut exactly where the
+// caller says (shard workers still score the pieces when sharding is on),
+// which is what the unit tests drive.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -44,12 +60,21 @@ struct BatchServerOptions {
   /// Spawn the background batching thread. false = manual mode: nothing
   /// runs until flush().
   bool background = true;
+  /// Server-owned shard workers a cut batch is split across (>= 1). 1 =
+  /// the single fused call of the unsharded server.
+  std::size_t shards = 1;
+  /// Minimum rows per shard piece: a batch of n rows is split into
+  /// min(shards, ceil(n / shard_quantum)) pieces, and batches of at most
+  /// shard_quantum rows are never split (must be >= 1).
+  std::size_t shard_quantum = 32;
 };
 
 struct BatchServerStats {
-  std::uint64_t requests = 0;       // submits accepted
-  std::uint64_t batches = 0;        // fused predict_batch calls
-  std::uint64_t largest_batch = 0;  // max rows in one fused call
+  std::uint64_t requests = 0;         // submits accepted
+  std::uint64_t batches = 0;          // batch cuts (fused or sharded)
+  std::uint64_t largest_batch = 0;    // max rows in one cut batch
+  std::uint64_t sharded_batches = 0;  // batches split across shard workers
+  std::uint64_t shard_jobs = 0;       // shard pieces dispatched
 };
 
 class BatchServer {
@@ -68,9 +93,10 @@ class BatchServer {
   /// else std::invalid_argument). Thread-safe.
   std::future<data::Label> submit(std::span<const float> features);
 
-  /// Synchronously runs one fused batch over everything pending right now
-  /// (possibly a partial batch) in the calling thread; returns its size.
-  /// The deterministic path for tests and for draining in manual mode.
+  /// Synchronously runs one batch over everything pending right now
+  /// (possibly a partial batch) and returns its size; the batch is split
+  /// across the shard workers when large enough. The deterministic path for
+  /// tests and for draining in manual mode.
   std::size_t flush();
 
   std::size_t pending() const;
@@ -82,9 +108,32 @@ class BatchServer {
     std::promise<data::Label> promise;
   };
 
+  /// One server-owned scoring worker. Pieces are handed to a specific
+  /// shard (piece i -> shard i) so each worker's PredictContext is only
+  /// ever touched by its own thread.
+  struct Shard {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    Request* piece = nullptr;  // assigned rows; nullptr when idle
+    std::size_t count = 0;
+    bool stop = false;
+    std::unique_ptr<Classifier::PredictContext> context;
+  };
+
   void worker_loop();
-  /// Completes `batch` through one predict_batch call.
+  void shard_loop(Shard& shard);
+  /// Signals every shard worker to stop, joins them, and clears the set
+  /// (destructor teardown; also the constructor's unwind path when a later
+  /// thread spawn fails with shard threads already running).
+  void stop_shards();
+  /// Completes `batch`, splitting it across the shard set when it exceeds
+  /// the shard quantum.
   void run_batch(std::vector<Request> batch);
+  /// Scores `count` requests through one predict_batch_into call and
+  /// completes their promises (exceptions complete every promise too).
+  void run_rows(Request* requests, std::size_t count,
+                Classifier::PredictContext* context) const;
 
   const Classifier& model_;
   BatchServerOptions options_;
@@ -96,6 +145,11 @@ class BatchServer {
   bool stop_ = false;
   BatchServerStats stats_;
   std::thread worker_;
+
+  /// Serializes sharded dispatch (concurrent flush() callers take turns at
+  /// the shard set instead of interleaving pieces on one worker).
+  std::mutex dispatch_mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace memhd::api

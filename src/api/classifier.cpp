@@ -1,6 +1,26 @@
 #include "src/api/classifier.hpp"
 
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
 namespace memhd::api {
+
+std::unique_ptr<Classifier::PredictContext> Classifier::make_predict_context()
+    const {
+  return nullptr;  // no reusable inference state in the generic contract
+}
+
+void Classifier::predict_batch_into(const common::Matrix& features,
+                                    std::span<data::Label> out,
+                                    PredictContext* /*context*/) const {
+  MEMHD_EXPECTS(out.size() == features.rows());
+  const auto labels = predict_batch(features);
+  // A misbehaving predict_batch override must fail the contract here, not
+  // write past the caller's buffer.
+  MEMHD_EXPECTS(labels.size() == out.size());
+  std::copy(labels.begin(), labels.end(), out.begin());
+}
 
 double Classifier::evaluate(const data::Dataset& test) const {
   if (test.empty()) return 0.0;

@@ -60,6 +60,30 @@ class Classifier {
   virtual std::vector<data::Label> predict_batch(
       const common::Matrix& features) const = 0;
 
+  /// Opaque, model-specific inference scratch reused across
+  /// predict_batch_into calls — e.g. a pinned common::BatchScorer whose
+  /// word-major repack of the deployed AM amortizes across serve batches
+  /// instead of recurring per call. A context serves one thread at a time
+  /// (api::BatchServer pins one per shard worker) and snapshots the fitted
+  /// state: rebuild it after another fit() or load.
+  class PredictContext {
+   public:
+    virtual ~PredictContext() = default;
+  };
+
+  /// Creates reusable scratch for predict_batch_into. Must only be called
+  /// on a fitted model. Models with no reusable inference state return
+  /// nullptr; predict_batch_into then takes the plain predict_batch path.
+  virtual std::unique_ptr<PredictContext> make_predict_context() const;
+
+  /// predict_batch written into caller-owned storage (out.size() must equal
+  /// features.rows()). `context`, when non-null, must have been created by
+  /// THIS object's make_predict_context() after its most recent fit/load.
+  /// Bit-identical to predict_batch whether or not a context is supplied.
+  virtual void predict_batch_into(const common::Matrix& features,
+                                  std::span<data::Label> out,
+                                  PredictContext* context = nullptr) const;
+
   /// Rows of the deployed associative memory a query is scored against
   /// (k, C, or k*N depending on the model).
   virtual std::size_t score_rows() const = 0;

@@ -12,7 +12,22 @@ namespace {
 // task must run inline, because enqueueing and waiting from a worker thread
 // can deadlock (the waiter occupies the thread its own chunks need).
 thread_local bool t_in_pool_worker = false;
+
+// RAII setter so the flag is restored even when a task body throws and the
+// exception unwinds through the worker's task frame.
+struct PoolWorkerScope {
+  PoolWorkerScope() { t_in_pool_worker = true; }
+  ~PoolWorkerScope() { t_in_pool_worker = false; }
+};
 }  // namespace
+
+bool in_pool_worker() { return t_in_pool_worker; }
+
+InlineParallelScope::InlineParallelScope() : previous_(t_in_pool_worker) {
+  t_in_pool_worker = true;
+}
+
+InlineParallelScope::~InlineParallelScope() { t_in_pool_worker = previous_; }
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   MEMHD_EXPECTS(num_threads >= 1);
@@ -30,6 +45,33 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::run_task(const Task& task) {
+  {
+    PoolWorkerScope scope;
+    // Once a sibling chunk of the same call has failed, later chunks are
+    // skipped: the caller is going to rethrow anyway, and cutting the rest
+    // short bounds the damage of a poisoned task body.
+    bool sibling_failed;
+    {
+      std::lock_guard<std::mutex> lock(task.job->mutex);
+      sibling_failed = (task.job->error != nullptr);
+    }
+    if (!sibling_failed) {
+      try {
+        for (std::size_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(task.job->mutex);
+        if (task.job->error == nullptr)
+          task.job->error = std::current_exception();
+      }
+    }
+  }
+  // Completion is signalled under the job mutex: the caller cannot wake and
+  // destroy the stack-allocated job before this worker is done touching it.
+  std::lock_guard<std::mutex> lock(task.job->mutex);
+  if (--task.job->remaining == 0) task.job->done.notify_all();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
@@ -40,17 +82,10 @@ void ThreadPool::worker_loop() {
         if (shutting_down_) return;
         continue;
       }
-      task = queue_.back();
-      queue_.pop_back();
+      task = queue_.front();
+      queue_.pop_front();
     }
-    t_in_pool_worker = true;
-    for (std::size_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
-    t_in_pool_worker = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) done_cv_.notify_all();
-    }
+    run_task(task);
   }
 }
 
@@ -61,19 +96,26 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t nchunks =
       std::min<std::size_t>(workers_.size(), n);
   const std::size_t chunk = (n + nchunks - 1) / nchunks;
+  ParallelJob job;
   {
+    // Workers cannot pop (and hence touch job.remaining) until the queue
+    // mutex is released, so the plain increments here are ordered before
+    // every worker-side decrement.
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t c = 0; c < nchunks; ++c) {
       const std::size_t lo = begin + c * chunk;
       const std::size_t hi = std::min(end, lo + chunk);
       if (lo >= hi) break;
-      queue_.push_back(Task{lo, hi, &fn});
-      ++in_flight_;
+      queue_.push_back(Task{lo, hi, &fn, &job});
+      ++job.remaining;
     }
   }
   work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(job.mutex);
+    job.done.wait(lock, [&job] { return job.remaining == 0; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 unsigned parse_num_threads(const char* value) {

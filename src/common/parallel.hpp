@@ -3,10 +3,22 @@
 // Batch encoding and epoch-level evaluation are embarrassingly parallel; on
 // a single-core host the pool degrades to sequential execution with no
 // thread overhead (grain check happens before any dispatch).
+//
+// Concurrency contract: every parallel_for call owns its completion state
+// (a stack-allocated per-call job the workers decrement), so concurrent
+// callers from different threads share only the task queue — neither waits
+// for the other's chunks, and a steady submitter cannot starve another
+// caller's return (the queue drains FIFO). If a task body throws, the first
+// exception is captured and rethrown on the calling thread once the call's
+// remaining chunks have drained; chunks of the same call that have not
+// started yet are skipped after a sibling failure. Worker threads survive
+// task exceptions.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,25 +38,37 @@ class ThreadPool {
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Runs fn(i) for every i in [begin, end), partitioned into contiguous
-  /// chunks across the workers; blocks until all chunks finish.
+  /// chunks across the workers; blocks until all of THIS call's chunks
+  /// finish (chunks queued by concurrent callers are not waited on).
+  /// Rethrows the first exception a task body threw.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
  private:
+  /// Per-call completion state, stack-allocated by parallel_for. Each task
+  /// points into its caller's job, so a caller tracks — and waits on — only
+  /// its own chunks.
+  struct ParallelJob {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr error;  // first task exception; rethrown by the caller
+  };
+
   struct Task {
     std::size_t begin = 0;
     std::size_t end = 0;
     const std::function<void(std::size_t)>* fn = nullptr;
+    ParallelJob* job = nullptr;
   };
 
   void worker_loop();
+  static void run_task(const Task& task);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::vector<Task> queue_;
-  std::size_t in_flight_ = 0;
+  std::deque<Task> queue_;  // FIFO: oldest caller's chunks run first
   bool shutting_down_ = false;
 };
 
@@ -66,10 +90,35 @@ unsigned configured_num_threads();
 /// hardware_concurrency (at least 1).
 unsigned parse_num_threads(const char* value);
 
+/// True on a thread currently executing a pool task (such threads run any
+/// nested parallel_for inline) or inside an InlineParallelScope. Exposed so
+/// tests can assert the guard survives exception unwinding, and so callers
+/// pinning per-thread scratch can tell worker threads apart.
+bool in_pool_worker();
+
+/// RAII: while alive, parallel_for calls from this thread run inline
+/// instead of dispatching to the shared pool. Pool workers get this
+/// implicitly; declaring one explicitly lets a caller-owned worker set
+/// (e.g. api::BatchServer's shard threads) BE the parallelism — each
+/// worker scores its slice sequentially — instead of every worker fanning
+/// back into (and contending for) the one global pool. Nests safely.
+class InlineParallelScope {
+ public:
+  InlineParallelScope();
+  ~InlineParallelScope();
+  InlineParallelScope(const InlineParallelScope&) = delete;
+  InlineParallelScope& operator=(const InlineParallelScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Runs fn(i) for i in [begin, end). Falls back to a plain loop when the
 /// range is smaller than `grain`, when only one worker is configured, or
 /// when called from inside a pool worker (nested parallel_for would
-/// otherwise deadlock waiting on its own thread).
+/// otherwise deadlock waiting on its own thread). Exceptions from fn reach
+/// the caller on every path: directly when sequential, captured and
+/// rethrown after the dispatched chunks drain when pooled.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 256);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/assert.hpp"
 
@@ -14,10 +15,15 @@ void MinMaxScaler::fit(const common::Matrix& train_features) {
   for (std::size_t r = 0; r < train_features.rows(); ++r) {
     const auto row = train_features.row(r);
     for (std::size_t c = 0; c < f; ++c) {
+      // One NaN or infinite sample must not poison the learned range (a
+      // NaN min/max propagates into every later transform of the feature).
+      if (!std::isfinite(row[c])) continue;
       min_[c] = std::min(min_[c], row[c]);
       max_[c] = std::max(max_[c], row[c]);
     }
   }
+  // A feature with no finite sample keeps min=+inf > max=-inf; its span
+  // test below fails and transform maps it to 0 like any constant feature.
 }
 
 void MinMaxScaler::transform(common::Matrix& features) const {
@@ -27,7 +33,11 @@ void MinMaxScaler::transform(common::Matrix& features) const {
     auto row = features.row(r);
     for (std::size_t c = 0; c < row.size(); ++c) {
       const float span = max_[c] - min_[c];
-      const float v = span > 0.0f ? (row[c] - min_[c]) / span : 0.0f;
+      float v = span > 0.0f ? (row[c] - min_[c]) / span : 0.0f;
+      // NaN survives the affine map AND std::clamp; pin it to 0, matching
+      // LevelQuantizer's NaN-is-level-0 convention. ±inf saturates through
+      // the clamp on its own.
+      if (std::isnan(v)) v = 0.0f;
       row[c] = std::clamp(v, 0.0f, 1.0f);
     }
   }
@@ -39,19 +49,30 @@ void StandardScaler::fit(const common::Matrix& train_features) {
   MEMHD_EXPECTS(n > 0);
   mean_.assign(f, 0.0f);
   stddev_.assign(f, 0.0f);
-  for (std::size_t r = 0; r < n; ++r) {
-    const auto row = train_features.row(r);
-    for (std::size_t c = 0; c < f; ++c) mean_[c] += row[c];
-  }
-  for (auto& m : mean_) m /= static_cast<float>(n);
+  // Moments over the finite samples only; a feature's non-finite entries
+  // would otherwise turn its mean (and every later transform) into NaN.
+  std::vector<std::size_t> finite(f, 0);
   for (std::size_t r = 0; r < n; ++r) {
     const auto row = train_features.row(r);
     for (std::size_t c = 0; c < f; ++c) {
+      if (!std::isfinite(row[c])) continue;
+      mean_[c] += row[c];
+      ++finite[c];
+    }
+  }
+  for (std::size_t c = 0; c < f; ++c)
+    mean_[c] /= static_cast<float>(std::max<std::size_t>(finite[c], 1));
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = train_features.row(r);
+    for (std::size_t c = 0; c < f; ++c) {
+      if (!std::isfinite(row[c])) continue;
       const float d = row[c] - mean_[c];
       stddev_[c] += d * d;
     }
   }
-  for (auto& s : stddev_) s = std::sqrt(s / static_cast<float>(n));
+  for (std::size_t c = 0; c < f; ++c)
+    stddev_[c] = std::sqrt(stddev_[c] /
+                           static_cast<float>(std::max<std::size_t>(finite[c], 1)));
 }
 
 void StandardScaler::transform(common::Matrix& features) const {
@@ -60,7 +81,11 @@ void StandardScaler::transform(common::Matrix& features) const {
   for (std::size_t r = 0; r < features.rows(); ++r) {
     auto row = features.row(r);
     for (std::size_t c = 0; c < row.size(); ++c) {
-      row[c] = stddev_[c] > 0.0f ? (row[c] - mean_[c]) / stddev_[c] : 0.0f;
+      float v = stddev_[c] > 0.0f ? (row[c] - mean_[c]) / stddev_[c] : 0.0f;
+      // Non-finite inputs standardize to 0 (the feature's mean) instead of
+      // leaking NaN/inf into the encoders.
+      if (!std::isfinite(v)) v = 0.0f;
+      row[c] = v;
     }
   }
 }
@@ -71,7 +96,11 @@ LevelQuantizer::LevelQuantizer(std::size_t num_levels)
 }
 
 std::uint16_t LevelQuantizer::quantize(float value) const {
-  const float v = std::clamp(value, 0.0f, 1.0f);
+  // NaN fails every ordered comparison, so it would pass std::clamp
+  // unchanged and make the float -> size_t cast below undefined behaviour;
+  // the negated comparison pins NaN (and everything <= 0) to level 0.
+  if (!(value > 0.0f)) return 0;
+  const float v = std::min(value, 1.0f);
   const auto level = static_cast<std::size_t>(
       v * static_cast<float>(num_levels_));
   return static_cast<std::uint16_t>(std::min(level, num_levels_ - 1));

@@ -16,9 +16,11 @@ namespace memhd::data {
 /// Per-feature min-max scaler: transform clamps into [0,1].
 class MinMaxScaler {
  public:
-  /// Learns per-feature min/max from the training matrix.
+  /// Learns per-feature min/max from the training matrix. Non-finite
+  /// entries (NaN, ±inf) are skipped so they cannot poison the range.
   void fit(const common::Matrix& train_features);
-  /// Scales rows in place; constant features map to 0.
+  /// Scales rows in place; constant features map to 0, NaN inputs to 0,
+  /// and ±inf inputs saturate at the clamp bounds.
   void transform(common::Matrix& features) const;
   bool fitted() const { return !min_.empty(); }
 
@@ -33,7 +35,9 @@ class MinMaxScaler {
 /// Per-feature standardization to zero mean / unit variance.
 class StandardScaler {
  public:
+  /// Learns per-feature moments over the finite entries only.
   void fit(const common::Matrix& train_features);
+  /// Standardizes rows in place; non-finite inputs map to 0 (the mean).
   void transform(common::Matrix& features) const;
   bool fitted() const { return !mean_.empty(); }
 
@@ -48,7 +52,7 @@ class LevelQuantizer {
   explicit LevelQuantizer(std::size_t num_levels);
 
   std::size_t num_levels() const { return num_levels_; }
-  /// Quantizes one value (clamped into [0,1] first).
+  /// Quantizes one value (clamped into [0,1] first; NaN maps to level 0).
   std::uint16_t quantize(float value) const;
   /// Quantizes a whole sample row.
   std::vector<std::uint16_t> quantize_row(std::span<const float> row) const;

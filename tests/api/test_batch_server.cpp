@@ -136,6 +136,169 @@ TEST(BatchServer, DestructorCompletesLeftoverRequests) {
     EXPECT_EQ(futures[i].get(), f.direct[i]);
 }
 
+TEST(BatchServer, ShardedManualFlushBitIdenticalAcrossRegistry) {
+  // The sharding acceptance contract: for EVERY registry model, a batch
+  // split row-wise across shard workers (each with its own pinned predict
+  // context) answers exactly what one direct predict_batch would.
+  const auto split = testing::tiny_multimodal(/*seed=*/33,
+                                              /*train_per_class=*/30,
+                                              /*test_per_class=*/15);
+  ModelOptions opts;
+  opts.dim = 256;
+  opts.columns = 16;
+  opts.epochs = 2;
+  opts.num_levels = 16;
+  opts.n_models = 4;
+  opts.seed = 13;
+
+  for (const auto& name : list_models()) {
+    auto model = make(name, split.train.num_features(),
+                      split.train.num_classes(), opts);
+    model->fit(split.train);
+    const auto direct = model->predict_batch(split.test.features());
+
+    BatchServerOptions server_opts;
+    server_opts.background = false;
+    server_opts.shards = 3;
+    server_opts.shard_quantum = 1;  // force a split on any batch > 1 row
+    BatchServer server(*model, server_opts);
+
+    std::vector<std::future<data::Label>> futures;
+    for (std::size_t i = 0; i < split.test.size(); ++i)
+      futures.push_back(server.submit(split.test.sample(i)));
+    EXPECT_EQ(server.flush(), split.test.size()) << name;
+
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      EXPECT_EQ(futures[i].get(), direct[i]) << name << " query " << i;
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.batches, 1u) << name;
+    EXPECT_EQ(stats.sharded_batches, 1u) << name;
+    EXPECT_EQ(stats.shard_jobs, 3u) << name;
+  }
+}
+
+TEST(BatchServer, ShardedConcurrentSubmittersMatchDirectBatch) {
+  // The multi-threaded mirror of ConcurrentSubmittersMatchDirectBatch with
+  // the shard set engaged: submitters race the batching window, batches
+  // race each other onto the shard workers, answers stay bit-identical.
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.max_batch = 16;
+  opts.max_delay = std::chrono::microseconds(200);
+  opts.shards = 3;
+  opts.shard_quantum = 1;  // even tiny racing batches exercise the shard set
+  BatchServer server(*f.model, opts);
+
+  const std::size_t n = f.split.test.size();
+  std::vector<data::Label> served(n);
+  constexpr std::size_t kThreads = 4;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1))
+        served[i] = server.submit(f.split.test.sample(i)).get();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(served[i], f.direct[i]) << "query " << i;
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, n);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GE(stats.shard_jobs, stats.sharded_batches);
+}
+
+TEST(BatchServer, SmallBatchesStayUnsharded) {
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.background = false;
+  opts.shards = 4;
+  opts.shard_quantum = 8;
+  BatchServer server(*f.model, opts);
+
+  // 5 rows <= quantum: one fused call, no shard dispatch.
+  std::vector<std::future<data::Label>> futures;
+  for (std::size_t i = 0; i < 5; ++i)
+    futures.push_back(server.submit(f.split.test.sample(i)));
+  EXPECT_EQ(server.flush(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(futures[i].get(), f.direct[i]);
+
+  auto stats = server.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.sharded_batches, 0u);
+  EXPECT_EQ(stats.shard_jobs, 0u);
+
+  // 20 rows with quantum 8: ceil(20/8) = 3 pieces across 3 of 4 shards.
+  futures.clear();
+  for (std::size_t i = 0; i < 20; ++i)
+    futures.push_back(server.submit(f.split.test.sample(i)));
+  EXPECT_EQ(server.flush(), 20u);
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_EQ(futures[i].get(), f.direct[i]);
+
+  stats = server.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.sharded_batches, 1u);
+  EXPECT_EQ(stats.shard_jobs, 3u);
+}
+
+TEST(BatchServer, ShardedDestructorCompletesLeftoverRequests) {
+  const auto& f = fixture();
+  std::vector<std::future<data::Label>> futures;
+  {
+    BatchServerOptions opts;
+    opts.background = false;
+    opts.shards = 3;
+    opts.shard_quantum = 2;
+    BatchServer server(*f.model, opts);
+    for (std::size_t i = 0; i < 11; ++i)
+      futures.push_back(server.submit(f.split.test.sample(i)));
+    // No flush: the destructor must drain through the still-live shard set.
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    EXPECT_EQ(futures[i].get(), f.direct[i]);
+}
+
+TEST(BatchServer, FlushRaceDoesNotCutNextWindowEarly) {
+  // Regression for the stale-deadline bug: a flush() that drains the queue
+  // mid-window used to leave the worker waiting on the FLUSHED batch's
+  // deadline, so the next request's batch was cut after only the remainder
+  // of the old window. The fixed worker re-derives the deadline from the
+  // current head request, so a lone follow-up request waits out its own
+  // full max_delay before being cut.
+  const auto& f = fixture();
+  const auto window = std::chrono::milliseconds(200);
+  BatchServerOptions opts;
+  opts.max_batch = 64;  // never fills: the delay is what cuts
+  opts.max_delay = window;
+  BatchServer server(*f.model, opts);
+
+  auto first = server.submit(f.split.test.sample(0));
+  // Let the worker enter the batching window for the first request, then
+  // steal that batch out from under it.
+  std::this_thread::sleep_for(window / 2);
+  server.flush();
+  EXPECT_EQ(first.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  EXPECT_EQ(first.get(), f.direct[0]);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto second = server.submit(f.split.test.sample(1));
+  ASSERT_EQ(second.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(second.get(), f.direct[1]);
+  // With the stale deadline the cut lands ~window/2 after submission; the
+  // fixed worker holds the batch open for the full fresh window. 60% is
+  // far from both outcomes, so scheduler jitter cannot flip the verdict.
+  EXPECT_GE(waited, window * 6 / 10)
+      << "second request's window was cut prematurely";
+}
+
 TEST(BatchServer, RejectsWrongFeatureLength) {
   const auto& f = fixture();
   BatchServerOptions opts;

@@ -3,8 +3,10 @@
 // (b) round-trip through the tagged save/load format bit-exactly.
 #include "src/api/registry.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -112,6 +114,33 @@ TEST_P(RegistryContract, ScoresBatchHasScoreRowsPerQuery) {
   std::vector<std::uint32_t> scores;
   model->scores_batch(split.test.features(), scores);
   EXPECT_EQ(scores.size(), split.test.size() * model->score_rows());
+}
+
+TEST_P(RegistryContract, PredictBatchIntoMatchesPredictBatch) {
+  // The serve-path hook: with and without a pinned context — and with the
+  // SAME context reused across calls, the BatchServer shard-worker shape —
+  // predict_batch_into must reproduce predict_batch bit for bit.
+  const auto split = testing::tiny_multimodal(/*seed=*/24,
+                                              /*train_per_class=*/30,
+                                              /*test_per_class=*/12);
+  const auto* info = api::find_model(GetParam());
+  ASSERT_NE(info, nullptr);
+
+  auto model = api::make(GetParam(), split.train.num_features(),
+                         split.train.num_classes(), small_options(info->kind));
+  model->fit(split.train);
+  const auto direct = model->predict_batch(split.test.features());
+
+  std::vector<data::Label> out(split.test.size());
+  model->predict_batch_into(split.test.features(), out);
+  EXPECT_EQ(out, direct) << model->name() << " (no context)";
+
+  const auto context = model->make_predict_context();
+  for (int round = 0; round < 2; ++round) {
+    std::fill(out.begin(), out.end(), data::Label{0xFFFF});
+    model->predict_batch_into(split.test.features(), out, context.get());
+    EXPECT_EQ(out, direct) << model->name() << " context round " << round;
+  }
 }
 
 TEST_P(RegistryContract, MemoryBreakdownIsPopulated) {

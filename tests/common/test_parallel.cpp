@@ -4,7 +4,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -90,6 +93,175 @@ TEST(ParseNumThreads, FallsBackToHardware) {
   EXPECT_EQ(parse_num_threads("-3"), hw);
   EXPECT_EQ(parse_num_threads("lots"), hw);
   EXPECT_EQ(parse_num_threads("4cores"), hw);
+}
+
+TEST(ThreadPool, ConcurrentCallersCompleteIndependently) {
+  // Two outside callers share only the task queue: caller B's parallel_for
+  // must return once B's own chunks finish, even while caller A's task is
+  // still running. (The old shared in_flight_ counter coupled them: B
+  // waited for the union of both callers' tasks.)
+  ThreadPool pool(2);
+  std::promise<void> a_started;
+  std::promise<void> release_a;
+  std::shared_future<void> release_a_future = release_a.get_future().share();
+
+  std::thread caller_a([&] {
+    const std::function<void(std::size_t)> block = [&](std::size_t) {
+      a_started.set_value();
+      release_a_future.wait();
+    };
+    pool.parallel_for(0, 1, block);
+  });
+  a_started.get_future().wait();  // A's task now occupies one worker
+
+  // B's chunks drain on the remaining worker while A is still blocked; if
+  // B's return were coupled to A's task, this would hang until the test
+  // harness killed us.
+  std::atomic<int> b_hits{0};
+  const std::function<void(std::size_t)> count = [&](std::size_t) {
+    ++b_hits;
+  };
+  pool.parallel_for(0, 5, count);
+  EXPECT_EQ(b_hits.load(), 5);
+
+  release_a.set_value();
+  caller_a.join();
+}
+
+TEST(ThreadPool, ConcurrentCallerStressFromOutsideThreads) {
+  // Several outside threads hammer one pool concurrently; every call must
+  // cover exactly its own range. (Primarily a ThreadSanitizer target.)
+  ThreadPool pool(3);
+  constexpr std::size_t kCallers = 4;
+  constexpr std::size_t kRounds = 50;
+  constexpr std::size_t kRange = 64;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<long>> sums(kCallers);
+  for (auto& s : sums) s = 0;
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&pool, &sums, t] {
+      const std::function<void(std::size_t)> add = [&sums, t](std::size_t i) {
+        sums[t] += static_cast<long>(i);
+      };
+      for (std::size_t round = 0; round < kRounds; ++round)
+        pool.parallel_for(0, kRange, add);
+    });
+  }
+  for (auto& c : callers) c.join();
+  const long per_round = kRange * (kRange - 1) / 2;
+  for (const auto& s : sums)
+    EXPECT_EQ(s.load(), per_round * static_cast<long>(kRounds));
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  const std::function<void(std::size_t)> boom = [](std::size_t i) {
+    if (i == 7) throw std::runtime_error("task 7 failed");
+  };
+  try {
+    pool.parallel_for(0, 16, boom);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7 failed");
+  }
+  // The workers survived the unwinding and the pool is reusable.
+  std::atomic<int> hits{0};
+  const std::function<void(std::size_t)> count = [&](std::size_t) { ++hits; };
+  pool.parallel_for(0, 32, count);
+  EXPECT_EQ(hits.load(), 32);
+}
+
+TEST(ParallelFor, TaskExceptionPropagatesThroughGlobalPool) {
+  // grain=1 forces pool dispatch (when >1 worker is configured; with one
+  // worker the sequential path throws directly — same observable contract).
+  EXPECT_THROW(
+      parallel_for(
+          0, 512,
+          [](std::size_t i) {
+            if (i == 300) throw std::invalid_argument("bad index");
+          },
+          /*grain=*/1),
+      std::invalid_argument);
+  // Global pool still fully functional afterwards.
+  std::vector<std::atomic<int>> hits(512);
+  parallel_for(0, 512, [&](std::size_t i) { ++hits[i]; }, /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, WorkerFlagSurvivesExceptionUnwinding) {
+  // After a task throws, the worker's in_pool_worker() flag must have been
+  // reset by RAII — otherwise a later nested-inline check on that thread
+  // would be wrong in whichever direction the leak went.
+  EXPECT_FALSE(in_pool_worker());
+  try {
+    parallel_for(
+        0, 64, [](std::size_t) { throw std::runtime_error("unwind"); },
+        /*grain=*/1);
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(in_pool_worker());  // caller thread never had the flag
+
+  // Tasks still see the flag set (fresh RAII scope per task) — only
+  // observable when the range actually dispatches to pool workers.
+  if (configured_num_threads() > 1) {
+    std::atomic<int> flagged{0};
+    std::atomic<int> total{0};
+    parallel_for(
+        0, 64,
+        [&](std::size_t) {
+          ++total;
+          if (in_pool_worker()) ++flagged;
+        },
+        /*grain=*/1);
+    EXPECT_EQ(total.load(), 64);
+    EXPECT_EQ(flagged.load(), total.load());
+  }
+
+  // ... and the nested-inline guard still works after the unwinding.
+  std::vector<std::atomic<int>> hits(32 * 32);
+  parallel_for(
+      0, 32,
+      [&](std::size_t i) {
+        parallel_for(
+            0, 32, [&](std::size_t j) { ++hits[i * 32 + j]; }, /*grain=*/1);
+      },
+      /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(InlineParallelScope, ForcesInlineExecutionAndRestoresOnExit) {
+  EXPECT_FALSE(in_pool_worker());
+  {
+    InlineParallelScope scope;
+    EXPECT_TRUE(in_pool_worker());
+    // Every index runs on the calling thread: the scope turns parallel_for
+    // into a plain loop (the BatchServer shard workers rely on this).
+    const auto caller = std::this_thread::get_id();
+    std::atomic<int> off_thread{0};
+    parallel_for(
+        0, 1024,
+        [&](std::size_t) {
+          if (std::this_thread::get_id() != caller) ++off_thread;
+        },
+        /*grain=*/1);
+    EXPECT_EQ(off_thread.load(), 0);
+    {
+      InlineParallelScope nested;
+      EXPECT_TRUE(in_pool_worker());
+    }
+    EXPECT_TRUE(in_pool_worker());  // nesting restores the outer scope
+  }
+  EXPECT_FALSE(in_pool_worker());
+}
+
+TEST(ParallelFor, SequentialPathThrowsDirectly) {
+  // Below the grain the loop runs inline; the exception reaches the caller
+  // without any pool involvement.
+  EXPECT_THROW(
+      parallel_for(
+          0, 4, [](std::size_t) { throw std::logic_error("inline"); },
+          /*grain=*/100),
+      std::logic_error);
 }
 
 TEST(ParallelFor, NestedCallRunsInlineWithoutDeadlock) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/common/rng.hpp"
 
 namespace memhd::data {
@@ -44,6 +47,48 @@ TEST(MinMaxScaler, ConstantFeatureMapsToZero) {
   for (std::size_t r = 0; r < 3; ++r) EXPECT_FLOAT_EQ(m(r, 0), 0.0f);
 }
 
+TEST(MinMaxScaler, FitSkipsNonFiniteValues) {
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  common::Matrix m(4, 2);
+  m(0, 0) = 1.0f;  m(0, 1) = kNan;
+  m(1, 0) = kNan;  m(1, 1) = 4.0f;
+  m(2, 0) = 3.0f;  m(2, 1) = kInf;
+  m(3, 0) = -kInf; m(3, 1) = 8.0f;
+  MinMaxScaler s;
+  s.fit(m);
+  // The learned range comes from the finite entries alone.
+  EXPECT_FLOAT_EQ(s.feature_min()[0], 1.0f);
+  EXPECT_FLOAT_EQ(s.feature_max()[0], 3.0f);
+  EXPECT_FLOAT_EQ(s.feature_min()[1], 4.0f);
+  EXPECT_FLOAT_EQ(s.feature_max()[1], 8.0f);
+
+  // Transform sanitizes the same inputs: NaN to 0, ±inf to the clamp rail.
+  s.transform(m);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m(2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 0.0f);  // was NaN
+  EXPECT_FLOAT_EQ(m(3, 0), 0.0f);  // was -inf: clamped to the lower rail
+  EXPECT_FLOAT_EQ(m(0, 1), 0.0f);  // was NaN
+  EXPECT_FLOAT_EQ(m(2, 1), 1.0f);  // was +inf: clamped to the upper rail
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      EXPECT_TRUE(std::isfinite(m(r, c))) << r << "," << c;
+}
+
+TEST(MinMaxScaler, AllNonFiniteFeatureMapsToZero) {
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  common::Matrix m(2, 1);
+  m(0, 0) = kNan;
+  m(1, 0) = kNan;
+  MinMaxScaler s;
+  s.fit(m);
+  ASSERT_TRUE(s.fitted());
+  s.transform(m);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 0.0f);
+}
+
 TEST(StandardScaler, ZeroMeanUnitVariance) {
   common::Rng rng(3);
   common::Matrix m = common::Matrix::random_normal(500, 3, rng, 5.0f, 2.0f);
@@ -60,6 +105,34 @@ TEST(StandardScaler, ZeroMeanUnitVariance) {
     EXPECT_NEAR(mean, 0.0, 1e-4);
     EXPECT_NEAR(var, 1.0, 1e-3);
   }
+}
+
+TEST(StandardScaler, FitSkipsNonFiniteValues) {
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  common::Matrix m(4, 1);
+  m(0, 0) = 2.0f;
+  m(1, 0) = kNan;
+  m(2, 0) = 6.0f;
+  m(3, 0) = kInf;
+  StandardScaler s;
+  s.fit(m);
+  s.transform(m);
+  // Finite moments: mean 4, stddev 2 over {2, 6}.
+  EXPECT_FLOAT_EQ(m(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(m(2, 0), 1.0f);
+  // Non-finite inputs standardize to 0 instead of propagating.
+  EXPECT_FLOAT_EQ(m(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m(3, 0), 0.0f);
+}
+
+TEST(LevelQuantizer, NanAndInfinitiesAreDefined) {
+  LevelQuantizer q(4);
+  // NaN used to survive std::clamp and hit a float -> size_t cast (UB);
+  // the contract now pins it to level 0.
+  EXPECT_EQ(q.quantize(std::numeric_limits<float>::quiet_NaN()), 0);
+  EXPECT_EQ(q.quantize(-std::numeric_limits<float>::infinity()), 0);
+  EXPECT_EQ(q.quantize(std::numeric_limits<float>::infinity()), 3);
 }
 
 TEST(LevelQuantizer, BoundaryBehaviour) {
