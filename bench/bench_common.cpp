@@ -1,6 +1,10 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
 #include <filesystem>
+
+#include "src/common/kernels/backend.hpp"
+#include "src/common/parallel.hpp"
 
 namespace memhd::bench {
 
@@ -13,6 +17,11 @@ void add_common_flags(common::CliParser& cli) {
 }
 
 BenchContext make_context(const common::CliParser& cli) {
+  // Perf numbers are only attributable with the kernel backend on record
+  // (override with MEMHD_BATCH_KERNEL; see src/common/kernels/README.md).
+  std::printf("kernel backend: %s | threads: %u\n",
+              common::active_backend().name,
+              common::configured_num_threads());
   BenchContext ctx;
   ctx.full = cli.get_bool("full");
   const int trials = cli.get_int("trials");

@@ -217,6 +217,10 @@ struct PathComparison {
   double scalar_per_sec = 0.0;
   double batch_per_sec = 0.0;
   bool bit_identical = false;
+  // Kernel backend active while this section was measured, recorded per
+  // section so the regression gate never compares one backend's throughput
+  // against another's baseline.
+  const char* backend = "";
 
   double speedup() const {
     return scalar_per_sec > 0.0 ? batch_per_sec / scalar_per_sec : 0.0;
@@ -238,6 +242,7 @@ PathComparison compare_associative_search(std::size_t dim,
     qs.push_back(common::BitVector::random(dim, rng));
 
   PathComparison cmp;
+  cmp.backend = common::batch_kernel_name();
   std::vector<std::uint32_t> scalar_best(batch);
   const double t_scalar = best_seconds(reps, [&] {
     for (std::size_t q = 0; q < batch; ++q) {
@@ -270,6 +275,7 @@ PathComparison compare_score_table(std::size_t dim, std::size_t centroids,
   for (std::size_t q = 0; q < batch; ++q) qs.push_back(queries.row_vector(q));
 
   PathComparison cmp;
+  cmp.backend = common::batch_kernel_name();
   std::vector<std::uint32_t> scalar_scores(batch * centroids);
   std::vector<std::uint32_t> row;
   const double t_scalar = best_seconds(reps, [&] {
@@ -302,6 +308,7 @@ PathComparison compare_projection_encode(std::size_t num_features,
       common::Matrix::random_uniform(batch, num_features, rng);
 
   PathComparison cmp;
+  cmp.backend = common::batch_kernel_name();
   std::vector<common::BitVector> scalar_out(batch);
   const double t_scalar = best_seconds(reps, [&] {
     for (std::size_t s = 0; s < batch; ++s)
@@ -335,6 +342,7 @@ PathComparison compare_partitioned_search(std::size_t dim,
   imc::PartitionedAm batch_am(am, partitions, geometry);
 
   PathComparison cmp;
+  cmp.backend = common::batch_kernel_name();
   std::vector<std::uint32_t> scalar_scores(batch * classes);
   const double t_scalar = best_seconds(reps, [&] {
     for (std::size_t q = 0; q < batch; ++q) {
@@ -361,6 +369,7 @@ PathComparison compare_partitioned_search(std::size_t dim,
 PathComparison compare_noise_inject(std::size_t rows, std::size_t cols,
                                     double p, int reps) {
   PathComparison cmp;
+  cmp.backend = common::batch_kernel_name();
   const double cells = static_cast<double>(rows * cols);
 
   const double t_scalar = best_seconds(reps, [&] {
@@ -405,6 +414,7 @@ PathComparison compare_kmeans_assign(std::size_t n, std::size_t k,
   const common::Matrix centroids = common::Matrix::random_normal(k, dim, rng);
 
   PathComparison cmp;
+  cmp.backend = common::batch_kernel_name();
   std::vector<std::uint32_t> scalar_out(n);
   const double t_scalar = best_seconds(reps, [&] {
     for (std::size_t i = 0; i < n; ++i)
@@ -485,6 +495,7 @@ PathComparison compare_serve_sharded(std::size_t shards, std::size_t dim,
   };
 
   PathComparison cmp;
+  cmp.backend = common::batch_kernel_name();
   const auto unsharded_server = make_server(1);
   const auto sharded_server = make_server(shards);
   std::vector<data::Label> unsharded;
@@ -508,13 +519,14 @@ void write_comparison(std::FILE* f, const char* name,
                "    \"dim\": %zu,\n"
                "    \"%s\": %zu,\n"
                "    \"batch\": %zu,\n"
+               "    \"backend\": \"%s\",\n"
                "    \"scalar_queries_per_sec\": %.1f,\n"
                "    \"batch_queries_per_sec\": %.1f,\n"
                "    \"speedup\": %.3f,\n"
                "    \"bit_identical\": %s\n"
                "  }%s\n",
-               name, dim, rows_key, rows, batch, cmp.scalar_per_sec,
-               cmp.batch_per_sec, cmp.speedup(),
+               name, dim, rows_key, rows, batch, cmp.backend,
+               cmp.scalar_per_sec, cmp.batch_per_sec, cmp.speedup(),
                cmp.bit_identical ? "true" : "false",
                trailing_comma ? "," : "");
 }

@@ -17,6 +17,7 @@
 #include "src/api/batch_server.hpp"
 #include "src/api/registry.hpp"
 #include "src/common/cli.hpp"
+#include "src/common/kernels/backend.hpp"
 #include "src/common/rng.hpp"
 #include "src/data/loaders.hpp"
 #include "src/data/scaling.hpp"
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "1", "RNG seed");
   cli.add_flag("shards", "2", "BatchServer shard workers (1 = unsharded)");
   if (!cli.parse(argc, argv)) return 1;
+
+  // Every prediction below scores through this kernel backend; print it so
+  // timing observations are attributable (MEMHD_BATCH_KERNEL overrides).
+  std::printf("kernel backend: %s\n", common::active_backend().name);
 
   // 1. Load data (synthetic MNIST-like profile unless MEMHD_DATA_DIR is
   //    set), scaled into [0,1].

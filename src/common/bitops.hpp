@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <cstddef>
 
+#include "src/common/kernels/popcount_core.hpp"
+
 namespace memhd::common {
 
 inline constexpr std::size_t kBitsPerWord = 64;
@@ -24,22 +26,13 @@ constexpr std::uint64_t tail_mask(std::size_t bits) {
 /// Population count of a word.
 inline int popcount64(std::uint64_t x) { return std::popcount(x); }
 
-/// Popcount of the AND of two equal-length word spans: the dot product of two
-/// packed {0,1} vectors.
+/// Popcount of the AND of two equal-length word spans: the dot product of
+/// two packed {0,1} vectors. Thin name over the shared popcount core the
+/// batch-kernel backends' portable loops also run (kernels/
+/// popcount_core.hpp), so the per-query and batch paths cannot drift.
 inline std::size_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                 std::size_t nwords) {
-  std::size_t acc = 0;
-  // Unrolled x4: the compiler vectorizes this well under -O3.
-  std::size_t i = 0;
-  for (; i + 4 <= nwords; i += 4) {
-    acc += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
-    acc += static_cast<std::size_t>(std::popcount(a[i + 1] & b[i + 1]));
-    acc += static_cast<std::size_t>(std::popcount(a[i + 2] & b[i + 2]));
-    acc += static_cast<std::size_t>(std::popcount(a[i + 3] & b[i + 3]));
-  }
-  for (; i < nwords; ++i)
-    acc += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
-  return acc;
+  return combined_popcount<PopcountOp::kAnd>(a, b, nwords);
 }
 
 /// Copies the bit range [src_bit, src_bit + nbits) of a packed vector into
@@ -69,20 +62,10 @@ inline void copy_bit_range(const std::uint64_t* src, std::size_t src_bit,
 }
 
 /// Popcount of the XOR of two equal-length word spans: the Hamming distance
-/// of two packed {0,1} vectors.
+/// of two packed {0,1} vectors. Same shared core as and_popcount.
 inline std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                 std::size_t nwords) {
-  std::size_t acc = 0;
-  std::size_t i = 0;
-  for (; i + 4 <= nwords; i += 4) {
-    acc += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-    acc += static_cast<std::size_t>(std::popcount(a[i + 1] ^ b[i + 1]));
-    acc += static_cast<std::size_t>(std::popcount(a[i + 2] ^ b[i + 2]));
-    acc += static_cast<std::size_t>(std::popcount(a[i + 3] ^ b[i + 3]));
-  }
-  for (; i < nwords; ++i)
-    acc += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-  return acc;
+  return combined_popcount<PopcountOp::kXor>(a, b, nwords);
 }
 
 }  // namespace memhd::common

@@ -1,18 +1,13 @@
+// Dispatch glue over the kernel-backend registry: blocks the query batch,
+// hands each block to the active (or pinned) backend's function table, and
+// supplies the generic scores-then-argmax_u32 fallback for backends without
+// a fused argmax. All kernel code lives under src/common/kernels/.
 #include "src/common/bitops_batch.hpp"
 
-#include <cstdlib>
-#include <cstring>
-
-#include "src/common/assert.hpp"
+#include "src/common/kernels/backend.hpp"
+#include "src/common/kernels/backend_common.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/stats.hpp"
-
-#if defined(__x86_64__) && defined(__GNUC__)
-#include <immintrin.h>
-#define MEMHD_HAS_X86_DISPATCH 1
-#else
-#define MEMHD_HAS_X86_DISPATCH 0
-#endif
 
 namespace memhd::common {
 
@@ -23,577 +18,117 @@ namespace {
 // output cache lines.
 constexpr std::size_t kQueryBlock = 32;
 
-template <PopcountOp op>
-inline std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
-  if constexpr (op == PopcountOp::kAnd) return a & b;
-  return a ^ b;
-}
-
-// ------------------------------------------------------------- portable --
-// Register tile of 4 rows x 2 queries: each loaded row word is combined
-// with both query words, each loaded query word with all four row words,
-// giving 8 independent accumulator chains per tile.
-template <PopcountOp op>
-void portable_scores_block(const BitMatrix& rows,
-                           const std::uint64_t* const* queries,
-                           std::size_t q_begin, std::size_t q_end,
-                           std::uint32_t* out) {
-  const std::size_t nrows = rows.rows();
-  const std::size_t nwords = rows.words_per_row();
-  std::size_t q = q_begin;
-  for (; q + 2 <= q_end; q += 2) {
-    const std::uint64_t* qa = queries[q];
-    const std::uint64_t* qb = queries[q + 1];
-    std::uint32_t* oa = out + q * nrows;
-    std::uint32_t* ob = out + (q + 1) * nrows;
-    std::size_t r = 0;
-    for (; r + 4 <= nrows; r += 4) {
-      const std::uint64_t* r0 = rows.row(r);
-      const std::uint64_t* r1 = rows.row(r + 1);
-      const std::uint64_t* r2 = rows.row(r + 2);
-      const std::uint64_t* r3 = rows.row(r + 3);
-      std::uint64_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-      for (std::size_t w = 0; w < nwords; ++w) {
-        const std::uint64_t a = qa[w];
-        const std::uint64_t b = qb[w];
-        acc[0] += static_cast<std::uint64_t>(std::popcount(combine<op>(r0[w], a)));
-        acc[1] += static_cast<std::uint64_t>(std::popcount(combine<op>(r1[w], a)));
-        acc[2] += static_cast<std::uint64_t>(std::popcount(combine<op>(r2[w], a)));
-        acc[3] += static_cast<std::uint64_t>(std::popcount(combine<op>(r3[w], a)));
-        acc[4] += static_cast<std::uint64_t>(std::popcount(combine<op>(r0[w], b)));
-        acc[5] += static_cast<std::uint64_t>(std::popcount(combine<op>(r1[w], b)));
-        acc[6] += static_cast<std::uint64_t>(std::popcount(combine<op>(r2[w], b)));
-        acc[7] += static_cast<std::uint64_t>(std::popcount(combine<op>(r3[w], b)));
-      }
-      for (std::size_t k = 0; k < 4; ++k) {
-        oa[r + k] = static_cast<std::uint32_t>(acc[k]);
-        ob[r + k] = static_cast<std::uint32_t>(acc[4 + k]);
-      }
-    }
-    for (; r < nrows; ++r) {
-      const std::uint64_t* rw = rows.row(r);
-      std::uint64_t sa = 0, sb = 0;
-      for (std::size_t w = 0; w < nwords; ++w) {
-        sa += static_cast<std::uint64_t>(std::popcount(combine<op>(rw[w], qa[w])));
-        sb += static_cast<std::uint64_t>(std::popcount(combine<op>(rw[w], qb[w])));
-      }
-      oa[r] = static_cast<std::uint32_t>(sa);
-      ob[r] = static_cast<std::uint32_t>(sb);
-    }
-  }
-  for (; q < q_end; ++q) {
-    const std::uint64_t* qw = queries[q];
-    std::uint32_t* o = out + q * nrows;
-    for (std::size_t r = 0; r < nrows; ++r) {
-      const std::uint64_t* rw = rows.row(r);
-      std::uint64_t s = 0;
-      for (std::size_t w = 0; w < nwords; ++w)
-        s += static_cast<std::uint64_t>(std::popcount(combine<op>(rw[w], qw[w])));
-      o[r] = static_cast<std::uint32_t>(s);
-    }
-  }
-}
-
-#if MEMHD_HAS_X86_DISPATCH
-// ---------------------------------------------------------- avx512 path --
-// The row matrix is repacked word-major ("vertical"): amt[w * rpad + r]
-// holds word w of row r, rows padded to a multiple of 8 so one 512-bit lane
-// vector covers 8 rows' worth of the same word index. One query word is
-// broadcast against two such vectors while 4 queries share the loaded row
-// vectors, i.e. a 16-row x 4-query tile with 8 vertical accumulators; the
-// row matrix then streams from cache once per 4 queries, and no horizontal
-// reductions are needed (lane k IS row r+k's score).
-
-template <PopcountOp op>
-__attribute__((target("avx512f,avx512vpopcntdq,avx512bw,avx512vl")))
-inline __m512i combine512(__m512i a, __m512i b) {
-  if constexpr (op == PopcountOp::kAnd) return _mm512_and_si512(a, b);
-  return _mm512_xor_si512(a, b);
-}
-
-__attribute__((target("avx512f,avx512vpopcntdq,avx512bw,avx512vl")))
-void avx512_store_group(__m512i acc, std::uint32_t* dst, std::size_t valid) {
-  if (valid >= 8) {
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
-                        _mm512_cvtepi64_epi32(acc));
-  } else {
-    alignas(32) std::uint32_t buf[8];
-    _mm256_store_si256(reinterpret_cast<__m256i*>(buf),
-                       _mm512_cvtepi64_epi32(acc));
-    std::memcpy(dst, buf, valid * sizeof(std::uint32_t));
-  }
-}
-
-template <PopcountOp op>
-__attribute__((target("avx512f,avx512vpopcntdq,avx512bw,avx512vl")))
-void avx512_scores_block(const std::uint64_t* amt, std::size_t nrows,
-                         std::size_t rpad, std::size_t nwords,
-                         const std::uint64_t* const* queries,
-                         std::size_t q_begin, std::size_t q_end,
-                         std::uint32_t* out) {
-  std::size_t q = q_begin;
-  for (; q + 4 <= q_end; q += 4) {
-    const std::uint64_t* q0 = queries[q];
-    const std::uint64_t* q1 = queries[q + 1];
-    const std::uint64_t* q2 = queries[q + 2];
-    const std::uint64_t* q3 = queries[q + 3];
-    std::size_t g = 0;
-    // Hot loop: full 16-row tiles. The 4-query x 2-group tile is unrolled
-    // into named accumulators on purpose — with an accumulator array and an
-    // inner k-loop, GCC re-rolls the tile into a single-accumulator loop
-    // and the independent popcount chains (the point of the tile) are lost.
-    for (; g + 16 <= rpad; g += 16) {
-      __m512i a00 = _mm512_setzero_si512(), a01 = _mm512_setzero_si512();
-      __m512i a10 = _mm512_setzero_si512(), a11 = _mm512_setzero_si512();
-      __m512i a20 = _mm512_setzero_si512(), a21 = _mm512_setzero_si512();
-      __m512i a30 = _mm512_setzero_si512(), a31 = _mm512_setzero_si512();
-      const std::uint64_t* base = amt + g;
-      for (std::size_t w = 0; w < nwords; ++w, base += rpad) {
-        const __m512i m0 = _mm512_loadu_si512(base);
-        const __m512i m1 = _mm512_loadu_si512(base + 8);
-        const __m512i b0 = _mm512_set1_epi64(static_cast<long long>(q0[w]));
-        a00 = _mm512_add_epi64(a00, _mm512_popcnt_epi64(combine512<op>(b0, m0)));
-        a01 = _mm512_add_epi64(a01, _mm512_popcnt_epi64(combine512<op>(b0, m1)));
-        const __m512i b1 = _mm512_set1_epi64(static_cast<long long>(q1[w]));
-        a10 = _mm512_add_epi64(a10, _mm512_popcnt_epi64(combine512<op>(b1, m0)));
-        a11 = _mm512_add_epi64(a11, _mm512_popcnt_epi64(combine512<op>(b1, m1)));
-        const __m512i b2 = _mm512_set1_epi64(static_cast<long long>(q2[w]));
-        a20 = _mm512_add_epi64(a20, _mm512_popcnt_epi64(combine512<op>(b2, m0)));
-        a21 = _mm512_add_epi64(a21, _mm512_popcnt_epi64(combine512<op>(b2, m1)));
-        const __m512i b3 = _mm512_set1_epi64(static_cast<long long>(q3[w]));
-        a30 = _mm512_add_epi64(a30, _mm512_popcnt_epi64(combine512<op>(b3, m0)));
-        a31 = _mm512_add_epi64(a31, _mm512_popcnt_epi64(combine512<op>(b3, m1)));
-      }
-      std::uint32_t* o0 = out + q * nrows + g;
-      std::uint32_t* o1 = out + (q + 1) * nrows + g;
-      std::uint32_t* o2 = out + (q + 2) * nrows + g;
-      std::uint32_t* o3 = out + (q + 3) * nrows + g;
-      avx512_store_group(a00, o0, nrows - g);
-      avx512_store_group(a01, o0 + 8, nrows - g - 8);
-      avx512_store_group(a10, o1, nrows - g);
-      avx512_store_group(a11, o1 + 8, nrows - g - 8);
-      avx512_store_group(a20, o2, nrows - g);
-      avx512_store_group(a21, o2 + 8, nrows - g - 8);
-      avx512_store_group(a30, o3, nrows - g);
-      avx512_store_group(a31, o3 + 8, nrows - g - 8);
-    }
-    if (g < rpad) {  // one trailing 8-row group
-      __m512i a0 = _mm512_setzero_si512(), a1 = _mm512_setzero_si512();
-      __m512i a2 = _mm512_setzero_si512(), a3 = _mm512_setzero_si512();
-      const std::uint64_t* base = amt + g;
-      for (std::size_t w = 0; w < nwords; ++w, base += rpad) {
-        const __m512i m0 = _mm512_loadu_si512(base);
-        a0 = _mm512_add_epi64(
-            a0, _mm512_popcnt_epi64(combine512<op>(
-                    _mm512_set1_epi64(static_cast<long long>(q0[w])), m0)));
-        a1 = _mm512_add_epi64(
-            a1, _mm512_popcnt_epi64(combine512<op>(
-                    _mm512_set1_epi64(static_cast<long long>(q1[w])), m0)));
-        a2 = _mm512_add_epi64(
-            a2, _mm512_popcnt_epi64(combine512<op>(
-                    _mm512_set1_epi64(static_cast<long long>(q2[w])), m0)));
-        a3 = _mm512_add_epi64(
-            a3, _mm512_popcnt_epi64(combine512<op>(
-                    _mm512_set1_epi64(static_cast<long long>(q3[w])), m0)));
-      }
-      avx512_store_group(a0, out + q * nrows + g, nrows - g);
-      avx512_store_group(a1, out + (q + 1) * nrows + g, nrows - g);
-      avx512_store_group(a2, out + (q + 2) * nrows + g, nrows - g);
-      avx512_store_group(a3, out + (q + 3) * nrows + g, nrows - g);
-    }
-  }
-  // Remaining 1-3 queries: same vertical walk, one query at a time.
-  for (; q < q_end; ++q) {
-    const std::uint64_t* qw = queries[q];
-    for (std::size_t g = 0; g < rpad; g += 8) {
-      __m512i acc = _mm512_setzero_si512();
-      const std::uint64_t* base = amt + g;
-      for (std::size_t w = 0; w < nwords; ++w, base += rpad) {
-        const __m512i bq = _mm512_set1_epi64(static_cast<long long>(qw[w]));
-        acc = _mm512_add_epi64(
-            acc, _mm512_popcnt_epi64(combine512<op>(bq, _mm512_loadu_si512(base))));
-      }
-      avx512_store_group(acc, out + q * nrows + g, nrows - g);
-    }
-  }
-}
-
-// Fused scoring + first-wins argmax (kAnd only). Each query carries a
-// running (vmax, vidx) lane pair across the row groups: lane k of group g
-// is row g + k, and groups are folded in ascending row order with a strict
-// greater-than, so within every lane the earliest maximal row survives.
-// The lanes are initialized to (0, lane) — exactly group 0's zero-score
-// state — and the final 8-lane reduction breaks value ties toward the
-// smaller row index, which together reproduce argmax_u32's first-wins
-// semantics bit-for-bit. Rows padded beyond nrows score 0 with indices
-// >= nrows and can never beat a real row on the tie-break.
-__attribute__((target("avx512f,avx512vpopcntdq,avx512bw,avx512vl")))
-inline void argmax_fold(__m512i& vmax, __m512i& vidx, __m512i acc,
-                        __m512i cand_idx) {
-  const __mmask8 gt = _mm512_cmpgt_epu64_mask(acc, vmax);
-  vmax = _mm512_mask_blend_epi64(gt, vmax, acc);
-  vidx = _mm512_mask_blend_epi64(gt, vidx, cand_idx);
-}
-
-__attribute__((target("avx512f,avx512vpopcntdq,avx512bw,avx512vl")))
-inline std::uint32_t argmax_reduce(__m512i vmax, __m512i vidx) {
-  alignas(64) std::uint64_t vals[8];
-  alignas(64) std::uint64_t idxs[8];
-  _mm512_store_si512(vals, vmax);
-  _mm512_store_si512(idxs, vidx);
-  std::uint64_t best_val = vals[0];
-  std::uint64_t best_idx = idxs[0];
-  for (int k = 1; k < 8; ++k) {
-    if (vals[k] > best_val || (vals[k] == best_val && idxs[k] < best_idx)) {
-      best_val = vals[k];
-      best_idx = idxs[k];
-    }
-  }
-  return static_cast<std::uint32_t>(best_idx);
-}
-
-__attribute__((target("avx512f,avx512vpopcntdq,avx512bw,avx512vl")))
-void avx512_argmax_block(const std::uint64_t* amt, std::size_t rpad,
-                         std::size_t nwords, const std::uint64_t* const* queries,
-                         std::size_t q_begin, std::size_t q_end,
-                         std::uint32_t* out) {
-  const __m512i lane_ids = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
-  std::size_t q = q_begin;
-  for (; q + 4 <= q_end; q += 4) {
-    const std::uint64_t* q0 = queries[q];
-    const std::uint64_t* q1 = queries[q + 1];
-    const std::uint64_t* q2 = queries[q + 2];
-    const std::uint64_t* q3 = queries[q + 3];
-    __m512i vmax0 = _mm512_setzero_si512(), vidx0 = lane_ids;
-    __m512i vmax1 = _mm512_setzero_si512(), vidx1 = lane_ids;
-    __m512i vmax2 = _mm512_setzero_si512(), vidx2 = lane_ids;
-    __m512i vmax3 = _mm512_setzero_si512(), vidx3 = lane_ids;
-    std::size_t g = 0;
-    for (; g + 16 <= rpad; g += 16) {
-      __m512i a00 = _mm512_setzero_si512(), a01 = _mm512_setzero_si512();
-      __m512i a10 = _mm512_setzero_si512(), a11 = _mm512_setzero_si512();
-      __m512i a20 = _mm512_setzero_si512(), a21 = _mm512_setzero_si512();
-      __m512i a30 = _mm512_setzero_si512(), a31 = _mm512_setzero_si512();
-      const std::uint64_t* base = amt + g;
-      std::size_t w = 0;
-      for (; w + 2 <= nwords; w += 2, base += 2 * rpad) {  // unrolled x2
-        const __m512i m0 = _mm512_loadu_si512(base);
-        const __m512i m1 = _mm512_loadu_si512(base + 8);
-        const __m512i n0 = _mm512_loadu_si512(base + rpad);
-        const __m512i n1 = _mm512_loadu_si512(base + rpad + 8);
-        const __m512i b0 = _mm512_set1_epi64(static_cast<long long>(q0[w]));
-        const __m512i c0 = _mm512_set1_epi64(static_cast<long long>(q0[w + 1]));
-        a00 = _mm512_add_epi64(a00, _mm512_popcnt_epi64(_mm512_and_si512(b0, m0)));
-        a01 = _mm512_add_epi64(a01, _mm512_popcnt_epi64(_mm512_and_si512(b0, m1)));
-        a00 = _mm512_add_epi64(a00, _mm512_popcnt_epi64(_mm512_and_si512(c0, n0)));
-        a01 = _mm512_add_epi64(a01, _mm512_popcnt_epi64(_mm512_and_si512(c0, n1)));
-        const __m512i b1 = _mm512_set1_epi64(static_cast<long long>(q1[w]));
-        const __m512i c1 = _mm512_set1_epi64(static_cast<long long>(q1[w + 1]));
-        a10 = _mm512_add_epi64(a10, _mm512_popcnt_epi64(_mm512_and_si512(b1, m0)));
-        a11 = _mm512_add_epi64(a11, _mm512_popcnt_epi64(_mm512_and_si512(b1, m1)));
-        a10 = _mm512_add_epi64(a10, _mm512_popcnt_epi64(_mm512_and_si512(c1, n0)));
-        a11 = _mm512_add_epi64(a11, _mm512_popcnt_epi64(_mm512_and_si512(c1, n1)));
-        const __m512i b2 = _mm512_set1_epi64(static_cast<long long>(q2[w]));
-        const __m512i c2 = _mm512_set1_epi64(static_cast<long long>(q2[w + 1]));
-        a20 = _mm512_add_epi64(a20, _mm512_popcnt_epi64(_mm512_and_si512(b2, m0)));
-        a21 = _mm512_add_epi64(a21, _mm512_popcnt_epi64(_mm512_and_si512(b2, m1)));
-        a20 = _mm512_add_epi64(a20, _mm512_popcnt_epi64(_mm512_and_si512(c2, n0)));
-        a21 = _mm512_add_epi64(a21, _mm512_popcnt_epi64(_mm512_and_si512(c2, n1)));
-        const __m512i b3 = _mm512_set1_epi64(static_cast<long long>(q3[w]));
-        const __m512i c3 = _mm512_set1_epi64(static_cast<long long>(q3[w + 1]));
-        a30 = _mm512_add_epi64(a30, _mm512_popcnt_epi64(_mm512_and_si512(b3, m0)));
-        a31 = _mm512_add_epi64(a31, _mm512_popcnt_epi64(_mm512_and_si512(b3, m1)));
-        a30 = _mm512_add_epi64(a30, _mm512_popcnt_epi64(_mm512_and_si512(c3, n0)));
-        a31 = _mm512_add_epi64(a31, _mm512_popcnt_epi64(_mm512_and_si512(c3, n1)));
-      }
-      for (; w < nwords; ++w, base += rpad) {
-        const __m512i m0 = _mm512_loadu_si512(base);
-        const __m512i m1 = _mm512_loadu_si512(base + 8);
-        const __m512i b0 = _mm512_set1_epi64(static_cast<long long>(q0[w]));
-        a00 = _mm512_add_epi64(a00, _mm512_popcnt_epi64(_mm512_and_si512(b0, m0)));
-        a01 = _mm512_add_epi64(a01, _mm512_popcnt_epi64(_mm512_and_si512(b0, m1)));
-        const __m512i b1 = _mm512_set1_epi64(static_cast<long long>(q1[w]));
-        a10 = _mm512_add_epi64(a10, _mm512_popcnt_epi64(_mm512_and_si512(b1, m0)));
-        a11 = _mm512_add_epi64(a11, _mm512_popcnt_epi64(_mm512_and_si512(b1, m1)));
-        const __m512i b2 = _mm512_set1_epi64(static_cast<long long>(q2[w]));
-        a20 = _mm512_add_epi64(a20, _mm512_popcnt_epi64(_mm512_and_si512(b2, m0)));
-        a21 = _mm512_add_epi64(a21, _mm512_popcnt_epi64(_mm512_and_si512(b2, m1)));
-        const __m512i b3 = _mm512_set1_epi64(static_cast<long long>(q3[w]));
-        a30 = _mm512_add_epi64(a30, _mm512_popcnt_epi64(_mm512_and_si512(b3, m0)));
-        a31 = _mm512_add_epi64(a31, _mm512_popcnt_epi64(_mm512_and_si512(b3, m1)));
-      }
-      const __m512i idx0 = _mm512_add_epi64(lane_ids, _mm512_set1_epi64(
-                                static_cast<long long>(g)));
-      const __m512i idx1 = _mm512_add_epi64(lane_ids, _mm512_set1_epi64(
-                                static_cast<long long>(g + 8)));
-      argmax_fold(vmax0, vidx0, a00, idx0);
-      argmax_fold(vmax0, vidx0, a01, idx1);
-      argmax_fold(vmax1, vidx1, a10, idx0);
-      argmax_fold(vmax1, vidx1, a11, idx1);
-      argmax_fold(vmax2, vidx2, a20, idx0);
-      argmax_fold(vmax2, vidx2, a21, idx1);
-      argmax_fold(vmax3, vidx3, a30, idx0);
-      argmax_fold(vmax3, vidx3, a31, idx1);
-    }
-    if (g < rpad) {
-      __m512i a0 = _mm512_setzero_si512(), a1 = _mm512_setzero_si512();
-      __m512i a2 = _mm512_setzero_si512(), a3 = _mm512_setzero_si512();
-      const std::uint64_t* base = amt + g;
-      for (std::size_t w = 0; w < nwords; ++w, base += rpad) {
-        const __m512i m0 = _mm512_loadu_si512(base);
-        a0 = _mm512_add_epi64(a0, _mm512_popcnt_epi64(_mm512_and_si512(
-                 _mm512_set1_epi64(static_cast<long long>(q0[w])), m0)));
-        a1 = _mm512_add_epi64(a1, _mm512_popcnt_epi64(_mm512_and_si512(
-                 _mm512_set1_epi64(static_cast<long long>(q1[w])), m0)));
-        a2 = _mm512_add_epi64(a2, _mm512_popcnt_epi64(_mm512_and_si512(
-                 _mm512_set1_epi64(static_cast<long long>(q2[w])), m0)));
-        a3 = _mm512_add_epi64(a3, _mm512_popcnt_epi64(_mm512_and_si512(
-                 _mm512_set1_epi64(static_cast<long long>(q3[w])), m0)));
-      }
-      const __m512i idx = _mm512_add_epi64(lane_ids, _mm512_set1_epi64(
-                              static_cast<long long>(g)));
-      argmax_fold(vmax0, vidx0, a0, idx);
-      argmax_fold(vmax1, vidx1, a1, idx);
-      argmax_fold(vmax2, vidx2, a2, idx);
-      argmax_fold(vmax3, vidx3, a3, idx);
-    }
-    out[q] = argmax_reduce(vmax0, vidx0);
-    out[q + 1] = argmax_reduce(vmax1, vidx1);
-    out[q + 2] = argmax_reduce(vmax2, vidx2);
-    out[q + 3] = argmax_reduce(vmax3, vidx3);
-  }
-  for (; q < q_end; ++q) {
-    const std::uint64_t* qw = queries[q];
-    __m512i vmax = _mm512_setzero_si512(), vidx = lane_ids;
-    for (std::size_t g = 0; g < rpad; g += 8) {
-      __m512i acc = _mm512_setzero_si512();
-      const std::uint64_t* base = amt + g;
-      for (std::size_t w = 0; w < nwords; ++w, base += rpad) {
-        const __m512i bq = _mm512_set1_epi64(static_cast<long long>(qw[w]));
-        acc = _mm512_add_epi64(
-            acc, _mm512_popcnt_epi64(_mm512_and_si512(bq, _mm512_loadu_si512(base))));
-      }
-      argmax_fold(vmax, vidx, acc,
-                  _mm512_add_epi64(lane_ids, _mm512_set1_epi64(
-                                       static_cast<long long>(g))));
-    }
-    out[q] = argmax_reduce(vmax, vidx);
-  }
-}
-
-bool avx512_supported() {
-  return __builtin_cpu_supports("avx512f") &&
-         __builtin_cpu_supports("avx512bw") &&
-         __builtin_cpu_supports("avx512vl") &&
-         __builtin_cpu_supports("avx512vpopcntdq");
-}
-#endif  // MEMHD_HAS_X86_DISPATCH
-
-bool use_avx512() {
-#if MEMHD_HAS_X86_DISPATCH
-  // MEMHD_BATCH_KERNEL=portable forces the fallback tile path so both
-  // production kernels can be exercised on the same machine (CI runs the
-  // test suite once per path).
-  static const bool ok = [] {
-    const char* kernel = std::getenv("MEMHD_BATCH_KERNEL");
-    if (kernel != nullptr && std::strcmp(kernel, "portable") == 0)
-      return false;
-    return avx512_supported();
-  }();
-  return ok;
-#else
-  return false;
-#endif
-}
-
-// Word-major repack for the SIMD path: packed[w * rpad + r] = word w of
-// row r, rows zero-padded to the 8-lane width. Returns rpad (0 when the
-// SIMD path is unavailable and no repack is needed). The XOR padding lanes
-// never reach caller-visible output (avx512_store_group clips them, and
-// padded rows lose every argmax tie-break).
-std::size_t repack_rows(const BitMatrix& rows,
+// The backend's lane_rows is the single source of its repack geometry:
+// lane width 1 means row-major (no repack), anything wider gets the
+// word-major layout padded to that width.
+std::size_t repack_rows(const KernelBackend& backend, const BitMatrix& rows,
                         std::vector<std::uint64_t>& packed) {
-  if (!use_avx512() || rows.empty()) return 0;
-  const std::size_t nrows = rows.rows();
-  const std::size_t nwords = rows.words_per_row();
-  const std::size_t rpad = (nrows + 7) & ~std::size_t{7};
-  packed.assign(nwords * rpad, 0);
-  for (std::size_t r = 0; r < nrows; ++r) {
-    const std::uint64_t* rw = rows.row(r);
-    for (std::size_t w = 0; w < nwords; ++w) packed[w * rpad + r] = rw[w];
-  }
-  return rpad;
+  if (backend.lane_rows <= 1 || rows.empty()) return 0;
+  return kernels::word_major_repack(rows, packed, backend.lane_rows);
 }
 
-// Collects the word pointers of a query span, validating each query's
-// length against the row matrix once.
-std::vector<const std::uint64_t*> query_words(
-    std::span<const BitVector> queries, std::size_t cols) {
-  std::vector<const std::uint64_t*> ptrs(queries.size());
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    MEMHD_EXPECTS(queries[q].size() == cols);
-    ptrs[q] = queries[q].words();
-  }
-  return ptrs;
+KernelBlockArgs block_args(const BitMatrix& rows, const std::uint64_t* packed,
+                           std::size_t rpad,
+                           const std::uint64_t* const* queries,
+                           std::uint32_t* out) {
+  return {&rows,
+          rpad != 0 ? packed : nullptr,
+          rpad,
+          rows.rows(),
+          rows.words_per_row(),
+          queries,
+          out};
 }
 
-// Shared dispatch bodies: `packed`/`rpad` select the SIMD path when
-// non-null/non-zero, the portable tile path otherwise.
-void run_scores(const BitMatrix& rows, const std::uint64_t* packed,
-                std::size_t rpad, const std::uint64_t* const* queries,
-                std::size_t num_queries, PopcountOp op, std::uint32_t* out) {
+void run_scores(const KernelBackend& backend, const BitMatrix& rows,
+                const std::uint64_t* packed, std::size_t rpad,
+                const std::uint64_t* const* queries, std::size_t num_queries,
+                PopcountOp op, std::uint32_t* out) {
   if (rows.empty() || num_queries == 0) return;
-  const std::size_t nrows = rows.rows();
-  const std::size_t nwords = rows.words_per_row();
+  const KernelBlockArgs args = block_args(rows, packed, rpad, queries, out);
   const std::size_t nblocks = (num_queries + kQueryBlock - 1) / kQueryBlock;
   parallel_for(
       0, nblocks,
       [&](std::size_t b) {
         const std::size_t q0 = b * kQueryBlock;
         const std::size_t q1 = std::min(num_queries, q0 + kQueryBlock);
-#if MEMHD_HAS_X86_DISPATCH
-        if (packed != nullptr && rpad != 0) {
-          if (op == PopcountOp::kAnd)
-            avx512_scores_block<PopcountOp::kAnd>(packed, nrows, rpad, nwords,
-                                                  queries, q0, q1, out);
-          else
-            avx512_scores_block<PopcountOp::kXor>(packed, nrows, rpad, nwords,
-                                                  queries, q0, q1, out);
-          return;
-        }
-#else
-        (void)packed;
-        (void)rpad;
-#endif
-        if (op == PopcountOp::kAnd)
-          portable_scores_block<PopcountOp::kAnd>(rows, queries, q0, q1, out);
-        else
-          portable_scores_block<PopcountOp::kXor>(rows, queries, q0, q1, out);
+        backend.scores_block(args, op, q0, q1);
       },
       /*grain=*/2);
 }
 
-void run_argmax(const BitMatrix& rows, const std::uint64_t* packed,
-                std::size_t rpad, const std::uint64_t* const* queries,
-                std::size_t num_queries, std::uint32_t* out) {
+void run_argmax(const KernelBackend& backend, const BitMatrix& rows,
+                const std::uint64_t* packed, std::size_t rpad,
+                const std::uint64_t* const* queries, std::size_t num_queries,
+                std::uint32_t* out) {
   if (rows.empty() || num_queries == 0) return;
   const std::size_t nrows = rows.rows();
-  const std::size_t nwords = rows.words_per_row();
+  const KernelBlockArgs args = block_args(rows, packed, rpad, queries, out);
   const std::size_t nblocks = (num_queries + kQueryBlock - 1) / kQueryBlock;
   parallel_for(
       0, nblocks,
       [&](std::size_t b) {
         const std::size_t q0 = b * kQueryBlock;
         const std::size_t q1 = std::min(num_queries, q0 + kQueryBlock);
-#if MEMHD_HAS_X86_DISPATCH
-        if (packed != nullptr && rpad != 0) {
-          avx512_argmax_block(packed, rpad, nwords, queries, q0, q1, out);
+        if (backend.argmax_block != nullptr) {
+          backend.argmax_block(args, q0, q1);
           return;
         }
-#else
-        (void)packed;
-        (void)rpad;
-#endif
+        // Generic fallback: materialize this block's scores, then take the
+        // contract literally — "exactly argmax_u32" — per query.
         std::vector<std::uint32_t> scores((q1 - q0) * nrows);
-        portable_scores_block<PopcountOp::kAnd>(rows, queries + q0, 0, q1 - q0,
-                                                scores.data());
-        for (std::size_t q = q0; q < q1; ++q) {
-          // The contract is "exactly argmax_u32" — use it.
+        const KernelBlockArgs sub =
+            block_args(rows, packed, rpad, queries + q0, scores.data());
+        backend.scores_block(sub, PopcountOp::kAnd, 0, q1 - q0);
+        for (std::size_t q = q0; q < q1; ++q)
           out[q] = static_cast<std::uint32_t>(
               argmax_u32(std::span<const std::uint32_t>(
                   scores.data() + (q - q0) * nrows, nrows)));
-        }
       },
       /*grain=*/2);
 }
 
 }  // namespace
 
-const char* batch_kernel_name() {
-  return use_avx512() ? "avx512-vpopcntdq" : "portable-tiled";
-}
-
 void blocked_popcount_scores(const BitMatrix& rows,
                              const std::uint64_t* const* queries,
                              std::size_t num_queries, PopcountOp op,
                              std::uint32_t* out) {
-  if (rows.empty() || num_queries == 0) return;
+  if (rows.empty() || num_queries == 0) return;  // before the repack pays
+  const KernelBackend& backend = active_backend();
   std::vector<std::uint64_t> packed;
-  const std::size_t rpad = repack_rows(rows, packed);
-  run_scores(rows, packed.empty() ? nullptr : packed.data(), rpad, queries,
-             num_queries, op, out);
+  const std::size_t rpad = repack_rows(backend, rows, packed);
+  run_scores(backend, rows, packed.data(), rpad, queries, num_queries, op,
+             out);
 }
 
 void blocked_dot_argmax(const BitMatrix& rows,
                         const std::uint64_t* const* queries,
                         std::size_t num_queries, std::uint32_t* out) {
-  if (rows.empty() || num_queries == 0) return;
+  if (rows.empty() || num_queries == 0) return;  // before the repack pays
+  const KernelBackend& backend = active_backend();
   std::vector<std::uint64_t> packed;
-  const std::size_t rpad = repack_rows(rows, packed);
-  run_argmax(rows, packed.empty() ? nullptr : packed.data(), rpad, queries,
-             num_queries, out);
+  const std::size_t rpad = repack_rows(backend, rows, packed);
+  run_argmax(backend, rows, packed.data(), rpad, queries, num_queries, out);
 }
 
-BatchScorer::BatchScorer(const BitMatrix& rows) : rows_(rows) {
-  rpad_ = repack_rows(rows_, packed_);
+BatchScorer::BatchScorer(const BitMatrix& rows)
+    : backend_(&active_backend()), rows_(rows) {
+  rpad_ = repack_rows(*backend_, rows_, packed_);
 }
 
 void BatchScorer::scores(const std::uint64_t* const* queries,
                          std::size_t num_queries, PopcountOp op,
                          std::uint32_t* out) const {
-  run_scores(rows_, packed_.empty() ? nullptr : packed_.data(), rpad_, queries,
-             num_queries, op, out);
-}
-
-void BatchScorer::scores(std::span<const BitVector> queries, PopcountOp op,
-                         std::vector<std::uint32_t>& out) const {
-  out.resize(queries.size() * rows_.rows());
-  if (queries.empty() || rows_.empty()) return;
-  const auto ptrs = query_words(queries, rows_.cols());
-  scores(ptrs.data(), ptrs.size(), op, out.data());
+  run_scores(*backend_, rows_, packed_.data(), rpad_, queries, num_queries,
+             op, out);
 }
 
 void BatchScorer::dot_argmax(const std::uint64_t* const* queries,
                              std::size_t num_queries,
                              std::uint32_t* out) const {
-  run_argmax(rows_, packed_.empty() ? nullptr : packed_.data(), rpad_, queries,
-             num_queries, out);
-}
-
-void BatchScorer::dot_argmax(std::span<const BitVector> queries,
-                             std::vector<std::uint32_t>& out) const {
-  out.resize(queries.size());
-  if (queries.empty() || rows_.empty()) return;
-  const auto ptrs = query_words(queries, rows_.cols());
-  dot_argmax(ptrs.data(), ptrs.size(), out.data());
-}
-
-void blocked_dot_argmax(const BitMatrix& rows,
-                        std::span<const BitVector> queries,
-                        std::vector<std::uint32_t>& out) {
-  out.resize(queries.size());
-  if (queries.empty() || rows.empty()) return;
-  const auto ptrs = query_words(queries, rows.cols());
-  blocked_dot_argmax(rows, ptrs.data(), ptrs.size(), out.data());
-}
-
-void blocked_popcount_scores(const BitMatrix& rows,
-                             std::span<const BitVector> queries, PopcountOp op,
-                             std::vector<std::uint32_t>& out) {
-  out.resize(queries.size() * rows.rows());
-  if (queries.empty() || rows.empty()) return;
-  const auto ptrs = query_words(queries, rows.cols());
-  blocked_popcount_scores(rows, ptrs.data(), ptrs.size(), op, out.data());
-}
-
-void blocked_popcount_scores(const BitMatrix& rows, const BitMatrix& queries,
-                             PopcountOp op, std::vector<std::uint32_t>& out) {
-  MEMHD_EXPECTS(queries.cols() == rows.cols());
-  out.resize(queries.rows() * rows.rows());
-  if (queries.empty() || rows.empty()) return;
-  std::vector<const std::uint64_t*> ptrs(queries.rows());
-  for (std::size_t q = 0; q < queries.rows(); ++q) ptrs[q] = queries.row(q);
-  blocked_popcount_scores(rows, ptrs.data(), ptrs.size(), op, out.data());
+  run_argmax(*backend_, rows_, packed_.data(), rpad_, queries, num_queries,
+             out);
 }
 
 }  // namespace memhd::common

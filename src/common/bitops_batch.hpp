@@ -9,18 +9,17 @@
 // which is the associative-search MVM (AND = dot similarity) and the
 // Hamming-distance table (XOR) over a batch of queries. Per-query calls
 // walk the full row matrix once per query; the batch kernels tile over the
-// row (centroid) dimension with 4-8 independent accumulators per tile and
+// row (centroid) dimension with independent accumulators per tile and
 // parallel_for over query blocks, so the row matrix streams through cache
 // once per block instead of once per query.
 //
-// Two implementations sit behind one entry point, selected once at runtime:
-//   * a portable register-tiled path (4 rows x 2 queries per tile), and
-//   * an x86-64 AVX-512 VPOPCNTDQ path that keeps a word-transposed copy of
-//     the row matrix and scores 16 rows x 4 queries per tile with vertical
-//     64-bit-lane accumulators.
-// Both are bit-identical to the per-query loops (popcounts are exact
-// integer arithmetic; zero-padded tail words contribute nothing to AND and
-// cancel in XOR).
+// The entry points below are thin dispatchers over the kernel-backend
+// registry (src/common/kernels/backend.hpp): a portable register-tiled
+// path, an AVX2 vpshufb-popcount path, an AVX-512 VPOPCNTDQ path, and a
+// NEON vcntq path, selected at runtime by CPU feature (override with
+// common::select_backend() or MEMHD_BATCH_KERNEL). Every backend is
+// bit-identical to the per-query loops — popcounts are exact integer
+// arithmetic — so callers batch freely.
 #pragma once
 
 #include <algorithm>
@@ -28,21 +27,33 @@
 #include <span>
 #include <vector>
 
+#include "src/common/assert.hpp"
 #include "src/common/bit_matrix.hpp"
 #include "src/common/bit_vector.hpp"
+#include "src/common/kernels/popcount_core.hpp"
 
 namespace memhd::common {
 
-/// Word-combining operation applied before the popcount.
-enum class PopcountOp {
-  kAnd,  // dot similarity of {0,1} vectors
-  kXor,  // Hamming distance
-};
+namespace detail {
+/// Collects the word pointers of a query span, validating each query's
+/// length against the row matrix once.
+inline std::vector<const std::uint64_t*> query_word_ptrs(
+    std::span<const BitVector> queries, std::size_t cols) {
+  std::vector<const std::uint64_t*> ptrs(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    MEMHD_EXPECTS(queries[q].size() == cols);
+    ptrs[q] = queries[q].words();
+  }
+  return ptrs;
+}
+}  // namespace detail
 
-/// Name of the dispatched kernel ("avx512-vpopcntdq" or "portable-tiled"),
-/// for logs and benchmark records. Setting MEMHD_BATCH_KERNEL=portable in
-/// the environment forces the fallback tile path (checked once per
-/// process), so both production kernels can be exercised on one machine.
+struct KernelBackend;
+
+/// Name of the active kernel backend, for logs and benchmark records.
+/// Deprecated alias for active_backend().name (kernels/backend.hpp) — which
+/// also provides select_backend() to switch backends at runtime, replacing
+/// the old once-per-process MEMHD_BATCH_KERNEL latch.
 const char* batch_kernel_name();
 
 /// Scores every query row pointer against every row of `rows`:
@@ -57,13 +68,27 @@ void blocked_popcount_scores(const BitMatrix& rows,
 
 /// Convenience over a span of BitVectors (each of length rows.cols());
 /// resizes `out` to queries.size() * rows.rows().
-void blocked_popcount_scores(const BitMatrix& rows,
-                             std::span<const BitVector> queries, PopcountOp op,
-                             std::vector<std::uint32_t>& out);
+inline void blocked_popcount_scores(const BitMatrix& rows,
+                                    std::span<const BitVector> queries,
+                                    PopcountOp op,
+                                    std::vector<std::uint32_t>& out) {
+  out.resize(queries.size() * rows.rows());
+  if (queries.empty() || rows.empty()) return;
+  const auto ptrs = detail::query_word_ptrs(queries, rows.cols());
+  blocked_popcount_scores(rows, ptrs.data(), ptrs.size(), op, out.data());
+}
 
 /// Convenience over a query matrix (queries.cols() == rows.cols()).
-void blocked_popcount_scores(const BitMatrix& rows, const BitMatrix& queries,
-                             PopcountOp op, std::vector<std::uint32_t>& out);
+inline void blocked_popcount_scores(const BitMatrix& rows,
+                                    const BitMatrix& queries, PopcountOp op,
+                                    std::vector<std::uint32_t>& out) {
+  MEMHD_EXPECTS(queries.cols() == rows.cols());
+  out.resize(queries.rows() * rows.rows());
+  if (queries.empty() || rows.empty()) return;
+  std::vector<const std::uint64_t*> ptrs(queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) ptrs[q] = queries.row(q);
+  blocked_popcount_scores(rows, ptrs.data(), ptrs.size(), op, out.data());
+}
 
 /// Fused batch associative recall: out[q] = argmax over r of
 /// popcount(rows.row(r) AND queries[q]), first occurrence winning ties —
@@ -76,9 +101,14 @@ void blocked_dot_argmax(const BitMatrix& rows,
                         std::size_t num_queries, std::uint32_t* out);
 
 /// Convenience over a span of BitVectors; resizes `out` to queries.size().
-void blocked_dot_argmax(const BitMatrix& rows,
-                        std::span<const BitVector> queries,
-                        std::vector<std::uint32_t>& out);
+inline void blocked_dot_argmax(const BitMatrix& rows,
+                               std::span<const BitVector> queries,
+                               std::vector<std::uint32_t>& out) {
+  out.resize(queries.size());
+  if (queries.empty() || rows.empty()) return;
+  const auto ptrs = detail::query_word_ptrs(queries, rows.cols());
+  blocked_dot_argmax(rows, ptrs.data(), ptrs.size(), out.data());
+}
 
 /// Reusable batch engine over a fixed row matrix: performs the kernel's
 /// word-major repack once at construction and then serves any number of
@@ -86,13 +116,19 @@ void blocked_dot_argmax(const BitMatrix& rows,
 /// QAT epoch scores every training chunk against one frozen binary AM, and
 /// an evaluation sweep scores every test chunk against the deployed AM —
 /// so the repack cost amortizes to zero instead of recurring per call.
-/// The scorer snapshots the rows; rebuild it after the AM changes.
+/// The scorer snapshots the rows AND pins the backend it was packed for:
+/// a later select_backend() switch does not touch live scorers (the repack
+/// geometry is backend-specific). Rebuild the scorer after the AM changes.
 class BatchScorer {
  public:
   explicit BatchScorer(const BitMatrix& rows);
 
   std::size_t rows() const { return rows_.rows(); }
   std::size_t cols() const { return rows_.cols(); }
+
+  /// The backend this scorer was packed for (== active_backend() at
+  /// construction time).
+  const KernelBackend& backend() const { return *backend_; }
 
   /// out[q * rows() + r] = popcount(row_r OP query_q); same contract as
   /// blocked_popcount_scores.
@@ -109,10 +145,28 @@ class BatchScorer {
                   std::size_t num_queries, std::uint32_t* out) const;
 
  private:
-  BitMatrix rows_;                       // snapshot (portable path + shape)
-  std::vector<std::uint64_t> packed_;    // word-major repack (SIMD path)
+  const KernelBackend* backend_;         // pinned at construction
+  BitMatrix rows_;                       // snapshot (row-major path + shape)
+  std::vector<std::uint64_t> packed_;    // backend's word-major repack
   std::size_t rpad_ = 0;                 // rows padded for the lane width
 };
+
+inline void BatchScorer::scores(std::span<const BitVector> queries,
+                                PopcountOp op,
+                                std::vector<std::uint32_t>& out) const {
+  out.resize(queries.size() * rows_.rows());
+  if (queries.empty() || rows_.empty()) return;
+  const auto ptrs = detail::query_word_ptrs(queries, rows_.cols());
+  scores(ptrs.data(), ptrs.size(), op, out.data());
+}
+
+inline void BatchScorer::dot_argmax(std::span<const BitVector> queries,
+                                    std::vector<std::uint32_t>& out) const {
+  out.resize(queries.size());
+  if (queries.empty() || rows_.empty()) return;
+  const auto ptrs = detail::query_word_ptrs(queries, rows_.cols());
+  dot_argmax(ptrs.data(), ptrs.size(), out.data());
+}
 
 /// Runs the fused batch recall over `queries` in bounded chunks through one
 /// reusable scorer and calls visit(query_index, best_row) for each query —

@@ -1,0 +1,61 @@
+// Internal helpers shared by the kernel-backend translation units. Not part
+// of the public API — include src/common/kernels/backend.hpp instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/kernels/backend.hpp"
+
+// Architecture gates. Each backend TU compiles to nothing on foreign
+// architectures; registry.cpp uses the same macros to build the descriptor
+// table, so the two can never disagree.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MEMHD_KERNELS_X86 1
+#else
+#define MEMHD_KERNELS_X86 0
+#endif
+
+#if defined(__aarch64__)
+#define MEMHD_KERNELS_NEON 1
+#else
+#define MEMHD_KERNELS_NEON 0
+#endif
+
+namespace memhd::common::kernels {
+
+// Descriptors, one per backend translation unit. Referenced (not
+// self-registered) from registry.cpp's table: a static library drops
+// unreferenced objects, so constructor-based registration would silently
+// lose backends at link time.
+extern const KernelBackend kPortableTiled;
+#if MEMHD_KERNELS_X86
+extern const KernelBackend kAvx512Vpopcntdq;
+extern const KernelBackend kAvx2;
+#endif
+#if MEMHD_KERNELS_NEON
+extern const KernelBackend kNeon;
+#endif
+
+// Word-major repack the dispatcher builds for any backend with
+// lane_rows > 1: packed[w * rpad + r] holds word w of row r, rows
+// zero-padded to a multiple of lane_rows so one vector register covers
+// lane_rows rows' worth of the same word index. Returns rpad. The padding
+// lanes never reach caller-visible output (score stores are clipped to
+// nrows, and padded rows score 0 with indices >= nrows, so they lose every
+// first-wins argmax tie-break).
+inline std::size_t word_major_repack(const BitMatrix& rows,
+                                     std::vector<std::uint64_t>& packed,
+                                     std::size_t lane_rows) {
+  const std::size_t nrows = rows.rows();
+  const std::size_t nwords = rows.words_per_row();
+  const std::size_t rpad = (nrows + lane_rows - 1) / lane_rows * lane_rows;
+  packed.assign(nwords * rpad, 0);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const std::uint64_t* rw = rows.row(r);
+    for (std::size_t w = 0; w < nwords; ++w) packed[w * rpad + r] = rw[w];
+  }
+  return rpad;
+}
+
+}  // namespace memhd::common::kernels

@@ -1,0 +1,133 @@
+// AArch64 NEON backend. NEON is baseline on AArch64, so supported() is
+// unconditionally true there; the translation unit compiles to nothing on
+// other architectures (CI compile-checks it via an aarch64 cross build).
+//
+// Same vertical layout as the x86 backends at 128-bit width: the row
+// matrix is repacked word-major with rows padded to a multiple of 2, one
+// vector covers 2 rows' worth of one word index, and a 4-row x 2-query
+// tile shares every loaded row vector between both queries. Vector
+// popcount is vcntq_u8 (per-byte counts) widened per iteration through the
+// vpaddlq_u8/u16/u32 pairwise chain into the 64-bit lane accumulators —
+// simple and obviously exact; byte-lane accumulation with periodic
+// widening is the first tuning lever once real silicon numbers exist.
+// Argmax goes through the dispatcher's generic scores + argmax_u32
+// fallback, which preserves first-wins tie-breaking by construction.
+#include "src/common/kernels/backend_common.hpp"
+
+#if MEMHD_KERNELS_NEON
+
+#include <arm_neon.h>
+
+namespace memhd::common {
+namespace {
+
+template <PopcountOp op>
+inline uint64x2_t combine128(uint64x2_t a, uint64x2_t b) {
+  if constexpr (op == PopcountOp::kAnd) return vandq_u64(a, b);
+  return veorq_u64(a, b);
+}
+
+// Per-64-bit-lane popcount of a 128-bit vector.
+inline uint64x2_t popcount_words(uint64x2_t v) {
+  const uint8x16_t bytes = vcntq_u8(vreinterpretq_u8_u64(v));
+  return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bytes)));
+}
+
+inline void store_group(uint64x2_t acc, std::uint32_t* dst,
+                        std::size_t valid) {
+  const uint32x2_t narrowed = vmovn_u64(acc);
+  if (valid >= 2)
+    vst1_u32(dst, narrowed);
+  else
+    dst[0] = vget_lane_u32(narrowed, 0);
+}
+
+// One 2-row group's scores for a single query over the full word range.
+template <PopcountOp op>
+inline uint64x2_t group_scores(const std::uint64_t* base, std::size_t rpad,
+                               std::size_t nwords, const std::uint64_t* qw) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  for (std::size_t w = 0; w < nwords; ++w, base += rpad) {
+    const uint64x2_t bq = vdupq_n_u64(qw[w]);
+    acc = vaddq_u64(acc, popcount_words(combine128<op>(bq, vld1q_u64(base))));
+  }
+  return acc;
+}
+
+template <PopcountOp op>
+void scores_block(const std::uint64_t* amt, std::size_t nrows,
+                  std::size_t rpad, std::size_t nwords,
+                  const std::uint64_t* const* queries, std::size_t q_begin,
+                  std::size_t q_end, std::uint32_t* out) {
+  std::size_t q = q_begin;
+  for (; q + 2 <= q_end; q += 2) {
+    const std::uint64_t* qa = queries[q];
+    const std::uint64_t* qb = queries[q + 1];
+    std::size_t g = 0;
+    for (; g + 4 <= rpad; g += 4) {  // 4-row x 2-query tile
+      uint64x2_t a00 = vdupq_n_u64(0), a01 = vdupq_n_u64(0);
+      uint64x2_t a10 = vdupq_n_u64(0), a11 = vdupq_n_u64(0);
+      const std::uint64_t* base = amt + g;
+      for (std::size_t w = 0; w < nwords; ++w, base += rpad) {
+        const uint64x2_t m0 = vld1q_u64(base);
+        const uint64x2_t m1 = vld1q_u64(base + 2);
+        const uint64x2_t ba = vdupq_n_u64(qa[w]);
+        a00 = vaddq_u64(a00, popcount_words(combine128<op>(ba, m0)));
+        a01 = vaddq_u64(a01, popcount_words(combine128<op>(ba, m1)));
+        const uint64x2_t bb = vdupq_n_u64(qb[w]);
+        a10 = vaddq_u64(a10, popcount_words(combine128<op>(bb, m0)));
+        a11 = vaddq_u64(a11, popcount_words(combine128<op>(bb, m1)));
+      }
+      std::uint32_t* oa = out + q * nrows + g;
+      std::uint32_t* ob = out + (q + 1) * nrows + g;
+      store_group(a00, oa, nrows - g);
+      store_group(a01, oa + 2, nrows - g - 2);
+      store_group(a10, ob, nrows - g);
+      store_group(a11, ob + 2, nrows - g - 2);
+    }
+    if (g < rpad) {  // one trailing 2-row group
+      store_group(group_scores<op>(amt + g, rpad, nwords, qa),
+                  out + q * nrows + g, nrows - g);
+      store_group(group_scores<op>(amt + g, rpad, nwords, qb),
+                  out + (q + 1) * nrows + g, nrows - g);
+    }
+  }
+  for (; q < q_end; ++q) {
+    const std::uint64_t* qw = queries[q];
+    for (std::size_t g = 0; g < rpad; g += 2)
+      store_group(group_scores<op>(amt + g, rpad, nwords, qw),
+                  out + q * nrows + g, nrows - g);
+  }
+}
+
+bool neon_supported() { return true; }  // NEON is baseline on AArch64
+
+void neon_scores_block(const KernelBlockArgs& args, PopcountOp op,
+                       std::size_t q_begin, std::size_t q_end) {
+  if (op == PopcountOp::kAnd)
+    scores_block<PopcountOp::kAnd>(args.packed, args.nrows, args.rpad,
+                                   args.nwords, args.queries, q_begin, q_end,
+                                   args.out);
+  else
+    scores_block<PopcountOp::kXor>(args.packed, args.nrows, args.rpad,
+                                   args.nwords, args.queries, q_begin, q_end,
+                                   args.out);
+}
+
+}  // namespace
+
+namespace kernels {
+
+const KernelBackend kNeon = {
+    /*name=*/"neon",
+    /*alias=*/nullptr,
+    /*lane_rows=*/2,  // 2 x 64-bit rows per 128-bit vector
+    /*supported=*/neon_supported,
+    /*scores_block=*/neon_scores_block,
+    /*argmax_block=*/nullptr,  // generic scores + argmax_u32 fallback
+};
+
+}  // namespace kernels
+}  // namespace memhd::common
+
+#endif  // MEMHD_KERNELS_NEON

@@ -1,0 +1,54 @@
+// The scalar popcount-combine core every kernel backend bottoms out in.
+//
+// One templated word loop serves the per-query helpers (bitops.hpp's
+// and_popcount / xor_popcount, i.e. BitVector::dot / hamming and
+// BitMatrix::mvm) and the tail/remainder loops of the batch backends, so
+// the per-query paths and the batch tiles share a single implementation —
+// the root of the bit-identity contract (popcounts are exact integer
+// arithmetic; zero-padded tail words contribute nothing to AND and cancel
+// in XOR).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace memhd::common {
+
+/// Word-combining operation applied before the popcount.
+enum class PopcountOp {
+  kAnd,  // dot similarity of {0,1} vectors
+  kXor,  // Hamming distance
+};
+
+template <PopcountOp op>
+constexpr std::uint64_t combine_words(std::uint64_t a, std::uint64_t b) {
+  if constexpr (op == PopcountOp::kAnd) return a & b;
+  return a ^ b;
+}
+
+/// Popcount of the combined (AND / XOR) words of two equal-length spans.
+template <PopcountOp op>
+inline std::size_t combined_popcount(const std::uint64_t* a,
+                                     const std::uint64_t* b,
+                                     std::size_t nwords) {
+  std::size_t acc = 0;
+  // Unrolled x4: the compiler vectorizes this well under -O3.
+  std::size_t i = 0;
+  for (; i + 4 <= nwords; i += 4) {
+    acc += static_cast<std::size_t>(
+        std::popcount(combine_words<op>(a[i], b[i])));
+    acc += static_cast<std::size_t>(
+        std::popcount(combine_words<op>(a[i + 1], b[i + 1])));
+    acc += static_cast<std::size_t>(
+        std::popcount(combine_words<op>(a[i + 2], b[i + 2])));
+    acc += static_cast<std::size_t>(
+        std::popcount(combine_words<op>(a[i + 3], b[i + 3])));
+  }
+  for (; i < nwords; ++i)
+    acc += static_cast<std::size_t>(
+        std::popcount(combine_words<op>(a[i], b[i])));
+  return acc;
+}
+
+}  // namespace memhd::common

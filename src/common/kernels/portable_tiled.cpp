@@ -1,0 +1,99 @@
+// Portable register-tiled backend: the universal fallback, and the
+// reference every other backend must match bit-for-bit.
+//
+// Register tile of 4 rows x 2 queries: each loaded row word is combined
+// with both query words, each loaded query word with all four row words,
+// giving 8 independent accumulator chains per tile. Scores straight off the
+// row-major BitMatrix — no repack. Remainder rows/queries fall back to the
+// shared scalar core (combined_popcount), the same loop the per-query
+// paths (BitVector::dot / hamming, BitMatrix::mvm) run.
+#include "src/common/kernels/backend_common.hpp"
+
+namespace memhd::common {
+namespace {
+
+template <PopcountOp op>
+void scores_block(const BitMatrix& rows, const std::uint64_t* const* queries,
+                  std::size_t q_begin, std::size_t q_end, std::uint32_t* out) {
+  const std::size_t nrows = rows.rows();
+  const std::size_t nwords = rows.words_per_row();
+  std::size_t q = q_begin;
+  for (; q + 2 <= q_end; q += 2) {
+    const std::uint64_t* qa = queries[q];
+    const std::uint64_t* qb = queries[q + 1];
+    std::uint32_t* oa = out + q * nrows;
+    std::uint32_t* ob = out + (q + 1) * nrows;
+    std::size_t r = 0;
+    for (; r + 4 <= nrows; r += 4) {
+      const std::uint64_t* r0 = rows.row(r);
+      const std::uint64_t* r1 = rows.row(r + 1);
+      const std::uint64_t* r2 = rows.row(r + 2);
+      const std::uint64_t* r3 = rows.row(r + 3);
+      std::uint64_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (std::size_t w = 0; w < nwords; ++w) {
+        const std::uint64_t a = qa[w];
+        const std::uint64_t b = qb[w];
+        acc[0] += static_cast<std::uint64_t>(
+            std::popcount(combine_words<op>(r0[w], a)));
+        acc[1] += static_cast<std::uint64_t>(
+            std::popcount(combine_words<op>(r1[w], a)));
+        acc[2] += static_cast<std::uint64_t>(
+            std::popcount(combine_words<op>(r2[w], a)));
+        acc[3] += static_cast<std::uint64_t>(
+            std::popcount(combine_words<op>(r3[w], a)));
+        acc[4] += static_cast<std::uint64_t>(
+            std::popcount(combine_words<op>(r0[w], b)));
+        acc[5] += static_cast<std::uint64_t>(
+            std::popcount(combine_words<op>(r1[w], b)));
+        acc[6] += static_cast<std::uint64_t>(
+            std::popcount(combine_words<op>(r2[w], b)));
+        acc[7] += static_cast<std::uint64_t>(
+            std::popcount(combine_words<op>(r3[w], b)));
+      }
+      for (std::size_t k = 0; k < 4; ++k) {
+        oa[r + k] = static_cast<std::uint32_t>(acc[k]);
+        ob[r + k] = static_cast<std::uint32_t>(acc[4 + k]);
+      }
+    }
+    for (; r < nrows; ++r) {
+      const std::uint64_t* rw = rows.row(r);
+      oa[r] = static_cast<std::uint32_t>(combined_popcount<op>(rw, qa, nwords));
+      ob[r] = static_cast<std::uint32_t>(combined_popcount<op>(rw, qb, nwords));
+    }
+  }
+  for (; q < q_end; ++q) {
+    const std::uint64_t* qw = queries[q];
+    std::uint32_t* o = out + q * nrows;
+    for (std::size_t r = 0; r < nrows; ++r)
+      o[r] = static_cast<std::uint32_t>(
+          combined_popcount<op>(rows.row(r), qw, nwords));
+  }
+}
+
+bool always_supported() { return true; }
+
+void portable_scores_block(const KernelBlockArgs& args, PopcountOp op,
+                           std::size_t q_begin, std::size_t q_end) {
+  if (op == PopcountOp::kAnd)
+    scores_block<PopcountOp::kAnd>(*args.rows, args.queries, q_begin, q_end,
+                                   args.out);
+  else
+    scores_block<PopcountOp::kXor>(*args.rows, args.queries, q_begin, q_end,
+                                   args.out);
+}
+
+}  // namespace
+
+namespace kernels {
+
+const KernelBackend kPortableTiled = {
+    /*name=*/"portable-tiled",
+    /*alias=*/"portable",
+    /*lane_rows=*/1,  // row-major: no repack
+    /*supported=*/always_supported,
+    /*scores_block=*/portable_scores_block,
+    /*argmax_block=*/nullptr,  // generic scores + argmax_u32 fallback
+};
+
+}  // namespace kernels
+}  // namespace memhd::common

@@ -45,7 +45,10 @@ class ImcArray {
   /// Programs the weight plane from a logical tile. `tile` may be smaller
   /// than the array; unprogrammed cells stay 0. Counts one write pass.
   void program(const common::BitMatrix& tile);
-  /// Programs a single weight cell.
+  /// Programs a single weight cell. Like program(), this invalidates the
+  /// cached drive scorer: the amortization contract is program-then-drive,
+  /// so a loop interleaving cell writes with mvm_binary drives rebuilds
+  /// the transposed plane on every drive — batch the writes first.
   void program_cell(std::size_t row, std::size_t col, bool value);
 
   bool weight(std::size_t row, std::size_t col) const;
@@ -54,7 +57,9 @@ class ImcArray {
   std::size_t used_cols() const { return used_cols_; }
 
   /// One compute cycle with binary wordline inputs (`input.size()` <= rows;
-  /// missing rows are undriven). Returns per-column popcount sums.
+  /// missing rows are undriven). Returns per-column popcount sums. Runs
+  /// through the same cached transposed-plane scorer as mvm_binary_batch —
+  /// one kernel implementation for the per-query and batch drives.
   std::vector<std::uint32_t> mvm_binary(const common::BitVector& input);
 
   /// Wordline-parallel batch activation: drives the weight plane with a
@@ -89,8 +94,9 @@ class ImcArray {
 
   ArrayGeometry geometry_;
   common::BitMatrix weights_;  // rows x cols
-  // Lazy column-major repack serving mvm_binary_batch; invalidated by
-  // program / program_cell (the scorer snapshots the weights).
+  // Lazy column-major repack serving mvm_binary and mvm_binary_batch;
+  // invalidated by program / program_cell (the scorer snapshots the
+  // weights).
   std::optional<common::BatchScorer> scorer_;
   std::size_t used_rows_ = 0;
   std::size_t used_cols_ = 0;

@@ -84,6 +84,7 @@
 #include "src/common/bit_vector.hpp"
 #include "src/common/bitops_batch.hpp"
 #include "src/common/cli.hpp"
+#include "src/common/kernels/backend.hpp"
 #include "src/common/csv.hpp"
 #include "src/common/log.hpp"
 #include "src/common/matrix.hpp"

@@ -6,8 +6,9 @@ Usage:
         [--threshold 0.20] [--update]
 
 The micro-kernel bench records absolute throughput, which depends on both
-the dispatched kernel ("avx512-vpopcntdq" vs "portable-tiled") and the host
-CPU. Baselines are stored per kernel under
+the dispatched kernel backend (see src/common/kernels/README.md:
+"portable-tiled", "avx2", "avx512-vpopcntdq", "neon") and the host CPU.
+Baselines are stored per backend under
 bench/baselines/BENCH_micro_kernels.<kernel>.json, and raw queries/sec are
 additionally normalized by the scalar path's speed ratio between the two
 runs — the scalar loops are untouched reference code, so their ratio
@@ -18,13 +19,22 @@ The gate:
   * FAILS when any section's normalized batch queries/sec drops more than
     --threshold (default 20%) below the same-kernel baseline, or when any
     section reports bit_identical = false;
-  * PASSES with a notice when no baseline exists for the current kernel
-    (first run on new hardware — commit one with --update), and skips with
-    a notice any section the current run measures but the baseline file has
-    no entry for (a freshly added bench kernel — re-baseline to gate it).
+  * PASSES with a notice when no baseline exists for the current backend
+    (first run on new hardware or a freshly added backend — commit one with
+    --update) instead of misapplying another backend's numbers, and skips
+    with a notice any section the current run measures but the baseline
+    file has no entry for (a freshly added bench section — re-baseline to
+    gate it);
+  * skips with a notice any section whose recorded per-section "backend"
+    differs between the current run and the baseline (sections record the
+    backend active while they were measured).
 
 --update rewrites the baseline for the current kernel from CURRENT_JSON
-(use after an intentional perf change, then commit the file).
+(use after an intentional perf change, then commit the file). Committed
+baselines are conservative floors, not typical numbers: take the
+per-section minimum batch q/s over several runs (median scalar q/s, which
+anchors the normalization) and shave ~15% so shared-runner noise does not
+trip the -20% gate; the bit-identity checks stay exact regardless.
 """
 
 import argparse
@@ -71,8 +81,13 @@ def main():
         baseline_path.write_text(json.dumps(current, indent=2) + "\n")
         print(f"baseline updated: {baseline_path}")
     elif not baseline_path.exists():
-        print(f"NOTICE: no baseline for kernel '{kernel}' "
-              f"({baseline_path} missing); throughput gate skipped. "
+        known = sorted(p.name for p in
+                       pathlib.Path(args.baseline_dir).glob(
+                           "BENCH_micro_kernels.*.json"))
+        print(f"NOTICE: no baseline for kernel backend '{kernel}' "
+              f"({baseline_path} missing); throughput gate skipped rather "
+              f"than gating against another backend's numbers. "
+              f"Committed baselines: {known or 'none'}. "
               f"Create one with --update.")
     else:
         baseline = load(baseline_path)
@@ -100,6 +115,14 @@ def main():
               f"{machine:.2f}x")
 
         for name in common:
+            cur_backend = current[name].get("backend", kernel)
+            base_backend = baseline[name].get("backend", cur_backend)
+            if base_backend != cur_backend:
+                print(f"NOTICE: '{name}' measured on backend "
+                      f"'{cur_backend}' but baseline recorded "
+                      f"'{base_backend}'; section skipped. Re-baseline "
+                      f"with --update.")
+                continue
             base = baseline[name][BATCH_KEY]
             now = current[name][BATCH_KEY]
             normalized = now / machine if machine > 0 else now
