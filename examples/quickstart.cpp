@@ -1,7 +1,8 @@
 // Quickstart: the api:: layer end to end — build a model from the registry,
 // train it, evaluate it through the fused batch path, persist it in the
-// tagged format, reload it, and serve single queries through the
-// micro-batching front end.
+// tagged format, reload it, serve single queries through the micro-batching
+// front end, and finally serve over a real TCP socket through the ingress
+// tier (src/serve/).
 //
 //   $ ./quickstart [--model memhd] [--dim 128] [--columns 128] [--epochs 30]
 //
@@ -21,6 +22,8 @@
 #include "src/common/rng.hpp"
 #include "src/data/loaders.hpp"
 #include "src/data/scaling.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/server.hpp"
 
 int main(int argc, char** argv) {
   using namespace memhd;
@@ -114,5 +117,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.largest_batch),
               static_cast<unsigned long long>(stats.sharded_batches),
               static_cast<unsigned long long>(stats.shard_jobs), correct);
+
+  // 6. The same thing over a real socket: the serve:: ingress tier routes
+  //    binary (or HTTP JSON) requests to a per-model BatchServer pool with
+  //    a bounded queue and per-request deadline budgets; see
+  //    src/serve/README.md for the wire protocol and the overload policy.
+  serve::Router router;
+  server_opts.max_pending = 256;  // admission control: shed beyond this
+  router.add_model(name, api::load(path), server_opts);
+  serve::Server tcp_server(router);  // port 0 = ephemeral
+  tcp_server.start();
+  serve::Client client("127.0.0.1", tcp_server.port());
+  correct = 0;
+  for (std::size_t i = 0; i < queries; ++i) {
+    const serve::Response response =
+        client.predict(name, split.test.sample(i), /*deadline_ms=*/1000);
+    if (response.status == serve::Status::kOk &&
+        response.label == split.test.label(i))
+      ++correct;
+  }
+  std::printf("served %zu queries over 127.0.0.1:%u: %zu correct\n", queries,
+              tcp_server.port(), correct);
+  tcp_server.request_stop();  // graceful drain: flush, complete, close
+  tcp_server.join();
   return 0;
 }

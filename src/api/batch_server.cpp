@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "src/common/assert.hpp"
@@ -9,6 +10,33 @@
 #include "src/common/parallel.hpp"
 
 namespace memhd::api {
+
+const char* serve_errc_name(ServeErrc code) noexcept {
+  switch (code) {
+    case ServeErrc::kQueueFull:
+      return "queue-full";
+    case ServeErrc::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ServeErrc::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+ServeError::ServeError(ServeErrc code)
+    : std::runtime_error(std::string("BatchServer: request ") +
+                         serve_errc_name(code)),
+      code_(code) {}
+
+namespace {
+
+std::future<data::Label> errored_future(ServeErrc code) {
+  std::promise<data::Label> promise;
+  promise.set_exception(std::make_exception_ptr(ServeError(code)));
+  return promise.get_future();
+}
+
+}  // namespace
 
 BatchServer::BatchServer(const Classifier& model,
                          const BatchServerOptions& options)
@@ -37,16 +65,23 @@ BatchServer::BatchServer(const Classifier& model,
   }
 }
 
-BatchServer::~BatchServer() {
+BatchServer::~BatchServer() { drain(); }
+
+void BatchServer::drain() {
+  // One drainer at a time (drain() may race the destructor or another
+  // drain() caller); later callers wait for the first to finish, then see
+  // everything already torn down and fall through each step as a no-op.
+  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+    stop_ = true;  // from here every submit() fails fast, so pending_ only
+                   // shrinks: the flush below empties it for good.
   }
   cv_.notify_all();
   if (worker_.joinable()) worker_.join();
-  // Manual mode (or requests that raced shutdown): complete stragglers so
-  // no future is left dangling. The shard set is still up at this point, so
-  // a large leftover batch drains through it like any other.
+  // Complete everything admitted (manual mode, or requests that raced the
+  // stop flag) so no future is left dangling. The shard set is still up at
+  // this point, so a large leftover batch drains through it like any other.
   flush();
   stop_shards();
 }
@@ -64,22 +99,45 @@ void BatchServer::stop_shards() {
   shards_.clear();
 }
 
-std::future<data::Label> BatchServer::submit(std::span<const float> features) {
+std::future<data::Label> BatchServer::submit(std::span<const float> features,
+                                             Clock::time_point deadline) {
   if (features.size() != model_.num_features())
     throw std::invalid_argument(
         "BatchServer::submit: feature length mismatch");
 
   Request request;
   request.features.assign(features.begin(), features.end());
+  request.deadline = deadline;
   std::future<data::Label> future = request.promise.get_future();
 
+  // When kEvictOldest displaces a request its promise is completed outside
+  // the queue lock (set_exception can run arbitrary waiter continuations in
+  // some implementations; keep the lock scope tight regardless).
+  std::promise<data::Label> evicted;
+  bool has_evicted = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (pending_.empty())
-      oldest_arrival_ = std::chrono::steady_clock::now();
+    if (stop_) return errored_future(ServeErrc::kStopped);
+    if (options_.max_pending > 0 &&
+        pending_.size() >= options_.max_pending) {
+      ++stats_.rejected;
+      if (options_.overload == OverloadPolicy::kRejectNew)
+        return errored_future(ServeErrc::kQueueFull);
+      evicted = std::move(pending_.front().promise);
+      pending_.erase(pending_.begin());
+      has_evicted = true;
+    }
+    request.arrival = std::chrono::steady_clock::now();
+    if (pending_.empty()) oldest_arrival_ = request.arrival;
+    else if (has_evicted) oldest_arrival_ = pending_.front().arrival;
     pending_.push_back(std::move(request));
     ++stats_.requests;
+    stats_.queue_depth_peak =
+        std::max<std::uint64_t>(stats_.queue_depth_peak, pending_.size());
   }
+  if (has_evicted)
+    evicted.set_exception(
+        std::make_exception_ptr(ServeError(ServeErrc::kQueueFull)));
   // Wakes the worker both out of its idle wait (first request) and out of
   // the batching window once the batch fills.
   cv_.notify_one();
@@ -90,7 +148,7 @@ std::size_t BatchServer::flush() {
   std::vector<Request> batch;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    batch.swap(pending_);
+    batch = cut_batch_locked();
   }
   const std::size_t n = batch.size();
   if (n > 0) run_batch(std::move(batch));
@@ -107,11 +165,25 @@ BatchServerStats BatchServer::stats() const {
   return stats_;
 }
 
+std::vector<BatchServer::Request> BatchServer::cut_batch_locked() {
+  std::vector<Request> batch;
+  batch.swap(pending_);
+  if (!batch.empty()) {
+    // The cut and its stats are one critical section: two racing flushers
+    // can never count the same batch twice or split one batch's rows
+    // across two counts.
+    ++stats_.batches;
+    stats_.largest_batch =
+        std::max<std::uint64_t>(stats_.largest_batch, batch.size());
+  }
+  return batch;
+}
+
 void BatchServer::worker_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
-    if (stop_) return;  // destructor's flush() completes leftovers
+    if (stop_) return;  // drain()'s flush() completes leftovers
 
     // Micro-batch window: hold the batch open until it fills or the oldest
     // pending request has waited out the delay budget. The deadline is
@@ -133,8 +205,7 @@ void BatchServer::worker_loop() {
     if (stop_) return;
     if (pending_.empty()) continue;
 
-    std::vector<Request> batch;
-    batch.swap(pending_);
+    std::vector<Request> batch = cut_batch_locked();
     lock.unlock();
     run_batch(std::move(batch));
     lock.lock();
@@ -179,7 +250,34 @@ void BatchServer::shard_loop(Shard& shard) {
 }
 
 void BatchServer::run_batch(std::vector<Request> batch) {
+  // Deadline shedding at the cut: requests already past their budget are
+  // completed with a timeout error instead of being scored — dead work
+  // never reaches the kernels and never dilutes the fused batch. Order of
+  // the surviving rows is preserved (stable compaction).
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::promise<data::Label>> expired;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].deadline <= now) {
+      expired.push_back(std::move(batch[i].promise));
+      continue;
+    }
+    if (live != i) batch[live] = std::move(batch[i]);
+    ++live;
+  }
+  batch.resize(live);
+  if (!expired.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.timed_out += expired.size();
+    }
+    const auto error =
+        std::make_exception_ptr(ServeError(ServeErrc::kDeadlineExceeded));
+    for (auto& promise : expired) promise.set_exception(error);
+  }
+
   const std::size_t n = batch.size();
+  if (n == 0) return;
   std::size_t pieces = 1;
   if (!shards_.empty() && n > options_.shard_quantum)
     pieces = std::min(shards_.size(),
@@ -187,14 +285,10 @@ void BatchServer::run_batch(std::vector<Request> batch) {
 
   // Stats are bumped before the promises complete so a caller that joins
   // its futures and then reads stats() sees this batch counted.
-  {
+  if (pieces > 1) {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.batches;
-    stats_.largest_batch = std::max<std::uint64_t>(stats_.largest_batch, n);
-    if (pieces > 1) {
-      ++stats_.sharded_batches;
-      stats_.shard_jobs += pieces;
-    }
+    ++stats_.sharded_batches;
+    stats_.shard_jobs += pieces;
   }
 
   if (pieces <= 1) {

@@ -32,10 +32,35 @@
 //   auto f = server.submit(features);     // from any thread
 //   data::Label label = f.get();
 //
+// Overload safety (the serve-tier contract; src/serve/ builds on it):
+//
+//   * Bounded queue: with `max_pending` > 0 a submit that finds the queue
+//     full is resolved per `overload` — kRejectNew returns an IMMEDIATELY
+//     errored future (ServeError, ServeErrc::kQueueFull; the caller never
+//     blocks), kEvictOldest admits the new request and completes the oldest
+//     pending one with that same error. Either way stats().rejected counts
+//     exactly the requests that were refused admission or evicted.
+//   * Deadlines: submit(features, deadline) attaches an absolute budget.
+//     When a batch is cut, requests whose deadline has already passed are
+//     completed with ServeErrc::kDeadlineExceeded instead of being scored —
+//     dead work is shed before it reaches the kernels. Expiry is checked at
+//     cut time, not continuously: a request can expire no earlier than the
+//     batch cut that would have scored it.
+//   * Lifecycle: drain() stops admission (subsequent submit()s fail fast
+//     with an errored future, ServeErrc::kStopped — they are NOT enqueued
+//     into a dying server), scores everything already admitted, completes
+//     every promise, and joins the worker + shard threads. The destructor
+//     runs the same sequence, so no future obtained from submit() is ever
+//     broken (std::future_error/broken_promise cannot happen): every future
+//     resolves with a label or with a typed ServeError.
+//
 // Deterministic/manual mode: construct with background = false and call
 // flush() — no batching worker thread, batches are cut exactly where the
 // caller says (shard workers still score the pieces when sharding is on),
-// which is what the unit tests drive.
+// which is what the unit tests drive. The batch cut itself (swapping out
+// pending_ and counting the batch) happens atomically under the queue
+// mutex, so concurrent flush() callers take disjoint batches — every
+// request is scored exactly once no matter how many flushers race.
 #pragma once
 
 #include <chrono>
@@ -45,12 +70,48 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "src/api/classifier.hpp"
 
 namespace memhd::api {
+
+/// Why a submitted request was completed without a label. Carried by
+/// ServeError on the future; the ingress tier maps these onto wire statuses
+/// (HTTP 429 / 504 / 503, or the binary protocol's NACK codes).
+enum class ServeErrc : std::uint8_t {
+  kQueueFull = 1,         // bounded queue at max_pending; request refused
+  kDeadlineExceeded = 2,  // deadline passed before the batch was scored
+  kStopped = 3,           // server draining/destroyed; request not admitted
+};
+
+/// Human-readable name for a ServeErrc ("queue-full", ...).
+const char* serve_errc_name(ServeErrc code) noexcept;
+
+/// The typed error a rejected/expired/unadmitted request's future carries.
+/// Distinguishable from model errors (which surface as whatever the model
+/// threw) via code().
+class ServeError : public std::runtime_error {
+ public:
+  explicit ServeError(ServeErrc code);
+  ServeErrc code() const noexcept { return code_; }
+
+ private:
+  ServeErrc code_;
+};
+
+/// What submit() does when the pending queue is at max_pending.
+enum class OverloadPolicy : std::uint8_t {
+  /// Refuse the new request (immediately errored future). Favors requests
+  /// already waiting — the default, and what maps onto HTTP 429.
+  kRejectNew,
+  /// Admit the new request and evict the oldest pending one (its future
+  /// errors with kQueueFull). Favors fresh requests when old ones are
+  /// likely past their useful latency anyway.
+  kEvictOldest,
+};
 
 struct BatchServerOptions {
   /// Cut a batch as soon as this many requests are pending.
@@ -67,18 +128,31 @@ struct BatchServerOptions {
   /// min(shards, ceil(n / shard_quantum)) pieces, and batches of at most
   /// shard_quantum rows are never split (must be >= 1).
   std::size_t shard_quantum = 32;
+  /// Admission bound on the pending queue. 0 = unbounded (the pre-overload
+  /// legacy behavior); > 0 bounds queueing delay: a submit that finds
+  /// max_pending requests already waiting is resolved per `overload`.
+  std::size_t max_pending = 0;
+  /// Reject policy applied when the queue is full (see OverloadPolicy).
+  OverloadPolicy overload = OverloadPolicy::kRejectNew;
 };
 
 struct BatchServerStats {
-  std::uint64_t requests = 0;         // submits accepted
+  std::uint64_t requests = 0;         // submits admitted into the queue
   std::uint64_t batches = 0;          // batch cuts (fused or sharded)
   std::uint64_t largest_batch = 0;    // max rows in one cut batch
   std::uint64_t sharded_batches = 0;  // batches split across shard workers
   std::uint64_t shard_jobs = 0;       // shard pieces dispatched
+  std::uint64_t rejected = 0;         // queue-full refusals + evictions
+  std::uint64_t timed_out = 0;        // requests shed at cut past deadline
+  std::uint64_t queue_depth_peak = 0; // high-water mark of pending()
 };
 
 class BatchServer {
  public:
+  using Clock = std::chrono::steady_clock;
+  /// "No deadline" sentinel for submit().
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
   /// The classifier must be fitted and must outlive the server. Inference
   /// is const and the server serializes its own batches, so one model may
   /// sit behind several servers.
@@ -90,14 +164,29 @@ class BatchServer {
   BatchServer& operator=(const BatchServer&) = delete;
 
   /// Enqueues one query (copied; length must equal model.num_features(),
-  /// else std::invalid_argument). Thread-safe.
-  std::future<data::Label> submit(std::span<const float> features);
+  /// else std::invalid_argument — a caller bug, unlike overload, which is
+  /// reported on the future). Thread-safe. The returned future completes
+  /// with the label, or with a ServeError when the request was refused
+  /// (queue full), shed (deadline), or submitted after drain()/destruction
+  /// began. `deadline` is the absolute steady-clock point after which the
+  /// request is not worth scoring.
+  std::future<data::Label> submit(std::span<const float> features,
+                                  Clock::time_point deadline = kNoDeadline);
 
   /// Synchronously runs one batch over everything pending right now
   /// (possibly a partial batch) and returns its size; the batch is split
   /// across the shard workers when large enough. The deterministic path for
-  /// tests and for draining in manual mode.
+  /// tests and for draining in manual mode. Concurrent flush() callers are
+  /// safe: the cut is atomic, so they take disjoint batches.
   std::size_t flush();
+
+  /// Graceful shutdown: atomically stops admission (every later submit()
+  /// fails fast with ServeErrc::kStopped), joins the background worker,
+  /// scores everything already admitted, completes every outstanding
+  /// promise, and joins the shard workers. Returns once all of that is
+  /// done. Idempotent and safe to call from any thread; the destructor
+  /// calls it. After drain() the server only answers pending()/stats().
+  void drain();
 
   std::size_t pending() const;
   BatchServerStats stats() const;
@@ -106,6 +195,8 @@ class BatchServer {
   struct Request {
     std::vector<float> features;
     std::promise<data::Label> promise;
+    Clock::time_point arrival{};
+    Clock::time_point deadline = kNoDeadline;
   };
 
   /// One server-owned scoring worker. Pieces are handed to a specific
@@ -127,8 +218,12 @@ class BatchServer {
   /// (destructor teardown; also the constructor's unwind path when a later
   /// thread spawn fails with shard threads already running).
   void stop_shards();
-  /// Completes `batch`, splitting it across the shard set when it exceeds
-  /// the shard quantum.
+  /// The serialized batch cut: swaps out pending_ and counts the batch in
+  /// stats_. Requires mutex_ held — this is the one place a batch boundary
+  /// is decided, so racing flushers/worker cuts take disjoint batches.
+  std::vector<Request> cut_batch_locked();
+  /// Sheds expired requests, then completes the rest, splitting across the
+  /// shard set when the live count exceeds the shard quantum.
   void run_batch(std::vector<Request> batch);
   /// Scores `count` requests through one predict_batch_into call and
   /// completes their promises (exceptions complete every promise too).
@@ -145,6 +240,10 @@ class BatchServer {
   bool stop_ = false;
   BatchServerStats stats_;
   std::thread worker_;
+
+  /// Serializes drain() callers (including the destructor) so only one
+  /// joins the worker and tears down the shard set.
+  std::mutex drain_mutex_;
 
   /// Serializes sharded dispatch (concurrent flush() callers take turns at
   /// the shard set instead of interleaving pieces on one worker).

@@ -1,0 +1,144 @@
+#include "src/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace memhd::serve {
+
+namespace {
+
+int connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("serve::Client: socket: ") +
+                             std::strerror(errno));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("serve::Client: bad host \"" + host + "\"");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("serve::Client: connect: ") +
+                             std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    // MSG_NOSIGNAL: racing a server drain must throw EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("serve::Client: write: ") +
+                               std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : fd_(connect_to(host, port)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send(const std::string& model, std::span<const float> features,
+                  std::uint32_t deadline_ms) {
+  Request request;
+  request.model = model;
+  request.deadline_ms = deadline_ms;
+  request.features.assign(features.begin(), features.end());
+  std::vector<std::uint8_t> frame;
+  append_request(frame, request);
+  write_all(fd_, frame.data(), frame.size());
+}
+
+void Client::send_raw(const void* data, std::size_t size) {
+  write_all(fd_, data, size);
+}
+
+bool Client::receive(Response& out) {
+  for (;;) {
+    std::size_t consumed = 0;
+    const ParseResult result = parse_response(
+        rbuf_.data() + parsed_, rbuf_.size() - parsed_, out, consumed);
+    if (result == ParseResult::kFrame) {
+      parsed_ += consumed;
+      if (parsed_ >= rbuf_.size()) {
+        rbuf_.clear();
+        parsed_ = 0;
+      }
+      return true;
+    }
+    if (result == ParseResult::kBad)
+      throw std::runtime_error("serve::Client: malformed response frame");
+
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) return false;  // server closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return false;
+      throw std::runtime_error(std::string("serve::Client: read: ") +
+                               std::strerror(errno));
+    }
+    rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+  }
+}
+
+Response Client::predict(const std::string& model,
+                         std::span<const float> features,
+                         std::uint32_t deadline_ms) {
+  send(model, features, deadline_ms);
+  Response response;
+  if (!receive(response))
+    throw std::runtime_error(
+        "serve::Client: connection closed before response");
+  return response;
+}
+
+std::string http_exchange(const std::string& host, std::uint16_t port,
+                          std::string_view raw_request) {
+  const int fd = connect_to(host, port);
+  std::string reply;
+  try {
+    write_all(fd, raw_request.data(), raw_request.size());
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        reply.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF or error: return what we have
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return reply;
+}
+
+}  // namespace memhd::serve

@@ -1,0 +1,56 @@
+// Minimal blocking client for the binary protocol — the counterpart the
+// tests, bench_serve, and the quickstart drive against serve::Server. One
+// TCP connection; predict() is the simple request/response path, while
+// send()/receive() expose pipelining (responses come back in send order)
+// for open-loop load generation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/serve/protocol.hpp"
+
+namespace memhd::serve {
+
+class Client {
+ public:
+  /// Connects (blocking); throws std::runtime_error on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request, one response (blocking round trip).
+  Response predict(const std::string& model, std::span<const float> features,
+                   std::uint32_t deadline_ms = 0);
+
+  /// Pipelined send: writes the frame and returns without waiting.
+  void send(const std::string& model, std::span<const float> features,
+            std::uint32_t deadline_ms = 0);
+
+  /// Blocks for the next in-order response. false = connection closed by
+  /// the server (drain past budget, eviction) before a response arrived.
+  bool receive(Response& out);
+
+  /// Raw bytes straight onto the socket (malformed-frame tests).
+  void send_raw(const void* data, std::size_t size);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t parsed_ = 0;
+};
+
+/// One-shot HTTP exchange for tests: connects, writes `raw_request`
+/// verbatim, reads until the server closes, returns everything received.
+/// Include "Connection: close" in the request or this will block until the
+/// server's idle timeout.
+std::string http_exchange(const std::string& host, std::uint16_t port,
+                          std::string_view raw_request);
+
+}  // namespace memhd::serve

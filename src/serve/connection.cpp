@@ -1,0 +1,289 @@
+#include "src/serve/connection.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace memhd::serve {
+
+namespace {
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Read-buffer cap: one maximal frame plus headroom. A client that sends
+/// more unparseable bytes than this is malformed by definition.
+constexpr std::size_t kMaxReadBuffer = kMaxBodyBytes + kMaxHttpHeaderBytes;
+}  // namespace
+
+Connection::Connection(int fd, Clock::time_point now)
+    : fd_(fd),
+      last_read_progress_(now),
+      last_write_progress_(now),
+      last_activity_(now) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Connection::wants_read(const ConnectionLimits& limits) const {
+  return !closed_ && !read_shut_ && !close_after_flush_ &&
+         in_flight_.size() < limits.max_in_flight &&
+         rbuf_.size() - read_pos_ < kMaxReadBuffer;
+}
+
+bool Connection::finished() const {
+  if (closed_) return true;
+  // Tear down once nothing remains to deliver: either we decided to close
+  // (malformed / Connection: close) or the peer went away and every
+  // admitted request has been answered and flushed.
+  const bool drained = in_flight_.empty() && write_pos_ >= wbuf_.size();
+  return drained && (close_after_flush_ || read_shut_);
+}
+
+void Connection::handle_readable(Router& router,
+                                 const ConnectionLimits& limits,
+                                 bool draining,
+                                 const std::function<std::string()>& stats_json,
+                                 Clock::time_point now, IngressStats& stats) {
+  if (closed_ || read_shut_) return;
+  bool progressed = false;
+  for (;;) {
+    const std::size_t old_size = rbuf_.size();
+    if (old_size - read_pos_ >= kMaxReadBuffer) break;  // backpressure
+    rbuf_.resize(old_size + kReadChunk);
+    const ssize_t n = ::read(fd_, rbuf_.data() + old_size, kReadChunk);
+    if (n > 0) {
+      rbuf_.resize(old_size + static_cast<std::size_t>(n));
+      progressed = true;
+      if (static_cast<std::size_t>(n) < kReadChunk) break;
+      continue;
+    }
+    rbuf_.resize(old_size);
+    if (n == 0) {
+      // EOF: the client is done sending. Answer what was admitted, then
+      // finished() tears the connection down.
+      read_shut_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close(stats);  // ECONNRESET and friends: nothing deliverable
+    return;
+  }
+  if (progressed) {
+    last_read_progress_ = now;
+    last_activity_ = now;
+  }
+  process_buffered(router, limits, draining, stats_json, stats);
+}
+
+void Connection::process_buffered(Router& router,
+                                  const ConnectionLimits& limits,
+                                  bool draining,
+                                  const std::function<std::string()>& stats_json,
+                                  IngressStats& stats) {
+  while (!closed_ && !close_after_flush_ &&
+         in_flight_.size() < limits.max_in_flight) {
+    const std::uint8_t* data = rbuf_.data() + read_pos_;
+    const std::size_t size = rbuf_.size() - read_pos_;
+    if (size == 0) break;
+
+    if (data[0] == kFrameMagic) {
+      Request request;
+      std::size_t consumed = 0;
+      const ParseResult result = parse_request(data, size, request, consumed);
+      if (result == ParseResult::kNeedMore) {
+        if (size >= kMaxReadBuffer) {  // cap reached without a frame
+          ++stats.malformed;
+          close(stats);
+          return;
+        }
+        break;
+      }
+      if (result == ParseResult::kBad) {
+        // Frame boundaries are gone; NACK and close after the flush. The
+        // listener and every other connection are untouched.
+        ++stats.malformed;
+        InFlight entry;
+        entry.resolved = true;
+        entry.status = Status::kMalformed;
+        in_flight_.push_back(std::move(entry));
+        read_shut_ = true;
+        close_after_flush_ = true;
+        break;
+      }
+      read_pos_ += consumed;
+      ++stats.requests;
+      InFlight entry;
+      if (draining) {
+        entry.resolved = true;
+        entry.status = Status::kShuttingDown;
+      } else {
+        entry.future = router.submit(request, limits.default_deadline);
+      }
+      in_flight_.push_back(std::move(entry));
+      continue;
+    }
+
+    if (looks_like_http(data[0])) {
+      HttpRequest http;
+      std::size_t consumed = 0;
+      const ParseResult result =
+          parse_http_request(data, size, http, consumed);
+      if (result == ParseResult::kNeedMore) {
+        if (size >= kMaxReadBuffer) {
+          ++stats.malformed;
+          close(stats);
+          return;
+        }
+        break;
+      }
+      if (result == ParseResult::kBad) {
+        ++stats.malformed;
+        InFlight entry;
+        entry.http = true;
+        entry.keep_alive = false;
+        entry.resolved = true;
+        entry.status = Status::kMalformed;
+        in_flight_.push_back(std::move(entry));
+        read_shut_ = true;
+        close_after_flush_ = true;
+        break;
+      }
+      read_pos_ += consumed;
+      ++stats.requests;
+      ++stats.http_requests;
+      InFlight entry;
+      entry.http = true;
+      entry.keep_alive = http.keep_alive;
+      if (http.method == "GET" && http.target == "/stats") {
+        entry.resolved = true;
+        entry.status = Status::kOk;
+        entry.http_body = stats_json ? stats_json() : "{}";
+      } else if (http.method == "POST" &&
+                 (http.target == "/v1/predict" ||
+                  http.target == "/predict")) {
+        Request request;
+        if (!parse_predict_json(http.body, request)) {
+          // Framing survived; only this request fails.
+          entry.resolved = true;
+          entry.status = Status::kMalformed;
+        } else if (draining) {
+          entry.resolved = true;
+          entry.status = Status::kShuttingDown;
+        } else {
+          entry.future = router.submit(request, limits.default_deadline);
+        }
+      } else {
+        entry.resolved = true;
+        entry.status = Status::kUnknownModel;  // -> 404
+        entry.http_body = "{\"error\": \"no such endpoint\"}";
+      }
+      in_flight_.push_back(std::move(entry));
+      continue;
+    }
+
+    // Neither protocol: unrecoverable garbage.
+    ++stats.malformed;
+    close(stats);
+    return;
+  }
+
+  // Compact the parsed prefix away once it dominates the buffer.
+  if (read_pos_ > 0 && (read_pos_ >= rbuf_.size() || read_pos_ > kReadChunk)) {
+    rbuf_.erase(rbuf_.begin(),
+                rbuf_.begin() + static_cast<std::ptrdiff_t>(read_pos_));
+    read_pos_ = 0;
+  }
+}
+
+void Connection::pump(IngressStats& stats) {
+  while (!closed_ && !in_flight_.empty()) {
+    InFlight& entry = in_flight_.front();
+    if (!entry.resolved) {
+      if (entry.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready)
+        break;  // responses stay in request order
+      const Response response = Router::to_response(entry.future);
+      entry.resolved = true;
+      entry.status = response.status;
+      entry.label = response.label;
+    }
+    queue_response(entry, stats);
+    if (entry.http && !entry.keep_alive) {
+      read_shut_ = true;
+      close_after_flush_ = true;
+    }
+    in_flight_.pop_front();
+  }
+}
+
+void Connection::queue_response(const InFlight& entry, IngressStats& stats) {
+  if (entry.http) {
+    const std::string body = entry.http_body.empty()
+                                 ? predict_json(entry.status, entry.label)
+                                 : entry.http_body;
+    append_http_response(wbuf_, http_status_code(entry.status), body,
+                         entry.keep_alive && !close_after_flush_);
+  } else {
+    append_response(wbuf_, entry.status, entry.label);
+  }
+  ++stats.responses;
+}
+
+void Connection::handle_writable(Clock::time_point now, IngressStats& stats) {
+  if (closed_) return;
+  bool progressed = false;
+  while (write_pos_ < wbuf_.size()) {
+    // MSG_NOSIGNAL: a peer that already reset must surface as EPIPE, not as
+    // a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, wbuf_.data() + write_pos_,
+                             wbuf_.size() - write_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_pos_ += static_cast<std::size_t>(n);
+      progressed = true;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close(stats);  // EPIPE etc: the client is gone
+    return;
+  }
+  if (progressed) {
+    last_write_progress_ = now;
+    last_activity_ = now;
+  }
+  if (write_pos_ >= wbuf_.size() && write_pos_ > 0) {
+    wbuf_.clear();
+    write_pos_ = 0;
+  }
+}
+
+Connection::Timeout Connection::expired(const ConnectionLimits& limits,
+                                        Clock::time_point now) const {
+  if (closed_) return Timeout::kNone;
+  if (wants_write() && now - last_write_progress_ > limits.write_timeout)
+    return Timeout::kWriteStall;  // slow client not consuming responses
+  const bool partial_frame = rbuf_.size() > read_pos_;
+  if (partial_frame && in_flight_.empty() && !wants_write() &&
+      now - last_read_progress_ > limits.read_timeout)
+    return Timeout::kReadStall;  // stalled mid-frame with nothing else going
+  const bool quiescent =
+      !partial_frame && in_flight_.empty() && !wants_write();
+  if (quiescent && now - last_activity_ > limits.idle_timeout)
+    return Timeout::kIdle;
+  return Timeout::kNone;
+}
+
+void Connection::close(IngressStats& stats) {
+  if (closed_) return;
+  closed_ = true;
+  ++stats.closed;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace memhd::serve

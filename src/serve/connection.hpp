@@ -1,0 +1,135 @@
+// One client connection on the ingress event loop: a passive state machine
+// the Server drives. Owns the socket fd, the incremental read buffer, the
+// ordered in-flight request queue, and the pending write buffer.
+//
+// Robustness contract (the ISSUE's connection-level guarantees):
+//   * Incremental, bounded parsing — a malformed binary frame gets a
+//     kMalformed response and the connection is closed after the flush
+//     (frame boundaries are lost), WITHOUT touching the listener or any
+//     other connection. A malformed HTTP predict body only fails that one
+//     request (HTTP framing survives).
+//   * Backpressure — at most `max_in_flight` decoded requests may be
+//     outstanding per connection; beyond that the connection stops reading
+//     until completions drain (wants_read() goes false).
+//   * Responses are written strictly in request order for both protocols,
+//     so binary clients may pipeline without request ids.
+//   * Timeouts (checked by the Server via expired()): a client stalled
+//     mid-frame is evicted after read_timeout; a client not consuming its
+//     responses is evicted after write_timeout (slow-client eviction); a
+//     fully idle keep-alive connection is closed after idle_timeout.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/serve/router.hpp"
+
+namespace memhd::serve {
+
+/// Per-connection knobs (a slice of ServerOptions the Server passes down).
+struct ConnectionLimits {
+  std::chrono::milliseconds read_timeout{5000};
+  std::chrono::milliseconds write_timeout{5000};
+  std::chrono::milliseconds idle_timeout{60000};
+  std::size_t max_in_flight = 1024;
+  /// Deadline budget applied to requests that do not carry their own
+  /// (0 = none).
+  std::chrono::milliseconds default_deadline{0};
+};
+
+/// Listener-side counters (everything the BatchServer stats cannot see).
+/// Only ever mutated on the event-loop thread.
+struct IngressStats {
+  std::uint64_t accepted = 0;        // connections accepted
+  std::uint64_t closed = 0;          // connections fully torn down
+  std::uint64_t evicted_slow = 0;    // write-stalled clients dropped
+  std::uint64_t evicted_stalled = 0; // read-stalled mid-frame, dropped
+  std::uint64_t closed_idle = 0;     // idle keep-alive reaps
+  std::uint64_t malformed = 0;       // unrecoverable frames / bad HTTP
+  std::uint64_t requests = 0;        // requests decoded (both protocols)
+  std::uint64_t http_requests = 0;   // ... of which HTTP
+  std::uint64_t responses = 0;       // responses queued for write
+};
+
+class Connection {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Takes ownership of `fd` (must be non-blocking).
+  Connection(int fd, Clock::time_point now);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  /// Poll for POLLIN? False under backpressure, after EOF, or once closing.
+  bool wants_read(const ConnectionLimits& limits) const;
+  /// Poll for POLLOUT? True while response bytes are waiting.
+  bool wants_write() const { return !closed_ && write_pos_ < wbuf_.size(); }
+  bool has_in_flight() const { return !in_flight_.empty(); }
+  /// Fully done: erase from the loop.
+  bool finished() const;
+
+  /// Drains the socket into the read buffer and parses/admits what arrived
+  /// (see process_buffered). EOF and hard errors mark the connection for
+  /// teardown once pending responses are out.
+  void handle_readable(Router& router, const ConnectionLimits& limits,
+                       bool draining,
+                       const std::function<std::string()>& stats_json,
+                       Clock::time_point now, IngressStats& stats);
+
+  /// Parses every complete message already buffered and admits it (or
+  /// resolves it immediately: NACK while draining, 404, malformed, /stats).
+  /// Split from handle_readable so the drain loop can NACK buffered frames
+  /// without reading new socket data.
+  void process_buffered(Router& router, const ConnectionLimits& limits,
+                        bool draining,
+                        const std::function<std::string()>& stats_json,
+                        IngressStats& stats);
+
+  /// Moves completed in-flight requests (in order, stopping at the first
+  /// unready one) into the write buffer as encoded responses.
+  void pump(IngressStats& stats);
+
+  /// Flushes the write buffer to the socket as far as it will go.
+  void handle_writable(Clock::time_point now, IngressStats& stats);
+
+  enum class Timeout { kNone, kReadStall, kWriteStall, kIdle };
+  Timeout expired(const ConnectionLimits& limits, Clock::time_point now) const;
+
+  /// Hard-closes the socket; pending state is dropped. Safe to call twice.
+  void close(IngressStats& stats);
+
+ private:
+  struct InFlight {
+    std::future<data::Label> future;  // engaged unless resolved immediately
+    bool http = false;
+    bool keep_alive = true;   // http only
+    bool resolved = false;    // status/label/body below are final
+    Status status = Status::kOk;
+    data::Label label = 0;
+    std::string http_body;    // overrides predict_json when non-empty
+  };
+
+  /// Appends the encoded response for `entry` to the write buffer.
+  void queue_response(const InFlight& entry, IngressStats& stats);
+
+  int fd_;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t read_pos_ = 0;  // parsed prefix of rbuf_
+  std::vector<std::uint8_t> wbuf_;
+  std::size_t write_pos_ = 0;  // flushed prefix of wbuf_
+  std::deque<InFlight> in_flight_;
+  bool closed_ = false;
+  bool read_shut_ = false;          // EOF seen (or fatal frame): stop reading
+  bool close_after_flush_ = false;  // tear down once wbuf_ and queue drain
+  Clock::time_point last_read_progress_;
+  Clock::time_point last_write_progress_;
+  Clock::time_point last_activity_;
+};
+
+}  // namespace memhd::serve

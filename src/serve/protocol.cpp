@@ -1,0 +1,444 @@
+#include "src/serve/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+
+namespace memhd::serve {
+
+const char* status_name(Status status) noexcept {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kQueueFull:
+      return "queue-full";
+    case Status::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case Status::kMalformed:
+      return "malformed";
+    case Status::kUnknownModel:
+      return "unknown-model";
+    case Status::kShuttingDown:
+      return "shutting-down";
+    case Status::kInternalError:
+      return "internal-error";
+  }
+  return "unknown";
+}
+
+int http_status_code(Status status) noexcept {
+  switch (status) {
+    case Status::kOk:
+      return 200;
+    case Status::kQueueFull:
+      return 429;
+    case Status::kDeadlineExceeded:
+      return 504;
+    case Status::kMalformed:
+      return 400;
+    case Status::kUnknownModel:
+      return 404;
+    case Status::kShuttingDown:
+      return 503;
+    case Status::kInternalError:
+      return 500;
+  }
+  return 500;
+}
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+const char* http_reason(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 429:
+      return "Too Many Requests";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- binary --
+
+void append_request(std::vector<std::uint8_t>& out, const Request& request) {
+  const std::uint32_t body_len = static_cast<std::uint32_t>(
+      2 + 4 + 4 + request.model.size() + 4 * request.features.size());
+  out.reserve(out.size() + kRequestHeaderBytes + body_len);
+  out.push_back(kFrameMagic);
+  out.push_back(kProtocolVersion);
+  put_u32(out, body_len);
+  put_u16(out, static_cast<std::uint16_t>(request.model.size()));
+  put_u32(out, request.deadline_ms);
+  put_u32(out, static_cast<std::uint32_t>(request.features.size()));
+  out.insert(out.end(), request.model.begin(), request.model.end());
+  for (float f : request.features) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, 4);
+    put_u32(out, bits);
+  }
+}
+
+ParseResult parse_request(const std::uint8_t* data, std::size_t size,
+                          Request& out, std::size_t& consumed) {
+  consumed = 0;
+  if (size < 1) return ParseResult::kNeedMore;
+  if (data[0] != kFrameMagic) return ParseResult::kBad;
+  if (size < 2) return ParseResult::kNeedMore;
+  if (data[1] != kProtocolVersion) return ParseResult::kBad;
+  if (size < kRequestHeaderBytes) return ParseResult::kNeedMore;
+  const std::uint32_t body_len = get_u32(data + 2);
+  if (body_len < 10 || body_len > kMaxBodyBytes) return ParseResult::kBad;
+  if (size < kRequestHeaderBytes + body_len) return ParseResult::kNeedMore;
+
+  const std::uint8_t* body = data + kRequestHeaderBytes;
+  const std::uint16_t model_len = get_u16(body);
+  const std::uint32_t deadline_ms = get_u32(body + 2);
+  const std::uint32_t num_features = get_u32(body + 6);
+  if (model_len > kMaxModelNameBytes) return ParseResult::kBad;
+  // Overflow-safe consistency check: both sides bounded by kMaxBodyBytes.
+  if (num_features > (kMaxBodyBytes - 10) / 4) return ParseResult::kBad;
+  if (static_cast<std::size_t>(body_len) !=
+      10 + static_cast<std::size_t>(model_len) + 4 * num_features)
+    return ParseResult::kBad;
+
+  out.model.assign(reinterpret_cast<const char*>(body + 10), model_len);
+  out.deadline_ms = deadline_ms;
+  out.features.resize(num_features);
+  const std::uint8_t* feats = body + 10 + model_len;
+  for (std::uint32_t i = 0; i < num_features; ++i) {
+    const std::uint32_t bits = get_u32(feats + 4 * i);
+    std::memcpy(&out.features[i], &bits, 4);
+  }
+  consumed = kRequestHeaderBytes + body_len;
+  return ParseResult::kFrame;
+}
+
+void append_response(std::vector<std::uint8_t>& out, Status status,
+                     data::Label label) {
+  out.push_back(kFrameMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(status));
+  put_u16(out, static_cast<std::uint16_t>(label));
+}
+
+ParseResult parse_response(const std::uint8_t* data, std::size_t size,
+                           Response& out, std::size_t& consumed) {
+  consumed = 0;
+  if (size < 1) return ParseResult::kNeedMore;
+  if (data[0] != kFrameMagic) return ParseResult::kBad;
+  if (size < 2) return ParseResult::kNeedMore;
+  if (data[1] != kProtocolVersion) return ParseResult::kBad;
+  if (size < kResponseBytes) return ParseResult::kNeedMore;
+  if (data[2] > static_cast<std::uint8_t>(Status::kInternalError))
+    return ParseResult::kBad;
+  out.status = static_cast<Status>(data[2]);
+  out.label = static_cast<data::Label>(get_u16(data + 3));
+  consumed = kResponseBytes;
+  return ParseResult::kFrame;
+}
+
+// ----------------------------------------------------------------- http --
+
+bool looks_like_http(std::uint8_t first_byte) noexcept {
+  return (first_byte >= 'A' && first_byte <= 'Z') ||
+         (first_byte >= 'a' && first_byte <= 'z');
+}
+
+namespace {
+
+// Case-insensitive ASCII compare (header names).
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+ParseResult parse_http_request(const std::uint8_t* data, std::size_t size,
+                               HttpRequest& out, std::size_t& consumed) {
+  consumed = 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const std::size_t headers_end = text.find("\r\n\r\n");
+  if (headers_end == std::string_view::npos)
+    return size > kMaxHttpHeaderBytes ? ParseResult::kBad
+                                      : ParseResult::kNeedMore;
+  if (headers_end > kMaxHttpHeaderBytes) return ParseResult::kBad;
+
+  const std::string_view head = text.substr(0, headers_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // METHOD SP request-target SP HTTP/1.x
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos) return ParseResult::kBad;
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return ParseResult::kBad;
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (method.empty() || target.empty()) return ParseResult::kBad;
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return ParseResult::kBad;
+  bool keep_alive = version == "HTTP/1.1";
+
+  std::size_t content_length = 0;
+  bool has_content_length = false;
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return ParseResult::kBad;
+    const std::string_view name = trim(line.substr(0, colon));
+    const std::string_view value = trim(line.substr(colon + 1));
+    if (iequals(name, "content-length")) {
+      const auto [ptr, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), content_length);
+      if (ec != std::errc() || ptr != value.data() + value.size())
+        return ParseResult::kBad;
+      has_content_length = true;
+    } else if (iequals(name, "connection")) {
+      if (iequals(value, "close")) keep_alive = false;
+      else if (iequals(value, "keep-alive")) keep_alive = true;
+    } else if (iequals(name, "transfer-encoding")) {
+      return ParseResult::kBad;  // chunked etc. not supported
+    }
+  }
+
+  if (content_length > kMaxBodyBytes) return ParseResult::kBad;
+  const std::size_t body_start = headers_end + 4;
+  if (size < body_start + content_length) return ParseResult::kNeedMore;
+  (void)has_content_length;  // absent = zero-length body (GET)
+
+  out.method.assign(method);
+  out.target.assign(target);
+  out.keep_alive = keep_alive;
+  out.body.assign(text.substr(body_start, content_length));
+  consumed = body_start + content_length;
+  return ParseResult::kFrame;
+}
+
+namespace {
+
+// Minimal JSON scanner for the predict body: just enough to read the three
+// known keys and skip anything else (nested values included). Not a general
+// JSON library — rejects anything structurally broken.
+struct JsonScanner {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() &&
+           (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+            s[pos] == '\r'))
+      ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < s.size() && s[pos] == c;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != '"') return false;
+    ++pos;
+    out.clear();
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') {
+        ++pos;
+        if (pos >= s.size()) return false;
+        switch (s[pos]) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: return false;  // \uXXXX etc. not needed for model names
+        }
+        ++pos;
+      } else {
+        out.push_back(s[pos++]);
+      }
+    }
+    if (pos >= s.size()) return false;
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool parse_number(double& out) {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) ++pos;
+    while (pos < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+            s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+            s[pos] == '-' || s[pos] == '+'))
+      ++pos;
+    if (pos == start) return false;
+    const auto [ptr, ec] =
+        std::from_chars(s.data() + start, s.data() + pos, out);
+    return ec == std::errc() && ptr == s.data() + pos;
+  }
+
+  bool skip_value() {  // any JSON value, for unknown keys
+    skip_ws();
+    if (pos >= s.size()) return false;
+    const char c = s[pos];
+    if (c == '"') {
+      std::string dummy;
+      return parse_string(dummy);
+    }
+    if (c == '{' || c == '[') {
+      const char open = c;
+      const char close = open == '{' ? '}' : ']';
+      ++pos;
+      skip_ws();
+      if (peek(close)) { ++pos; return true; }
+      for (;;) {
+        if (open == '{') {
+          std::string key;
+          if (!parse_string(key) || !eat(':')) return false;
+        }
+        if (!skip_value()) return false;
+        if (eat(',')) continue;
+        return eat(close);
+      }
+    }
+    double num;
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+      return parse_number(num);
+    if (s.substr(pos, 4) == "true") { pos += 4; return true; }
+    if (s.substr(pos, 5) == "false") { pos += 5; return true; }
+    if (s.substr(pos, 4) == "null") { pos += 4; return true; }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool parse_predict_json(std::string_view body, Request& out) {
+  JsonScanner js{body};
+  if (!js.eat('{')) return false;
+  out.model.clear();
+  out.deadline_ms = 0;
+  out.features.clear();
+  if (js.peek('}')) { ++js.pos; return false; }  // empty object: no features
+  bool saw_features = false;
+  for (;;) {
+    std::string key;
+    if (!js.parse_string(key) || !js.eat(':')) return false;
+    if (key == "model") {
+      if (!js.parse_string(out.model)) return false;
+    } else if (key == "deadline_ms") {
+      double v;
+      if (!js.parse_number(v) || v < 0 || v > 4e9) return false;
+      out.deadline_ms = static_cast<std::uint32_t>(v);
+    } else if (key == "features") {
+      if (!js.eat('[')) return false;
+      saw_features = true;
+      if (!js.peek(']')) {
+        for (;;) {
+          double v;
+          if (!js.parse_number(v)) return false;
+          out.features.push_back(static_cast<float>(v));
+          if (js.eat(',')) continue;
+          break;
+        }
+      }
+      if (!js.eat(']')) return false;
+    } else {
+      if (!js.skip_value()) return false;
+    }
+    if (js.eat(',')) continue;
+    break;
+  }
+  if (!js.eat('}')) return false;
+  js.skip_ws();
+  if (js.pos != body.size()) return false;  // trailing garbage
+  return saw_features;
+}
+
+void append_http_response(std::vector<std::uint8_t>& out, int code,
+                          std::string_view body, bool keep_alive,
+                          std::string_view content_type) {
+  std::string head;
+  head.reserve(128);
+  head += "HTTP/1.1 ";
+  head += std::to_string(code);
+  head += ' ';
+  head += http_reason(code);
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(body.size());
+  head += "\r\nConnection: ";
+  head += keep_alive ? "keep-alive" : "close";
+  head += "\r\n\r\n";
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+std::string predict_json(Status status, data::Label label) {
+  if (status == Status::kOk)
+    return "{\"label\": " + std::to_string(label) + "}";
+  return std::string("{\"error\": \"") + status_name(status) + "\"}";
+}
+
+}  // namespace memhd::serve

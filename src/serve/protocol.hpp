@@ -1,0 +1,126 @@
+// Wire protocol for the TCP ingress tier (see src/serve/README.md).
+//
+// Two request formats share one listener, distinguished by the first byte
+// of each message:
+//
+//   * Binary, length-prefixed (first byte 0xB7): the fast path the bench
+//     and the serve::Client speak. Request frames carry a model name, an
+//     optional per-request deadline budget, and the raw float features;
+//     responses are a fixed 5-byte status + label. Responses come back in
+//     request order, so a client may pipeline many frames per connection.
+//   * HTTP/1.1 JSON fallback (first byte an ASCII letter): POST /v1/predict
+//     with {"model": "...", "features": [...], "deadline_ms": N}, plus
+//     GET /stats for the counters. One request at a time per connection.
+//
+// Everything here is pure parsing/encoding over byte buffers — no sockets,
+// no threads — so the whole protocol is unit-testable without a listener.
+// Parsers are incremental: kNeedMore means "valid so far, feed more bytes",
+// kBad means the stream is unrecoverable (the connection should answer with
+// a malformed-status and close). All integers little-endian; floats are
+// IEEE-754 bit patterns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+
+namespace memhd::serve {
+
+/// Result statuses on the wire. kOk carries a label; the rest are the
+/// overload-policy / robustness outcomes (README.md maps each to its HTTP
+/// code: 429, 504, 400, 404, 503, 500).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kQueueFull = 1,         // admission control refused the request
+  kDeadlineExceeded = 2,  // deadline passed before scoring
+  kMalformed = 3,         // frame/JSON/feature-length invalid
+  kUnknownModel = 4,      // no such model registered
+  kShuttingDown = 5,      // server draining; request not admitted
+  kInternalError = 6,     // model threw while scoring
+};
+
+const char* status_name(Status status) noexcept;
+int http_status_code(Status status) noexcept;
+
+constexpr std::uint8_t kFrameMagic = 0xB7;
+constexpr std::uint8_t kProtocolVersion = 1;
+/// Hard cap on a binary frame body / an HTTP body — anything larger is
+/// malformed, not a buffering request.
+constexpr std::size_t kMaxBodyBytes = 1u << 20;
+constexpr std::size_t kMaxModelNameBytes = 256;
+constexpr std::size_t kMaxHttpHeaderBytes = 8192;
+/// Binary request frame header: magic, version, u32 body_len.
+constexpr std::size_t kRequestHeaderBytes = 6;
+/// Binary response frame: magic, version, status, u16 label.
+constexpr std::size_t kResponseBytes = 5;
+
+enum class ParseResult { kNeedMore, kFrame, kBad };
+
+/// One predict request, already decoded from either wire format.
+struct Request {
+  std::string model;
+  std::uint32_t deadline_ms = 0;  // 0 = no per-request deadline
+  std::vector<float> features;
+};
+
+struct Response {
+  Status status = Status::kInternalError;
+  data::Label label = 0;
+};
+
+// ------------------------------------------------------------- binary ----
+
+/// Appends the binary frame for `request` to `out` (client side).
+void append_request(std::vector<std::uint8_t>& out, const Request& request);
+
+/// Incremental parse of one binary request frame from the front of
+/// [data, data+size). On kFrame fills `out` and sets `consumed` to the
+/// frame's size; on kNeedMore/kBad consumed is 0.
+ParseResult parse_request(const std::uint8_t* data, std::size_t size,
+                          Request& out, std::size_t& consumed);
+
+/// Appends the fixed-size binary response frame to `out` (server side).
+void append_response(std::vector<std::uint8_t>& out, Status status,
+                     data::Label label);
+
+/// Incremental parse of one binary response frame (client side).
+ParseResult parse_response(const std::uint8_t* data, std::size_t size,
+                           Response& out, std::size_t& consumed);
+
+// --------------------------------------------------------------- http ----
+
+/// True when `first_byte` can begin an HTTP/1.x request line (an ASCII
+/// letter); binary frames start with kFrameMagic, which cannot.
+bool looks_like_http(std::uint8_t first_byte) noexcept;
+
+struct HttpRequest {
+  std::string method;
+  std::string target;   // request-target, e.g. "/v1/predict"
+  std::string body;
+  bool keep_alive = true;
+};
+
+/// Incremental parse of one HTTP/1.1 request (request line + headers +
+/// Content-Length body; chunked encoding and other framings are kBad).
+ParseResult parse_http_request(const std::uint8_t* data, std::size_t size,
+                               HttpRequest& out, std::size_t& consumed);
+
+/// Decodes {"model": "...", "features": [...], "deadline_ms": N} from a
+/// predict POST body. Unknown keys are skipped; false = malformed.
+bool parse_predict_json(std::string_view body, Request& out);
+
+/// Appends a full HTTP/1.1 response (status line, Content-Length,
+/// Connection, body) to `out`.
+void append_http_response(std::vector<std::uint8_t>& out, int code,
+                          std::string_view body, bool keep_alive,
+                          std::string_view content_type = "application/json");
+
+/// The JSON body for a predict outcome: {"label": N} on kOk, otherwise
+/// {"error": "<status_name>"}.
+std::string predict_json(Status status, data::Label label);
+
+}  // namespace memhd::serve

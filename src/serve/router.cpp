@@ -1,0 +1,126 @@
+#include "src/serve/router.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::serve {
+
+namespace {
+
+std::future<data::Label> errored_future(std::exception_ptr error) {
+  std::promise<data::Label> promise;
+  promise.set_exception(std::move(error));
+  return promise.get_future();
+}
+
+}  // namespace
+
+void Router::add_model(std::string name,
+                       std::unique_ptr<api::Classifier> model,
+                       const api::BatchServerOptions& options) {
+  MEMHD_EXPECTS(model != nullptr);
+  MEMHD_EXPECTS(model->fitted());
+  MEMHD_EXPECTS(entries_.find(name) == entries_.end());
+  Entry entry;
+  entry.model = std::move(model);
+  entry.server = std::make_unique<api::BatchServer>(*entry.model, options);
+  entries_.emplace(std::move(name), std::move(entry));
+}
+
+std::future<data::Label> Router::submit(
+    const Request& request, std::chrono::milliseconds default_deadline) {
+  const auto it = entries_.find(request.model);
+  if (it == entries_.end())
+    return errored_future(
+        std::make_exception_ptr(UnknownModelError(request.model)));
+
+  auto deadline = api::BatchServer::kNoDeadline;
+  const std::chrono::milliseconds budget =
+      request.deadline_ms > 0 ? std::chrono::milliseconds(request.deadline_ms)
+                              : default_deadline;
+  if (budget.count() > 0)
+    deadline = api::BatchServer::Clock::now() + budget;
+
+  try {
+    return it->second.server->submit(request.features, deadline);
+  } catch (const std::invalid_argument&) {
+    // Feature-length mismatch: a malformed request on the wire, not a
+    // caller bug — report it on the future like every other outcome.
+    return errored_future(std::current_exception());
+  }
+}
+
+Response Router::to_response(std::future<data::Label>& future) {
+  Response response;
+  try {
+    response.label = future.get();
+    response.status = Status::kOk;
+  } catch (const api::ServeError& e) {
+    switch (e.code()) {
+      case api::ServeErrc::kQueueFull:
+        response.status = Status::kQueueFull;
+        break;
+      case api::ServeErrc::kDeadlineExceeded:
+        response.status = Status::kDeadlineExceeded;
+        break;
+      case api::ServeErrc::kStopped:
+        response.status = Status::kShuttingDown;
+        break;
+    }
+  } catch (const UnknownModelError&) {
+    response.status = Status::kUnknownModel;
+  } catch (const std::invalid_argument&) {
+    response.status = Status::kMalformed;
+  } catch (...) {
+    response.status = Status::kInternalError;
+  }
+  return response;
+}
+
+const api::Classifier* Router::model(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.model.get();
+}
+
+api::BatchServer* Router::server(std::string_view name) {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.server.get();
+}
+
+std::vector<std::string> Router::model_names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+void Router::drain_all() {
+  for (auto& [name, entry] : entries_) entry.server->drain();
+}
+
+std::string Router::stats_json() const {
+  std::string json = "{";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    const auto s = entry.server->stats();
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + name + "\": {";
+    json += "\"requests\": " + std::to_string(s.requests);
+    json += ", \"batches\": " + std::to_string(s.batches);
+    json += ", \"largest_batch\": " + std::to_string(s.largest_batch);
+    json += ", \"sharded_batches\": " + std::to_string(s.sharded_batches);
+    json += ", \"shard_jobs\": " + std::to_string(s.shard_jobs);
+    json += ", \"rejected\": " + std::to_string(s.rejected);
+    json += ", \"timed_out\": " + std::to_string(s.timed_out);
+    json += ", \"queue_depth_peak\": " + std::to_string(s.queue_depth_peak);
+    json += ", \"pending\": " + std::to_string(entry.server->pending());
+    json += "}";
+  }
+  json += "}";
+  return json;
+}
+
+}  // namespace memhd::serve

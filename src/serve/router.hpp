@@ -1,0 +1,79 @@
+// Per-model request routing: model name -> (Classifier, BatchServer pool).
+//
+// The Router owns the deployed models and one micro-batching BatchServer
+// per model (sharded per its options — that server IS the model's worker
+// pool). The ingress tier resolves each decoded protocol::Request here;
+// everything overload-related (bounded queue, deadlines, drain) happens
+// inside the BatchServer, so the Router is a thin, lock-free-at-steady-
+// state lookup table.
+//
+// Thread contract: add_model() only before the listener starts; find()/
+// submit()/stats_json() from the event loop (or any single thread) after.
+// drain_all() may be called from any one thread and blocks until every
+// admitted request's promise has completed.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/api/batch_server.hpp"
+#include "src/serve/protocol.hpp"
+
+namespace memhd::serve {
+
+/// Carried by the future when request.model names no registered model
+/// (to_response maps it to Status::kUnknownModel).
+struct UnknownModelError : std::runtime_error {
+  explicit UnknownModelError(const std::string& name)
+      : std::runtime_error("serve: unknown model \"" + name + "\"") {}
+};
+
+class Router {
+ public:
+  Router() = default;
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Registers `model` under `name` and spins up its BatchServer with
+  /// `options`. The model must be fitted. Call before the listener starts.
+  void add_model(std::string name, std::unique_ptr<api::Classifier> model,
+                 const api::BatchServerOptions& options = {});
+
+  /// The admission path: resolves request.model and submits to its server
+  /// with the request's deadline budget (0 = `default_deadline`; both 0 =
+  /// no deadline). Unknown model / wrong feature length return an already-
+  /// errored future equivalent so the caller has ONE completion path: every
+  /// outcome, success or typed failure, is read off the future by mapping
+  /// ServeError codes through to_status().
+  std::future<data::Label> submit(const Request& request,
+                                  std::chrono::milliseconds default_deadline =
+                                      std::chrono::milliseconds(0));
+
+  /// Maps a completed future's outcome onto a wire status + label.
+  /// (Blocks if the future is not ready — callers poll readiness first.)
+  static Response to_response(std::future<data::Label>& future);
+
+  const api::Classifier* model(std::string_view name) const;
+  api::BatchServer* server(std::string_view name);
+  std::vector<std::string> model_names() const;
+
+  /// Drains every model's BatchServer (see BatchServer::drain): stops
+  /// admission, completes every outstanding promise, joins workers.
+  void drain_all();
+
+  /// {"models": {"<name>": {requests, batches, ..., queue_depth_peak}}}
+  std::string stats_json() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<api::Classifier> model;  // declared before server:
+    std::unique_ptr<api::BatchServer> server;  // server destructs first
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace memhd::serve

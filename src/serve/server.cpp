@@ -1,0 +1,320 @@
+#include "src/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+namespace memhd::serve {
+
+namespace {
+
+/// Wake-pipe write end the signal handler targets. The handler only calls
+/// write(2) — async-signal-safe — and the loop turns any wake byte into a
+/// graceful drain.
+std::atomic<int> g_signal_wake_fd{-1};
+
+extern "C" void serve_signal_handler(int /*signum*/) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'S';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("serve::Server: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(Router& router, ServerOptions options)
+    : router_(router), options_(std::move(options)) {
+  // The wake pipe exists for the server's whole lifetime so signal
+  // handlers can be installed before start().
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) throw_errno("pipe");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+}
+
+Server::~Server() {
+  request_stop();
+  join();
+  if (g_signal_wake_fd.load(std::memory_order_relaxed) == wake_write_fd_)
+    install_signal_handlers(nullptr);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+}
+
+void Server::install_signal_handlers(Server* server) {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  if (server != nullptr) {
+    g_signal_wake_fd.store(server->wake_write_fd_, std::memory_order_relaxed);
+    action.sa_handler = serve_signal_handler;
+    ::sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+  } else {
+    g_signal_wake_fd.store(-1, std::memory_order_relaxed);
+    action.sa_handler = SIG_DFL;
+  }
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+void Server::bind_and_listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("serve::Server: bad host \"" + options_.host +
+                             "\"");
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    throw_errno("bind");
+  if (::listen(listen_fd_, options_.backlog) != 0) throw_errno("listen");
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0)
+    port_ = ntohs(bound.sin_port);
+}
+
+void Server::start() {
+  bind_and_listen();
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+void Server::run() {
+  bind_and_listen();
+  loop();
+}
+
+void Server::request_stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Server::wake() {
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::join() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+IngressStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::string Server::stats_json() const { return render_stats_json(stats()); }
+
+std::string Server::render_stats_json(const IngressStats& s) const {
+  std::string json = "{\"ingress\": {";
+  json += "\"accepted\": " + std::to_string(s.accepted);
+  json += ", \"closed\": " + std::to_string(s.closed);
+  json += ", \"evicted_slow\": " + std::to_string(s.evicted_slow);
+  json += ", \"evicted_stalled\": " + std::to_string(s.evicted_stalled);
+  json += ", \"closed_idle\": " + std::to_string(s.closed_idle);
+  json += ", \"malformed\": " + std::to_string(s.malformed);
+  json += ", \"requests\": " + std::to_string(s.requests);
+  json += ", \"http_requests\": " + std::to_string(s.http_requests);
+  json += ", \"responses\": " + std::to_string(s.responses);
+  json += "}, \"models\": " + router_.stats_json() + "}";
+  return json;
+}
+
+void Server::accept_ready(Clock_t now) {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors (ECONNABORTED, EMFILE): keep serving
+    }
+    if (connections_.size() >= options_.max_connections) {
+      ::close(fd);  // over the cap; the client sees a clean close
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.push_back(std::make_unique<Connection>(fd, now));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.accepted;
+    }
+  }
+}
+
+void Server::loop() {
+  running_.store(true, std::memory_order_release);
+  // Called from process_buffered while the loop holds stats_mutex_.
+  const auto stats_fn = [this] { return render_stats_json(stats_); };
+
+  std::vector<pollfd> fds;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    const bool accepting = connections_.size() < options_.max_connections;
+    fds.push_back({accepting ? listen_fd_ : -1, POLLIN, 0});
+    bool any_in_flight = false;
+    for (const auto& conn : connections_) {
+      short events = 0;
+      if (conn->wants_read(options_.limits)) events |= POLLIN;
+      if (conn->wants_write()) events |= POLLOUT;
+      fds.push_back({conn->fd(), events, 0});
+      any_in_flight = any_in_flight || conn->has_in_flight();
+    }
+
+    // With requests in flight their futures complete on BatchServer worker
+    // threads, which cannot wake poll(2) — so tick fast enough that a
+    // completed batch's responses go out promptly. Idle, tick slowly (the
+    // wake pipe interrupts immediately on stop).
+    const int timeout_ms = any_in_flight ? 1 : 50;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    const auto now = Connection::Clock::now();
+    if (ready < 0 && errno != EINTR) break;  // poll itself failed: drain
+
+    if (fds[0].revents & POLLIN) {
+      char buffer[64];
+      while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+      }
+      // Any wake byte — request_stop() or a handled signal — means drain.
+      stop_requested_.store(true, std::memory_order_release);
+      break;
+    }
+    // Note: accept_ready may grow connections_, but fds only covers the
+    // connections that existed when poll() ran — clamp to that count.
+    const std::size_t polled = fds.size() - 2;
+    if (fds[1].revents & POLLIN) accept_ready(now);
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      for (std::size_t i = 0; i < polled; ++i) {
+        Connection& conn = *connections_[i];
+        const short revents = fds[i + 2].revents;
+        if (revents & POLLNVAL) {
+          conn.close(stats_);
+          continue;
+        }
+        if (revents & (POLLIN | POLLERR | POLLHUP))
+          conn.handle_readable(router_, options_.limits, /*draining=*/false,
+                               stats_fn, now, stats_);
+        conn.pump(stats_);
+        if (conn.wants_write()) conn.handle_writable(now, stats_);
+        switch (conn.expired(options_.limits, now)) {
+          case Connection::Timeout::kWriteStall:
+            ++stats_.evicted_slow;
+            conn.close(stats_);
+            break;
+          case Connection::Timeout::kReadStall:
+            ++stats_.evicted_stalled;
+            conn.close(stats_);
+            break;
+          case Connection::Timeout::kIdle:
+            ++stats_.closed_idle;
+            conn.close(stats_);
+            break;
+          case Connection::Timeout::kNone:
+            break;
+        }
+      }
+      std::erase_if(connections_, [this](const auto& conn) {
+        if (!conn->finished()) return false;
+        conn->close(stats_);  // counts teardown for EOF-drained connections
+        return true;
+      });
+    }
+  }
+
+  drain_sequence();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::drain_sequence() {
+  // 1. Stop accepting: close the listener so new connections are refused.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Flush everything admitted. drain_all() blocks until every model's
+  //    BatchServer has scored its queue and completed every promise — from
+  //    here on, every in-flight future is ready (label or typed error) and
+  //    any late submit fails fast, so no promise can ever be broken.
+  router_.drain_all();
+
+  // 3. NACK fully-buffered-but-unsubmitted requests and push every
+  //    response out, for as long as clients keep accepting bytes (bounded
+  //    by drain_timeout).
+  const auto stats_fn = [this] { return render_stats_json(stats_); };
+  const auto deadline = Connection::Clock::now() + options_.drain_timeout;
+  std::vector<pollfd> fds;
+  for (;;) {
+    const auto now = Connection::Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      for (auto& conn : connections_) {
+        conn->process_buffered(router_, options_.limits, /*draining=*/true,
+                               stats_fn, stats_);
+        conn->pump(stats_);
+        if (conn->wants_write()) conn->handle_writable(now, stats_);
+      }
+      std::erase_if(connections_, [this](const auto& conn) {
+        // A connection with no responses left to deliver is done — drain
+        // does not wait out keep-alive idle time.
+        if (conn->wants_write() || conn->has_in_flight()) return false;
+        conn->close(stats_);
+        return true;
+      });
+    }
+    if (connections_.empty() || now >= deadline) break;
+
+    fds.clear();
+    for (const auto& conn : connections_)
+      fds.push_back(
+          {conn->fd(), static_cast<short>(conn->wants_write() ? POLLOUT : 0),
+           0});
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    ::poll(fds.data(), fds.size(),
+           static_cast<int>(std::clamp<long long>(remaining.count(), 1, 50)));
+  }
+
+  // 4. Force-close stragglers (slow clients past the drain budget).
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  for (auto& conn : connections_) conn->close(stats_);
+  connections_.clear();
+}
+
+}  // namespace memhd::serve

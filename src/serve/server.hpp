@@ -1,0 +1,119 @@
+// The TCP ingress tier: a lean poll(2)-based event loop in front of the
+// Router's per-model BatchServers (the ROADMAP "network ingress" item; see
+// src/serve/README.md for the wire protocol and the overload/drain policy).
+//
+// One thread runs the whole loop: accept, non-blocking reads, protocol
+// parsing, admission (Router::submit — where the bounded queue and deadline
+// budgets live), completion pumping, and buffered writes. Scoring happens
+// on the BatchServers' own worker/shard threads; the loop only moves bytes,
+// so a stalled or malicious client can never block scoring, and vice versa.
+//
+// Overload behavior end to end: admission control rejects with an errored
+// future (HTTP 429 / binary NACK) the moment the model's queue is full;
+// requests that outlive their deadline are completed with a timeout status
+// instead of being scored; slow clients are evicted on write stall rather
+// than allowed to pin response memory.
+//
+// Graceful drain (request_stop(), or SIGTERM/SIGINT after
+// install_signal_handlers()): stop accepting, stop reading new bytes, NACK
+// any fully-buffered requests with kShuttingDown, drain every BatchServer
+// (all admitted promises complete — never a broken future), flush every
+// response the sockets will take within drain_timeout, then close and join.
+//
+//   serve::Router router;
+//   router.add_model("memhd", std::move(clf), server_opts);
+//   serve::Server server(router, {.port = 8080});
+//   serve::Server::install_signal_handlers(server);
+//   server.run();   // or start() + join()
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/connection.hpp"
+#include "src/serve/router.hpp"
+
+namespace memhd::serve {
+
+struct ServerOptions {
+  /// Listen address. Default loopback; "0.0.0.0" for all interfaces.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with port() after start().
+  std::uint16_t port = 0;
+  int backlog = 128;
+  /// Accept cap: beyond this, new connections wait in the kernel backlog.
+  std::size_t max_connections = 1024;
+  /// Per-connection limits (timeouts, pipelining depth, default deadline).
+  ConnectionLimits limits;
+  /// How long the drain sequence keeps flushing responses after every
+  /// promise has completed, before force-closing stragglers.
+  std::chrono::milliseconds drain_timeout{5000};
+};
+
+class Server {
+ public:
+  /// `router` must outlive the server; add every model before start()/run().
+  Server(Router& router, ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens (throws std::runtime_error on failure) and spawns the
+  /// event-loop thread. Use port() for the bound port.
+  void start();
+  /// Blocking variant: binds and runs the loop on this thread until
+  /// request_stop() (or a handled signal) triggers the drain.
+  void run();
+  /// Requests graceful drain; safe from any thread and idempotent. Returns
+  /// immediately — join() (or run()'s return) marks completion.
+  void request_stop();
+  /// Joins the start() thread (no-op for run()).
+  void join();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  std::uint16_t port() const { return port_; }
+  IngressStats stats() const;
+  /// The /stats payload: {"ingress": {...}, "models": {...}}.
+  std::string stats_json() const;
+
+  /// Routes SIGTERM/SIGINT to server.request_stop() via a self-pipe (the
+  /// handler only write()s, which is async-signal-safe). One server at a
+  /// time; passing nullptr restores default dispositions.
+  static void install_signal_handlers(Server* server);
+
+ private:
+  using Clock_t = Connection::Clock::time_point;
+
+  void bind_and_listen();
+  void loop();
+  void accept_ready(Clock_t now);
+  void drain_sequence();
+  void wake();
+  /// stats_json() body over an already-copied snapshot; the event loop uses
+  /// this while holding stats_mutex_ (stats_json() itself would deadlock).
+  std::string render_stats_json(const IngressStats& snapshot) const;
+
+  Router& router_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread loop_thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex stats_mutex_;
+  IngressStats stats_;
+};
+
+}  // namespace memhd::serve

@@ -299,6 +299,205 @@ TEST(BatchServer, FlushRaceDoesNotCutNextWindowEarly) {
       << "second request's window was cut prematurely";
 }
 
+// Completed-with-ServeError helper: asserts the future is errored and
+// returns the code (0-equivalent on unexpected outcomes, with a failure).
+api::ServeErrc serve_error_code(std::future<data::Label>& future) {
+  try {
+    const data::Label label = future.get();
+    ADD_FAILURE() << "future unexpectedly completed with label " << label;
+  } catch (const ServeError& e) {
+    return e.code();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "future carried a non-ServeError: " << e.what();
+  }
+  return static_cast<api::ServeErrc>(0);
+}
+
+TEST(BatchServer, QueueFullRejectsImmediatelyWithTypedError) {
+  // Overload acceptance: fill the queue to max_pending, then the N+1th
+  // submit must resolve IMMEDIATELY (not block, not enqueue) with a
+  // distinguishable error, and stats().rejected must count exactly the
+  // rejects.
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.background = false;  // nothing drains: the queue can only fill
+  opts.max_pending = 4;
+  BatchServer server(*f.model, opts);
+
+  std::vector<std::future<data::Label>> admitted;
+  for (std::size_t i = 0; i < 4; ++i)
+    admitted.push_back(server.submit(f.split.test.sample(i)));
+  EXPECT_EQ(server.pending(), 4u);
+
+  std::vector<std::future<data::Label>> rejected;
+  for (std::size_t i = 0; i < 3; ++i)
+    rejected.push_back(server.submit(f.split.test.sample(4 + i)));
+  EXPECT_EQ(server.pending(), 4u) << "rejects must not enqueue";
+  for (auto& future : rejected) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "a queue-full reject must be an immediately-errored future";
+    EXPECT_EQ(serve_error_code(future), ServeErrc::kQueueFull);
+  }
+
+  EXPECT_EQ(server.flush(), 4u);
+  for (std::size_t i = 0; i < admitted.size(); ++i)
+    EXPECT_EQ(admitted[i].get(), f.direct[i]) << "admitted query " << i;
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.rejected, 3u) << "rejected must count exactly the rejects";
+  EXPECT_EQ(stats.requests, 4u) << "rejects are not admitted requests";
+  EXPECT_EQ(stats.queue_depth_peak, 4u);
+}
+
+TEST(BatchServer, EvictOldestAdmitsNewAndFailsOldest) {
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.background = false;
+  opts.max_pending = 2;
+  opts.overload = OverloadPolicy::kEvictOldest;
+  BatchServer server(*f.model, opts);
+
+  auto first = server.submit(f.split.test.sample(0));
+  auto second = server.submit(f.split.test.sample(1));
+  auto third = server.submit(f.split.test.sample(2));  // evicts `first`
+
+  ASSERT_EQ(first.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(serve_error_code(first), ServeErrc::kQueueFull);
+  EXPECT_EQ(server.pending(), 2u);
+
+  EXPECT_EQ(server.flush(), 2u);
+  EXPECT_EQ(second.get(), f.direct[1]);
+  EXPECT_EQ(third.get(), f.direct[2]);
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.stats().requests, 3u) << "evict admits the new request";
+}
+
+TEST(BatchServer, DeadlineExpiredIsShedNotScored) {
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.background = false;
+  BatchServer server(*f.model, opts);
+
+  // Already-expired deadline: must be shed at the cut with a timeout
+  // error; the fresh-deadline and no-deadline requests still score.
+  const auto now = BatchServer::Clock::now();
+  auto expired = server.submit(f.split.test.sample(0),
+                               now - std::chrono::milliseconds(1));
+  auto fresh = server.submit(f.split.test.sample(1),
+                             now + std::chrono::hours(1));
+  auto unbounded = server.submit(f.split.test.sample(2));
+
+  EXPECT_EQ(server.flush(), 3u);
+  EXPECT_EQ(serve_error_code(expired), ServeErrc::kDeadlineExceeded);
+  EXPECT_EQ(fresh.get(), f.direct[1]);
+  EXPECT_EQ(unbounded.get(), f.direct[2]);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(BatchServer, DrainCompletesAdmittedThenFailsFast) {
+  // The shutdown contract: drain() completes every admitted promise, and
+  // every submit after it resolves immediately with kStopped instead of
+  // enqueueing into a dying server.
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.max_batch = 8;
+  opts.shards = 2;
+  opts.shard_quantum = 2;
+  BatchServer server(*f.model, opts);
+
+  std::vector<std::future<data::Label>> futures;
+  for (std::size_t i = 0; i < 20; ++i)
+    futures.push_back(server.submit(f.split.test.sample(i)));
+
+  server.drain();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "drain() returned with promise " << i << " incomplete";
+    EXPECT_EQ(futures[i].get(), f.direct[i]) << "query " << i;
+  }
+
+  auto late = server.submit(f.split.test.sample(0));
+  ASSERT_EQ(late.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "submit after drain must fail fast, not block or enqueue";
+  EXPECT_EQ(serve_error_code(late), ServeErrc::kStopped);
+  EXPECT_EQ(server.pending(), 0u);
+
+  server.drain();  // idempotent
+}
+
+TEST(BatchServer, RacingFlushersCutDisjointBatches) {
+  // Regression for the manual-mode flush race: two flushers hammering the
+  // cut concurrently with live submitters must take disjoint batches —
+  // every future completes exactly once with the direct-batch label, the
+  // flush sizes sum to the request count, and the stats agree.
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.background = false;
+  BatchServer server(*f.model, opts);
+
+  const std::size_t n = f.split.test.size();
+  std::vector<std::future<data::Label>> futures(n);
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> flushed_total{0};
+  std::atomic<std::uint64_t> nonempty_flushes{0};
+
+  std::thread flusher_a([&] {
+    while (!done.load()) {
+      const std::size_t cut = server.flush();
+      flushed_total.fetch_add(cut);
+      if (cut > 0) nonempty_flushes.fetch_add(1);
+    }
+  });
+  std::thread flusher_b([&] {
+    while (!done.load()) {
+      const std::size_t cut = server.flush();
+      flushed_total.fetch_add(cut);
+      if (cut > 0) nonempty_flushes.fetch_add(1);
+    }
+  });
+
+  for (std::size_t i = 0; i < n; ++i)
+    futures[i] = server.submit(f.split.test.sample(i));
+
+  // Everything must come out exactly once, with the right answer.
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(futures[i].get(), f.direct[i]) << "query " << i;
+  done.store(true);
+  flusher_a.join();
+  flusher_b.join();
+  flushed_total.fetch_add(server.flush());  // any raced leftover
+
+  EXPECT_EQ(flushed_total.load(), n)
+      << "racing flushers double-took or dropped requests";
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, n);
+  EXPECT_EQ(stats.batches, nonempty_flushes.load())
+      << "batch cuts and nonempty flushes must agree";
+}
+
+TEST(BatchServer, QueueDepthPeakTracksHighWater) {
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.background = false;
+  BatchServer server(*f.model, opts);
+
+  for (std::size_t i = 0; i < 7; ++i)
+    (void)server.submit(f.split.test.sample(i));
+  EXPECT_EQ(server.stats().queue_depth_peak, 7u);
+  server.flush();
+  for (std::size_t i = 0; i < 3; ++i)
+    (void)server.submit(f.split.test.sample(i));
+  server.flush();
+  EXPECT_EQ(server.stats().queue_depth_peak, 7u) << "peak is a high-water mark";
+}
+
 TEST(BatchServer, RejectsWrongFeatureLength) {
   const auto& f = fixture();
   BatchServerOptions opts;

@@ -1,0 +1,249 @@
+// Pure-parsing tests for the wire protocol: binary framing, HTTP/1.1
+// framing, and the predict-JSON decoder — incremental feeds, round trips,
+// and malformed-input rejection, all without a socket.
+#include "src/serve/protocol.hpp"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace memhd::serve {
+namespace {
+
+Request sample_request() {
+  Request request;
+  request.model = "memhd";
+  request.deadline_ms = 250;
+  request.features = {0.0f, 1.5f, -2.25f, 3.75e-3f};
+  return request;
+}
+
+TEST(ServeProtocol, BinaryRequestRoundTrip) {
+  const Request request = sample_request();
+  std::vector<std::uint8_t> wire;
+  append_request(wire, request);
+
+  Request decoded;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_request(wire.data(), wire.size(), decoded, consumed),
+            ParseResult::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(decoded.model, request.model);
+  EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+  ASSERT_EQ(decoded.features.size(), request.features.size());
+  for (std::size_t i = 0; i < request.features.size(); ++i)
+    EXPECT_EQ(decoded.features[i], request.features[i]) << "feature " << i;
+}
+
+TEST(ServeProtocol, BinaryRequestIncrementalFeed) {
+  std::vector<std::uint8_t> wire;
+  append_request(wire, sample_request());
+
+  // Every strict prefix is kNeedMore, never kBad, never a frame.
+  Request decoded;
+  std::size_t consumed = 0;
+  for (std::size_t len = 0; len < wire.size(); ++len)
+    EXPECT_EQ(parse_request(wire.data(), len, decoded, consumed),
+              ParseResult::kNeedMore)
+        << "prefix length " << len;
+
+  // Two pipelined frames parse back to back.
+  std::vector<std::uint8_t> two = wire;
+  append_request(two, sample_request());
+  ASSERT_EQ(parse_request(two.data(), two.size(), decoded, consumed),
+            ParseResult::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  ASSERT_EQ(parse_request(two.data() + consumed, two.size() - consumed,
+                          decoded, consumed),
+            ParseResult::kFrame);
+}
+
+TEST(ServeProtocol, BinaryRequestMalformedRejected) {
+  std::vector<std::uint8_t> wire;
+  append_request(wire, sample_request());
+  Request decoded;
+  std::size_t consumed = 0;
+
+  {  // wrong magic
+    auto bad = wire;
+    bad[0] = 0x42;
+    EXPECT_EQ(parse_request(bad.data(), bad.size(), decoded, consumed),
+              ParseResult::kBad);
+  }
+  {  // wrong version
+    auto bad = wire;
+    bad[1] = 9;
+    EXPECT_EQ(parse_request(bad.data(), bad.size(), decoded, consumed),
+              ParseResult::kBad);
+  }
+  {  // body_len inconsistent with model_len/num_features
+    auto bad = wire;
+    bad[2] = static_cast<std::uint8_t>(bad[2] - 1);
+    EXPECT_EQ(parse_request(bad.data(), bad.size(), decoded, consumed),
+              ParseResult::kBad);
+  }
+  {  // body_len larger than the buffered bytes just waits for more
+    auto bad = wire;
+    bad[2] = static_cast<std::uint8_t>(bad[2] + 1);
+    EXPECT_EQ(parse_request(bad.data(), bad.size(), decoded, consumed),
+              ParseResult::kNeedMore);
+  }
+  {  // oversize body_len is malformed, not a buffering request
+    auto bad = wire;
+    const std::uint32_t huge = kMaxBodyBytes + 1;
+    std::memcpy(bad.data() + 2, &huge, 4);
+    EXPECT_EQ(parse_request(bad.data(), bad.size(), decoded, consumed),
+              ParseResult::kBad);
+  }
+}
+
+TEST(ServeProtocol, BinaryResponseRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  append_response(wire, Status::kOk, 7);
+  append_response(wire, Status::kQueueFull, 0);
+  ASSERT_EQ(wire.size(), 2 * kResponseBytes);
+
+  Response response;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_response(wire.data(), wire.size(), response, consumed),
+            ParseResult::kFrame);
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.label, 7);
+  ASSERT_EQ(parse_response(wire.data() + consumed, wire.size() - consumed,
+                           response, consumed),
+            ParseResult::kFrame);
+  EXPECT_EQ(response.status, Status::kQueueFull);
+
+  for (std::size_t len = 0; len < kResponseBytes; ++len)
+    EXPECT_EQ(parse_response(wire.data(), len, response, consumed),
+              ParseResult::kNeedMore);
+}
+
+TEST(ServeProtocol, HttpRequestParsesHeadersAndBody) {
+  const std::string raw =
+      "POST /v1/predict HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "content-length: 16\r\n"
+      "\r\n"
+      "{\"features\":[1]}";
+  HttpRequest request;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_http_request(
+                reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size(),
+                request, consumed),
+            ParseResult::kFrame);
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/v1/predict");
+  EXPECT_EQ(request.body, "{\"features\":[1]}");
+  EXPECT_TRUE(request.keep_alive);
+
+  // Incremental: headers without the full body is kNeedMore.
+  EXPECT_EQ(parse_http_request(
+                reinterpret_cast<const std::uint8_t*>(raw.data()),
+                raw.size() - 4, request, consumed),
+            ParseResult::kNeedMore);
+}
+
+TEST(ServeProtocol, HttpConnectionSemantics) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const std::string close_it =
+      "GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(parse_http_request(
+                reinterpret_cast<const std::uint8_t*>(close_it.data()),
+                close_it.size(), request, consumed),
+            ParseResult::kFrame);
+  EXPECT_FALSE(request.keep_alive);
+
+  const std::string http10 = "GET /stats HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(parse_http_request(
+                reinterpret_cast<const std::uint8_t*>(http10.data()),
+                http10.size(), request, consumed),
+            ParseResult::kFrame);
+  EXPECT_FALSE(request.keep_alive) << "HTTP/1.0 defaults to close";
+}
+
+TEST(ServeProtocol, HttpMalformedRejected) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const auto parse = [&](const std::string& raw) {
+    return parse_http_request(
+        reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size(),
+        request, consumed);
+  };
+  EXPECT_EQ(parse("NONSENSE\r\n\r\n"), ParseResult::kBad);
+  EXPECT_EQ(parse("GET /x SPDY/3\r\n\r\n"), ParseResult::kBad);
+  EXPECT_EQ(parse("GET /x HTTP/1.1\r\nbroken header line\r\n\r\n"),
+            ParseResult::kBad);
+  EXPECT_EQ(parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            ParseResult::kBad);
+  EXPECT_EQ(parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ParseResult::kBad);
+}
+
+TEST(ServeProtocol, PredictJsonDecodes) {
+  Request request;
+  ASSERT_TRUE(parse_predict_json(
+      R"({"model": "memhd", "deadline_ms": 50, "features": [1, 2.5, -3e-1]})",
+      request));
+  EXPECT_EQ(request.model, "memhd");
+  EXPECT_EQ(request.deadline_ms, 50u);
+  ASSERT_EQ(request.features.size(), 3u);
+  EXPECT_FLOAT_EQ(request.features[1], 2.5f);
+  EXPECT_FLOAT_EQ(request.features[2], -0.3f);
+
+  // Key order free, unknown keys (nested!) skipped, empty feature list ok.
+  ASSERT_TRUE(parse_predict_json(
+      R"({"extra": {"nested": [1, {"x": "y"}]}, "features": [], "model": "m"})",
+      request));
+  EXPECT_EQ(request.model, "m");
+  EXPECT_TRUE(request.features.empty());
+  EXPECT_EQ(request.deadline_ms, 0u);
+}
+
+TEST(ServeProtocol, PredictJsonRejectsMalformed) {
+  Request request;
+  EXPECT_FALSE(parse_predict_json("", request));
+  EXPECT_FALSE(parse_predict_json("not json", request));
+  EXPECT_FALSE(parse_predict_json("{}", request)) << "features required";
+  EXPECT_FALSE(parse_predict_json(R"({"model": "m"})", request));
+  EXPECT_FALSE(parse_predict_json(R"({"features": [1,]})", request));
+  EXPECT_FALSE(parse_predict_json(R"({"features": ["x"]})", request));
+  EXPECT_FALSE(parse_predict_json(R"({"features": [1] trailing)", request));
+  EXPECT_FALSE(parse_predict_json(R"({"features": [1]} garbage)", request));
+  EXPECT_FALSE(parse_predict_json(R"({"deadline_ms": -5, "features": [1]})",
+                                  request));
+}
+
+TEST(ServeProtocol, StatusMapping) {
+  EXPECT_EQ(http_status_code(Status::kOk), 200);
+  EXPECT_EQ(http_status_code(Status::kQueueFull), 429);
+  EXPECT_EQ(http_status_code(Status::kDeadlineExceeded), 504);
+  EXPECT_EQ(http_status_code(Status::kMalformed), 400);
+  EXPECT_EQ(http_status_code(Status::kUnknownModel), 404);
+  EXPECT_EQ(http_status_code(Status::kShuttingDown), 503);
+  EXPECT_EQ(http_status_code(Status::kInternalError), 500);
+  EXPECT_STREQ(status_name(Status::kQueueFull), "queue-full");
+  EXPECT_TRUE(looks_like_http('P'));
+  EXPECT_TRUE(looks_like_http('G'));
+  EXPECT_FALSE(looks_like_http(kFrameMagic));
+}
+
+TEST(ServeProtocol, HttpResponseEncodes) {
+  std::vector<std::uint8_t> wire;
+  append_http_response(wire, 429, "{\"error\": \"queue-full\"}", true);
+  const std::string text(wire.begin(), wire.end());
+  EXPECT_NE(text.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("Content-Length: 23\r\n"), std::string::npos);
+  EXPECT_NE(text.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(text.find("\r\n\r\n{\"error\": \"queue-full\"}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace memhd::serve

@@ -1,9 +1,24 @@
 #!/usr/bin/env python3
-"""Gate BENCH_micro_kernels.json against a checked-in baseline.
+"""Gate bench JSON output against a checked-in baseline.
 
 Usage:
     tools/check_bench_regression.py CURRENT_JSON [--baseline-dir DIR]
-        [--threshold 0.20] [--update]
+        [--threshold 0.20] [--serve-factor 3.0] [--update]
+
+Two record shapes are understood, keyed on the "bench" field:
+
+* micro-kernel records (no "bench" field, default): per-kernel throughput
+  gating, described below;
+* serve records ("bench": "serve", produced by bench_serve): overload-safety
+  gating of the TCP ingress tier. Machine-independent checks always run —
+  the 2x-capacity phase MUST show a nonzero reject rate (a zero means
+  admission control stopped shedding) and the 0.5x phase must stay
+  essentially reject-free. Latency is gated against
+  bench/baselines/BENCH_serve.json when present: each phase's p99, scaled
+  by the capacity ratio between the two machines (queueing delay moves
+  inversely with throughput), must stay within --serve-factor of the
+  baseline p99. A missing serve baseline skips the latency gate with a
+  notice (commit one with --update).
 
 The micro-kernel bench records absolute throughput, which depends on both
 the dispatched kernel backend (see src/common/kernels/README.md:
@@ -56,17 +71,95 @@ def sections(record):
             if isinstance(v, dict) and BATCH_KEY in v}
 
 
+SERVE_PHASES = ("load_0.5x", "load_1x", "load_2x")
+
+
+def check_serve(current, args):
+    """Gate a bench_serve record: overload must shed, p99 must stay bounded."""
+    failures = []
+    capacity = current.get("capacity_qps", 0.0)
+    print(f"serve ingress: capacity {capacity:.0f} q/s, "
+          f"max_pending {current.get('max_pending', '?')}")
+    for phase in SERVE_PHASES:
+        if phase not in current:
+            failures.append(f"{phase}: phase missing from current run")
+    if failures:
+        print("\nFAIL (serve):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+
+    # Machine-independent properties of the admission-control design.
+    if current["load_2x"].get("reject_rate", 0.0) <= 0.0:
+        failures.append(
+            "load_2x: reject_rate is 0 at 2x capacity — the bounded queue "
+            "is not shedding overload")
+    if current["load_0.5x"].get("reject_rate", 0.0) > 0.10:
+        failures.append(
+            f"load_0.5x: reject_rate "
+            f"{current['load_0.5x']['reject_rate']:.2%} at half capacity — "
+            "underload should be essentially reject-free")
+
+    baseline_path = pathlib.Path(args.baseline_dir) / "BENCH_serve.json"
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {baseline_path}")
+    elif not baseline_path.exists():
+        print(f"NOTICE: no serve baseline ({baseline_path} missing); "
+              f"latency gate skipped. Create one with --update.")
+    else:
+        baseline = load(baseline_path)
+        base_capacity = baseline.get("capacity_qps", 0.0)
+        # Queueing delay scales inversely with throughput: a machine at
+        # half the baseline capacity legitimately doubles every p99.
+        speed = capacity / base_capacity if base_capacity > 0 else 1.0
+        print(f"runner speed vs baseline machine (serve capacity): "
+              f"{speed:.2f}x")
+        for phase in SERVE_PHASES:
+            if phase not in baseline:
+                print(f"NOTICE: no baseline entry for '{phase}'; skipped.")
+                continue
+            base_p99 = baseline[phase].get("p99_ms", 0.0)
+            now_p99 = current[phase].get("p99_ms", 0.0)
+            normalized = now_p99 * speed
+            limit = base_p99 * args.serve_factor
+            status = "OK"
+            if base_p99 > 0 and normalized > limit:
+                status = "REGRESSION"
+                failures.append(
+                    f"{phase}: p99 {now_p99:.2f} ms ({normalized:.2f} "
+                    f"normalized) exceeds baseline {base_p99:.2f} ms x "
+                    f"{args.serve_factor:g}")
+            print(f"  {phase:12s} p99 {base_p99:9.2f} -> {now_p99:9.2f} ms "
+                  f"(normalized {normalized:9.2f})  reject "
+                  f"{current[phase].get('reject_rate', 0.0):7.2%}  {status}")
+
+    if failures:
+        print("\nFAIL (serve):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nPASS (serve)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="freshly produced bench JSON")
     parser.add_argument("--baseline-dir", default="bench/baselines")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional drop in normalized q/s")
+    parser.add_argument("--serve-factor", type=float, default=3.0,
+                        help="allowed capacity-normalized p99 growth factor "
+                             "for serve records")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline for the current kernel")
     args = parser.parse_args()
 
     current = load(args.current)
+    if current.get("bench") == "serve":
+        return check_serve(current, args)
     kernel = current.get("kernel", "unknown")
     baseline_path = (pathlib.Path(args.baseline_dir) /
                      f"BENCH_micro_kernels.{kernel}.json")
