@@ -87,6 +87,13 @@ void BatchServer::drain() {
 }
 
 void BatchServer::stop_shards() {
+  // Taken before signalling/joining/clearing so an in-progress sharded
+  // dispatch (a manual flush() racing drain()) finishes its whole turn
+  // first — its shard threads still see stop == false and complete their
+  // pieces — and so any dispatcher arriving later observes the cleared set
+  // under the same mutex and scores inline instead of touching freed
+  // Shard state.
+  std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
   for (auto& shard : shards_) {
     {
       std::lock_guard<std::mutex> lock(shard->mutex);
@@ -278,10 +285,23 @@ void BatchServer::run_batch(std::vector<Request> batch) {
 
   const std::size_t n = batch.size();
   if (n == 0) return;
+
+  // Sharded dispatch holds dispatch_mutex_ from the shards_ liveness check
+  // through the completion wait: it serializes concurrent dispatchers
+  // (racing flush() callers take whole turns at the shard set) AND
+  // stop_shards(), which acquires the same mutex before tearing the set
+  // down — so shards_ cannot be freed under a dispatcher, and a dispatcher
+  // that arrives after teardown sees the empty set and scores inline.
+  std::unique_lock<std::mutex> dispatch(dispatch_mutex_, std::defer_lock);
   std::size_t pieces = 1;
-  if (!shards_.empty() && n > options_.shard_quantum)
-    pieces = std::min(shards_.size(),
-                      (n + options_.shard_quantum - 1) / options_.shard_quantum);
+  if (options_.shards > 1 && n > options_.shard_quantum) {
+    dispatch.lock();
+    if (!shards_.empty())
+      pieces =
+          std::min(shards_.size(),
+                   (n + options_.shard_quantum - 1) / options_.shard_quantum);
+    if (pieces <= 1) dispatch.unlock();
+  }
 
   // Stats are bumped before the promises complete so a caller that joins
   // its futures and then reads stats() sees this batch counted.
@@ -297,9 +317,7 @@ void BatchServer::run_batch(std::vector<Request> batch) {
   }
 
   // Row-wise split into contiguous, near-equal pieces; piece p goes to
-  // shard p so each context stays single-threaded. Concurrent dispatchers
-  // (racing flush() callers) take whole turns at the shard set.
-  std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+  // shard p so each context stays single-threaded.
   const std::size_t base = n / pieces;
   const std::size_t extra = n % pieces;
   std::size_t offset = 0;

@@ -49,6 +49,10 @@ void Connection::handle_readable(Router& router,
   if (closed_ || read_shut_) return;
   bool progressed = false;
   for (;;) {
+    // At the in-flight cap, stop pulling bytes off the socket entirely:
+    // anything read here could only pile up unparsed in rbuf_. (POLLIN is
+    // already not polled at the cap, but POLLERR/POLLHUP still route here.)
+    if (in_flight_.size() >= limits.max_in_flight) break;
     const std::size_t old_size = rbuf_.size();
     if (old_size - read_pos_ >= kMaxReadBuffer) break;  // backpressure
     rbuf_.resize(old_size + kReadChunk);

@@ -71,6 +71,12 @@ class Connection {
   /// Poll for POLLOUT? True while response bytes are waiting.
   bool wants_write() const { return !closed_ && write_pos_ < wbuf_.size(); }
   bool has_in_flight() const { return !in_flight_.empty(); }
+  /// Unparsed bytes buffered in rbuf_ (complete frames beyond the in-flight
+  /// cap, or a partial frame). The Server re-runs process_buffered every
+  /// tick while this is nonzero, so frames parked by backpressure are
+  /// admitted as completions free slots — no further read event is needed.
+  std::size_t buffered_bytes() const { return rbuf_.size() - read_pos_; }
+  bool has_buffered() const { return buffered_bytes() > 0; }
   /// Fully done: erase from the loop.
   bool finished() const;
 

@@ -159,7 +159,17 @@ void Server::accept_ready(Clock_t now) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      return;  // transient accept errors (ECONNABORTED, EMFILE): keep serving
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // fd/resource exhaustion: the pending connection stays in the
+        // backlog, so the level-triggered listener would wake poll()
+        // immediately forever. Stop polling it until the backoff elapses;
+        // existing connections keep being served, and closing one frees
+        // the fd the next accept needs.
+        accept_backoff_until_ = now + std::chrono::milliseconds(100);
+        return;
+      }
+      return;  // transient accept errors (ECONNABORTED, ...): keep serving
     }
     if (connections_.size() >= options_.max_connections) {
       ::close(fd);  // over the cap; the client sees a clean close
@@ -185,7 +195,9 @@ void Server::loop() {
   while (!stop_requested_.load(std::memory_order_acquire)) {
     fds.clear();
     fds.push_back({wake_read_fd_, POLLIN, 0});
-    const bool accepting = connections_.size() < options_.max_connections;
+    const bool accepting =
+        connections_.size() < options_.max_connections &&
+        Connection::Clock::now() >= accept_backoff_until_;
     fds.push_back({accepting ? listen_fd_ : -1, POLLIN, 0});
     bool any_in_flight = false;
     for (const auto& conn : connections_) {
@@ -231,6 +243,16 @@ void Server::loop() {
           conn.handle_readable(router_, options_.limits, /*draining=*/false,
                                stats_fn, now, stats_);
         conn.pump(stats_);
+        // pump() just freed in-flight slots: admit complete frames that were
+        // buffered past the cap. The kernel socket buffer may already be
+        // empty, so no read event would ever re-trigger parsing — without
+        // this tick a deep pipeline's tail would sit in rbuf_ until the
+        // connection was evicted as read-stalled.
+        if (conn.has_buffered()) {
+          conn.process_buffered(router_, options_.limits, /*draining=*/false,
+                                stats_fn, stats_);
+          conn.pump(stats_);
+        }
         if (conn.wants_write()) conn.handle_writable(now, stats_);
         switch (conn.expired(options_.limits, now)) {
           case Connection::Timeout::kWriteStall:
@@ -285,9 +307,19 @@ void Server::drain_sequence() {
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       for (auto& conn : connections_) {
-        conn->process_buffered(router_, options_.limits, /*draining=*/true,
-                               stats_fn, stats_);
-        conn->pump(stats_);
+        // NACK every fully-buffered frame, re-parsing as pump() frees the
+        // in-flight cap (after drain_all() every future is ready, so pump
+        // empties the queue and each pass makes parse progress until only a
+        // partial frame can remain — otherwise a pipeline deeper than the
+        // cap would lose its tail here).
+        for (;;) {
+          conn->pump(stats_);
+          const std::size_t before = conn->buffered_bytes();
+          if (before == 0) break;
+          conn->process_buffered(router_, options_.limits, /*draining=*/true,
+                                 stats_fn, stats_);
+          if (conn->buffered_bytes() >= before) break;
+        }
         if (conn->wants_write()) conn->handle_writable(now, stats_);
       }
       std::erase_if(connections_, [this](const auto& conn) {

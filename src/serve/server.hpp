@@ -108,6 +108,11 @@ class Server {
   std::uint16_t port_ = 0;
 
   std::vector<std::unique_ptr<Connection>> connections_;
+  /// While now < this, the listener is not polled: accept() hit fd
+  /// exhaustion (EMFILE/ENFILE), and with the pending connection stuck in
+  /// the backlog a level-triggered poll would otherwise wake immediately
+  /// every iteration and busy-spin the loop.
+  Clock_t accept_backoff_until_{};
   std::thread loop_thread_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> running_{false};

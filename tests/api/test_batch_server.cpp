@@ -4,6 +4,7 @@
 // produces.
 #include "src/api/batch_server.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <thread>
@@ -430,6 +431,33 @@ TEST(BatchServer, DrainCompletesAdmittedThenFailsFast) {
   EXPECT_EQ(server.pending(), 0u);
 
   server.drain();  // idempotent
+}
+
+TEST(BatchServer, DrainRacingShardedFlushCompletesEveryFuture) {
+  // Regression: stop_shards() used to free the shard set without
+  // synchronizing with a concurrent manual flush() mid-dispatch — the
+  // dispatcher could wait on a Shard mutex/cv that drain() had already
+  // destroyed (use-after-free under ASan/TSan). Teardown now takes the
+  // dispatch mutex, and a flush that loses the race scores inline.
+  const auto& f = fixture();
+  BatchServerOptions opts;
+  opts.background = false;
+  opts.shards = 4;
+  opts.shard_quantum = 1;  // every multi-row batch dispatches to the shards
+  const std::size_t n = std::min<std::size_t>(f.split.test.size(), 24);
+  for (int round = 0; round < 25; ++round) {
+    BatchServer server(*f.model, opts);
+    std::vector<std::future<data::Label>> futures;
+    for (std::size_t i = 0; i < n; ++i)
+      futures.push_back(server.submit(f.split.test.sample(i)));
+    std::thread flusher([&] { server.flush(); });
+    server.drain();
+    flusher.join();
+    // Whichever side cut the batch, every admitted request scores.
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(futures[i].get(), f.direct[i])
+          << "round " << round << " query " << i;
+  }
 }
 
 TEST(BatchServer, RacingFlushersCutDisjointBatches) {

@@ -93,6 +93,84 @@ TEST(ServeServer, BinaryEndToEndMatchesDirectBatch) {
   EXPECT_FALSE(server.running());
 }
 
+TEST(ServeServer, PipelineDeeperThanInFlightCapFullyAnswered) {
+  // Regression: frames buffered past the per-connection in-flight cap were
+  // only re-parsed on a read event. Once the kernel socket buffer was
+  // drained no event ever fired again, so the pipeline's tail sat unparsed
+  // in rbuf_ until the connection was evicted as read-stalled. The loop now
+  // re-runs process_buffered every tick as completions free slots.
+  const auto& f = fixture();
+  Router router;
+  router.add_model("memhd", f.clone());
+  ServerOptions options;
+  options.limits.max_in_flight = 4;
+  // Tight enough that the parked tail would hit the read-stall eviction
+  // well within the test if it were still being dropped.
+  options.limits.read_timeout = std::chrono::milliseconds(250);
+  Server server(router, options);
+  server.start();
+
+  Client client(kHost, server.port());
+  const std::size_t burst = std::min<std::size_t>(32, f.split.test.size());
+  for (std::size_t i = 0; i < burst; ++i)
+    client.send("memhd", f.split.test.sample(i));
+  for (std::size_t i = 0; i < burst; ++i) {
+    Response response;
+    ASSERT_TRUE(client.receive(response)) << "pipelined query " << i;
+    EXPECT_EQ(response.status, Status::kOk) << "pipelined query " << i;
+    EXPECT_EQ(response.label, f.direct[i]) << "pipelined query " << i;
+  }
+  EXPECT_EQ(server.stats().evicted_stalled, 0u);
+}
+
+TEST(ServeServer, DrainAnswersBufferedTailBeyondInFlightCap) {
+  // Same parked-tail scenario, but the drain path: frames buffered past the
+  // in-flight cap must be NACKed with kShuttingDown during the drain, not
+  // dropped when the connection is torn down.
+  const auto& f = fixture();
+  Router router;
+  api::BatchServerOptions server_opts;
+  server_opts.max_batch = 1024;
+  server_opts.max_delay = std::chrono::seconds(5);  // park admitted work
+  router.add_model("memhd", f.clone(), server_opts);
+  ServerOptions options;
+  options.limits.max_in_flight = 2;
+  Server server(router, options);
+  server.start();
+
+  // One write for the whole burst so the server's first read buffers every
+  // frame before the cap stops further socket reads.
+  Client client(kHost, server.port());
+  constexpr std::size_t kBurst = 16;
+  Request request;
+  request.model = "memhd";
+  const auto sample = f.split.test.sample(0);
+  request.features.assign(sample.begin(), sample.end());
+  std::vector<std::uint8_t> wire;
+  for (std::size_t i = 0; i < kBurst; ++i) append_request(wire, request);
+  client.send_raw(wire.data(), wire.size());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.request_stop();
+
+  std::size_t ok = 0, shed = 0;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    Response response;
+    ASSERT_TRUE(client.receive(response)) << "response " << i;
+    if (response.status == Status::kOk) {
+      ++ok;
+      EXPECT_EQ(response.label, f.direct[0]);
+    } else {
+      EXPECT_EQ(response.status, Status::kShuttingDown) << "response " << i;
+      ++shed;
+    }
+  }
+  server.join();
+  // The two admitted requests score; every buffered one is NACKed.
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(shed, kBurst - 2u);
+}
+
 TEST(ServeServer, UnknownModelAndWrongFeatureLength) {
   const auto& f = fixture();
   Router router;
