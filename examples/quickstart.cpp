@@ -5,11 +5,18 @@
 // tier (src/serve/).
 //
 //   $ ./quickstart [--model memhd] [--dim 128] [--columns 128] [--epochs 30]
+//               [--online]
 //
 // --model accepts any registry name (api::list_models()): memhd, basichdc,
 // quanthd, searchd, lehdc. The default trains MEMHD sized for one 128x128
 // IMC array. The workload is the MNIST-like synthetic profile (the real
 // MNIST IDX files are used automatically if MEMHD_DATA_DIR points at them).
+//
+// --online appends the online-learning demo (src/online/): the input
+// distribution drifts, the frozen model's accuracy drops, and
+// partial_fit + publish on an online::ModelStore recovers it — hot-swapped
+// into the live TCP server between batch cuts, no restart, the connection
+// stays open the whole time.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -22,6 +29,7 @@
 #include "src/common/rng.hpp"
 #include "src/data/loaders.hpp"
 #include "src/data/scaling.hpp"
+#include "src/online/model_store.hpp"
 #include "src/serve/client.hpp"
 #include "src/serve/server.hpp"
 
@@ -37,6 +45,8 @@ int main(int argc, char** argv) {
   cli.add_flag("epochs", "30", "Training epochs");
   cli.add_flag("seed", "1", "RNG seed");
   cli.add_flag("shards", "2", "BatchServer shard workers (1 = unsharded)");
+  cli.add_bool_flag("online",
+                    "Demo online learning: drift, partial_fit, hot swap");
   if (!cli.parse(argc, argv)) return 1;
 
   // Every prediction below scores through this kernel backend; print it so
@@ -140,5 +150,88 @@ int main(int argc, char** argv) {
               tcp_server.port(), correct);
   tcp_server.request_stop();  // graceful drain: flush, complete, close
   tcp_server.join();
+  if (!cli.get_bool("online")) return 0;
+
+  // 7. Online learning (--online): the deployed distribution drifts, the
+  //    frozen model degrades, and incremental training recovers it — hot
+  //    swapped into the live server without a restart. Only MEMHD supports
+  //    partial_fit; the baselines are train-once.
+  if (!model->supports_partial_fit()) {
+    std::printf("\n%s does not support partial_fit; --online needs memhd\n",
+                model->name());
+    return 1;
+  }
+  std::printf("\n--- online learning: drift -> partial_fit -> hot swap ---\n");
+  auto store = std::make_shared<online::ModelStore>(api::load(path));
+  serve::Router online_router;
+  online_router.add_store(name, store, server_opts);
+  serve::Server online_server(online_router);
+  online_server.start();
+  serve::Client online_client("127.0.0.1", online_server.port());
+
+  // Synthetic drift: every feature shifts with alternating sign. The same
+  // transform on train and test — the world moved, the labels did not.
+  const auto drift = [](const common::Matrix& in) {
+    common::Matrix out = in;
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      auto row = out.row(i);
+      for (std::size_t j = 0; j < row.size(); ++j)
+        row[j] = std::clamp(row[j] + ((j % 2 == 0) ? 0.4f : -0.4f),
+                            0.0f, 1.0f);
+    }
+    return out;
+  };
+  const common::Matrix drift_train = drift(split.train.features());
+  const common::Matrix drift_test = drift(split.test.features());
+
+  // Accuracy over the live socket (the served model answers, whatever
+  // version is current at each batch cut).
+  const auto served_accuracy = [&](const common::Matrix& queries_m) {
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < queries_m.rows(); ++i) {
+      const serve::Response r =
+          online_client.predict(name, queries_m.row(i), 1000);
+      if (r.status == serve::Status::kOk && r.label == split.test.label(i))
+        ++ok;
+    }
+    return static_cast<double>(ok) / static_cast<double>(queries_m.rows());
+  };
+
+  const double clean = served_accuracy(split.test.features());
+  const double frozen = served_accuracy(drift_test);
+  std::printf("served accuracy: %.2f%% clean, %.2f%% after drift "
+              "(frozen v0)\n", 100.0 * clean, 100.0 * frozen);
+
+  // Adapt on drifted training data. The store trains a PRIVATE copy —
+  // queries keep being answered by v0 until publish() — then the publish
+  // is picked up at the very next batch cut. Same connection, no restart.
+  for (int pass = 0; pass < 3; ++pass)
+    store->partial_fit(drift_train, split.train.labels());
+  const online::VersionId v1 = store->publish();
+  const double recovered = served_accuracy(drift_test);
+  std::printf("after partial_fit + publish (v%llu is live): %.2f%% on the "
+              "drifted stream\n", static_cast<unsigned long long>(v1),
+              100.0 * recovered);
+
+  // The admin surface works over the same socket: roll back to v0 and
+  // forward again (instant, per batch cut), then list the inventory.
+  serve::AdminRequest rollback;
+  rollback.op = serve::AdminOp::kRollback;
+  rollback.model = name;
+  online_client.admin(rollback);
+  std::printf("rolled back to v%llu; drifted accuracy %.2f%% again\n",
+              static_cast<unsigned long long>(store->current_version()),
+              100.0 * served_accuracy(drift_test));
+  serve::AdminRequest swap;
+  swap.op = serve::AdminOp::kSwap;
+  swap.model = name;
+  swap.version = v1;
+  online_client.admin(swap);
+  serve::AdminRequest list;
+  list.op = serve::AdminOp::kList;
+  std::printf("GET /models: %s\n", online_client.admin(list).body.c_str());
+
+  online_server.request_stop();
+  online_server.join();
   return 0;
 }

@@ -76,6 +76,17 @@ void MemhdClassifier::scores_batch(const common::Matrix& features,
   model_.am().scores_batch(encoded, out);
 }
 
+core::PartialFitReport MemhdClassifier::partial_fit(
+    const common::Matrix& samples, std::span<const data::Label> labels) {
+  MEMHD_EXPECTS(fitted_);
+  return model_.partial_fit(samples, labels);
+}
+
+std::unique_ptr<Classifier> MemhdClassifier::clone() const {
+  MEMHD_EXPECTS(fitted_);
+  return std::make_unique<MemhdClassifier>(model_);
+}
+
 core::MemoryBreakdown MemhdClassifier::memory() const {
   core::MemoryParams p;
   p.num_features = model_.num_features();

@@ -43,6 +43,13 @@ class MemhdClassifier final : public Classifier {
   std::size_t score_rows() const override { return model_.config().columns; }
   void scores_batch(const common::Matrix& features,
                     std::vector<std::uint32_t>& out) const override;
+  bool supports_partial_fit() const override { return true; }
+  core::PartialFitReport partial_fit(
+      const common::Matrix& samples,
+      std::span<const data::Label> labels) override;
+  /// Structural copy: deep-copies the AM, shares the immutable encoder
+  /// plane (no serialize round-trip; see core::MemhdModel's copy ctor).
+  std::unique_ptr<Classifier> clone() const override;
   core::MemoryBreakdown memory() const override;
   void save_payload(std::ostream& out) const override;
 

@@ -40,11 +40,17 @@ std::future<data::Label> errored_future(ServeErrc code) {
 
 BatchServer::BatchServer(const Classifier& model,
                          const BatchServerOptions& options)
-    : model_(model), options_(options) {
+    // FixedModelSource's constructor asserts the model is fitted.
+    : BatchServer(std::make_shared<FixedModelSource>(model), options) {}
+
+BatchServer::BatchServer(std::shared_ptr<const ModelSource> source,
+                         const BatchServerOptions& options)
+    : source_(std::move(source)), options_(options) {
+  MEMHD_EXPECTS(source_ != nullptr);
   MEMHD_EXPECTS(options_.max_batch >= 1);
   MEMHD_EXPECTS(options_.shards >= 1);
   MEMHD_EXPECTS(options_.shard_quantum >= 1);
-  MEMHD_EXPECTS(model_.fitted());
+  num_features_ = source_->num_features();
   try {
     if (options_.shards > 1) {
       shards_.reserve(options_.shards);
@@ -108,7 +114,7 @@ void BatchServer::stop_shards() {
 
 std::future<data::Label> BatchServer::submit(std::span<const float> features,
                                              Clock::time_point deadline) {
-  if (features.size() != model_.num_features())
+  if (features.size() != num_features_)
     throw std::invalid_argument(
         "BatchServer::submit: feature length mismatch");
 
@@ -172,6 +178,10 @@ BatchServerStats BatchServer::stats() const {
   return stats_;
 }
 
+std::uint64_t BatchServer::active_version() const {
+  return source_->pin().version;
+}
+
 std::vector<BatchServer::Request> BatchServer::cut_batch_locked() {
   std::vector<Request> batch;
   batch.swap(pending_);
@@ -220,17 +230,6 @@ void BatchServer::worker_loop() {
 }
 
 void BatchServer::shard_loop(Shard& shard) {
-  // Built on the shard's own thread and only ever touched from it: the
-  // context (for MEMHD a pre-repacked BatchScorer over the deployed AM) is
-  // this worker's private scoring engine. Construction failure (e.g.
-  // bad_alloc during the repack) must not escape the thread entry and
-  // terminate the process — the shard just runs context-free, which is the
-  // plain predict_batch path and bit-identical anyway.
-  try {
-    shard.context = model_.make_predict_context();
-  } catch (...) {
-    shard.context = nullptr;
-  }
   std::unique_lock<std::mutex> lock(shard.mutex);
   for (;;) {
     shard.cv.wait(lock,
@@ -238,13 +237,32 @@ void BatchServer::shard_loop(Shard& shard) {
     if (shard.piece != nullptr) {
       Request* piece = shard.piece;
       const std::size_t count = shard.count;
+      const Classifier* model = shard.model;
+      const std::uint64_t version = shard.version;
       lock.unlock();
+      // The context (for MEMHD a pre-repacked BatchScorer over the deployed
+      // AM) is this worker's private scoring engine — built and only ever
+      // touched on this thread, and rebuilt only when the dispatched
+      // version changed (version ids are never reused, so id equality means
+      // the same frozen model). The dispatcher's pin keeps *model alive
+      // through the completion wait. Construction failure (e.g. bad_alloc
+      // during the repack) must not escape the thread entry and terminate
+      // the process — the shard just runs context-free, which is the plain
+      // predict_batch path and bit-identical anyway.
+      if (shard.context_version != version) {
+        try {
+          shard.context = model->make_predict_context();
+        } catch (...) {
+          shard.context = nullptr;
+        }
+        shard.context_version = version;
+      }
       {
         // The shard set IS the parallelism: each worker scores its slice
         // inline rather than fanning back into (and contending for) the
         // one global pool alongside its sibling shards.
         common::InlineParallelScope inline_scope;
-        run_rows(piece, count, shard.context.get());
+        run_rows(piece, count, *model, shard.context.get());
       }
       lock.lock();
       shard.piece = nullptr;
@@ -286,6 +304,13 @@ void BatchServer::run_batch(std::vector<Request> batch) {
   const std::size_t n = batch.size();
   if (n == 0) return;
 
+  // THE pin: one source resolution per cut batch, held (refcounted) until
+  // every row below has completed. A publish/swap/rollback racing this
+  // batch retires the old version from the source but cannot free or
+  // mutate it while this handle lives — all n rows score against the same
+  // frozen model, with no lock held across scoring.
+  const PinnedModel pinned = source_->pin();
+
   // Sharded dispatch holds dispatch_mutex_ from the shards_ liveness check
   // through the completion wait: it serializes concurrent dispatchers
   // (racing flush() callers take whole turns at the shard set) AND
@@ -312,12 +337,15 @@ void BatchServer::run_batch(std::vector<Request> batch) {
   }
 
   if (pieces <= 1) {
-    run_rows(batch.data(), n, nullptr);
+    run_rows(batch.data(), n, *pinned.model, nullptr);
+    source_->note_scored(pinned.version, n);
     return;
   }
 
   // Row-wise split into contiguous, near-equal pieces; piece p goes to
-  // shard p so each context stays single-threaded.
+  // shard p so each context stays single-threaded. Every piece carries the
+  // same pinned model + version — the whole batch is one version by
+  // construction.
   const std::size_t base = n / pieces;
   const std::size_t extra = n % pieces;
   std::size_t offset = 0;
@@ -328,6 +356,8 @@ void BatchServer::run_batch(std::vector<Request> batch) {
       std::lock_guard<std::mutex> lock(shard.mutex);
       shard.piece = batch.data() + offset;
       shard.count = count;
+      shard.model = pinned.model.get();
+      shard.version = pinned.version;
     }
     shard.cv.notify_all();
     offset += count;
@@ -338,22 +368,26 @@ void BatchServer::run_batch(std::vector<Request> batch) {
     std::unique_lock<std::mutex> lock(shard.mutex);
     shard.cv.wait(lock, [&shard] { return shard.piece == nullptr; });
   }
+  // Only after the completion wait: the pin (and thus *pinned.model) must
+  // outlive every shard's use of it.
+  source_->note_scored(pinned.version, n);
 }
 
 void BatchServer::run_rows(Request* requests, std::size_t count,
+                           const Classifier& model,
                            Classifier::PredictContext* context) const {
   // Everything — including the batch-matrix and label allocations — stays
   // inside the try: any failure must land on the promises (and must never
   // escape a shard thread's entry function, which would std::terminate).
   try {
-    common::Matrix features(count, model_.num_features());
+    common::Matrix features(count, num_features_);
     for (std::size_t i = 0; i < count; ++i) {
       auto row = features.row(i);
       std::copy(requests[i].features.begin(), requests[i].features.end(),
                 row.begin());
     }
     std::vector<data::Label> labels(count);
-    model_.predict_batch_into(features, labels, context);
+    model.predict_batch_into(features, labels, context);
     for (std::size_t i = 0; i < count; ++i)
       requests[i].promise.set_value(labels[i]);
   } catch (...) {

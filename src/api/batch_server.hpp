@@ -61,6 +61,16 @@
 // pending_ and counting the batch) happens atomically under the queue
 // mutex, so concurrent flush() callers take disjoint batches — every
 // request is scored exactly once no matter how many flushers race.
+//
+// Hot swap (pin-at-batch-cut): the server scores against an api::ModelSource
+// rather than a fixed model. Exactly one ModelSource::pin() happens per cut
+// batch, and the returned refcounted snapshot is held until every row of
+// that batch has completed — so a concurrent publish/swap/rollback on the
+// source (online::ModelStore) never tears a batch: all rows of a batch are
+// scored by the same frozen version, no lock is held across scoring, and
+// each shard worker rebuilds its pinned PredictContext only when the version
+// it is handed differs from the one its context was built for (version ids
+// are never reused, so the id alone identifies a frozen model object).
 #pragma once
 
 #include <chrono>
@@ -75,6 +85,7 @@
 #include <vector>
 
 #include "src/api/classifier.hpp"
+#include "src/api/model_source.hpp"
 
 namespace memhd::api {
 
@@ -155,8 +166,15 @@ class BatchServer {
 
   /// The classifier must be fitted and must outlive the server. Inference
   /// is const and the server serializes its own batches, so one model may
-  /// sit behind several servers.
+  /// sit behind several servers. (Wraps the model in a FixedModelSource:
+  /// pin() always resolves to it as version 0.)
   explicit BatchServer(const Classifier& model,
+                       const BatchServerOptions& options = {});
+  /// Versioned form: scores against whatever `source` resolves to at each
+  /// batch cut (see the pin-at-batch-cut contract above). The source must
+  /// be non-null and is shared with the caller — publishes/swaps on it are
+  /// picked up by the next cut without any server-side coordination.
+  explicit BatchServer(std::shared_ptr<const ModelSource> source,
                        const BatchServerOptions& options = {});
   ~BatchServer();
 
@@ -191,6 +209,11 @@ class BatchServer {
   std::size_t pending() const;
   BatchServerStats stats() const;
 
+  /// Version id the NEXT batch cut would score against (resolved from the
+  /// source right now; a concurrent swap can change it immediately after).
+  /// Always 0 for a fixed-model server.
+  std::uint64_t active_version() const;
+
  private:
   struct Request {
     std::vector<float> features;
@@ -209,8 +232,18 @@ class BatchServer {
     Request* piece = nullptr;  // assigned rows; nullptr when idle
     std::size_t count = 0;
     bool stop = false;
+    /// Model + version the current piece must be scored with (set by the
+    /// dispatcher with the piece; the dispatcher's pin keeps *model alive
+    /// until the completion wait returns).
+    const Classifier* model = nullptr;
+    std::uint64_t version = 0;
+    /// Worker-private scoring scratch, rebuilt only when `version` differs
+    /// from the version it was built for (steady serving on one version
+    /// pays the repack once; a swap pays it once per shard).
     std::unique_ptr<Classifier::PredictContext> context;
+    std::uint64_t context_version = kNoContextVersion;
   };
+  static constexpr std::uint64_t kNoContextVersion = ~std::uint64_t{0};
 
   void worker_loop();
   void shard_loop(Shard& shard);
@@ -225,12 +258,14 @@ class BatchServer {
   /// Sheds expired requests, then completes the rest, splitting across the
   /// shard set when the live count exceeds the shard quantum.
   void run_batch(std::vector<Request> batch);
-  /// Scores `count` requests through one predict_batch_into call and
-  /// completes their promises (exceptions complete every promise too).
-  void run_rows(Request* requests, std::size_t count,
+  /// Scores `count` requests through one predict_batch_into call on
+  /// `model` and completes their promises (exceptions complete every
+  /// promise too).
+  void run_rows(Request* requests, std::size_t count, const Classifier& model,
                 Classifier::PredictContext* context) const;
 
-  const Classifier& model_;
+  std::shared_ptr<const ModelSource> source_;
+  std::size_t num_features_ = 0;  // cached; a source never changes schema
   BatchServerOptions options_;
 
   mutable std::mutex mutex_;

@@ -1,10 +1,25 @@
 #include "src/api/classifier.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
 
 #include "src/common/assert.hpp"
 
 namespace memhd::api {
+
+core::PartialFitReport Classifier::partial_fit(
+    const common::Matrix& /*samples*/, std::span<const data::Label> /*labels*/) {
+  throw std::logic_error(std::string(name()) +
+                         ": model does not support partial_fit");
+}
+
+std::unique_ptr<Classifier> Classifier::clone() const {
+  MEMHD_EXPECTS(fitted());
+  std::stringstream buffer;
+  api::save(*this, buffer);
+  return api::load(buffer);
+}
 
 std::unique_ptr<Classifier::PredictContext> Classifier::make_predict_context()
     const {

@@ -26,6 +26,7 @@
 
 #include "src/common/matrix.hpp"
 #include "src/core/memory_model.hpp"
+#include "src/core/partial_fit.hpp"
 #include "src/data/dataset.hpp"
 
 namespace memhd::api {
@@ -92,6 +93,25 @@ class Classifier {
   /// popcount(row_r AND encode(features.row(q))).
   virtual void scores_batch(const common::Matrix& features,
                             std::vector<std::uint32_t>& out) const = 0;
+
+  /// True when this model supports partial_fit (incremental training on a
+  /// deployed model). The baselines are train-once; MEMHD is not.
+  virtual bool supports_partial_fit() const { return false; }
+
+  /// One incremental-training pass over a labeled batch (see
+  /// core::MemhdModel::partial_fit for the semantics: mispredict-driven
+  /// centroid bundling plus never-seen-class extension). Throws
+  /// std::logic_error when !supports_partial_fit(). Only touched centroids
+  /// change; everything else predicts bit-identically to before the call.
+  virtual core::PartialFitReport partial_fit(
+      const common::Matrix& samples, std::span<const data::Label> labels);
+
+  /// Deep copy of a fitted model behind the polymorphic interface — the
+  /// building block online::ModelStore versions are made of. The default
+  /// round-trips through the tagged save/load container (always correct,
+  /// pays a serialize); models with cheaper structural copies (MEMHD shares
+  /// its immutable encoder plane between copies) override it.
+  virtual std::unique_ptr<Classifier> clone() const;
 
   /// Accuracy on `test` via predict_batch.
   double evaluate(const data::Dataset& test) const;

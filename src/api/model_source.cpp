@@ -1,0 +1,19 @@
+#include "src/api/model_source.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace memhd::api {
+
+void ModelSource::note_scored(std::uint64_t /*version*/,
+                              std::size_t /*rows*/) const noexcept {}
+
+FixedModelSource::FixedModelSource(const Classifier& model)
+    // Aliasing handle: refcounted interface, caller-owned storage.
+    : model_(std::shared_ptr<const Classifier>(), &model),
+      num_features_(model.num_features()) {
+  MEMHD_EXPECTS(model.fitted());
+}
+
+PinnedModel FixedModelSource::pin() const { return {model_, 0}; }
+
+}  // namespace memhd::api

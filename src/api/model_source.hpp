@@ -1,0 +1,67 @@
+// api::ModelSource — where a BatchServer gets the model it scores with.
+//
+// The serving tier never holds a Classifier directly; it holds a source and
+// asks it for a PinnedModel at each batch cut. The pin is an immutable,
+// refcounted snapshot handle: the returned model pointer stays valid and
+// frozen for as long as the caller holds it, no matter what publishes or
+// swaps happen concurrently. That one rule is what makes hot swap safe —
+// every row of a cut batch is scored against the same version, with no lock
+// held across scoring and no torn reads (src/online/README.md).
+//
+// FixedModelSource is the degenerate, always-version-0 case wrapping a
+// caller-owned model; online::ModelStore is the versioned, hot-swappable one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/api/classifier.hpp"
+
+namespace memhd::api {
+
+/// One resolved snapshot: the model to score with plus the version id it
+/// was published under. Version ids are never reused within a source, so
+/// the id alone identifies a frozen model object.
+struct PinnedModel {
+  std::shared_ptr<const Classifier> model;
+  std::uint64_t version = 0;
+};
+
+class ModelSource {
+ public:
+  virtual ~ModelSource() = default;
+
+  /// Resolves the current version. Thread-safe; O(refcount bump). The
+  /// returned model is fitted and immutable for the life of the handle.
+  virtual PinnedModel pin() const = 0;
+
+  /// Feature width every version of this source serves (a source never
+  /// changes its input schema; submit-time validation uses this without
+  /// pinning).
+  virtual std::size_t num_features() const = 0;
+
+  /// Serving-stats hook: `rows` rows were scored against `version`. Called
+  /// by BatchServer once per batch, after scoring. Thread-safe, noexcept;
+  /// the default ignores it (FixedModelSource has no per-version stats).
+  virtual void note_scored(std::uint64_t version,
+                           std::size_t rows) const noexcept;
+};
+
+/// A single frozen, caller-owned model as a source: pin() always returns it
+/// as version 0. The model must outlive the source and stay unmodified
+/// while any server uses it (same lifetime contract the pre-source
+/// BatchServer had).
+class FixedModelSource final : public ModelSource {
+ public:
+  /// `model` must be fitted.
+  explicit FixedModelSource(const Classifier& model);
+
+  PinnedModel pin() const override;
+  std::size_t num_features() const override { return num_features_; }
+
+ private:
+  std::shared_ptr<const Classifier> model_;  // non-owning alias
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace memhd::api

@@ -1,6 +1,9 @@
 #include "src/core/model.hpp"
 
+#include <algorithm>
+
 #include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
 #include "src/core/serialize.hpp"
 #include "src/hdc/associative_memory.hpp"
 
@@ -21,9 +24,26 @@ MemhdModel::MemhdModel(const MemhdConfig& cfg, std::size_t num_features,
                        std::size_t num_classes)
     : cfg_(cfg),
       num_classes_(num_classes),
-      encoder_(encoder_config(cfg, num_features)) {
+      encoder_(std::make_shared<const hdc::ProjectionEncoder>(
+          encoder_config(cfg, num_features))) {
   MEMHD_EXPECTS(num_classes >= 2);
   MEMHD_EXPECTS(cfg.columns >= num_classes);
+}
+
+MemhdModel::MemhdModel(const MemhdModel& other)
+    : cfg_(other.cfg_),
+      num_classes_(other.num_classes_),
+      encoder_(other.encoder_),  // immutable: shared, not copied
+      am_(other.am_ ? std::make_unique<MultiCentroidAM>(*other.am_)
+                    : nullptr) {}
+
+MemhdModel& MemhdModel::operator=(const MemhdModel& other) {
+  if (this == &other) return *this;
+  cfg_ = other.cfg_;
+  num_classes_ = other.num_classes_;
+  encoder_ = other.encoder_;
+  am_ = other.am_ ? std::make_unique<MultiCentroidAM>(*other.am_) : nullptr;
+  return *this;
 }
 
 const MultiCentroidAM& MemhdModel::am() const {
@@ -33,9 +53,9 @@ const MultiCentroidAM& MemhdModel::am() const {
 
 FitReport MemhdModel::fit(const data::Dataset& train,
                           const data::Dataset* eval) {
-  const auto encoded_train = encoder_.encode_dataset(train);
+  const auto encoded_train = encoder_->encode_dataset(train);
   if (eval != nullptr) {
-    const auto encoded_eval = encoder_.encode_dataset(*eval);
+    const auto encoded_eval = encoder_->encode_dataset(*eval);
     return fit_encoded(encoded_train, &encoded_eval);
   }
   return fit_encoded(encoded_train, nullptr);
@@ -65,20 +85,20 @@ FitReport MemhdModel::fit_encoded(const hdc::EncodedDataset& train,
 
 data::Label MemhdModel::predict(std::span<const float> features) const {
   MEMHD_EXPECTS(am_ != nullptr);
-  return am_->predict_binary(encoder_.encode(features));
+  return am_->predict_binary(encoder_->encode(features));
 }
 
 std::vector<data::Label> MemhdModel::predict_batch(
     const common::Matrix& features) const {
   MEMHD_EXPECTS(am_ != nullptr);
-  const auto encoded = encoder_.encode_batch(features);
+  const auto encoded = encoder_->encode_batch(features);
   return am_->predict_batch(encoded);
 }
 
 bool MemhdModel::update(std::span<const float> features, data::Label truth) {
   MEMHD_EXPECTS(am_ != nullptr);
   MEMHD_EXPECTS(truth < num_classes_);
-  const common::BitVector hv = encoder_.encode(features);
+  const common::BitVector hv = encoder_->encode(features);
 
   std::vector<std::uint32_t> scores;
   am_->scores_binary(hv, scores);
@@ -93,9 +113,125 @@ bool MemhdModel::update(std::span<const float> features, data::Label truth) {
   return true;
 }
 
+PartialFitReport MemhdModel::partial_fit(
+    const common::Matrix& samples, std::span<const data::Label> labels) {
+  MEMHD_EXPECTS(am_ != nullptr);
+  MEMHD_EXPECTS(samples.rows() == labels.size());
+  MEMHD_EXPECTS(samples.cols() == num_features());
+
+  PartialFitReport report;
+  report.samples = labels.size();
+  if (labels.empty()) return report;
+
+  const auto encoded = encoder_->encode_batch(samples);
+
+  // Slots whose FP row changes; re-binarized once at the end so every
+  // untouched binary row stays bit-identical.
+  std::vector<std::size_t> touched;
+
+  data::Label max_label = 0;
+  for (const auto label : labels) max_label = std::max(max_label, label);
+  // 0xFFFF is the AM's unassigned-slot sentinel and can never be a class.
+  MEMHD_EXPECTS(max_label < 0xFFFF);
+  if (max_label >= num_classes_)
+    extend_classes(static_cast<std::size_t>(max_label) + 1, encoded, labels,
+                   touched, report);
+
+  // Mispredict-driven bundling, the same Eq. 4-6 step as update() — and
+  // with the same per-miss feedback: the two touched rows are renormalized
+  // and re-quantized immediately, so the next sample in the batch scores
+  // against the corrected AM. Without that feedback every miss of a class
+  // lands on the same stale best-slot and the same victim slot, which
+  // over-corrects both until the update hurts more than it helps. The
+  // quantization threshold (global FP mean) is computed once per batch —
+  // one update moves it by O(learning_rate / columns), noise at these
+  // scales — and the final binarize_rows below re-quantizes every touched
+  // row against the exact end-of-batch mean.
+  const float threshold = static_cast<float>(am_->fp().mean());
+  std::vector<std::uint32_t> scores;
+  std::size_t pair[2];
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const common::BitVector& hv = encoded[i];
+    am_->scores_binary(hv, scores);
+    const std::size_t predicted_slot = am_->best_centroid(scores);
+    if (am_->owner(predicted_slot) == labels[i]) continue;
+    const std::size_t true_slot =
+        am_->best_centroid_of_class(scores, labels[i]);
+    hdc::add_bipolar(am_->fp().row(true_slot), hv, cfg_.learning_rate);
+    hdc::add_bipolar(am_->fp().row(predicted_slot), hv, -cfg_.learning_rate);
+    pair[0] = true_slot;
+    pair[1] = predicted_slot;
+    am_->normalize_rows(cfg_.normalization, pair);
+    am_->binarize_rows(pair, threshold);
+    touched.push_back(true_slot);
+    touched.push_back(predicted_slot);
+    ++report.mispredicted;
+  }
+
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  report.touched_centroids = touched.size();
+  if (!touched.empty()) {
+    // Idempotent for already-normalized miss rows; needed for freshly
+    // extended centroids, which are bundled un-normalized.
+    am_->normalize_rows(cfg_.normalization, touched);
+    am_->binarize_rows(touched);
+  }
+  return report;
+}
+
+void MemhdModel::extend_classes(std::size_t new_num_classes,
+                                std::span<const common::BitVector> encoded,
+                                std::span<const data::Label> labels,
+                                std::vector<std::size_t>& touched,
+                                PartialFitReport& report) {
+  const std::size_t old_classes = num_classes_;
+  const std::size_t old_columns = cfg_.columns;
+  // Keep the deployed centroid density: each appended class gets the AM's
+  // current average centroids-per-class worth of fresh slots.
+  const std::size_t per_class =
+      std::max<std::size_t>(1, old_columns / old_classes);
+  const std::size_t added_classes = new_num_classes - old_classes;
+  const std::size_t extra = per_class * added_classes;
+  am_->extend(new_num_classes, extra);
+  cfg_.columns = old_columns + extra;
+  num_classes_ = new_num_classes;
+  report.new_classes = added_classes;
+  report.new_columns = extra;
+
+  std::vector<float> row(cfg_.dim);
+  std::size_t next_col = old_columns;
+  for (std::size_t c = old_classes; c < new_num_classes; ++c) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      if (labels[i] == c) members.push_back(i);
+    for (std::size_t j = 0; j < per_class; ++j) {
+      std::fill(row.begin(), row.end(), 0.0f);
+      bool bundled = false;
+      // Round-robin split of the class's samples across its slots: each
+      // slot bundles a disjoint share, so the slots start as distinct
+      // sub-centroids rather than per_class identical copies.
+      for (std::size_t k = j; k < members.size(); k += per_class) {
+        hdc::add_bipolar(row, encoded[members[k]], 1.0f);
+        bundled = true;
+      }
+      if (!bundled) {
+        // Fewer samples than slots (or a gap class with no samples at
+        // all): seed a deterministic random bipolar centroid so the slot
+        // is still a valid search target and trainable later.
+        common::Rng rng(cfg_.seed ^ (0xC0FFEEULL + next_col * 0x9E37ULL));
+        for (auto& v : row) v = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+      }
+      am_->set_centroid(next_col, static_cast<data::Label>(c), row);
+      touched.push_back(next_col);
+      ++next_col;
+    }
+  }
+}
+
 QatTrace MemhdModel::adapt(const data::Dataset& data, std::size_t epochs) {
   MEMHD_EXPECTS(am_ != nullptr);
-  const auto encoded = encoder_.encode_dataset(data);
+  const auto encoded = encoder_->encode_dataset(data);
   QatConfig qc;
   qc.epochs = epochs;
   qc.learning_rate = cfg_.learning_rate;
@@ -121,7 +257,7 @@ double MemhdModel::evaluate_encoded(const hdc::EncodedDataset& test) const {
 }
 
 std::size_t MemhdModel::memory_bits() const {
-  return encoder_.memory_bits() + cfg_.columns * cfg_.dim;
+  return encoder_->memory_bits() + cfg_.columns * cfg_.dim;
 }
 
 void MemhdModel::save(const std::string& path) const {

@@ -12,11 +12,14 @@
 
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/core/config.hpp"
 #include "src/core/initializer.hpp"
 #include "src/core/multi_centroid_am.hpp"
+#include "src/core/partial_fit.hpp"
 #include "src/core/qat_trainer.hpp"
 #include "src/data/dataset.hpp"
 #include "src/hdc/projection_encoder.hpp"
@@ -40,11 +43,22 @@ class MemhdModel {
   MemhdModel(const MemhdConfig& cfg, std::size_t num_features,
              std::size_t num_classes);
 
+  /// Copies are cheap where it matters: the AM (FP shadow + binary plane)
+  /// is deep-copied, while the immutable projection encoder — the dominant
+  /// f x D plane — is SHARED between the copies. This is the copy-on-write
+  /// building block online::ModelStore versions are made of: partial_fit on
+  /// a copy never disturbs the original, and the untouched encoder plane is
+  /// paid for once.
+  MemhdModel(const MemhdModel& other);
+  MemhdModel& operator=(const MemhdModel& other);
+  MemhdModel(MemhdModel&&) noexcept = default;
+  MemhdModel& operator=(MemhdModel&&) noexcept = default;
+
   const MemhdConfig& config() const { return cfg_; }
-  std::size_t num_features() const { return encoder_.num_features(); }
+  std::size_t num_features() const { return encoder_->num_features(); }
   std::size_t num_classes() const { return num_classes_; }
 
-  const hdc::ProjectionEncoder& encoder() const { return encoder_; }
+  const hdc::ProjectionEncoder& encoder() const { return *encoder_; }
   /// Valid after fit()/fit_encoded().
   const MultiCentroidAM& am() const;
 
@@ -73,6 +87,27 @@ class MemhdModel {
   /// Continued training on fresh data after deployment: `epochs` QAT epochs
   /// starting from the current AM state.
   QatTrace adapt(const data::Dataset& data, std::size_t epochs);
+
+  /// One incremental-training pass over a labeled batch (the online
+  /// subsystem's workhorse; src/online/README.md).
+  ///
+  ///   * Mispredict-driven bundling (OnlineHD-style): each sample is scored
+  ///     against the deployed binary AM; on a miss the encoded query is
+  ///     added (+learning_rate) to the true class's best centroid counter
+  ///     and subtracted from the wrongly-winning one.
+  ///   * Extended learning (XL-HD-style): labels beyond num_classes() grow
+  ///     the AM first — each appended class gets the deployed AM's average
+  ///     centroids-per-class worth of fresh slots, initialized by bundling
+  ///     that class's encoded samples round-robin across them.
+  ///   * Only the touched FP rows are renormalized and re-binarized (one
+  ///     refresh at the end, current global-mean threshold); every other
+  ///     row of the binary AM is bit-identical to before the call, so
+  ///     copy-on-write versions share the untouched plane for real.
+  ///
+  /// `samples` is one row per sample (cols == num_features()); labels.size()
+  /// must equal samples.rows(). Call repeatedly for multiple passes.
+  PartialFitReport partial_fit(const common::Matrix& samples,
+                               std::span<const data::Label> labels);
   /// Accuracy over a raw dataset.
   double evaluate(const data::Dataset& test) const;
   /// Accuracy over pre-encoded data.
@@ -89,9 +124,19 @@ class MemhdModel {
  private:
   friend MemhdModel load_model(std::istream& in);
 
+  /// partial_fit's extended-learning step: widens the class space to
+  /// `new_num_classes`, appending bundled centroids for each new class and
+  /// recording the new slots in `touched`.
+  void extend_classes(std::size_t new_num_classes,
+                      std::span<const common::BitVector> encoded,
+                      std::span<const data::Label> labels,
+                      std::vector<std::size_t>& touched,
+                      PartialFitReport& report);
+
   MemhdConfig cfg_;
   std::size_t num_classes_ = 0;
-  hdc::ProjectionEncoder encoder_;
+  /// Shared between copies (immutable after construction; see copy ctor).
+  std::shared_ptr<const hdc::ProjectionEncoder> encoder_;
   std::unique_ptr<MultiCentroidAM> am_;
 };
 

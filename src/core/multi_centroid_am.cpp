@@ -68,33 +68,85 @@ void MultiCentroidAM::binarize() {
   }
 }
 
+void MultiCentroidAM::binarize_rows(std::span<const std::size_t> rows) {
+  binarize_rows(rows, static_cast<float>(fp_.mean()));
+}
+
+void MultiCentroidAM::binarize_rows(std::span<const std::size_t> rows,
+                                    float threshold) {
+  for (const std::size_t col : rows) {
+    MEMHD_EXPECTS(col < columns_);
+    const auto row = fp_.row(col);
+    binary_.set_row(col, common::BitVector::from_threshold(
+                             row.data(), row.size(), threshold));
+  }
+}
+
+void MultiCentroidAM::extend(std::size_t new_num_classes,
+                             std::size_t extra_columns) {
+  MEMHD_EXPECTS(new_num_classes >= num_classes_);
+  const std::size_t new_columns = columns_ + extra_columns;
+  MEMHD_EXPECTS(new_columns >= new_num_classes);
+  owner_.resize(new_columns, kUnassigned);
+  class_slots_.resize(new_num_classes);
+  const std::vector<float> zeros(dim_, 0.0f);
+  for (std::size_t col = columns_; col < new_columns; ++col)
+    fp_.append_row(zeros);
+  if (extra_columns > 0) {
+    // BitMatrix has no append: rebuild at the new shape and copy the
+    // deployed rows over bit-for-bit. New rows start all-zero until
+    // binarize_rows quantizes their assigned centroids.
+    common::BitMatrix grown(new_columns, dim_);
+    for (std::size_t col = 0; col < columns_; ++col)
+      grown.set_row(col, binary_.row_vector(col));
+    binary_ = std::move(grown);
+  }
+  num_classes_ = new_num_classes;
+  columns_ = new_columns;
+}
+
 void MultiCentroidAM::restore_binary(const common::BitMatrix& snapshot) {
   MEMHD_EXPECTS(snapshot.rows() == columns_ && snapshot.cols() == dim_);
   binary_ = snapshot;
 }
 
+namespace {
+
+void normalize_one_row(std::span<float> row, NormalizationMode mode) {
+  if (mode == NormalizationMode::kL2) {
+    const float n = common::norm(row);
+    if (n > 0.0f)
+      for (auto& v : row) v /= n;
+  } else {  // kZScore
+    double mu = 0.0;
+    for (const auto v : row) mu += v;
+    mu /= static_cast<double>(row.size());
+    double var = 0.0;
+    for (const auto v : row) var += (v - mu) * (v - mu);
+    const double sd = std::sqrt(var / static_cast<double>(row.size()));
+    if (sd > 0.0) {
+      for (auto& v : row)
+        v = static_cast<float>((v - mu) / sd);
+    } else {
+      for (auto& v : row) v = 0.0f;
+    }
+  }
+}
+
+}  // namespace
+
 void MultiCentroidAM::normalize(NormalizationMode mode) {
   if (mode == NormalizationMode::kNone) return;
-  for (std::size_t col = 0; col < columns_; ++col) {
-    auto row = fp_.row(col);
-    if (mode == NormalizationMode::kL2) {
-      const float n = common::norm(row);
-      if (n > 0.0f)
-        for (auto& v : row) v /= n;
-    } else {  // kZScore
-      double mu = 0.0;
-      for (const auto v : row) mu += v;
-      mu /= static_cast<double>(row.size());
-      double var = 0.0;
-      for (const auto v : row) var += (v - mu) * (v - mu);
-      const double sd = std::sqrt(var / static_cast<double>(row.size()));
-      if (sd > 0.0) {
-        for (auto& v : row)
-          v = static_cast<float>((v - mu) / sd);
-      } else {
-        for (auto& v : row) v = 0.0f;
-      }
-    }
+  for (std::size_t col = 0; col < columns_; ++col)
+    normalize_one_row(fp_.row(col), mode);
+}
+
+void MultiCentroidAM::normalize_rows(NormalizationMode mode,
+                                     std::span<const std::size_t> rows) {
+  if (mode == NormalizationMode::kNone) return;
+  for (const std::size_t col : rows) {
+    MEMHD_EXPECTS(col < columns_);
+    normalize_one_row(fp_.row(col), mode);
   }
 }
 

@@ -60,6 +60,30 @@ class MultiCentroidAM {
   /// (paper §III-B).
   void binarize();
 
+  /// Re-quantizes only the given FP rows against the CURRENT global FP
+  /// mean; every other binary row keeps its deployed bits verbatim. This is
+  /// the partial_fit refresh: an incremental update touches a handful of
+  /// centroids, and the untouched binary plane must stay bit-identical so
+  /// copy-on-write versions genuinely share it.
+  void binarize_rows(std::span<const std::size_t> rows);
+
+  /// binarize_rows against a caller-supplied threshold — the in-batch
+  /// refresh partial_fit uses between misses, where the global mean is
+  /// computed once per batch instead of per update.
+  void binarize_rows(std::span<const std::size_t> rows, float threshold);
+
+  /// normalize() restricted to the given rows (partial_fit companion).
+  void normalize_rows(NormalizationMode mode,
+                      std::span<const std::size_t> rows);
+
+  /// Grows the AM in place: `extra_columns` fresh unassigned slots and a
+  /// class space widened to `new_num_classes` (>= the current one). The
+  /// existing FP and binary planes are preserved verbatim; the new slots
+  /// must then be assigned via set_centroid and quantized via
+  /// binarize_rows. This is XL-HD-style extended learning: never-seen
+  /// classes appended to a deployed AM.
+  void extend(std::size_t new_num_classes, std::size_t extra_columns);
+
   /// Replaces the binary matrix wholesale (best-epoch snapshot restore).
   /// Shape must match columns() x dim().
   void restore_binary(const common::BitMatrix& snapshot);

@@ -1,0 +1,26 @@
+// What one incremental-training pass did (core::MemhdModel::partial_fit and
+// the api::Classifier surface both return this). Kept in its own tiny header
+// so the api layer can name it without pulling in the full model.
+#pragma once
+
+#include <cstddef>
+
+namespace memhd::core {
+
+struct PartialFitReport {
+  /// Samples presented in this call.
+  std::size_t samples = 0;
+  /// Samples that were mispredicted by the deployed binary AM and therefore
+  /// drove a centroid update (OnlineHD-style bundling).
+  std::size_t mispredicted = 0;
+  /// Never-seen classes appended to the class space (XL-HD extended
+  /// learning). 0 when every label was already known.
+  std::size_t new_classes = 0;
+  /// Centroid slots added for the appended classes.
+  std::size_t new_columns = 0;
+  /// Distinct centroid slots whose FP row changed and were re-binarized;
+  /// every other row of the binary AM is bit-identical to before the call.
+  std::size_t touched_centroids = 0;
+};
+
+}  // namespace memhd::core

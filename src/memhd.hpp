@@ -77,6 +77,18 @@
 // and adapt(), the IMC deployment pipeline's encoder()/am()) are reachable
 // through the adapters in src/api/adapters.hpp or the concrete classes
 // below.
+//
+// ## Online learning (src/online/)
+//
+// Deployed models keep learning without pausing the serving path:
+// Classifier::partial_fit() does mispredict-driven centroid updates and
+// appends never-seen classes; online::ModelStore wraps a classifier in
+// copy-on-write version snapshots (train a private clone, publish()
+// atomically, swap()/rollback() instantly). ModelStore is an
+// api::ModelSource, so api::BatchServer pins one immutable version per
+// batch cut — hot swap under live traffic, no torn batches. The TCP tier
+// in src/serve/ (not part of this umbrella; include its headers directly)
+// exposes swap/rollback/inventory over HTTP and the binary admin frame.
 #pragma once
 
 // Substrate
@@ -134,8 +146,13 @@
 #include "src/api/adapters.hpp"
 #include "src/api/batch_server.hpp"
 #include "src/api/classifier.hpp"
+#include "src/api/model_source.hpp"
 #include "src/api/options.hpp"
 #include "src/api/registry.hpp"
+
+// Online learning (partial_fit + COW versioning + hot swap)
+#include "src/online/model_store.hpp"
+#include "src/online/version.hpp"
 
 // IMC substrate
 #include "src/imc/cost_model.hpp"

@@ -1,0 +1,159 @@
+#include "src/online/model_store.hpp"
+
+#include <utility>
+
+#include "src/common/assert.hpp"
+
+namespace memhd::online {
+
+UnknownVersionError::UnknownVersionError(VersionId id)
+    : std::runtime_error("online: unknown or retired version " +
+                         std::to_string(id)),
+      id_(id) {}
+
+ModelStore::ModelStore(std::unique_ptr<api::Classifier> initial,
+                       const ModelStoreOptions& options)
+    : options_(options) {
+  MEMHD_EXPECTS(initial != nullptr);
+  MEMHD_EXPECTS(initial->fitted());
+  MEMHD_EXPECTS(options_.max_versions >= 1);
+  num_features_ = initial->num_features();
+  Snapshot root;
+  root.model = std::shared_ptr<const api::Classifier>(std::move(initial));
+  root.parent = 0;  // v0 is its own parent (rollback stops here)
+  versions_.emplace(0, std::move(root));
+  current_ = 0;
+  next_id_ = 1;
+}
+
+api::PinnedModel ModelStore::pin() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = versions_.find(current_);
+  MEMHD_ENSURES(it != versions_.end());  // the current version is never pruned
+  return {it->second.model, current_};
+}
+
+void ModelStore::note_scored(std::uint64_t version,
+                             std::size_t rows) const noexcept {
+  try {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = versions_.find(version);
+    // A batch can complete after its version was pruned (it held the model
+    // alive through its pin); the stats row is gone, and that is fine.
+    if (it == versions_.end()) return;
+    auto& snapshot = const_cast<Snapshot&>(it->second);
+    ++snapshot.batches_served;
+    snapshot.rows_served += rows;
+  } catch (...) {
+    // Stats are best-effort; a failed lock must not take down a serve path.
+  }
+}
+
+core::PartialFitReport ModelStore::partial_fit(
+    const common::Matrix& samples, std::span<const data::Label> labels) {
+  std::lock_guard<std::mutex> train_lock(train_mutex_);
+  if (working_ == nullptr) {
+    // Lazy copy-on-write clone: resolve the current version under the state
+    // lock, clone it OUTSIDE that lock (the clone is the expensive part and
+    // must not stall pin() callers).
+    const api::PinnedModel base = pin();
+    working_ = base.model->clone();
+    working_parent_ = base.version;
+    working_samples_ = 0;
+  }
+  const auto report = working_->partial_fit(samples, labels);
+  working_samples_ += labels.size();
+  return report;
+}
+
+VersionId ModelStore::publish() {
+  std::lock_guard<std::mutex> train_lock(train_mutex_);
+  if (working_ == nullptr)
+    throw std::logic_error("online: publish with no pending partial_fit");
+  const auto parent = working_parent_;
+  const auto base_samples = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = versions_.find(parent);
+    return it != versions_.end() ? it->second.samples_trained : 0;
+  }();
+  std::shared_ptr<const api::Classifier> frozen(std::move(working_));
+  working_ = nullptr;
+  const auto samples = base_samples + working_samples_;
+  working_samples_ = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publish_locked(std::move(frozen), parent, samples);
+}
+
+bool ModelStore::has_pending() const {
+  std::lock_guard<std::mutex> train_lock(train_mutex_);
+  return working_ != nullptr;
+}
+
+VersionId ModelStore::publish_locked(
+    std::shared_ptr<const api::Classifier> model, VersionId parent,
+    std::uint64_t samples_trained) {
+  const VersionId id = next_id_++;
+  Snapshot snapshot;
+  snapshot.model = std::move(model);
+  snapshot.parent = parent;
+  snapshot.samples_trained = samples_trained;
+  versions_.emplace(id, std::move(snapshot));
+  current_ = id;  // the atomic hot swap: next pin() resolves to `id`
+  // FIFO retirement. An in-flight batch that pinned a pruned version still
+  // holds its model alive; only the store's handle (and stats row) goes.
+  while (versions_.size() > options_.max_versions) {
+    auto oldest = versions_.begin();
+    if (oldest->first == current_) ++oldest;
+    if (oldest == versions_.end()) break;
+    versions_.erase(oldest);
+  }
+  return id;
+}
+
+void ModelStore::swap(VersionId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (versions_.find(id) == versions_.end()) throw UnknownVersionError(id);
+  current_ = id;
+}
+
+void ModelStore::rollback() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = versions_.find(current_);
+  MEMHD_ENSURES(it != versions_.end());
+  if (it->second.parent == current_)
+    throw std::logic_error("online: rollback at the root version");
+  const VersionId parent = it->second.parent;
+  if (versions_.find(parent) == versions_.end())
+    throw UnknownVersionError(parent);
+  current_ = parent;
+}
+
+VersionId ModelStore::current_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::vector<VersionStats> ModelStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<VersionStats> out;
+  out.reserve(versions_.size());
+  for (const auto& [id, snapshot] : versions_) {  // std::map: ascending id
+    VersionStats row;
+    row.id = id;
+    row.parent = snapshot.parent;
+    row.current = (id == current_);
+    row.num_classes = snapshot.model->num_classes();
+    row.samples_trained = snapshot.samples_trained;
+    row.batches_served = snapshot.batches_served;
+    row.rows_served = snapshot.rows_served;
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::size_t ModelStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return versions_.size();
+}
+
+}  // namespace memhd::online

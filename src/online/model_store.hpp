@@ -1,0 +1,153 @@
+// online::ModelStore — copy-on-write model versioning with hot swap.
+//
+// The store owns a lineage of immutable model snapshots and plays the
+// api::ModelSource role for the serving tier: pin() resolves the current
+// version as a refcounted handle that stays valid and frozen no matter what
+// the training side does. The full contract (and a memory-sharing diagram)
+// is in src/online/README.md; the short form:
+//
+//   * Snapshots are IMMUTABLE. partial_fit never touches a published
+//     version: it lazily clones the current snapshot into a private working
+//     copy (for MEMHD a structural copy that deep-copies the AM and SHARES
+//     the dominant immutable encoder plane — the copy-on-write part) and
+//     trains that.
+//   * publish() freezes the working copy as a new version and atomically
+//     makes it current. Servers pick it up at their next batch cut; batches
+//     already in flight finish on the version they pinned.
+//   * swap()/rollback() move the current pointer between retained versions
+//     (canary, instant rollback). Retired versions are pruned FIFO beyond
+//     max_versions, but a pruned version that is still pinned by an
+//     in-flight batch lives until that batch completes (shared_ptr).
+//
+// Thread contract: every member is thread-safe. pin()/note_scored()/swap()/
+// rollback()/stats() take one short state lock (never held across scoring
+// or training). partial_fit()/publish() additionally serialize against each
+// other on a training lock, so two trainers never interleave on the working
+// copy — but training never blocks serving.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/api/model_source.hpp"
+#include "src/online/version.hpp"
+
+namespace memhd::online {
+
+/// swap()/rollback() target that is not (or no longer) in the store.
+class UnknownVersionError : public std::runtime_error {
+ public:
+  explicit UnknownVersionError(VersionId id);
+  VersionId id() const noexcept { return id_; }
+
+ private:
+  VersionId id_;
+};
+
+struct ModelStoreOptions {
+  /// Published versions retained for swap/rollback (>= 1; the current
+  /// version is never pruned). Oldest retired first.
+  std::size_t max_versions = 8;
+};
+
+class ModelStore final : public api::ModelSource {
+ public:
+  /// Takes ownership of a fitted model and publishes it as version 0.
+  explicit ModelStore(std::unique_ptr<api::Classifier> initial,
+                      const ModelStoreOptions& options = {});
+
+  // ------------------------------------------------------- serving side --
+  /// The current snapshot. See api::ModelSource::pin().
+  api::PinnedModel pin() const override;
+  std::size_t num_features() const override { return num_features_; }
+  void note_scored(std::uint64_t version,
+                   std::size_t rows) const noexcept override;
+
+  // ------------------------------------------------------ training side --
+  /// One incremental-training pass on the PRIVATE working copy (lazily
+  /// cloned from the current version on the first call after a publish or
+  /// swap). Published versions — including the one being served right now —
+  /// are never modified; nothing changes for servers until publish().
+  core::PartialFitReport partial_fit(const common::Matrix& samples,
+                                     std::span<const data::Label> labels);
+
+  /// Freezes the working copy as a new version, atomically makes it
+  /// current, and returns its id. Throws std::logic_error when no
+  /// partial_fit is pending. Prunes the oldest non-current version(s)
+  /// beyond max_versions.
+  VersionId publish();
+
+  /// True when partial_fit has trained a working copy not yet published.
+  bool has_pending() const;
+
+  // ------------------------------------------------------- version moves --
+  /// Atomically redirects pin() to a retained version (canary / rollback to
+  /// any point). Throws UnknownVersionError for ids never published or
+  /// already pruned. A pending working copy is unaffected: it keeps the
+  /// parent it was cloned from.
+  void swap(VersionId id);
+
+  /// swap() to the current version's parent. Throws std::logic_error at the
+  /// root (version 0 is its own parent), UnknownVersionError when the
+  /// parent was pruned.
+  void rollback();
+
+  // ------------------------------------------------------------- inspect --
+  VersionId current_version() const;
+  /// Snapshot of every retained version, ascending id order.
+  std::vector<VersionStats> stats() const;
+  /// Retained version count (>= 1).
+  std::size_t size() const;
+
+ private:
+  struct Snapshot {
+    std::shared_ptr<const api::Classifier> model;
+    VersionId parent = 0;
+    std::uint64_t samples_trained = 0;
+    // Serving counters; mutated under mutex_ via note_scored (const path).
+    std::uint64_t batches_served = 0;
+    std::uint64_t rows_served = 0;
+  };
+
+  friend std::unique_ptr<ModelStore> load_store(std::istream& in);
+  friend void save_store(const ModelStore& store, std::ostream& out);
+  ModelStore() = default;  // load path; load_store fills the state in
+
+  /// Inserts `model` as a new current version under mutex_ and prunes.
+  VersionId publish_locked(std::shared_ptr<const api::Classifier> model,
+                           VersionId parent, std::uint64_t samples_trained);
+
+  /// Guards versions_/current_/next_id_ and the per-version counters.
+  mutable std::mutex mutex_;
+  std::map<VersionId, Snapshot> versions_;
+  VersionId current_ = 0;
+  VersionId next_id_ = 0;
+
+  /// Serializes partial_fit/publish callers; never held with mutex_ locked
+  /// across training (ordering: train_mutex_ outside, mutex_ inside).
+  mutable std::mutex train_mutex_;
+  std::unique_ptr<api::Classifier> working_;
+  VersionId working_parent_ = 0;
+  std::uint64_t working_samples_ = 0;
+
+  ModelStoreOptions options_;
+  std::size_t num_features_ = 0;
+};
+
+/// Versioned store persistence: magic "MHDAPI02", then every retained
+/// version's tagged model frame plus the lineage metadata (current pointer,
+/// parents, sample counts). Serving counters are in-memory only and load as
+/// zero; an unpublished working copy is NOT saved. Round-trips bit-exactly:
+/// every version predicts identically after reload. Throws
+/// std::runtime_error on I/O or format errors.
+void save_store(const ModelStore& store, const std::string& path);
+void save_store(const ModelStore& store, std::ostream& out);
+std::unique_ptr<ModelStore> load_store(const std::string& path);
+std::unique_ptr<ModelStore> load_store(std::istream& in);
+
+}  // namespace memhd::online

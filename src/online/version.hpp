@@ -1,0 +1,35 @@
+// Version identity and per-version serving stats for the online subsystem
+// (src/online/README.md). Tiny value types only; the machinery lives in
+// online::ModelStore.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace memhd::online {
+
+/// Identifies one published model snapshot within a ModelStore. Ids are
+/// assigned monotonically and NEVER reused — retiring a version does not
+/// recycle its id — so an id alone identifies a frozen model object (the
+/// property BatchServer's per-shard context cache relies on).
+using VersionId = std::uint64_t;
+
+/// One row of ModelStore::stats() / the serve tier's GET /models.
+struct VersionStats {
+  VersionId id = 0;
+  /// Version this one was trained from (== id for the root v0).
+  VersionId parent = 0;
+  /// True for the version pin() currently resolves to.
+  bool current = false;
+  /// Class-space width of the snapshot (grows under extended learning).
+  std::size_t num_classes = 0;
+  /// Cumulative samples partial_fit consumed on the lineage up to and
+  /// including this version.
+  std::uint64_t samples_trained = 0;
+  /// Batches / rows scored against this version (note_scored; in-memory
+  /// only — reset by a store load).
+  std::uint64_t batches_served = 0;
+  std::uint64_t rows_served = 0;
+};
+
+}  // namespace memhd::online

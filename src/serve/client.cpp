@@ -106,6 +106,40 @@ bool Client::receive(Response& out) {
   }
 }
 
+AdminResponse Client::admin(const AdminRequest& request) {
+  std::vector<std::uint8_t> frame;
+  append_admin_request(frame, request);
+  write_all(fd_, frame.data(), frame.size());
+  AdminResponse out;
+  for (;;) {
+    std::size_t consumed = 0;
+    const ParseResult result = parse_admin_response(
+        rbuf_.data() + parsed_, rbuf_.size() - parsed_, out, consumed);
+    if (result == ParseResult::kFrame) {
+      parsed_ += consumed;
+      if (parsed_ >= rbuf_.size()) {
+        rbuf_.clear();
+        parsed_ = 0;
+      }
+      return out;
+    }
+    if (result == ParseResult::kBad)
+      throw std::runtime_error("serve::Client: malformed admin response");
+
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0)
+      throw std::runtime_error(
+          "serve::Client: connection closed before admin response");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("serve::Client: read: ") +
+                               std::strerror(errno));
+    }
+    rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+  }
+}
+
 Response Client::predict(const std::string& model,
                          std::span<const float> features,
                          std::uint32_t deadline_ms) {

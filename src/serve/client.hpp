@@ -35,6 +35,11 @@ class Client {
   /// the server (drain past budget, eviction) before a response arrived.
   bool receive(Response& out);
 
+  /// One admin operation (swap / rollback / list), blocking round trip.
+  /// Must not be interleaved with pipelined predicts awaiting receive()
+  /// (admin responses share the in-order stream).
+  AdminResponse admin(const AdminRequest& request);
+
   /// Raw bytes straight onto the socket (malformed-frame tests).
   void send_raw(const void* data, std::size_t size);
 

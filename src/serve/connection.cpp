@@ -130,6 +130,52 @@ void Connection::process_buffered(Router& router,
       continue;
     }
 
+    if (data[0] == kAdminFrameMagic) {
+      AdminRequest request;
+      std::size_t consumed = 0;
+      const ParseResult result =
+          parse_admin_request(data, size, request, consumed);
+      if (result == ParseResult::kNeedMore) {
+        if (size >= kMaxReadBuffer) {
+          ++stats.malformed;
+          close(stats);
+          return;
+        }
+        break;
+      }
+      if (result == ParseResult::kBad) {
+        ++stats.malformed;
+        InFlight entry;
+        entry.admin = true;
+        entry.resolved = true;
+        entry.status = Status::kMalformed;
+        in_flight_.push_back(std::move(entry));
+        read_shut_ = true;
+        close_after_flush_ = true;
+        break;
+      }
+      read_pos_ += consumed;
+      ++stats.requests;
+      // Admin operations resolve synchronously (short store locks, no
+      // scoring), so the entry is born resolved; it still rides the
+      // in-flight queue so responses stay in request order alongside
+      // pipelined predicts.
+      InFlight entry;
+      entry.admin = true;
+      entry.resolved = true;
+      if (draining) {
+        entry.status = Status::kShuttingDown;
+        entry.http_body = "{\"error\": \"shutting-down\"}";
+      } else {
+        const AdminResponse response = router.admin(request);
+        entry.status = response.status;
+        entry.admin_version = response.version;
+        entry.http_body = response.body;
+      }
+      in_flight_.push_back(std::move(entry));
+      continue;
+    }
+
     if (looks_like_http(data[0])) {
       HttpRequest http;
       std::size_t consumed = 0;
@@ -165,6 +211,23 @@ void Connection::process_buffered(Router& router,
         entry.resolved = true;
         entry.status = Status::kOk;
         entry.http_body = stats_json ? stats_json() : "{}";
+      } else if (http.method == "GET" && http.target == "/models") {
+        entry.resolved = true;
+        entry.status = Status::kOk;
+        entry.http_body = router.models_json();
+      } else if (http.method == "POST" && http.target == "/v1/swap") {
+        AdminRequest admin_request;
+        entry.resolved = true;
+        if (!parse_swap_json(http.body, admin_request)) {
+          entry.status = Status::kMalformed;
+        } else if (draining) {
+          entry.status = Status::kShuttingDown;
+          entry.http_body = "{\"error\": \"shutting-down\"}";
+        } else {
+          const AdminResponse response = router.admin(admin_request);
+          entry.status = response.status;
+          entry.http_body = response.body;
+        }
       } else if (http.method == "POST" &&
                  (http.target == "/v1/predict" ||
                   http.target == "/predict")) {
@@ -224,6 +287,15 @@ void Connection::pump(IngressStats& stats) {
 }
 
 void Connection::queue_response(const InFlight& entry, IngressStats& stats) {
+  if (entry.admin) {
+    AdminResponse response;
+    response.status = entry.status;
+    response.version = entry.admin_version;
+    response.body = entry.http_body;
+    append_admin_response(wbuf_, response);
+    ++stats.responses;
+    return;
+  }
   if (entry.http) {
     const std::string body = entry.http_body.empty()
                                  ? predict_json(entry.status, entry.label)

@@ -114,11 +114,13 @@ class Connection {
   struct InFlight {
     std::future<data::Label> future;  // engaged unless resolved immediately
     bool http = false;
+    bool admin = false;       // binary 0xB8 frame: respond with admin frame
     bool keep_alive = true;   // http only
     bool resolved = false;    // status/label/body below are final
     Status status = Status::kOk;
     data::Label label = 0;
-    std::string http_body;    // overrides predict_json when non-empty
+    std::uint64_t admin_version = 0;  // admin only
+    std::string http_body;    // http: overrides predict_json; admin: body
   };
 
   /// Appends the encoded response for `entry` to the write buffer.

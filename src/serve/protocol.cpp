@@ -70,6 +70,17 @@ std::uint32_t get_u32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
 const char* http_reason(int code) {
   switch (code) {
     case 200:
@@ -169,6 +180,85 @@ ParseResult parse_response(const std::uint8_t* data, std::size_t size,
   out.status = static_cast<Status>(data[2]);
   out.label = static_cast<data::Label>(get_u16(data + 3));
   consumed = kResponseBytes;
+  return ParseResult::kFrame;
+}
+
+// ---------------------------------------------------------------- admin --
+
+void append_admin_request(std::vector<std::uint8_t>& out,
+                          const AdminRequest& request) {
+  const std::uint32_t body_len =
+      static_cast<std::uint32_t>(1 + 2 + 8 + request.model.size());
+  out.reserve(out.size() + kAdminRequestHeaderBytes + body_len);
+  out.push_back(kAdminFrameMagic);
+  out.push_back(kProtocolVersion);
+  put_u32(out, body_len);
+  out.push_back(static_cast<std::uint8_t>(request.op));
+  put_u16(out, static_cast<std::uint16_t>(request.model.size()));
+  put_u64(out, request.version);
+  out.insert(out.end(), request.model.begin(), request.model.end());
+}
+
+ParseResult parse_admin_request(const std::uint8_t* data, std::size_t size,
+                                AdminRequest& out, std::size_t& consumed) {
+  consumed = 0;
+  if (size < 1) return ParseResult::kNeedMore;
+  if (data[0] != kAdminFrameMagic) return ParseResult::kBad;
+  if (size < 2) return ParseResult::kNeedMore;
+  if (data[1] != kProtocolVersion) return ParseResult::kBad;
+  if (size < kAdminRequestHeaderBytes) return ParseResult::kNeedMore;
+  const std::uint32_t body_len = get_u32(data + 2);
+  if (body_len < 11 || body_len > kMaxBodyBytes) return ParseResult::kBad;
+  if (size < kAdminRequestHeaderBytes + body_len) return ParseResult::kNeedMore;
+
+  const std::uint8_t* body = data + kAdminRequestHeaderBytes;
+  const std::uint8_t op = body[0];
+  if (op < static_cast<std::uint8_t>(AdminOp::kSwap) ||
+      op > static_cast<std::uint8_t>(AdminOp::kList))
+    return ParseResult::kBad;
+  const std::uint16_t model_len = get_u16(body + 1);
+  if (model_len > kMaxModelNameBytes) return ParseResult::kBad;
+  if (static_cast<std::size_t>(body_len) !=
+      11 + static_cast<std::size_t>(model_len))
+    return ParseResult::kBad;
+
+  out.op = static_cast<AdminOp>(op);
+  out.version = get_u64(body + 3);
+  out.model.assign(reinterpret_cast<const char*>(body + 11), model_len);
+  consumed = kAdminRequestHeaderBytes + body_len;
+  return ParseResult::kFrame;
+}
+
+void append_admin_response(std::vector<std::uint8_t>& out,
+                           const AdminResponse& response) {
+  out.reserve(out.size() + kAdminResponseHeaderBytes + response.body.size());
+  out.push_back(kAdminFrameMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(response.status));
+  put_u64(out, response.version);
+  put_u32(out, static_cast<std::uint32_t>(response.body.size()));
+  out.insert(out.end(), response.body.begin(), response.body.end());
+}
+
+ParseResult parse_admin_response(const std::uint8_t* data, std::size_t size,
+                                 AdminResponse& out, std::size_t& consumed) {
+  consumed = 0;
+  if (size < 1) return ParseResult::kNeedMore;
+  if (data[0] != kAdminFrameMagic) return ParseResult::kBad;
+  if (size < 2) return ParseResult::kNeedMore;
+  if (data[1] != kProtocolVersion) return ParseResult::kBad;
+  if (size < kAdminResponseHeaderBytes) return ParseResult::kNeedMore;
+  if (data[2] > static_cast<std::uint8_t>(Status::kInternalError))
+    return ParseResult::kBad;
+  const std::uint32_t body_len = get_u32(data + 11);
+  if (body_len > kMaxBodyBytes) return ParseResult::kBad;
+  if (size < kAdminResponseHeaderBytes + body_len) return ParseResult::kNeedMore;
+  out.status = static_cast<Status>(data[2]);
+  out.version = get_u64(data + 3);
+  out.body.assign(
+      reinterpret_cast<const char*>(data + kAdminResponseHeaderBytes),
+      body_len);
+  consumed = kAdminResponseHeaderBytes + body_len;
   return ParseResult::kFrame;
 }
 
@@ -413,6 +503,42 @@ bool parse_predict_json(std::string_view body, Request& out) {
   js.skip_ws();
   if (js.pos != body.size()) return false;  // trailing garbage
   return saw_features;
+}
+
+bool parse_swap_json(std::string_view body, AdminRequest& out) {
+  JsonScanner js{body};
+  if (!js.eat('{')) return false;
+  out.op = AdminOp::kRollback;  // until a "version" value appears
+  out.model.clear();
+  out.version = 0;
+  bool saw_model = false;
+  if (js.peek('}')) { ++js.pos; return false; }  // empty object: no model
+  for (;;) {
+    std::string key;
+    if (!js.parse_string(key) || !js.eat(':')) return false;
+    if (key == "model") {
+      if (!js.parse_string(out.model)) return false;
+      saw_model = true;
+    } else if (key == "version") {
+      js.skip_ws();
+      if (js.s.substr(js.pos, 4) == "null") {
+        js.pos += 4;  // explicit null = rollback, same as absent
+      } else {
+        double v;
+        if (!js.parse_number(v) || v < 0 || v > 1.8e19) return false;
+        out.version = static_cast<std::uint64_t>(v);
+        out.op = AdminOp::kSwap;
+      }
+    } else {
+      if (!js.skip_value()) return false;
+    }
+    if (js.eat(',')) continue;
+    break;
+  }
+  if (!js.eat('}')) return false;
+  js.skip_ws();
+  if (js.pos != body.size()) return false;  // trailing garbage
+  return saw_model;
 }
 
 void append_http_response(std::vector<std::uint8_t>& out, int code,

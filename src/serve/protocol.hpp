@@ -12,6 +12,12 @@
 //     with {"model": "...", "features": [...], "deadline_ms": N}, plus
 //     GET /stats for the counters. One request at a time per connection.
 //
+// Admin traffic (the online subsystem's control surface) rides the same
+// listener: binary admin frames start with 0xB8 (swap / rollback / list
+// against a model's version store), and the HTTP side mirrors them as
+// GET /models and POST /v1/swap with {"model": "...", "version": N}
+// ("version" omitted or null = rollback).
+//
 // Everything here is pure parsing/encoding over byte buffers — no sockets,
 // no threads — so the whole protocol is unit-testable without a listener.
 // Parsers are incremental: kNeedMore means "valid so far, feed more bytes",
@@ -90,6 +96,59 @@ void append_response(std::vector<std::uint8_t>& out, Status status,
 /// Incremental parse of one binary response frame (client side).
 ParseResult parse_response(const std::uint8_t* data, std::size_t size,
                            Response& out, std::size_t& consumed);
+
+// -------------------------------------------------------------- admin ----
+
+constexpr std::uint8_t kAdminFrameMagic = 0xB8;
+/// Binary admin request frame header: magic, version, u32 body_len.
+constexpr std::size_t kAdminRequestHeaderBytes = 6;
+/// Binary admin response frame header: magic, version, status, u64 version,
+/// u32 body_len (the JSON body follows).
+constexpr std::size_t kAdminResponseHeaderBytes = 15;
+
+enum class AdminOp : std::uint8_t {
+  kSwap = 1,      // make `version` current for `model`
+  kRollback = 2,  // make the current version's parent current
+  kList = 3,      // per-model version inventory (model field ignored)
+};
+
+struct AdminRequest {
+  AdminOp op = AdminOp::kList;
+  std::string model;
+  std::uint64_t version = 0;  // kSwap target; ignored otherwise
+};
+
+/// Outcome of an admin request. `version` is the model's current version
+/// after the operation (0 when status != kOk for kList-style failures);
+/// `body` is the JSON detail — the version inventory for kList, the
+/// {"model": ..., "version": N} confirmation for swap/rollback, or an
+/// {"error": ...} object.
+struct AdminResponse {
+  Status status = Status::kInternalError;
+  std::uint64_t version = 0;
+  std::string body;
+};
+
+/// Appends the binary admin request frame (client side): magic 0xB8,
+/// version, u32 body_len, then u8 op, u16 model_len, u64 version, model.
+void append_admin_request(std::vector<std::uint8_t>& out,
+                          const AdminRequest& request);
+
+/// Incremental parse of one binary admin request frame (server side).
+ParseResult parse_admin_request(const std::uint8_t* data, std::size_t size,
+                                AdminRequest& out, std::size_t& consumed);
+
+/// Appends the binary admin response frame (server side).
+void append_admin_response(std::vector<std::uint8_t>& out,
+                           const AdminResponse& response);
+
+/// Incremental parse of one binary admin response frame (client side).
+ParseResult parse_admin_response(const std::uint8_t* data, std::size_t size,
+                                 AdminResponse& out, std::size_t& consumed);
+
+/// Decodes {"model": "...", "version": N} from a POST /v1/swap body into a
+/// kSwap request ("version" absent or null = kRollback). false = malformed.
+bool parse_swap_json(std::string_view body, AdminRequest& out);
 
 // --------------------------------------------------------------- http ----
 

@@ -22,10 +22,21 @@ void Router::add_model(std::string name,
                        const api::BatchServerOptions& options) {
   MEMHD_EXPECTS(model != nullptr);
   MEMHD_EXPECTS(model->fitted());
-  MEMHD_EXPECTS(entries_.find(name) == entries_.end());
+  if (entries_.find(name) != entries_.end()) throw DuplicateModelError(name);
   Entry entry;
   entry.model = std::move(model);
   entry.server = std::make_unique<api::BatchServer>(*entry.model, options);
+  entries_.emplace(std::move(name), std::move(entry));
+}
+
+void Router::add_store(std::string name,
+                       std::shared_ptr<online::ModelStore> store,
+                       const api::BatchServerOptions& options) {
+  MEMHD_EXPECTS(store != nullptr);
+  if (entries_.find(name) != entries_.end()) throw DuplicateModelError(name);
+  Entry entry;
+  entry.store = store;
+  entry.server = std::make_unique<api::BatchServer>(std::move(store), options);
   entries_.emplace(std::move(name), std::move(entry));
 }
 
@@ -89,6 +100,11 @@ api::BatchServer* Router::server(std::string_view name) {
   return it == entries_.end() ? nullptr : it->second.server.get();
 }
 
+online::ModelStore* Router::store(std::string_view name) {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.store.get();
+}
+
 std::vector<std::string> Router::model_names() const {
   std::vector<std::string> names;
   names.reserve(entries_.size());
@@ -98,6 +114,88 @@ std::vector<std::string> Router::model_names() const {
 
 void Router::drain_all() {
   for (auto& [name, entry] : entries_) entry.server->drain();
+}
+
+namespace {
+
+AdminResponse admin_error(Status status, const std::string& detail) {
+  AdminResponse response;
+  response.status = status;
+  response.body = "{\"error\": \"" + detail + "\"}";
+  return response;
+}
+
+}  // namespace
+
+AdminResponse Router::admin(const AdminRequest& request) {
+  if (request.op == AdminOp::kList) {
+    AdminResponse response;
+    response.status = Status::kOk;
+    response.body = models_json();
+    return response;
+  }
+
+  const auto it = entries_.find(request.model);
+  if (it == entries_.end())
+    return admin_error(Status::kUnknownModel,
+                       "unknown model \"" + request.model + "\"");
+  online::ModelStore* store = it->second.store.get();
+  if (store == nullptr)
+    return admin_error(Status::kMalformed,
+                       "model \"" + request.model + "\" is not versioned");
+
+  try {
+    if (request.op == AdminOp::kSwap)
+      store->swap(request.version);
+    else
+      store->rollback();
+  } catch (const online::UnknownVersionError& e) {
+    return admin_error(Status::kUnknownModel, e.what());
+  } catch (const std::logic_error& e) {
+    // rollback at the root version
+    return admin_error(Status::kMalformed, e.what());
+  }
+
+  AdminResponse response;
+  response.status = Status::kOk;
+  response.version = store->current_version();
+  response.body = "{\"model\": \"" + request.model +
+                  "\", \"version\": " + std::to_string(response.version) + "}";
+  return response;
+}
+
+std::string Router::models_json() const {
+  std::string json = "{";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + name + "\": {";
+    if (entry.store == nullptr) {
+      json += "\"versioned\": false, \"current\": 0}";
+      continue;
+    }
+    json += "\"versioned\": true";
+    json += ", \"current\": " +
+            std::to_string(entry.store->current_version());
+    json += ", \"versions\": [";
+    bool first_version = true;
+    for (const auto& v : entry.store->stats()) {
+      if (!first_version) json += ", ";
+      first_version = false;
+      json += "{\"id\": " + std::to_string(v.id);
+      json += ", \"parent\": " + std::to_string(v.parent);
+      json += ", \"current\": " + std::string(v.current ? "true" : "false");
+      json += ", \"num_classes\": " + std::to_string(v.num_classes);
+      json += ", \"samples_trained\": " + std::to_string(v.samples_trained);
+      json += ", \"batches_served\": " + std::to_string(v.batches_served);
+      json += ", \"rows_served\": " + std::to_string(v.rows_served);
+      json += "}";
+    }
+    json += "]}";
+  }
+  json += "}";
+  return json;
 }
 
 std::string Router::stats_json() const {
@@ -117,6 +215,7 @@ std::string Router::stats_json() const {
     json += ", \"timed_out\": " + std::to_string(s.timed_out);
     json += ", \"queue_depth_peak\": " + std::to_string(s.queue_depth_peak);
     json += ", \"pending\": " + std::to_string(entry.server->pending());
+    json += ", \"version\": " + std::to_string(entry.server->active_version());
     json += "}";
   }
   json += "}";

@@ -7,10 +7,13 @@
 // inside the BatchServer, so the Router is a thin, lock-free-at-steady-
 // state lookup table.
 //
-// Thread contract: add_model() only before the listener starts; find()/
-// submit()/stats_json() from the event loop (or any single thread) after.
-// drain_all() may be called from any one thread and blocks until every
-// admitted request's promise has completed.
+// Thread contract: add_model()/add_store() only before the listener starts;
+// find()/submit()/stats_json()/admin()/models_json() from the event loop (or
+// any single thread) after. The version stores behind add_store entries are
+// themselves thread-safe, so a training thread may partial_fit/publish on
+// them concurrently with everything above. drain_all() may be called from
+// any one thread and blocks until every admitted request's promise has
+// completed.
 #pragma once
 
 #include <chrono>
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "src/api/batch_server.hpp"
+#include "src/online/model_store.hpp"
 #include "src/serve/protocol.hpp"
 
 namespace memhd::serve {
@@ -32,6 +36,15 @@ struct UnknownModelError : std::runtime_error {
       : std::runtime_error("serve: unknown model \"" + name + "\"") {}
 };
 
+/// Thrown by add_model/add_store when `name` is already registered —
+/// registering twice would silently shadow a live server, so it is a typed,
+/// catchable error rather than a contract assertion.
+struct DuplicateModelError : std::invalid_argument {
+  explicit DuplicateModelError(const std::string& name)
+      : std::invalid_argument("serve: model \"" + name +
+                              "\" already registered") {}
+};
+
 class Router {
  public:
   Router() = default;
@@ -40,7 +53,16 @@ class Router {
 
   /// Registers `model` under `name` and spins up its BatchServer with
   /// `options`. The model must be fitted. Call before the listener starts.
+  /// Throws DuplicateModelError when `name` is already registered.
   void add_model(std::string name, std::unique_ptr<api::Classifier> model,
+                 const api::BatchServerOptions& options = {});
+
+  /// Registers a VERSIONED model: the BatchServer scores against whatever
+  /// version `store` has current at each batch cut (pin-at-batch-cut; see
+  /// api::BatchServer), and admin()/POST /v1/swap can hot-swap it while
+  /// traffic flows. The store is shared: the caller keeps training/
+  /// publishing on it. Throws DuplicateModelError on a name collision.
+  void add_store(std::string name, std::shared_ptr<online::ModelStore> store,
                  const api::BatchServerOptions& options = {});
 
   /// The admission path: resolves request.model and submits to its server
@@ -59,7 +81,21 @@ class Router {
 
   const api::Classifier* model(std::string_view name) const;
   api::BatchServer* server(std::string_view name);
+  /// The version store behind `name`; nullptr for fixed (add_model) entries
+  /// and unknown names.
+  online::ModelStore* store(std::string_view name);
   std::vector<std::string> model_names() const;
+
+  /// Executes one admin operation (binary 0xB8 frames and POST /v1/swap
+  /// both land here). Never throws: every failure is a typed wire status —
+  /// kUnknownModel for unregistered names and unknown/retired versions,
+  /// kMalformed for swap/rollback on a fixed (non-versioned) model or a
+  /// rollback at the root version.
+  AdminResponse admin(const AdminRequest& request);
+
+  /// {"<name>": {"versioned": ..., "current": N, "versions": [...]}} — the
+  /// GET /models inventory (kList admin body).
+  std::string models_json() const;
 
   /// Drains every model's BatchServer (see BatchServer::drain): stops
   /// admission, completes every outstanding promise, joins workers.
@@ -71,7 +107,8 @@ class Router {
  private:
   struct Entry {
     std::unique_ptr<api::Classifier> model;  // declared before server:
-    std::unique_ptr<api::BatchServer> server;  // server destructs first
+    std::shared_ptr<online::ModelStore> store;  // server destructs first
+    std::unique_ptr<api::BatchServer> server;
   };
   std::map<std::string, Entry, std::less<>> entries_;
 };

@@ -1,0 +1,224 @@
+// The pin-at-batch-cut contract under fire: threads hammer a BatchServer
+// (sharded and unsharded) while another thread partial_fits, publishes, and
+// swaps in a loop. Every batch's responses must be exactly one version's
+// answers — no torn batches, no stale reads. Run under TSan in CI.
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/batch_server.hpp"
+#include "src/api/registry.hpp"
+#include "src/online/model_store.hpp"
+#include "test_util.hpp"
+
+namespace memhd::online {
+namespace {
+
+/// A classifier whose every prediction IS its version's identity: all rows
+/// answer `label`, and each partial_fit pass bumps the label by one. A torn
+/// batch — two rows of one cut scored by different versions — therefore
+/// shows up as two distinct labels inside a single flushed batch.
+class StubClassifier final : public api::Classifier {
+ public:
+  explicit StubClassifier(data::Label label) : label_(label) {}
+
+  core::ModelKind kind() const override {
+    return core::ModelKind::kBasicHDC;
+  }
+  std::size_t num_features() const override { return 4; }
+  std::size_t num_classes() const override { return 1u << 15; }
+  std::size_t dim() const override { return 64; }
+  bool fitted() const override { return true; }
+  void fit(const data::Dataset&, const data::Dataset*) override {}
+
+  data::Label predict(std::span<const float>) const override {
+    return label_;
+  }
+  std::vector<data::Label> predict_batch(
+      const common::Matrix& features) const override {
+    return std::vector<data::Label>(features.rows(), label_);
+  }
+  std::size_t score_rows() const override { return 1; }
+  void scores_batch(const common::Matrix& features,
+                    std::vector<std::uint32_t>& out) const override {
+    out.assign(features.rows(), 0);
+  }
+  core::MemoryBreakdown memory() const override { return {}; }
+  void save_payload(std::ostream&) const override {
+    throw std::logic_error("stub: not serializable");
+  }
+
+  bool supports_partial_fit() const override { return true; }
+  core::PartialFitReport partial_fit(
+      const common::Matrix& samples,
+      std::span<const data::Label>) override {
+    ++label_;
+    core::PartialFitReport report;
+    report.samples = samples.rows();
+    return report;
+  }
+  std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<StubClassifier>(label_);
+  }
+
+ private:
+  data::Label label_;
+};
+
+/// Submits rounds of single-query requests and flushes each round as ONE
+/// manual batch while a trainer thread publishes and swaps continuously.
+/// Every response inside a round must carry the same (version-identifying)
+/// label — the pin happened once, at the batch cut.
+void hammer_manual(const api::BatchServerOptions& options) {
+  auto store = std::make_shared<ModelStore>(
+      std::make_unique<StubClassifier>(data::Label{0}));
+  api::BatchServer server(store, options);
+
+  std::atomic<bool> stop{false};
+  std::thread trainer([&] {
+    const common::Matrix one_row(1, 4);
+    const std::vector<data::Label> labels(1, data::Label{0});
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      store->partial_fit(one_row, labels);
+      store->publish();
+      // Exercise swaps too: hop to the oldest retained version and back.
+      const auto stats = store->stats();
+      store->swap(stats.front().id);
+      store->swap(stats.back().id);
+      ++i;
+    }
+  });
+
+  const std::vector<float> query(4, 0.5f);
+  constexpr std::size_t kRounds = 300;
+  constexpr std::size_t kPerRound = 8;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    std::vector<std::future<data::Label>> futures;
+    futures.reserve(kPerRound);
+    for (std::size_t i = 0; i < kPerRound; ++i)
+      futures.push_back(server.submit(query));
+    ASSERT_EQ(server.flush(), kPerRound);
+    const data::Label first = futures.front().get();
+    for (std::size_t i = 1; i < kPerRound; ++i)
+      ASSERT_EQ(futures[i].get(), first)
+          << "torn batch in round " << round << ": row " << i
+          << " answered by a different version than row 0";
+  }
+  stop.store(true);
+  trainer.join();
+  server.drain();
+}
+
+TEST(HotSwap, NoTornBatchesUnsharded) {
+  api::BatchServerOptions options;
+  options.background = false;
+  hammer_manual(options);
+}
+
+TEST(HotSwap, NoTornBatchesSharded) {
+  api::BatchServerOptions options;
+  options.background = false;
+  options.shards = 4;
+  options.shard_quantum = 2;  // 8-row rounds split into 4 pieces
+  hammer_manual(options);
+}
+
+TEST(HotSwap, BackgroundServingTracksSwapsWithRealModel) {
+  // Real MEMHD lineage: three published versions with precomputed answers.
+  // Hammer threads submit probe rows through a live background server while
+  // a swapper flips the current version; every response must be bit-equal
+  // to SOME version's answer for that row (and the per-version serving
+  // counters must add up).
+  const auto split = testing::tiny_multimodal(/*seed=*/53,
+                                              /*train_per_class=*/50,
+                                              /*test_per_class=*/20);
+  api::ModelOptions opts;
+  opts.dim = 256;
+  opts.columns = 16;
+  opts.epochs = 2;
+  opts.seed = 7;
+  auto model = api::make("memhd", split.train.num_features(),
+                         split.train.num_classes(), opts);
+  model->fit(split.train);
+
+  auto store = std::make_shared<ModelStore>(std::move(model));
+  store->partial_fit(split.test.features(), split.test.labels());
+  const VersionId v1 = store->publish();
+  store->partial_fit(split.train.features(), split.train.labels());
+  const VersionId v2 = store->publish();
+  const std::vector<VersionId> versions{0, v1, v2};
+
+  const common::Matrix& probes = split.test.features();
+  std::map<VersionId, std::vector<data::Label>> expected;
+  for (const VersionId id : versions) {
+    store->swap(id);
+    expected[id] = store->pin().model->predict_batch(probes);
+  }
+
+  api::BatchServerOptions options;
+  options.max_batch = 16;
+  options.shards = 2;
+  options.shard_quantum = 4;
+  api::BatchServer server(store, options);
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed))
+      store->swap(versions[i++ % versions.size()]);
+  });
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kIters = 20;
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::uint64_t> submitted{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t iter = 0; iter < kIters; ++iter) {
+        for (std::size_t row = t; row < probes.rows(); row += kThreads) {
+          auto future = server.submit(probes.row(row));
+          submitted.fetch_add(1, std::memory_order_relaxed);
+          const data::Label got = future.get();
+          bool known = false;
+          for (const VersionId id : versions)
+            known |= (expected.at(id)[row] == got);
+          if (!known) mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  stop.store(true);
+  swapper.join();
+  server.drain();
+
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "a response matched NO published version — stale or torn read";
+  std::uint64_t rows_served = 0;
+  for (const auto& vs : store->stats()) rows_served += vs.rows_served;
+  EXPECT_EQ(rows_served, submitted.load());
+}
+
+TEST(HotSwap, ActiveVersionFollowsTheStore) {
+  auto store = std::make_shared<ModelStore>(
+      std::make_unique<StubClassifier>(data::Label{0}));
+  api::BatchServerOptions options;
+  options.background = false;
+  api::BatchServer server(store, options);
+  EXPECT_EQ(server.active_version(), 0u);
+  store->partial_fit(common::Matrix(1, 4), std::vector<data::Label>(1, 0));
+  const VersionId v1 = store->publish();
+  EXPECT_EQ(server.active_version(), v1);
+  store->rollback();
+  EXPECT_EQ(server.active_version(), 0u);
+}
+
+}  // namespace
+}  // namespace memhd::online

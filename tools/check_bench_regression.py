@@ -3,9 +3,10 @@
 
 Usage:
     tools/check_bench_regression.py CURRENT_JSON [--baseline-dir DIR]
-        [--threshold 0.20] [--serve-factor 3.0] [--update]
+        [--threshold 0.20] [--serve-factor 3.0] [--swap-factor 5.0]
+        [--update | --write-baseline]
 
-Two record shapes are understood, keyed on the "bench" field:
+Three record shapes are understood, keyed on the "bench" field:
 
 * micro-kernel records (no "bench" field, default): per-kernel throughput
   gating, described below;
@@ -18,7 +19,21 @@ Two record shapes are understood, keyed on the "bench" field:
   by the capacity ratio between the two machines (queueing delay moves
   inversely with throughput), must stay within --serve-factor of the
   baseline p99. A missing serve baseline skips the latency gate with a
-  notice (commit one with --update).
+  notice (commit one with --update);
+* online records ("bench": "online", produced by bench_online): the cost of
+  training and hot-swapping while serving. Machine-independent: served p99
+  with a thread swapping versions continuously must stay within
+  --swap-factor of the same run's no-swap p99 (pin-at-batch-cut claims a
+  swap costs a context rebuild, not a stall). Against
+  bench/baselines/BENCH_online.json (when present), partial_fit samples/sec
+  may not drop more than --threshold after normalizing by the
+  anchor_queries_per_sec ratio between the two machines, and the COW
+  clone/publish costs may not grow past --swap-factor x baseline
+  (normalized the same way).
+
+--write-baseline (alias of --update; see below) rewrites the matching
+baseline file from CURRENT_JSON and reports PASS — the first-run path for a
+freshly added bench.
 
 The micro-kernel bench records absolute throughput, which depends on both
 the dispatched kernel backend (see src/common/kernels/README.md:
@@ -144,6 +159,82 @@ def check_serve(current, args):
     return 0
 
 
+def check_online(current, args):
+    """Gate a bench_online record: swaps must not stall serving, training
+    throughput must hold up against the baseline."""
+    failures = []
+    anchor = current.get("anchor_queries_per_sec", 0.0)
+    print(f"online learning: anchor {anchor:.0f} q/s (no-swap serving)")
+
+    # Machine-independent: continuous swapping may cost context rebuilds,
+    # never a stall. Compare within this run, so host speed cancels out.
+    no_swap_p99 = current.get("no_swap", {}).get("p99_ms", 0.0)
+    swap_p99 = current.get("swap", {}).get("p99_ms", 0.0)
+    swaps = current.get("swap", {}).get("swaps", 0)
+    print(f"  p99 no-swap {no_swap_p99:.3f} ms -> swapping {swap_p99:.3f} ms "
+          f"({swaps} swaps)")
+    if swaps <= 0:
+        failures.append("swap phase recorded zero swaps — nothing measured")
+    if no_swap_p99 > 0 and swap_p99 > no_swap_p99 * args.swap_factor:
+        failures.append(
+            f"swap: p99 {swap_p99:.3f} ms exceeds no-swap p99 "
+            f"{no_swap_p99:.3f} ms x {args.swap_factor:g} — hot swapping is "
+            f"stalling the serve path")
+
+    baseline_path = pathlib.Path(args.baseline_dir) / "BENCH_online.json"
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {baseline_path}")
+    elif not baseline_path.exists():
+        print(f"NOTICE: no online baseline ({baseline_path} missing); "
+              f"training-throughput gate skipped. Create one with --update.")
+    else:
+        baseline = load(baseline_path)
+        base_anchor = baseline.get("anchor_queries_per_sec", 0.0)
+        # Serving throughput anchors host speed: the same scoring kernels
+        # dominate both sides, so their ratio measures this runner.
+        speed = anchor / base_anchor if base_anchor > 0 else 1.0
+        print(f"runner speed vs baseline machine (serving anchor): "
+              f"{speed:.2f}x")
+
+        base_fit = baseline.get("partial_fit_samples_per_sec", 0.0)
+        now_fit = current.get("partial_fit_samples_per_sec", 0.0)
+        normalized = now_fit / speed if speed > 0 else now_fit
+        ratio = normalized / base_fit if base_fit > 0 else float("inf")
+        status = "OK"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"partial_fit: {now_fit:.0f} samples/s ({normalized:.0f} "
+                f"normalized) is {100 * (1 - ratio):.1f}% below baseline "
+                f"{base_fit:.0f}")
+        print(f"  partial_fit {base_fit:12.0f} -> {now_fit:12.0f} samples/s "
+              f"(normalized {normalized:12.0f}, {ratio:6.2%})  {status}")
+
+        for key in ("cow_clone_ms", "publish_ms"):
+            base_ms = baseline.get(key, 0.0)
+            now_ms = current.get(key, 0.0)
+            norm_ms = now_ms * speed
+            status = "OK"
+            if base_ms > 0 and norm_ms > base_ms * args.swap_factor:
+                status = "REGRESSION"
+                failures.append(
+                    f"{key}: {now_ms:.3f} ms ({norm_ms:.3f} normalized) "
+                    f"exceeds baseline {base_ms:.3f} ms x "
+                    f"{args.swap_factor:g}")
+            print(f"  {key:12s} {base_ms:9.3f} -> {now_ms:9.3f} ms "
+                  f"(normalized {norm_ms:9.3f})  {status}")
+
+    if failures:
+        print("\nFAIL (online):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nPASS (online)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="freshly produced bench JSON")
@@ -153,13 +244,22 @@ def main():
     parser.add_argument("--serve-factor", type=float, default=3.0,
                         help="allowed capacity-normalized p99 growth factor "
                              "for serve records")
+    parser.add_argument("--swap-factor", type=float, default=5.0,
+                        help="allowed p99 growth under continuous swaps and "
+                             "normalized COW-cost growth for online records")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline for the current kernel")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="alias of --update: write CURRENT_JSON as the "
+                             "new committed baseline")
     args = parser.parse_args()
+    args.update = args.update or args.write_baseline
 
     current = load(args.current)
     if current.get("bench") == "serve":
         return check_serve(current, args)
+    if current.get("bench") == "online":
+        return check_online(current, args)
     kernel = current.get("kernel", "unknown")
     baseline_path = (pathlib.Path(args.baseline_dir) /
                      f"BENCH_micro_kernels.{kernel}.json")
