@@ -53,6 +53,9 @@ BatchServer::BatchServer(std::shared_ptr<const ModelSource> source,
   num_features_ = source_->num_features();
   try {
     if (options_.shards > 1) {
+      // Uncontended (no other thread can reach this server yet), taken so
+      // the guarded shards_ writes satisfy the capability analysis.
+      common::MutexLock dispatch(dispatch_mutex_);
       shards_.reserve(options_.shards);
       for (std::size_t s = 0; s < options_.shards; ++s) {
         auto shard = std::make_unique<Shard>();
@@ -77,9 +80,9 @@ void BatchServer::drain() {
   // One drainer at a time (drain() may race the destructor or another
   // drain() caller); later callers wait for the first to finish, then see
   // everything already torn down and fall through each step as a no-op.
-  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  common::MutexLock drain_lock(drain_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stop_ = true;  // from here every submit() fails fast, so pending_ only
                    // shrinks: the flush below empties it for good.
   }
@@ -99,10 +102,10 @@ void BatchServer::stop_shards() {
   // pieces — and so any dispatcher arriving later observes the cleared set
   // under the same mutex and scores inline instead of touching freed
   // Shard state.
-  std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+  common::MutexLock dispatch(dispatch_mutex_);
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      common::MutexLock lock(shard->mutex);
       shard->stop = true;
     }
     shard->cv.notify_all();
@@ -129,7 +132,7 @@ std::future<data::Label> BatchServer::submit(std::span<const float> features,
   std::promise<data::Label> evicted;
   bool has_evicted = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (stop_) return errored_future(ServeErrc::kStopped);
     if (options_.max_pending > 0 &&
         pending_.size() >= options_.max_pending) {
@@ -160,7 +163,7 @@ std::future<data::Label> BatchServer::submit(std::span<const float> features,
 std::size_t BatchServer::flush() {
   std::vector<Request> batch;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     batch = cut_batch_locked();
   }
   const std::size_t n = batch.size();
@@ -169,12 +172,12 @@ std::size_t BatchServer::flush() {
 }
 
 std::size_t BatchServer::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return pending_.size();
 }
 
 BatchServerStats BatchServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -197,9 +200,9 @@ std::vector<BatchServer::Request> BatchServer::cut_batch_locked() {
 }
 
 void BatchServer::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   while (true) {
-    cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    while (!stop_ && pending_.empty()) cv_.wait(lock);
     if (stop_) return;  // drain()'s flush() completes leftovers
 
     // Micro-batch window: hold the batch open until it fills or the oldest
@@ -208,16 +211,16 @@ void BatchServer::worker_loop() {
     // drain the queue mid-window, after which the head request belongs to
     // a NEW window — cutting it on the flushed batch's stale deadline
     // would shrink its delay budget to whatever the old batch left behind.
+    // (Explicit wake-and-recheck loop rather than a predicate wait: every
+    // condition is re-derived under the lock after each wakeup, and the
+    // capability analysis sees the guarded reads under the held lock.)
     for (;;) {
       if (stop_) return;
       if (pending_.empty()) break;  // a flush() raced us; back to idle
       if (pending_.size() >= options_.max_batch) break;
       const auto deadline = oldest_arrival_ + options_.max_delay;
       if (std::chrono::steady_clock::now() >= deadline) break;
-      cv_.wait_until(lock, deadline, [this] {
-        return stop_ || pending_.empty() ||
-               pending_.size() >= options_.max_batch;
-      });
+      cv_.wait_until(lock, deadline);
     }
     if (stop_) return;
     if (pending_.empty()) continue;
@@ -230,10 +233,9 @@ void BatchServer::worker_loop() {
 }
 
 void BatchServer::shard_loop(Shard& shard) {
-  std::unique_lock<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   for (;;) {
-    shard.cv.wait(lock,
-                  [&shard] { return shard.stop || shard.piece != nullptr; });
+    while (!shard.stop && shard.piece == nullptr) shard.cv.wait(lock);
     if (shard.piece != nullptr) {
       Request* piece = shard.piece;
       const std::size_t count = shard.count;
@@ -293,7 +295,7 @@ void BatchServer::run_batch(std::vector<Request> batch) {
   batch.resize(live);
   if (!expired.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       stats_.timed_out += expired.size();
     }
     const auto error =
@@ -311,35 +313,37 @@ void BatchServer::run_batch(std::vector<Request> batch) {
   // frozen model, with no lock held across scoring.
   const PinnedModel pinned = source_->pin();
 
+  if (options_.shards > 1 && n > options_.shard_quantum &&
+      run_sharded(batch, pinned))
+    return;
+
+  run_rows(batch.data(), n, *pinned.model, nullptr);
+  source_->note_scored(pinned.version, n);
+}
+
+bool BatchServer::run_sharded(std::vector<Request>& batch,
+                              const PinnedModel& pinned) {
   // Sharded dispatch holds dispatch_mutex_ from the shards_ liveness check
   // through the completion wait: it serializes concurrent dispatchers
   // (racing flush() callers take whole turns at the shard set) AND
   // stop_shards(), which acquires the same mutex before tearing the set
   // down — so shards_ cannot be freed under a dispatcher, and a dispatcher
   // that arrives after teardown sees the empty set and scores inline.
-  std::unique_lock<std::mutex> dispatch(dispatch_mutex_, std::defer_lock);
-  std::size_t pieces = 1;
-  if (options_.shards > 1 && n > options_.shard_quantum) {
-    dispatch.lock();
-    if (!shards_.empty())
-      pieces =
-          std::min(shards_.size(),
-                   (n + options_.shard_quantum - 1) / options_.shard_quantum);
-    if (pieces <= 1) dispatch.unlock();
-  }
+  common::MutexLock dispatch(dispatch_mutex_);
+  const std::size_t n = batch.size();
+  std::size_t pieces = 0;
+  if (!shards_.empty())
+    pieces =
+        std::min(shards_.size(),
+                 (n + options_.shard_quantum - 1) / options_.shard_quantum);
+  if (pieces <= 1) return false;  // torn down (or one piece): score inline
 
   // Stats are bumped before the promises complete so a caller that joins
   // its futures and then reads stats() sees this batch counted.
-  if (pieces > 1) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  {
+    common::MutexLock lock(mutex_);
     ++stats_.sharded_batches;
     stats_.shard_jobs += pieces;
-  }
-
-  if (pieces <= 1) {
-    run_rows(batch.data(), n, *pinned.model, nullptr);
-    source_->note_scored(pinned.version, n);
-    return;
   }
 
   // Row-wise split into contiguous, near-equal pieces; piece p goes to
@@ -353,7 +357,7 @@ void BatchServer::run_batch(std::vector<Request> batch) {
     const std::size_t count = base + (p < extra ? 1 : 0);
     Shard& shard = *shards_[p];
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      common::MutexLock lock(shard.mutex);
       shard.piece = batch.data() + offset;
       shard.count = count;
       shard.model = pinned.model.get();
@@ -365,12 +369,13 @@ void BatchServer::run_batch(std::vector<Request> batch) {
   MEMHD_ENSURES(offset == n);
   for (std::size_t p = 0; p < pieces; ++p) {
     Shard& shard = *shards_[p];
-    std::unique_lock<std::mutex> lock(shard.mutex);
-    shard.cv.wait(lock, [&shard] { return shard.piece == nullptr; });
+    common::MutexLock lock(shard.mutex);
+    while (shard.piece != nullptr) shard.cv.wait(lock);
   }
   // Only after the completion wait: the pin (and thus *pinned.model) must
   // outlive every shard's use of it.
   source_->note_scored(pinned.version, n);
+  return true;
 }
 
 void BatchServer::run_rows(Request* requests, std::size_t count,

@@ -74,11 +74,9 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <thread>
@@ -86,6 +84,8 @@
 
 #include "src/api/classifier.hpp"
 #include "src/api/model_source.hpp"
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace memhd::api {
 
@@ -189,14 +189,15 @@ class BatchServer {
   /// began. `deadline` is the absolute steady-clock point after which the
   /// request is not worth scoring.
   std::future<data::Label> submit(std::span<const float> features,
-                                  Clock::time_point deadline = kNoDeadline);
+                                  Clock::time_point deadline = kNoDeadline)
+      MEMHD_EXCLUDES(mutex_);
 
   /// Synchronously runs one batch over everything pending right now
   /// (possibly a partial batch) and returns its size; the batch is split
   /// across the shard workers when large enough. The deterministic path for
   /// tests and for draining in manual mode. Concurrent flush() callers are
   /// safe: the cut is atomic, so they take disjoint batches.
-  std::size_t flush();
+  std::size_t flush() MEMHD_EXCLUDES(mutex_, dispatch_mutex_);
 
   /// Graceful shutdown: atomically stops admission (every later submit()
   /// fails fast with ServeErrc::kStopped), joins the background worker,
@@ -204,10 +205,10 @@ class BatchServer {
   /// promise, and joins the shard workers. Returns once all of that is
   /// done. Idempotent and safe to call from any thread; the destructor
   /// calls it. After drain() the server only answers pending()/stats().
-  void drain();
+  void drain() MEMHD_EXCLUDES(drain_mutex_, mutex_, dispatch_mutex_);
 
-  std::size_t pending() const;
-  BatchServerStats stats() const;
+  std::size_t pending() const MEMHD_EXCLUDES(mutex_);
+  BatchServerStats stats() const MEMHD_EXCLUDES(mutex_);
 
   /// Version id the NEXT batch cut would score against (resolved from the
   /// source right now; a concurrent swap can change it immediately after).
@@ -227,37 +228,47 @@ class BatchServer {
   /// ever touched by its own thread.
   struct Shard {
     std::thread thread;
-    std::mutex mutex;
-    std::condition_variable cv;
-    Request* piece = nullptr;  // assigned rows; nullptr when idle
-    std::size_t count = 0;
-    bool stop = false;
+    common::Mutex mutex;
+    common::CondVar cv;
+    /// Assigned rows; nullptr when idle.
+    Request* piece MEMHD_GUARDED_BY(mutex) = nullptr;
+    std::size_t count MEMHD_GUARDED_BY(mutex) = 0;
+    bool stop MEMHD_GUARDED_BY(mutex) = false;
     /// Model + version the current piece must be scored with (set by the
     /// dispatcher with the piece; the dispatcher's pin keeps *model alive
     /// until the completion wait returns).
-    const Classifier* model = nullptr;
-    std::uint64_t version = 0;
+    const Classifier* model MEMHD_GUARDED_BY(mutex) = nullptr;
+    std::uint64_t version MEMHD_GUARDED_BY(mutex) = 0;
     /// Worker-private scoring scratch, rebuilt only when `version` differs
     /// from the version it was built for (steady serving on one version
-    /// pays the repack once; a swap pays it once per shard).
+    /// pays the repack once; a swap pays it once per shard). Deliberately
+    /// NOT guarded: thread-confined to the shard thread, which touches it
+    /// only between the handoff points above (both under `mutex`).
     std::unique_ptr<Classifier::PredictContext> context;
     std::uint64_t context_version = kNoContextVersion;
   };
   static constexpr std::uint64_t kNoContextVersion = ~std::uint64_t{0};
 
-  void worker_loop();
-  void shard_loop(Shard& shard);
+  void worker_loop() MEMHD_EXCLUDES(mutex_, dispatch_mutex_);
+  void shard_loop(Shard& shard) MEMHD_EXCLUDES(shard.mutex);
   /// Signals every shard worker to stop, joins them, and clears the set
   /// (destructor teardown; also the constructor's unwind path when a later
   /// thread spawn fails with shard threads already running).
-  void stop_shards();
+  void stop_shards() MEMHD_EXCLUDES(dispatch_mutex_);
   /// The serialized batch cut: swaps out pending_ and counts the batch in
   /// stats_. Requires mutex_ held — this is the one place a batch boundary
   /// is decided, so racing flushers/worker cuts take disjoint batches.
-  std::vector<Request> cut_batch_locked();
+  std::vector<Request> cut_batch_locked() MEMHD_REQUIRES(mutex_);
   /// Sheds expired requests, then completes the rest, splitting across the
   /// shard set when the live count exceeds the shard quantum.
-  void run_batch(std::vector<Request> batch);
+  void run_batch(std::vector<Request> batch)
+      MEMHD_EXCLUDES(mutex_, dispatch_mutex_);
+  /// The sharded arm of run_batch: takes the dispatch lock, splits `batch`
+  /// across the shard workers, and waits for completion. Returns false —
+  /// without dispatching anything — when teardown already cleared the shard
+  /// set or the batch only merits one piece; the caller then scores inline.
+  bool run_sharded(std::vector<Request>& batch, const PinnedModel& pinned)
+      MEMHD_EXCLUDES(dispatch_mutex_, mutex_);
   /// Scores `count` requests through one predict_batch_into call on
   /// `model` and completes their promises (exceptions complete every
   /// promise too).
@@ -268,22 +279,27 @@ class BatchServer {
   std::size_t num_features_ = 0;  // cached; a source never changes schema
   BatchServerOptions options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<Request> pending_;
-  std::chrono::steady_clock::time_point oldest_arrival_{};
-  bool stop_ = false;
-  BatchServerStats stats_;
+  // Lock order (see src/common/README.md): drain_mutex_ -> dispatch_mutex_
+  // -> mutex_ -> Shard::mutex. Declared as ACQUIRED_BEFORE edges so the
+  // analysis rejects a future inversion.
+  mutable common::Mutex mutex_;
+  common::CondVar cv_;
+  std::vector<Request> pending_ MEMHD_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point oldest_arrival_
+      MEMHD_GUARDED_BY(mutex_){};
+  bool stop_ MEMHD_GUARDED_BY(mutex_) = false;
+  BatchServerStats stats_ MEMHD_GUARDED_BY(mutex_);
   std::thread worker_;
 
   /// Serializes drain() callers (including the destructor) so only one
   /// joins the worker and tears down the shard set.
-  std::mutex drain_mutex_;
+  common::Mutex drain_mutex_ MEMHD_ACQUIRED_BEFORE(mutex_);
 
   /// Serializes sharded dispatch (concurrent flush() callers take turns at
   /// the shard set instead of interleaving pieces on one worker).
-  std::mutex dispatch_mutex_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  common::Mutex dispatch_mutex_ MEMHD_ACQUIRED_BEFORE(mutex_);
+  std::vector<std::unique_ptr<Shard>> shards_
+      MEMHD_GUARDED_BY(dispatch_mutex_);
 };
 
 }  // namespace memhd::api

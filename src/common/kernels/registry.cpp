@@ -1,6 +1,15 @@
 // The backend registry: the descriptor table, name/alias lookup, and the
 // process-global active-backend selection (CPU detection + the re-checkable
 // MEMHD_BATCH_KERNEL environment override).
+//
+// Thread contract (why this file carries no capability annotations): the
+// only shared mutable state is g_active, a single atomic pointer into an
+// immutable descriptor table. Selection races are benign by design — two
+// threads racing select_backend() both install *some* valid backend via
+// compare_exchange, and readers always see a fully-constructed descriptor
+// (the table is const static storage). There is no mutex here for the
+// thread-safety analysis to check; the contract is "atomics only, no
+// blocking", which TSan covers.
 #include "src/common/kernels/backend.hpp"
 
 #include <atomic>

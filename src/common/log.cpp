@@ -43,12 +43,33 @@ LogLevel log_level() {
 
 void log_message(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "[memhd %s] ", level_name(level));
+  // One line, ONE stdio call: stdio locks the stream per call, so the whole
+  // line is atomic with respect to concurrent loggers. (Emitting prefix,
+  // body, and newline as three calls interleaved lines under concurrency —
+  // caught by the thread-safety audit, regression-tested in
+  // tests/common/test_log.cpp.) Messages longer than the buffer are
+  // truncated with a marker rather than torn.
+  char line[2048];
+  const int prefix =
+      std::snprintf(line, sizeof(line), "[memhd %s] ", level_name(level));
+  if (prefix < 0) return;
+  std::size_t used = static_cast<std::size_t>(prefix);
+  if (used >= sizeof(line) - 2) used = sizeof(line) - 2;
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int body =
+      std::vsnprintf(line + used, sizeof(line) - 1 - used, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body > 0) {
+    used += static_cast<std::size_t>(body);
+    if (used > sizeof(line) - 2) {  // truncated: keep room for the newline
+      used = sizeof(line) - 2;
+      line[used - 3] = line[used - 2] = line[used - 1] = '.';
+    }
+  }
+  line[used] = '\n';
+  line[used + 1] = '\0';
+  std::fputs(line, stderr);
 }
 
 }  // namespace memhd::common

@@ -1,5 +1,11 @@
 // Leveled stderr logger. Kept deliberately small: benches print results to
 // stdout (machine-consumable); diagnostics go through here to stderr.
+//
+// Thread contract: every function is safe from any thread with no mutex —
+// the level is a relaxed atomic (a racing set_log_level may drop or admit a
+// borderline message, never corrupt), and each message is emitted as ONE
+// stdio call so concurrent loggers cannot interleave within a line (stdio
+// locks the stream per call; asserted by tests/common/test_log.cpp).
 #pragma once
 
 #include <string>

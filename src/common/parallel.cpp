@@ -38,7 +38,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   work_cv_.notify_all();
@@ -53,14 +53,14 @@ void ThreadPool::run_task(const Task& task) {
     // short bounds the damage of a poisoned task body.
     bool sibling_failed;
     {
-      std::lock_guard<std::mutex> lock(task.job->mutex);
+      MutexLock lock(task.job->mutex);
       sibling_failed = (task.job->error != nullptr);
     }
     if (!sibling_failed) {
       try {
         for (std::size_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(task.job->mutex);
+        MutexLock lock(task.job->mutex);
         if (task.job->error == nullptr)
           task.job->error = std::current_exception();
       }
@@ -68,7 +68,7 @@ void ThreadPool::run_task(const Task& task) {
   }
   // Completion is signalled under the job mutex: the caller cannot wake and
   // destroy the stack-allocated job before this worker is done touching it.
-  std::lock_guard<std::mutex> lock(task.job->mutex);
+  MutexLock lock(task.job->mutex);
   if (--task.job->remaining == 0) task.job->done.notify_all();
 }
 
@@ -76,8 +76,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_cv_.wait(lock);
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -96,26 +96,34 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t nchunks =
       std::min<std::size_t>(workers_.size(), n);
   const std::size_t chunk = (n + nchunks - 1) / nchunks;
+  // Cut the chunk list first so job.remaining can be published ONCE, before
+  // any task is visible to a worker — after that the counter is only ever
+  // touched under job.mutex (worker decrements, completion wait).
+  std::vector<Task> tasks;
+  tasks.reserve(nchunks);
   ParallelJob job;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    tasks.push_back(Task{lo, hi, &fn, &job});
+  }
   {
-    // Workers cannot pop (and hence touch job.remaining) until the queue
-    // mutex is released, so the plain increments here are ordered before
-    // every worker-side decrement.
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t c = 0; c < nchunks; ++c) {
-      const std::size_t lo = begin + c * chunk;
-      const std::size_t hi = std::min(end, lo + chunk);
-      if (lo >= hi) break;
-      queue_.push_back(Task{lo, hi, &fn, &job});
-      ++job.remaining;
-    }
+    MutexLock lock(job.mutex);  // uncontended: no worker has seen the job yet
+    job.remaining = tasks.size();
+  }
+  {
+    MutexLock lock(mutex_);
+    for (const Task& task : tasks) queue_.push_back(task);
   }
   work_cv_.notify_all();
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(job.mutex);
-    job.done.wait(lock, [&job] { return job.remaining == 0; });
+    MutexLock lock(job.mutex);
+    while (job.remaining != 0) job.done.wait(lock);
+    error = job.error;
   }
-  if (job.error) std::rethrow_exception(job.error);
+  if (error) std::rethrow_exception(error);
 }
 
 unsigned parse_num_threads(const char* value) {

@@ -4,25 +4,26 @@
 // a single-core host the pool degrades to sequential execution with no
 // thread overhead (grain check happens before any dispatch).
 //
-// Concurrency contract: every parallel_for call owns its completion state
-// (a stack-allocated per-call job the workers decrement), so concurrent
-// callers from different threads share only the task queue — neither waits
-// for the other's chunks, and a steady submitter cannot starve another
-// caller's return (the queue drains FIFO). If a task body throws, the first
-// exception is captured and rethrown on the calling thread once the call's
-// remaining chunks have drained; chunks of the same call that have not
-// started yet are skipped after a sibling failure. Worker threads survive
-// task exceptions.
+// Concurrency contract (machine-checked — see src/common/README.md): every
+// parallel_for call owns its completion state (a stack-allocated per-call
+// job the workers decrement), so concurrent callers from different threads
+// share only the task queue — neither waits for the other's chunks, and a
+// steady submitter cannot starve another caller's return (the queue drains
+// FIFO). If a task body throws, the first exception is captured and
+// rethrown on the calling thread once the call's remaining chunks have
+// drained; chunks of the same call that have not started yet are skipped
+// after a sibling failure. Worker threads survive task exceptions.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace memhd::common {
 
@@ -30,7 +31,7 @@ namespace memhd::common {
 class ThreadPool {
  public:
   explicit ThreadPool(unsigned num_threads);
-  ~ThreadPool();
+  ~ThreadPool() MEMHD_EXCLUDES(mutex_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -42,17 +43,22 @@ class ThreadPool {
   /// finish (chunks queued by concurrent callers are not waited on).
   /// Rethrows the first exception a task body threw.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn)
+      MEMHD_EXCLUDES(mutex_);
 
  private:
   /// Per-call completion state, stack-allocated by parallel_for. Each task
   /// points into its caller's job, so a caller tracks — and waits on — only
-  /// its own chunks.
+  /// its own chunks. `remaining` is set to the final chunk count BEFORE the
+  /// first task is published to the queue; after publication it is only
+  /// ever touched under `mutex` (the workers' decrements and the caller's
+  /// completion wait).
   struct ParallelJob {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining = 0;
-    std::exception_ptr error;  // first task exception; rethrown by the caller
+    Mutex mutex;
+    CondVar done;
+    std::size_t remaining MEMHD_GUARDED_BY(mutex) = 0;
+    /// First task exception; rethrown by the caller.
+    std::exception_ptr error MEMHD_GUARDED_BY(mutex);
   };
 
   struct Task {
@@ -62,14 +68,15 @@ class ThreadPool {
     ParallelJob* job = nullptr;
   };
 
-  void worker_loop();
+  void worker_loop() MEMHD_EXCLUDES(mutex_);
   static void run_task(const Task& task);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::deque<Task> queue_;  // FIFO: oldest caller's chunks run first
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_cv_;
+  /// FIFO: oldest caller's chunks run first.
+  std::deque<Task> queue_ MEMHD_GUARDED_BY(mutex_);
+  bool shutting_down_ MEMHD_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool, created once on first use and reused by every

@@ -1,0 +1,144 @@
+// Annotated synchronization primitives: thin wrappers over the libstdc++
+// types that carry the Clang capability-analysis attributes (std::mutex and
+// friends cannot — attributes must be on the declaration, and the standard
+// library's are out of our hands).
+//
+// common::Mutex / common::CondVar / common::MutexLock are drop-in
+// replacements for std::mutex / std::condition_variable /
+// std::unique_lock<std::mutex> with IDENTICAL runtime behavior (each holds
+// exactly the std type; every operation forwards; timed waits included —
+// asserted by tests/common/test_annotated_sync.cpp). What they add is the
+// compile-time contract: a MEMHD_GUARDED_BY(mutex_) member touched without
+// the mutex, a MEMHD_REQUIRES helper called unlocked, or a re-entrant
+// acquisition through a MEMHD_EXCLUDES entry point is a build error under
+// the CI clang leg (-Werror=thread-safety).
+//
+// Condition-variable convention: CondVar::wait takes the MutexLock and has
+// no capability annotation of its own — the analysis sees the lock held
+// across the call, which matches reality (wait releases and reacquires
+// internally, but never returns without the lock held). Write waits as
+// explicit `while (!predicate) cv.wait(lock);` loops rather than passing
+// predicate lambdas: a lambda body is analyzed as a separate function that
+// does not hold the capability, so guarded reads inside it would
+// (correctly, but uselessly) trip the analysis.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.hpp"
+
+namespace memhd::common {
+
+/// std::mutex carrying the "mutex" capability for the analysis.
+class MEMHD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MEMHD_ACQUIRE() { m_.lock(); }
+  void unlock() MEMHD_RELEASE() { m_.unlock(); }
+  bool try_lock() MEMHD_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop with std types that need one
+  /// (CondVar uses it; nothing else should).
+  std::mutex& native_handle() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock over common::Mutex: std::unique_lock semantics (RAII plus
+/// manual unlock()/lock() for hand-over-hand sections like
+/// BatchServer::worker_loop), tracked by the analysis as a scoped
+/// capability so every path must leave the lock state consistent.
+class MEMHD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MEMHD_ACQUIRE(mutex)
+      : mutex_(mutex), held_(true) {
+    mutex_.lock();
+  }
+  ~MutexLock() MEMHD_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (destructor then does nothing).
+  void unlock() MEMHD_RELEASE() {
+    held_ = false;
+    mutex_.unlock();
+  }
+  /// Reacquires after unlock().
+  void lock() MEMHD_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+  bool owns_lock() const noexcept { return held_; }
+
+ private:
+  friend class CondVar;
+  Mutex& mutex_;
+  bool held_;
+};
+
+/// std::condition_variable over common::Mutex. Identical wakeup/timeout
+/// semantics (it IS a std::condition_variable on the Mutex's native
+/// handle); the caller must hold the MutexLock across every wait, exactly
+/// as with std::unique_lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Blocks until notified (spurious wakeups possible — always wait in a
+  /// `while (!predicate)` loop).
+  void wait(MutexLock& lock) {
+    auto native = adopt(lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Timed wait against an absolute deadline (what BatchServer's batching
+  /// window cut uses). Returns std::cv_status::timeout iff the deadline
+  /// passed without a notification.
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    auto native = adopt(lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  /// Timed wait for a relative duration.
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    auto native = adopt(lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status;
+  }
+
+ private:
+  /// Wraps the already-held native mutex for the std wait call; the caller
+  /// release()s the association afterwards so ownership stays with the
+  /// MutexLock. (The wait itself unlocks and relocks the mutex — the lock
+  /// is held again by the time any of the wait functions return.)
+  static std::unique_lock<std::mutex> adopt(MutexLock& lock) {
+    return std::unique_lock<std::mutex>(lock.mutex_.native_handle(),
+                                        std::adopt_lock);
+  }
+
+  std::condition_variable cv_;
+};
+
+}  // namespace memhd::common

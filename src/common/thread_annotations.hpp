@@ -1,0 +1,98 @@
+// Clang thread-safety (capability) analysis macros — the compile-time half
+// of the repo's locking contracts.
+//
+// Every mutex-protected invariant in the concurrent subsystems (ThreadPool,
+// api::BatchServer, serve::Server, online::ModelStore) is written down with
+// these macros so `clang -Werror=thread-safety` turns a forgotten lock, a
+// `_locked` helper called without its mutex, or a self-deadlocking public
+// entry point into a BUILD FAILURE instead of a TSan report after the fact.
+// The CI clang leg builds all of src/ with the analysis promoted to errors;
+// see src/common/README.md for the per-subsystem locking discipline and
+// tools/check_thread_safety_gate.py for the smoke test proving the gate
+// actually fires.
+//
+// Under any compiler without the capability-analysis attributes (GCC, MSVC)
+// every macro expands to nothing, so the annotated code is plain C++ there.
+//
+// Usage conventions in this repo:
+//   * Data members guarded by a mutex:        T x MEMHD_GUARDED_BY(mutex_);
+//   * Private `_locked` helpers:              void f() MEMHD_REQUIRES(mutex_);
+//   * Public entry points that take the lock: void f() MEMHD_EXCLUDES(mutex_);
+//     (EXCLUDES is what catches the re-entrant self-deadlock class of bug —
+//     the old /stats deadlock — at compile time.)
+//   * Escape hatches (MEMHD_NO_THREAD_SAFETY_ANALYSIS) require a one-line
+//     justification comment at the use site. Grep for the macro to audit.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability (a lockable). `x` is the capability kind
+/// shown in diagnostics, e.g. MEMHD_CAPABILITY("mutex").
+#define MEMHD_CAPABILITY(x) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (common::MutexLock).
+#define MEMHD_SCOPED_CAPABILITY \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define MEMHD_GUARDED_BY(x) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose POINTEE is guarded by the capability (the pointer
+/// itself may be read freely).
+#define MEMHD_PT_GUARDED_BY(x) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Declares lock-ordering edges between mutex members; a violation of the
+/// declared order is a -Wthread-safety-analysis error.
+#define MEMHD_ACQUIRED_BEFORE(...) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define MEMHD_ACQUIRED_AFTER(...) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability/ies held on entry AND exit — the
+/// contract of every `*_locked` helper.
+#define MEMHD_REQUIRES(...) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) form of MEMHD_REQUIRES.
+#define MEMHD_REQUIRES_SHARED(...) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on exit, not on entry).
+#define MEMHD_ACQUIRE(...) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define MEMHD_RELEASE(...) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Try-lock: acquires the capability iff the function returns `val`.
+#define MEMHD_TRY_ACQUIRE(...) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the anti-self-deadlock annotation
+/// for public entry points that lock internally).
+#define MEMHD_EXCLUDES(...) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (for the analysis only) that the capability is already held —
+/// for code reached only from under the lock through a path the analysis
+/// cannot follow.
+#define MEMHD_ASSERT_CAPABILITY(x) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the given capability (lock accessors).
+#define MEMHD_RETURN_CAPABILITY(x) \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Every use in this repo
+/// MUST carry a one-line justification comment at the use site.
+#define MEMHD_NO_THREAD_SAFETY_ANALYSIS \
+  MEMHD_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

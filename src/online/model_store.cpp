@@ -21,13 +21,16 @@ ModelStore::ModelStore(std::unique_ptr<api::Classifier> initial,
   Snapshot root;
   root.model = std::shared_ptr<const api::Classifier>(std::move(initial));
   root.parent = 0;  // v0 is its own parent (rollback stops here)
+  // Uncontended (nobody else can hold a reference yet); taken so the
+  // guarded writes satisfy the capability analysis.
+  common::MutexLock lock(mutex_);
   versions_.emplace(0, std::move(root));
   current_ = 0;
   next_id_ = 1;
 }
 
 api::PinnedModel ModelStore::pin() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = versions_.find(current_);
   MEMHD_ENSURES(it != versions_.end());  // the current version is never pruned
   return {it->second.model, current_};
@@ -36,14 +39,13 @@ api::PinnedModel ModelStore::pin() const {
 void ModelStore::note_scored(std::uint64_t version,
                              std::size_t rows) const noexcept {
   try {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     const auto it = versions_.find(version);
     // A batch can complete after its version was pruned (it held the model
     // alive through its pin); the stats row is gone, and that is fine.
     if (it == versions_.end()) return;
-    auto& snapshot = const_cast<Snapshot&>(it->second);
-    ++snapshot.batches_served;
-    snapshot.rows_served += rows;
+    ++it->second.batches_served;  // mutable counters: no const_cast
+    it->second.rows_served += rows;
   } catch (...) {
     // Stats are best-effort; a failed lock must not take down a serve path.
   }
@@ -51,7 +53,7 @@ void ModelStore::note_scored(std::uint64_t version,
 
 core::PartialFitReport ModelStore::partial_fit(
     const common::Matrix& samples, std::span<const data::Label> labels) {
-  std::lock_guard<std::mutex> train_lock(train_mutex_);
+  common::MutexLock train_lock(train_mutex_);
   if (working_ == nullptr) {
     // Lazy copy-on-write clone: resolve the current version under the state
     // lock, clone it OUTSIDE that lock (the clone is the expensive part and
@@ -67,25 +69,26 @@ core::PartialFitReport ModelStore::partial_fit(
 }
 
 VersionId ModelStore::publish() {
-  std::lock_guard<std::mutex> train_lock(train_mutex_);
+  common::MutexLock train_lock(train_mutex_);
   if (working_ == nullptr)
     throw std::logic_error("online: publish with no pending partial_fit");
   const auto parent = working_parent_;
-  const auto base_samples = [&] {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t base_samples = 0;
+  {
+    common::MutexLock lock(mutex_);
     const auto it = versions_.find(parent);
-    return it != versions_.end() ? it->second.samples_trained : 0;
-  }();
+    if (it != versions_.end()) base_samples = it->second.samples_trained;
+  }
   std::shared_ptr<const api::Classifier> frozen(std::move(working_));
   working_ = nullptr;
   const auto samples = base_samples + working_samples_;
   working_samples_ = 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return publish_locked(std::move(frozen), parent, samples);
 }
 
 bool ModelStore::has_pending() const {
-  std::lock_guard<std::mutex> train_lock(train_mutex_);
+  common::MutexLock train_lock(train_mutex_);
   return working_ != nullptr;
 }
 
@@ -111,13 +114,13 @@ VersionId ModelStore::publish_locked(
 }
 
 void ModelStore::swap(VersionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (versions_.find(id) == versions_.end()) throw UnknownVersionError(id);
   current_ = id;
 }
 
 void ModelStore::rollback() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = versions_.find(current_);
   MEMHD_ENSURES(it != versions_.end());
   if (it->second.parent == current_)
@@ -129,12 +132,12 @@ void ModelStore::rollback() {
 }
 
 VersionId ModelStore::current_version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return current_;
 }
 
 std::vector<VersionStats> ModelStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<VersionStats> out;
   out.reserve(versions_.size());
   for (const auto& [id, snapshot] : versions_) {  // std::map: ascending id
@@ -152,7 +155,7 @@ std::vector<VersionStats> ModelStore::stats() const {
 }
 
 std::size_t ModelStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return versions_.size();
 }
 

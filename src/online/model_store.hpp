@@ -29,12 +29,13 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/api/model_source.hpp"
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
 #include "src/online/version.hpp"
 
 namespace memhd::online {
@@ -63,10 +64,10 @@ class ModelStore final : public api::ModelSource {
 
   // ------------------------------------------------------- serving side --
   /// The current snapshot. See api::ModelSource::pin().
-  api::PinnedModel pin() const override;
+  api::PinnedModel pin() const override MEMHD_EXCLUDES(mutex_);
   std::size_t num_features() const override { return num_features_; }
-  void note_scored(std::uint64_t version,
-                   std::size_t rows) const noexcept override;
+  void note_scored(std::uint64_t version, std::size_t rows) const noexcept
+      override MEMHD_EXCLUDES(mutex_);
 
   // ------------------------------------------------------ training side --
   /// One incremental-training pass on the PRIVATE working copy (lazily
@@ -74,44 +75,48 @@ class ModelStore final : public api::ModelSource {
   /// swap). Published versions — including the one being served right now —
   /// are never modified; nothing changes for servers until publish().
   core::PartialFitReport partial_fit(const common::Matrix& samples,
-                                     std::span<const data::Label> labels);
+                                     std::span<const data::Label> labels)
+      MEMHD_EXCLUDES(train_mutex_, mutex_);
 
   /// Freezes the working copy as a new version, atomically makes it
   /// current, and returns its id. Throws std::logic_error when no
   /// partial_fit is pending. Prunes the oldest non-current version(s)
   /// beyond max_versions.
-  VersionId publish();
+  VersionId publish() MEMHD_EXCLUDES(train_mutex_, mutex_);
 
   /// True when partial_fit has trained a working copy not yet published.
-  bool has_pending() const;
+  bool has_pending() const MEMHD_EXCLUDES(train_mutex_);
 
   // ------------------------------------------------------- version moves --
   /// Atomically redirects pin() to a retained version (canary / rollback to
   /// any point). Throws UnknownVersionError for ids never published or
   /// already pruned. A pending working copy is unaffected: it keeps the
   /// parent it was cloned from.
-  void swap(VersionId id);
+  void swap(VersionId id) MEMHD_EXCLUDES(mutex_);
 
   /// swap() to the current version's parent. Throws std::logic_error at the
   /// root (version 0 is its own parent), UnknownVersionError when the
   /// parent was pruned.
-  void rollback();
+  void rollback() MEMHD_EXCLUDES(mutex_);
 
   // ------------------------------------------------------------- inspect --
-  VersionId current_version() const;
+  VersionId current_version() const MEMHD_EXCLUDES(mutex_);
   /// Snapshot of every retained version, ascending id order.
-  std::vector<VersionStats> stats() const;
+  std::vector<VersionStats> stats() const MEMHD_EXCLUDES(mutex_);
   /// Retained version count (>= 1).
-  std::size_t size() const;
+  std::size_t size() const MEMHD_EXCLUDES(mutex_);
 
  private:
   struct Snapshot {
     std::shared_ptr<const api::Classifier> model;
     VersionId parent = 0;
     std::uint64_t samples_trained = 0;
-    // Serving counters; mutated under mutex_ via note_scored (const path).
-    std::uint64_t batches_served = 0;
-    std::uint64_t rows_served = 0;
+    // Serving counters; mutated under mutex_ via note_scored. `mutable`
+    // because note_scored is const (the api::ModelSource serving surface)
+    // and reaches them through a const iterator — the honest spelling of
+    // "logically const, physically counted" (no const_cast).
+    mutable std::uint64_t batches_served = 0;
+    mutable std::uint64_t rows_served = 0;
   };
 
   friend std::unique_ptr<ModelStore> load_store(std::istream& in);
@@ -120,20 +125,22 @@ class ModelStore final : public api::ModelSource {
 
   /// Inserts `model` as a new current version under mutex_ and prunes.
   VersionId publish_locked(std::shared_ptr<const api::Classifier> model,
-                           VersionId parent, std::uint64_t samples_trained);
+                           VersionId parent, std::uint64_t samples_trained)
+      MEMHD_REQUIRES(mutex_);
 
   /// Guards versions_/current_/next_id_ and the per-version counters.
-  mutable std::mutex mutex_;
-  std::map<VersionId, Snapshot> versions_;
-  VersionId current_ = 0;
-  VersionId next_id_ = 0;
+  mutable common::Mutex mutex_;
+  std::map<VersionId, Snapshot> versions_ MEMHD_GUARDED_BY(mutex_);
+  VersionId current_ MEMHD_GUARDED_BY(mutex_) = 0;
+  VersionId next_id_ MEMHD_GUARDED_BY(mutex_) = 0;
 
   /// Serializes partial_fit/publish callers; never held with mutex_ locked
-  /// across training (ordering: train_mutex_ outside, mutex_ inside).
-  mutable std::mutex train_mutex_;
-  std::unique_ptr<api::Classifier> working_;
-  VersionId working_parent_ = 0;
-  std::uint64_t working_samples_ = 0;
+  /// across training (ordering: train_mutex_ outside, mutex_ inside —
+  /// declared so the analysis rejects an inversion).
+  mutable common::Mutex train_mutex_ MEMHD_ACQUIRED_BEFORE(mutex_);
+  std::unique_ptr<api::Classifier> working_ MEMHD_GUARDED_BY(train_mutex_);
+  VersionId working_parent_ MEMHD_GUARDED_BY(train_mutex_) = 0;
+  std::uint64_t working_samples_ MEMHD_GUARDED_BY(train_mutex_) = 0;
 
   ModelStoreOptions options_;
   std::size_t num_features_ = 0;

@@ -38,7 +38,7 @@ void save_store(const ModelStore& store, std::ostream& out) {
   VersionId current = 0;
   VersionId next_id = 0;
   {
-    std::lock_guard<std::mutex> lock(store.mutex_);
+    common::MutexLock lock(store.mutex_);
     versions.assign(store.versions_.begin(), store.versions_.end());
     current = store.current_;
     next_id = store.next_id_;
@@ -68,6 +68,9 @@ std::unique_ptr<ModelStore> load_store(std::istream& in) {
   const auto next_id = read_pod<std::uint64_t>(in);
 
   std::unique_ptr<ModelStore> store(new ModelStore());
+  // Uncontended (the store is private to this function until returned);
+  // taken so the guarded writes satisfy the capability analysis.
+  common::MutexLock lock(store->mutex_);
   for (std::uint32_t i = 0; i < count; ++i) {
     const auto id = read_pod<std::uint64_t>(in);
     ModelStore::Snapshot snapshot;

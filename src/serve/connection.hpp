@@ -17,6 +17,14 @@
 //     mid-frame is evicted after read_timeout; a client not consuming its
 //     responses is evicted after write_timeout (slow-client eviction); a
 //     fully idle keep-alive connection is closed after idle_timeout.
+//
+// Thread contract (why this class carries no capability annotations): a
+// Connection is confined to the Server's single event-loop thread. Every
+// member — buffers, the in-flight deque, the futures — is touched only from
+// loop()/drain_sequence(); scoring threads communicate back exclusively
+// through the std::future handshake, which supplies the happens-before
+// edge. No mutex means nothing for the thread-safety analysis to prove;
+// confinement is the contract (see src/common/README.md).
 #pragma once
 
 #include <chrono>

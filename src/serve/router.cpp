@@ -165,31 +165,37 @@ AdminResponse Router::admin(const AdminRequest& request) {
 }
 
 std::string Router::models_json() const {
+  // append() throughout: each `json += "lit" + to_string(x)` spelling built
+  // a temporary string per field (clang-tidy performance pass); /models is
+  // polled by monitors, so the garbage was recurring, not one-off.
   std::string json = "{";
+  json.reserve(64 + 192 * entries_.size());
   bool first = true;
   for (const auto& [name, entry] : entries_) {
     if (!first) json += ", ";
     first = false;
-    json += "\"" + name + "\": {";
+    json.append("\"").append(name).append("\": {");
     if (entry.store == nullptr) {
       json += "\"versioned\": false, \"current\": 0}";
       continue;
     }
     json += "\"versioned\": true";
-    json += ", \"current\": " +
-            std::to_string(entry.store->current_version());
+    json.append(", \"current\": ")
+        .append(std::to_string(entry.store->current_version()));
     json += ", \"versions\": [";
     bool first_version = true;
     for (const auto& v : entry.store->stats()) {
       if (!first_version) json += ", ";
       first_version = false;
-      json += "{\"id\": " + std::to_string(v.id);
-      json += ", \"parent\": " + std::to_string(v.parent);
-      json += ", \"current\": " + std::string(v.current ? "true" : "false");
-      json += ", \"num_classes\": " + std::to_string(v.num_classes);
-      json += ", \"samples_trained\": " + std::to_string(v.samples_trained);
-      json += ", \"batches_served\": " + std::to_string(v.batches_served);
-      json += ", \"rows_served\": " + std::to_string(v.rows_served);
+      json.append("{\"id\": ").append(std::to_string(v.id));
+      json.append(", \"parent\": ").append(std::to_string(v.parent));
+      json.append(", \"current\": ").append(v.current ? "true" : "false");
+      json.append(", \"num_classes\": ").append(std::to_string(v.num_classes));
+      json.append(", \"samples_trained\": ")
+          .append(std::to_string(v.samples_trained));
+      json.append(", \"batches_served\": ")
+          .append(std::to_string(v.batches_served));
+      json.append(", \"rows_served\": ").append(std::to_string(v.rows_served));
       json += "}";
     }
     json += "]}";
@@ -199,23 +205,32 @@ std::string Router::models_json() const {
 }
 
 std::string Router::stats_json() const {
+  // append() for the same reason as models_json above: this renders inside
+  // the ingress /stats path, and the old spelling made a temporary string
+  // per field per model.
   std::string json = "{";
+  json.reserve(64 + 256 * entries_.size());
   bool first = true;
   for (const auto& [name, entry] : entries_) {
     const auto s = entry.server->stats();
     if (!first) json += ", ";
     first = false;
-    json += "\"" + name + "\": {";
-    json += "\"requests\": " + std::to_string(s.requests);
-    json += ", \"batches\": " + std::to_string(s.batches);
-    json += ", \"largest_batch\": " + std::to_string(s.largest_batch);
-    json += ", \"sharded_batches\": " + std::to_string(s.sharded_batches);
-    json += ", \"shard_jobs\": " + std::to_string(s.shard_jobs);
-    json += ", \"rejected\": " + std::to_string(s.rejected);
-    json += ", \"timed_out\": " + std::to_string(s.timed_out);
-    json += ", \"queue_depth_peak\": " + std::to_string(s.queue_depth_peak);
-    json += ", \"pending\": " + std::to_string(entry.server->pending());
-    json += ", \"version\": " + std::to_string(entry.server->active_version());
+    json.append("\"").append(name).append("\": {");
+    json.append("\"requests\": ").append(std::to_string(s.requests));
+    json.append(", \"batches\": ").append(std::to_string(s.batches));
+    json.append(", \"largest_batch\": ")
+        .append(std::to_string(s.largest_batch));
+    json.append(", \"sharded_batches\": ")
+        .append(std::to_string(s.sharded_batches));
+    json.append(", \"shard_jobs\": ").append(std::to_string(s.shard_jobs));
+    json.append(", \"rejected\": ").append(std::to_string(s.rejected));
+    json.append(", \"timed_out\": ").append(std::to_string(s.timed_out));
+    json.append(", \"queue_depth_peak\": ")
+        .append(std::to_string(s.queue_depth_peak));
+    json.append(", \"pending\": ")
+        .append(std::to_string(entry.server->pending()));
+    json.append(", \"version\": ")
+        .append(std::to_string(entry.server->active_version()));
     json += "}";
   }
   json += "}";

@@ -103,7 +103,7 @@ void Server::bind_and_listen() {
   socklen_t len = sizeof(bound);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
       0)
-    port_ = ntohs(bound.sin_port);
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
 }
 
 void Server::start() {
@@ -133,24 +133,30 @@ void Server::join() {
 }
 
 IngressStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   return stats_;
 }
 
 std::string Server::stats_json() const { return render_stats_json(stats()); }
 
 std::string Server::render_stats_json(const IngressStats& s) const {
+  // append() throughout: the `+= "lit" + to_string(x)` spelling built a
+  // temporary per field (clang-tidy performance pass), and /stats is
+  // rendered while the event loop holds stats_mutex_ — the less work under
+  // that lock, the better.
   std::string json = "{\"ingress\": {";
-  json += "\"accepted\": " + std::to_string(s.accepted);
-  json += ", \"closed\": " + std::to_string(s.closed);
-  json += ", \"evicted_slow\": " + std::to_string(s.evicted_slow);
-  json += ", \"evicted_stalled\": " + std::to_string(s.evicted_stalled);
-  json += ", \"closed_idle\": " + std::to_string(s.closed_idle);
-  json += ", \"malformed\": " + std::to_string(s.malformed);
-  json += ", \"requests\": " + std::to_string(s.requests);
-  json += ", \"http_requests\": " + std::to_string(s.http_requests);
-  json += ", \"responses\": " + std::to_string(s.responses);
-  json += "}, \"models\": " + router_.stats_json() + "}";
+  json.reserve(256);
+  json.append("\"accepted\": ").append(std::to_string(s.accepted));
+  json.append(", \"closed\": ").append(std::to_string(s.closed));
+  json.append(", \"evicted_slow\": ").append(std::to_string(s.evicted_slow));
+  json.append(", \"evicted_stalled\": ")
+      .append(std::to_string(s.evicted_stalled));
+  json.append(", \"closed_idle\": ").append(std::to_string(s.closed_idle));
+  json.append(", \"malformed\": ").append(std::to_string(s.malformed));
+  json.append(", \"requests\": ").append(std::to_string(s.requests));
+  json.append(", \"http_requests\": ").append(std::to_string(s.http_requests));
+  json.append(", \"responses\": ").append(std::to_string(s.responses));
+  json.append("}, \"models\": ").append(router_.stats_json()).append("}");
   return json;
 }
 
@@ -180,7 +186,7 @@ void Server::accept_ready(Clock_t now) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_.push_back(std::make_unique<Connection>(fd, now));
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      common::MutexLock lock(stats_mutex_);
       ++stats_.accepted;
     }
   }
@@ -188,8 +194,9 @@ void Server::accept_ready(Clock_t now) {
 
 void Server::loop() {
   running_.store(true, std::memory_order_release);
-  // Called from process_buffered while the loop holds stats_mutex_.
-  const auto stats_fn = [this] { return render_stats_json(stats_); };
+  // Called from process_buffered while the loop holds stats_mutex_ (the
+  // escape-hatch method carries the justification).
+  const auto stats_fn = [this] { return stats_json_under_loop_lock(); };
 
   std::vector<pollfd> fds;
   while (!stop_requested_.load(std::memory_order_acquire)) {
@@ -231,7 +238,7 @@ void Server::loop() {
     if (fds[1].revents & POLLIN) accept_ready(now);
 
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      common::MutexLock lock(stats_mutex_);
       for (std::size_t i = 0; i < polled; ++i) {
         Connection& conn = *connections_[i];
         const short revents = fds[i + 2].revents;
@@ -271,11 +278,16 @@ void Server::loop() {
             break;
         }
       }
-      std::erase_if(connections_, [this](const auto& conn) {
-        if (!conn->finished()) return false;
-        conn->close(stats_);  // counts teardown for EOF-drained connections
-        return true;
-      });
+      // Explicit erase loop (not erase_if): the close(stats_) bookkeeping
+      // must stay visibly under the stats_mutex_ scope for the analysis.
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->finished()) {
+          (*it)->close(stats_);  // counts teardown for EOF-drained connections
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
     }
   }
 
@@ -299,13 +311,13 @@ void Server::drain_sequence() {
   // 3. NACK fully-buffered-but-unsubmitted requests and push every
   //    response out, for as long as clients keep accepting bytes (bounded
   //    by drain_timeout).
-  const auto stats_fn = [this] { return render_stats_json(stats_); };
+  const auto stats_fn = [this] { return stats_json_under_loop_lock(); };
   const auto deadline = Connection::Clock::now() + options_.drain_timeout;
   std::vector<pollfd> fds;
   for (;;) {
     const auto now = Connection::Clock::now();
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      common::MutexLock lock(stats_mutex_);
       for (auto& conn : connections_) {
         // NACK every fully-buffered frame, re-parsing as pump() frees the
         // in-flight cap (after drain_all() every future is ready, so pump
@@ -322,13 +334,16 @@ void Server::drain_sequence() {
         }
         if (conn->wants_write()) conn->handle_writable(now, stats_);
       }
-      std::erase_if(connections_, [this](const auto& conn) {
-        // A connection with no responses left to deliver is done — drain
-        // does not wait out keep-alive idle time.
-        if (conn->wants_write() || conn->has_in_flight()) return false;
-        conn->close(stats_);
-        return true;
-      });
+      // A connection with no responses left to deliver is done — drain
+      // does not wait out keep-alive idle time.
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->wants_write() || (*it)->has_in_flight()) {
+          ++it;
+        } else {
+          (*it)->close(stats_);
+          it = connections_.erase(it);
+        }
+      }
     }
     if (connections_.empty() || now >= deadline) break;
 
@@ -344,7 +359,7 @@ void Server::drain_sequence() {
   }
 
   // 4. Force-close stragglers (slow clients past the drain budget).
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   for (auto& conn : connections_) conn->close(stats_);
   connections_.clear();
 }

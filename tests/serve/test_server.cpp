@@ -428,5 +428,35 @@ TEST(ServeServer, SigtermDrainsGracefullyMidLoad) {
   EXPECT_THROW(Client(kHost, port), std::runtime_error);
 }
 
+TEST(ServeServer, PortReadableWhileRunBindsOnAnotherThread) {
+  // Regression (thread-safety audit): run() binds the ephemeral port on its
+  // own thread while the caller polls port() — port_ was a plain uint16_t,
+  // an honest data race even though the torn value was "benign" on x86.
+  // Now atomic; this test exercises the cross-thread publish/poll pattern
+  // and runs under the full-suite TSan CI job, which fails on the old code.
+  const auto& f = fixture();
+  Router router;
+  router.add_model("memhd", f.clone());
+  Server server(router);
+  std::thread runner([&] { server.run(); });
+
+  std::uint16_t port = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((port = server.port()) == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  ASSERT_GT(port, 0) << "run() never published the bound port";
+
+  // The published port is real: a request round-trips on it.
+  Client client(kHost, port);
+  const Response response = client.predict("memhd", f.split.test.sample(0));
+  EXPECT_EQ(response.status, Status::kOk);
+
+  server.request_stop();
+  runner.join();
+  EXPECT_FALSE(server.running());
+}
+
 }  // namespace
 }  // namespace memhd::serve

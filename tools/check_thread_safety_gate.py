@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Negative-compile smoke test for the clang thread-safety gate.
+
+Proves the gate actually fires: a translation unit that touches a
+MEMHD_GUARDED_BY member without its mutex MUST fail to compile under
+`clang++ -Werror=thread-safety`, and the corrected twin MUST compile
+cleanly. Without this, a typo in thread_annotations.hpp (say, a macro
+silently expanding to nothing under clang too) would turn every annotation
+in the tree into decoration and no CI job would notice.
+
+Registered as the ctest "thread_safety_gate" test (see CMakeLists.txt) and
+run explicitly by the CI clang leg. Exits 0 with a SKIP message when no
+clang++ is on PATH (GCC-only local checkouts; the annotations are no-ops
+there by design), 0 when the gate behaves, 1 when it does not.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# A GUARDED_BY member written with the lock held (clean) and without
+# (violation). The violation twin differs ONLY by the MutexLock line, so a
+# pass/fail difference can come only from the capability analysis.
+TU_TEMPLATE = """
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
+
+class Counter {{
+ public:
+  void increment() {{
+    {lock}
+    ++value_;
+  }}
+
+ private:
+  memhd::common::Mutex mutex_;
+  int value_ MEMHD_GUARDED_BY(mutex_) = 0;
+}};
+
+int main() {{
+  Counter counter;
+  counter.increment();
+  return 0;
+}}
+"""
+
+
+def find_clang() -> str | None:
+    candidates = ["clang++"] + [f"clang++-{v}" for v in range(25, 13, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_tu(clang: str, source: str, workdir: str, name: str):
+    path = os.path.join(workdir, name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(source)
+    cmd = [
+        clang, "-std=c++20", "-fsyntax-only",
+        "-Wthread-safety", "-Werror=thread-safety",
+        "-I", REPO_ROOT, path,
+    ]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main() -> int:
+    clang = find_clang()
+    if clang is None:
+        print("SKIP: clang++ not found on PATH (annotations are no-ops "
+              "under GCC; CI's clang leg runs the real gate)")
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="memhd_tsa_gate_") as workdir:
+        clean = compile_tu(
+            clang,
+            TU_TEMPLATE.format(lock="memhd::common::MutexLock lock(mutex_);"),
+            workdir, "clean.cpp",
+        )
+        if clean.returncode != 0:
+            print("FAIL: correctly-locked TU rejected — the annotations "
+                  "are broken, not strict:", file=sys.stderr)
+            print(clean.stderr, file=sys.stderr)
+            return 1
+
+        violation = compile_tu(
+            clang, TU_TEMPLATE.format(lock="// lock deliberately omitted"),
+            workdir, "violation.cpp",
+        )
+        if violation.returncode == 0:
+            print("FAIL: GUARDED_BY violation compiled cleanly — the "
+                  "thread-safety gate is not firing (macro expanding to "
+                  "nothing under clang?)", file=sys.stderr)
+            return 1
+        if "-Wthread-safety" not in violation.stderr and \
+                "thread-safety" not in violation.stderr:
+            print("FAIL: violation TU failed for an unrelated reason:",
+                  file=sys.stderr)
+            print(violation.stderr, file=sys.stderr)
+            return 1
+
+    print("OK: clean TU accepted, seeded GUARDED_BY violation rejected "
+          f"({os.path.basename(clang)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""clang-tidy driver over compile_commands.json with a content-hash cache.
+
+Runs the repo's .clang-tidy config (bugprone/concurrency/performance/
+narrow-cppcoreguidelines, warnings-as-errors) across every src/ translation
+unit in the compile database, in parallel, and caches per-file results so
+re-runs on an unchanged tree are near-instant. CI keys its cache directory
+on the compile-database hash (see .github/workflows/ci.yml), so a config,
+flag, or header change invalidates exactly what it must.
+
+Usage:
+  tools/run_clang_tidy.py [-p build] [--cache-dir .clang-tidy-cache]
+                          [--jobs N] [--fix] [paths...]
+
+  paths: restrict to compile-database entries whose file matches one of the
+         given path substrings (default: everything under src/).
+
+Exit codes: 0 clean (or clang-tidy unavailable — prints SKIP so local GCC-
+only checkouts and CI gates can share this entry point), 1 findings, 2
+usage/setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def find_clang_tidy() -> str | None:
+    """The newest clang-tidy on PATH (plain name first, then versioned)."""
+    candidates = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(25, 13, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(build_dir: str) -> list[dict]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(
+            f"error: {db_path} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    with open(db_path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def select_entries(db: list[dict], paths: list[str]) -> list[dict]:
+    """src/ TUs only (tests/benches are gtest/benchmark-macro heavy and not
+    the contract surface), optionally narrowed to the given substrings."""
+    seen: set[str] = set()
+    entries = []
+    for entry in db:
+        file = os.path.normpath(
+            os.path.join(entry.get("directory", "."), entry["file"])
+        )
+        rel = os.path.relpath(file, REPO_ROOT)
+        if rel.startswith(".."):
+            continue
+        if not rel.startswith("src" + os.sep):
+            continue
+        if paths and not any(p in rel for p in paths):
+            continue
+        if rel in seen:
+            continue
+        seen.add(rel)
+        entry = dict(entry)
+        entry["abs_file"] = file
+        entry["rel_file"] = rel
+        entries.append(entry)
+    return entries
+
+
+def file_digest(hasher: "hashlib._Hash", path: str) -> None:
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 16), b""):
+            hasher.update(chunk)
+
+
+def cache_key(entry: dict, config_path: str, tidy_version: bytes) -> str:
+    """Key on everything that can change the outcome for this TU: the
+    clang-tidy binary, the .clang-tidy config, the compile command, the
+    source, and every repo header it includes (cheap over-approximation:
+    all src/ headers — a header edit invalidates the whole cache, which is
+    exactly when a full re-run is wanted)."""
+    hasher = hashlib.sha256()
+    hasher.update(tidy_version)
+    file_digest(hasher, config_path)
+    hasher.update(entry.get("command", "").encode())
+    file_digest(hasher, entry["abs_file"])
+    src_root = os.path.join(REPO_ROOT, "src")
+    for dirpath, _, files in sorted(os.walk(src_root)):
+        for name in sorted(files):
+            if name.endswith((".hpp", ".h", ".inc")):
+                path = os.path.join(dirpath, name)
+                hasher.update(os.path.relpath(path, REPO_ROOT).encode())
+                file_digest(hasher, path)
+    return hasher.hexdigest()
+
+
+def run_one(
+    tidy: str, entry: dict, build_dir: str, cache_dir: str | None,
+    tidy_version: bytes, fix: bool,
+) -> tuple[str, int, str]:
+    config_path = os.path.join(REPO_ROOT, ".clang-tidy")
+    key = None
+    if cache_dir and not fix:
+        key = cache_key(entry, config_path, tidy_version)
+        marker = os.path.join(cache_dir, key)
+        if os.path.exists(marker):
+            return entry["rel_file"], 0, "(cached clean)"
+    cmd = [tidy, "-p", build_dir, "--quiet"]
+    if fix:
+        cmd.append("--fix")
+    cmd.append(entry["abs_file"])
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    output = (proc.stdout + proc.stderr).strip()
+    if proc.returncode == 0 and key:
+        os.makedirs(cache_dir, exist_ok=True)
+        with open(os.path.join(cache_dir, key), "w", encoding="utf-8") as f:
+            f.write(entry["rel_file"] + "\n")
+    return entry["rel_file"], proc.returncode, output
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", default="build")
+    parser.add_argument("--cache-dir", default=None,
+                        help="per-file clean-result cache (omit to disable)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, multiprocessing.cpu_count()))
+    parser.add_argument("--fix", action="store_true",
+                        help="apply clang-tidy fix-its (serial, no cache)")
+    parser.add_argument("paths", nargs="*")
+    args = parser.parse_args()
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        # GCC-only checkouts (like the dev container) share this entry point
+        # with CI; absence is a skip, not a failure — CI installs clang.
+        print("SKIP: clang-tidy not found on PATH")
+        return 0
+
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True).stdout.encode()
+    db = load_compile_db(args.build_dir)
+    entries = select_entries(db, args.paths)
+    if not entries:
+        print("error: no matching src/ entries in compile database",
+              file=sys.stderr)
+        return 2
+
+    jobs = 1 if args.fix else args.jobs  # --fix races on shared headers
+    failures = []
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(run_one, tidy, entry, args.build_dir, args.cache_dir,
+                        version, args.fix)
+            for entry in entries
+        ]
+        for future in futures:
+            rel, code, output = future.result()
+            status = "ok" if code == 0 else "FAIL"
+            print(f"[{status}] {rel}")
+            if code != 0:
+                failures.append(rel)
+                if output:
+                    print(output)
+    if failures:
+        print(f"\nclang-tidy: {len(failures)}/{len(entries)} files with "
+              "findings", file=sys.stderr)
+        return 1
+    print(f"clang-tidy: {len(entries)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
