@@ -323,6 +323,48 @@ PathComparison compare_projection_encode(std::size_t num_features,
   return cmp;
 }
 
+// Rematerialized vs materialized batch encoding at the same shape: the
+// "scalar" column is the resident plane (packed signs + float mirror
+// streamed from memory), the "batch" column regenerates every weight row
+// from the counter-mode seed stream inside the kernel. Outputs must be
+// bit-identical — that is the whole contract of the basis-provider seam.
+PathComparison compare_encode_remat(std::size_t num_features, std::size_t dim,
+                                    std::size_t batch, int reps) {
+  hdc::ProjectionEncoderConfig cfg;
+  cfg.num_features = num_features;
+  cfg.dim = dim;
+  cfg.basis = hdc::BasisKind::kMaterialized;
+  const hdc::ProjectionEncoder mat(cfg);
+  cfg.basis = hdc::BasisKind::kRematerialized;
+  const hdc::ProjectionEncoder rem(cfg);
+  common::Rng rng(2);
+  const auto features =
+      common::Matrix::random_uniform(batch, num_features, rng);
+
+  PathComparison cmp;
+  cmp.backend = common::batch_kernel_name();
+  std::vector<common::BitVector> mat_out;
+  const double t_mat =
+      best_seconds(reps, [&] { mat_out = mat.encode_batch(features); });
+  std::vector<common::BitVector> rem_out;
+  const double t_rem =
+      best_seconds(reps, [&] { rem_out = rem.encode_batch(features); });
+  cmp.scalar_per_sec = static_cast<double>(batch) / t_mat;
+  cmp.batch_per_sec = static_cast<double>(batch) / t_rem;
+  cmp.bit_identical = (mat_out == rem_out);
+  return cmp;
+}
+
+/// What a materialized plane would keep resident at this shape (packed
+/// signs + float mirror) — computed analytically so the ultra-high-D points
+/// don't require multi-GB allocations just to report a number.
+std::size_t materialized_resident_bytes(std::size_t num_features,
+                                        std::size_t dim) {
+  const std::size_t words_per_row = (num_features + 63) / 64;
+  return dim * words_per_row * sizeof(std::uint64_t) +
+         dim * num_features * sizeof(float);
+}
+
 // The IMC functional-simulation batch path: per-query PartitionedAm::scores
 // (the tile walk calling ImcArray::mvm_binary once per query per column
 // tile) against the wordline-parallel scores_batch block drive. Outputs and
@@ -554,6 +596,20 @@ int run_json_suite() {
   const auto serve = compare_serve_sharded(serve_shards, 2048, 256,
                                            /*total=*/512, /*per_flush=*/64,
                                            /*reps=*/5);
+  // Rematerialized encoder plane vs the resident one, Table-I shape
+  // (F=784, D=10240). The resident fields record the D=1M contrast: the
+  // rematerialized number is measured off a real encoder, the materialized
+  // one is analytic (instantiating it would allocate ~3.4 GB).
+  const auto remat = compare_encode_remat(784, 10240, 256, /*reps=*/5);
+  std::size_t remat_resident_1m = 0;
+  {
+    hdc::ProjectionEncoderConfig cfg;
+    cfg.num_features = 784;
+    cfg.dim = 1048576;
+    cfg.basis = hdc::BasisKind::kRematerialized;
+    remat_resident_1m = hdc::ProjectionEncoder(cfg).resident_bytes();
+  }
+  const std::size_t mat_resident_1m = materialized_resident_bytes(784, 1048576);
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -576,7 +632,27 @@ int run_json_suite() {
   write_comparison(f, "kmeans_assign", assign, 256, 32, 2048, "centroids",
                    /*trailing_comma=*/true);
   write_comparison(f, "serve_sharded", serve, 2048, serve_shards, 512,
-                   "shards", /*trailing_comma=*/false);
+                   "shards", /*trailing_comma=*/true);
+  // encode_remat carries the standard comparison fields (so the regression
+  // gate's throughput machinery applies unchanged) plus the resident-bytes
+  // contrast the gate checks machine-independently.
+  std::fprintf(f,
+               "  \"encode_remat\": {\n"
+               "    \"dim\": %zu,\n"
+               "    \"features\": %zu,\n"
+               "    \"batch\": %zu,\n"
+               "    \"backend\": \"%s\",\n"
+               "    \"scalar_queries_per_sec\": %.1f,\n"
+               "    \"batch_queries_per_sec\": %.1f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"bit_identical\": %s,\n"
+               "    \"resident_bytes_materialized_1m\": %zu,\n"
+               "    \"resident_bytes_rematerialized_1m\": %zu\n"
+               "  }\n",
+               std::size_t{10240}, std::size_t{784}, std::size_t{256},
+               remat.backend, remat.scalar_per_sec, remat.batch_per_sec,
+               remat.speedup(), remat.bit_identical ? "true" : "false",
+               mat_resident_1m, remat_resident_1m);
   std::fprintf(f, "}\n");
   std::fclose(f);
 
@@ -623,10 +699,43 @@ int run_json_suite() {
       "bit-identical %s\n",
       serve_shards, serve.scalar_per_sec, serve.batch_per_sec, serve.speedup(),
       serve.bit_identical ? "yes" : "NO");
+  std::printf(
+      "rematerialized encode F=784 D=10240 B=256:\n"
+      "  materialized %.0f enc/s | rematerialized %.0f enc/s | ratio %.2fx | "
+      "bit-identical %s\n"
+      "  encoder resident at D=1M: materialized %zu bytes | rematerialized "
+      "%zu bytes (%.0fx smaller)\n",
+      remat.scalar_per_sec, remat.batch_per_sec, remat.speedup(),
+      remat.bit_identical ? "yes" : "NO", mat_resident_1m, remat_resident_1m,
+      static_cast<double>(mat_resident_1m) /
+          static_cast<double>(remat_resident_1m));
+  // Informational ultra-high-D sweep (not gated: single-config wall times).
+  // Throughput is remat encode_batch; the materialized column is what that
+  // plane would hold resident at the same shape.
+  const std::size_t sweep_dims[] = {10240, 102400, 1048576};
+  const std::size_t sweep_batch[] = {32, 16, 8};
+  for (int i = 0; i < 3; ++i) {
+    hdc::ProjectionEncoderConfig cfg;
+    cfg.num_features = 784;
+    cfg.dim = sweep_dims[i];
+    cfg.basis = hdc::BasisKind::kRematerialized;
+    const hdc::ProjectionEncoder enc(cfg);
+    common::Rng rng(6);
+    const auto feats =
+        common::Matrix::random_uniform(sweep_batch[i], 784, rng);
+    std::vector<common::BitVector> out;
+    const double t =
+        best_seconds(/*reps=*/2, [&] { out = enc.encode_batch(feats); });
+    std::printf(
+        "  remat sweep D=%-8zu %8.1f enc/s | resident %zu B "
+        "(materialized would be %zu B)\n",
+        sweep_dims[i], static_cast<double>(sweep_batch[i]) / t,
+        enc.resident_bytes(), materialized_resident_bytes(784, sweep_dims[i]));
+  }
   std::printf("wrote %s\n", path.c_str());
   return (search.bit_identical && table.bit_identical &&
           encode.bit_identical && part.bit_identical && noise.bit_identical &&
-          assign.bit_identical && serve.bit_identical)
+          assign.bit_identical && serve.bit_identical && remat.bit_identical)
              ? 0
              : 1;
 }

@@ -93,6 +93,7 @@ core::MemoryBreakdown MemhdClassifier::memory() const {
   p.dim = model_.config().dim;
   p.num_classes = model_.num_classes();
   p.columns = model_.config().columns;
+  p.basis = model_.config().basis;
   return core::memory_requirement(core::ModelKind::kMemhd, p);
 }
 
@@ -148,11 +149,14 @@ void BaselineClassifier::save_payload(std::ostream& out) const {
   common::write_pod<std::uint64_t>(out, model_->num_features());
   common::write_pod<std::uint64_t>(out, model_->num_classes());
   common::write_pod<float>(out, cfg.learning_rate);
+  common::write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.basis));
+  common::write_pod<std::uint8_t>(
+      out, static_cast<std::uint8_t>(cfg.basis_derivation));
   model_->save_state(out);
 }
 
 std::unique_ptr<BaselineClassifier> BaselineClassifier::load_payload(
-    core::ModelKind kind, std::istream& in) {
+    core::ModelKind kind, std::istream& in, unsigned container_revision) {
   baselines::BaselineConfig cfg;
   cfg.dim = common::read_pod<std::uint64_t>(in);
   cfg.epochs = common::read_pod<std::uint64_t>(in);
@@ -162,6 +166,19 @@ std::unique_ptr<BaselineClassifier> BaselineClassifier::load_payload(
   const auto num_features = common::read_pod<std::uint64_t>(in);
   const auto num_classes = common::read_pod<std::uint64_t>(in);
   cfg.learning_rate = common::read_pod<float>(in);
+  if (container_revision >= 3) {
+    const auto basis = common::read_pod<std::uint8_t>(in);
+    const auto derivation = common::read_pod<std::uint8_t>(in);
+    if (basis > 1 || derivation > 1 || (basis == 1 && derivation == 1))
+      throw std::runtime_error("api::load: corrupt baseline model frame");
+    cfg.basis = static_cast<hdc::BasisKind>(basis);
+    cfg.basis_derivation = static_cast<hdc::BasisDerivation>(derivation);
+  } else {
+    // Pre-seam container: the projection plane came from the sequential
+    // stream and must keep doing so.
+    cfg.basis = hdc::BasisKind::kMaterialized;
+    cfg.basis_derivation = hdc::BasisDerivation::kLegacySequential;
+  }
 
   // Corrupted frames must surface as the documented std::runtime_error, not
   // as contract aborts (or absurd allocations) further down. The 2^24 cap

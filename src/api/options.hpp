@@ -20,6 +20,11 @@ struct ModelOptions {
   std::size_t epochs = 20;         // training epochs (0 = single-pass only)
   float learning_rate = 0.05f;
   std::uint64_t seed = 1;
+  /// Projection models (MEMHD / BasicHDC): keep the encoder plane resident
+  /// (kMaterialized) or regenerate it from the seed with O(1) memory
+  /// (kRematerialized). Bit-identical outputs either way; ID-Level models
+  /// ignore it.
+  hdc::BasisKind basis = hdc::BasisKind::kMaterialized;
 
   // MEMHD only.
   std::size_t columns = 0;         // C: total centroids; 0 = square (C = D)
@@ -47,6 +52,7 @@ struct ModelOptions {
     cfg.learning_rate = learning_rate;
     cfg.kmeans_max_iterations = kmeans_max_iterations;
     cfg.seed = seed;
+    cfg.basis = basis;
     return cfg;
   }
 
@@ -58,6 +64,7 @@ struct ModelOptions {
     cfg.num_levels = num_levels;
     cfg.n_models = n_models;
     cfg.seed = seed;
+    cfg.basis = basis;
     return cfg;
   }
 };

@@ -56,6 +56,12 @@ std::unique_ptr<Classifier> make(core::ModelKind kind,
                                  std::size_t num_features,
                                  std::size_t num_classes,
                                  const ModelOptions& opts) {
+  // Typed errors for degenerate shapes: API callers get a catchable
+  // ConfigError instead of tripping a constructor contract check (abort).
+  if (num_features == 0)
+    throw hdc::ConfigError("api::make: num_features must be > 0");
+  if (opts.dim == 0)
+    throw hdc::ConfigError("api::make: ModelOptions::dim must be > 0");
   if (kind == core::ModelKind::kMemhd)
     return std::make_unique<MemhdClassifier>(opts, num_features, num_classes);
   return std::make_unique<BaselineClassifier>(kind, opts, num_features,

@@ -46,6 +46,7 @@ core::MemoryBreakdown BaselineModel::memory() const {
   p.num_classes = num_classes_;
   p.num_levels = config_.num_levels;
   p.n_models = config_.n_models;
+  p.basis = config_.basis;
   return core::memory_requirement(kind(), p);
 }
 

@@ -35,6 +35,12 @@ struct BaselineConfig {
   std::size_t num_levels = 256;    // L, ID-Level encoders
   std::size_t n_models = 64;       // N, SearcHD
   std::uint64_t seed = 1;
+  /// Projection-based baselines (BasicHDC) only: resident vs rematerialized
+  /// encoder plane. Never changes outputs; ID-Level encoders ignore it.
+  hdc::BasisKind basis = hdc::BasisKind::kMaterialized;
+  /// Stream the projection plane derives from; kLegacySequential is set by
+  /// the loader for pre-seam containers (see src/hdc/basis_provider.hpp).
+  hdc::BasisDerivation basis_derivation = hdc::BasisDerivation::kCounterStream;
 };
 
 class BaselineModel {

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstddef>
 
+#include "src/hdc/basis_provider.hpp"
+
 namespace memhd::core {
 
 /// Per-centroid renormalization applied between the FP update and the
@@ -51,6 +53,14 @@ struct MemhdConfig {
   float learning_rate = 0.05f;    // paper: 0.01 - 0.1 depending on dataset
   std::size_t kmeans_max_iterations = 25;
   std::uint64_t seed = 1;
+  /// Where the encoder's sign plane lives: resident (packed bits + float
+  /// mirror) or rematerialized on the fly from the seed with O(1) memory.
+  /// Never changes model outputs — see src/hdc/basis_provider.hpp.
+  hdc::BasisKind basis = hdc::BasisKind::kMaterialized;
+  /// Deterministic stream the plane derives from. kCounterStream for all
+  /// new models; kLegacySequential is set by the loader for pre-MEMHD002
+  /// containers so their encoder decodes to the plane they trained on.
+  hdc::BasisDerivation basis_derivation = hdc::BasisDerivation::kCounterStream;
 };
 
 }  // namespace memhd::core

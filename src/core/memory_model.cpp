@@ -28,6 +28,31 @@ double MemoryBreakdown::am_kb() const {
 double MemoryBreakdown::total_kb() const {
   return static_cast<double>(total_bits()) / kBitsPerKb;
 }
+double MemoryBreakdown::resident_kb() const {
+  return static_cast<double>(total_resident_bytes()) / 1024.0;
+}
+
+namespace {
+
+/// Software-resident bytes of a projection encoder plane: the packed sign
+/// rows plus the float +/-1 mirror the blocked kernels stream — or a small
+/// constant when the plane is rematerialized from its seed on demand.
+std::size_t projection_resident_bytes(std::size_t num_features,
+                                      std::size_t dim, hdc::BasisKind basis) {
+  if (basis == hdc::BasisKind::kRematerialized)
+    return sizeof(hdc::RematerializedBasis);
+  const std::size_t words_per_row = (num_features + 63) / 64;
+  return dim * words_per_row * sizeof(std::uint64_t) +
+         dim * num_features * sizeof(float);
+}
+
+/// AM residency: packed binary rows plus the float shadow kept for
+/// training-time bundling (4 bytes per model bit).
+std::size_t am_resident_bytes(std::size_t am_bits) {
+  return am_bits / 8 + am_bits * sizeof(float);
+}
+
+}  // namespace
 
 MemoryBreakdown memory_requirement(ModelKind kind,
                                    const MemoryParams& p) {
@@ -37,22 +62,30 @@ MemoryBreakdown memory_requirement(ModelKind kind,
     case ModelKind::kSearcHD:
       out.encoder_bits = (p.num_features + p.num_levels) * p.dim;
       out.am_bits = p.num_classes * p.dim * p.n_models;
+      // ID-Level codebooks are stored packed, bit for bit.
+      out.encoder_resident_bytes = out.encoder_bits / 8;
       break;
     case ModelKind::kQuantHD:
     case ModelKind::kLeHDC:
       out.encoder_bits = (p.num_features + p.num_levels) * p.dim;
       out.am_bits = p.num_classes * p.dim;
+      out.encoder_resident_bytes = out.encoder_bits / 8;
       break;
     case ModelKind::kBasicHDC:
       out.encoder_bits = p.num_features * p.dim;
       out.am_bits = p.num_classes * p.dim;
+      out.encoder_resident_bytes =
+          projection_resident_bytes(p.num_features, p.dim, p.basis);
       break;
     case ModelKind::kMemhd:
       MEMHD_EXPECTS(p.columns >= p.num_classes);
       out.encoder_bits = p.num_features * p.dim;
       out.am_bits = p.columns * p.dim;
+      out.encoder_resident_bytes =
+          projection_resident_bytes(p.num_features, p.dim, p.basis);
       break;
   }
+  out.am_resident_bytes = am_resident_bytes(out.am_bits);
   return out;
 }
 

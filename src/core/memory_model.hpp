@@ -12,10 +12,20 @@
 //
 // with f features, L levels (paper: 256), D dimensions, k classes,
 // C memory columns, N vector-quantization factor (paper: 64).
+//
+// Table I counts MODEL bits — what a deployed IMC chip stores. The software
+// runtime of this library holds more: the projection encoders keep a float
+// mirror of the sign plane next to the packed bits (4 bytes/bit on top of
+// 1/8), and the AM keeps a float shadow for training. memory_requirement()
+// therefore also reports software-RESIDENT bytes, and the two diverge
+// sharply once the basis is rematerialized (encoder residency collapses to
+// O(1) while the model bits stay f * D).
 #pragma once
 
 #include <cstddef>
 #include <string>
+
+#include "src/hdc/basis_provider.hpp"
 
 namespace memhd::core {
 
@@ -30,16 +40,27 @@ struct MemoryParams {
   std::size_t columns = 0;       // C   (MEMHD only)
   std::size_t num_levels = 256;  // L   (ID-Level encoders)
   std::size_t n_models = 64;     // N   (SearcHD)
+  /// Basis mode of the projection plane (BasicHDC / MEMHD only). Does not
+  /// change the Table I bits, only the software-resident bytes.
+  hdc::BasisKind basis = hdc::BasisKind::kMaterialized;
 };
 
 struct MemoryBreakdown {
   std::size_t encoder_bits = 0;
   std::size_t am_bits = 0;
+  /// Software-resident footprints (bytes): what this library's runtime
+  /// actually allocates, as opposed to the deployed model bits above.
+  std::size_t encoder_resident_bytes = 0;
+  std::size_t am_resident_bytes = 0;
 
   std::size_t total_bits() const { return encoder_bits + am_bits; }
+  std::size_t total_resident_bytes() const {
+    return encoder_resident_bytes + am_resident_bytes;
+  }
   double encoder_kb() const;
   double am_kb() const;
   double total_kb() const;
+  double resident_kb() const;
 };
 
 /// Table I formula for one model.

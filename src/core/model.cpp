@@ -16,6 +16,8 @@ hdc::ProjectionEncoderConfig encoder_config(const MemhdConfig& cfg,
   ec.num_features = num_features;
   ec.dim = cfg.dim;
   ec.seed = cfg.seed ^ 0xE0C0DE5ULL;
+  ec.basis = cfg.basis;
+  ec.derivation = cfg.basis_derivation;
   return ec;
 }
 }  // namespace

@@ -14,14 +14,20 @@ using common::read_pod;
 using common::write_pod;
 
 namespace {
-constexpr char kMagic[8] = {'M', 'E', 'M', 'H', 'D', '0', '0', '1'};
+// Container revisions. MEMHD002 adds two bytes after the normalization
+// byte: basis kind + basis derivation. Neither revision stores the
+// projection matrix — the loader re-derives it from {seed, shape,
+// derivation} — so MEMHD001 files (written before the basis-provider seam)
+// load as materialized + kLegacySequential, the stream they trained on.
+constexpr char kMagicV1[8] = {'M', 'E', 'M', 'H', 'D', '0', '0', '1'};
+constexpr char kMagicV2[8] = {'M', 'E', 'M', 'H', 'D', '0', '0', '2'};
 }  // namespace
 
 void save_model(const MemhdModel& model, std::ostream& out) {
   const MemhdConfig& cfg = model.config();
   const MultiCentroidAM& am = model.am();
 
-  out.write(kMagic, sizeof(kMagic));
+  out.write(kMagicV2, sizeof(kMagicV2));
   write_pod<std::uint64_t>(out, cfg.dim);
   write_pod<std::uint64_t>(out, cfg.columns);
   write_pod<std::uint64_t>(out, model.num_features());
@@ -34,6 +40,8 @@ void save_model(const MemhdModel& model, std::ostream& out) {
   write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.init));
   write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.allocation));
   write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.normalization));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.basis));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.basis_derivation));
 
   for (std::size_t col = 0; col < am.columns(); ++col)
     write_pod<std::uint16_t>(out, am.owner(col));
@@ -53,7 +61,9 @@ void save_model(const MemhdModel& model, const std::string& path) {
 MemhdModel load_model(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+  if (!in) throw std::runtime_error("load_model: bad magic");
+  const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0)
     throw std::runtime_error("load_model: bad magic");
 
   MemhdConfig cfg;
@@ -70,6 +80,21 @@ MemhdModel load_model(std::istream& in) {
   cfg.allocation = static_cast<AllocationPolicy>(read_pod<std::uint8_t>(in));
   cfg.normalization =
       static_cast<NormalizationMode>(read_pod<std::uint8_t>(in));
+  if (v2) {
+    const auto basis = read_pod<std::uint8_t>(in);
+    const auto derivation = read_pod<std::uint8_t>(in);
+    // Rematerialized + legacy-sequential is unconstructible (no O(1)
+    // random access into a sequential stream), so no valid writer emits it.
+    if (basis > 1 || derivation > 1 || (basis == 1 && derivation == 1))
+      throw std::runtime_error("load_model: corrupt model header");
+    cfg.basis = static_cast<hdc::BasisKind>(basis);
+    cfg.basis_derivation = static_cast<hdc::BasisDerivation>(derivation);
+  } else {
+    // Pre-seam container: the plane was BitMatrix::random over the
+    // sequential stream, and only a materialized basis can replay it.
+    cfg.basis = hdc::BasisKind::kMaterialized;
+    cfg.basis_derivation = hdc::BasisDerivation::kLegacySequential;
+  }
 
   // Reject corrupt headers before they reach constructor contract checks
   // (which abort) or drive multi-GB allocations.

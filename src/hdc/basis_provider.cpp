@@ -1,0 +1,202 @@
+#include "src/hdc/basis_provider.hpp"
+
+#include <string>
+
+#include "src/common/assert.hpp"
+#include "src/common/bitops.hpp"
+#include "src/common/rng.hpp"
+
+namespace memhd::hdc {
+
+std::uint64_t basis_word(std::uint64_t seed, std::uint64_t counter) {
+  // One counter-mode SplitMix64 block: jump the stream state directly to
+  // `counter` (splitmix64 advances by the golden-ratio increment per step,
+  // so state = seed + counter * increment IS step `counter`) and emit one
+  // word. Pure function of (seed, counter) — the whole point.
+  std::uint64_t state = seed + counter * 0x9E3779B97F4A7C15ULL;
+  return common::splitmix64(state);
+}
+
+namespace {
+
+void validate_shape(std::size_t dim, std::size_t num_features) {
+  if (dim == 0)
+    throw ConfigError("basis provider: dim must be > 0");
+  if (num_features == 0)
+    throw ConfigError("basis provider: num_features must be > 0");
+}
+
+/// Expands one packed sign row into float +/-1, replaying the counter
+/// stream word by word (no intermediate word buffer).
+void expand_counter_row(std::uint64_t seed, std::size_t d,
+                        std::size_t num_features, std::size_t words_per_row,
+                        float* out) {
+  const std::uint64_t base = static_cast<std::uint64_t>(d) * words_per_row;
+  std::size_t f = 0;
+  for (std::size_t w = 0; w < words_per_row; ++w) {
+    const std::uint64_t word = basis_word(seed, base + w);
+    const std::size_t hi = std::min(num_features, f + 64);
+    for (; f < hi; ++f)
+      out[f] = (word >> (f & 63)) & 1ULL ? 1.0f : -1.0f;
+  }
+}
+
+}  // namespace
+
+BasisProvider::BasisProvider(std::size_t dim, std::size_t num_features,
+                             std::uint64_t seed, BasisDerivation derivation)
+    : dim_(dim),
+      num_features_(num_features),
+      words_per_row_(common::words_for_bits(num_features)),
+      seed_(seed),
+      derivation_(derivation) {
+  validate_shape(dim, num_features);
+}
+
+// ------------------------------------------------------------ materialized --
+
+MaterializedBasis::MaterializedBasis(std::size_t dim, std::size_t num_features,
+                                     std::uint64_t seed,
+                                     BasisDerivation derivation)
+    : BasisProvider(dim, num_features, seed, derivation) {
+  if (derivation == BasisDerivation::kLegacySequential) {
+    common::Rng rng(seed);
+    signs_ = common::BitMatrix::random(dim, num_features, rng);
+  } else {
+    // Cache the counter stream: identical bits to what RematerializedBasis
+    // replays on the fly (the cross-mode bit-identity contract).
+    signs_ = common::BitMatrix(dim, num_features);
+    const std::uint64_t mask = common::tail_mask(num_features);
+    for (std::size_t d = 0; d < dim; ++d) {
+      std::uint64_t* row = signs_.row(d);
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(d) * words_per_row_;
+      for (std::size_t w = 0; w < words_per_row_; ++w)
+        row[w] = basis_word(seed, base + w);
+      row[words_per_row_ - 1] &= mask;
+    }
+  }
+  weights_ = common::Matrix(dim, num_features);
+  for (std::size_t d = 0; d < dim; ++d) {
+    auto row = weights_.row(d);
+    for (std::size_t f = 0; f < num_features; ++f)
+      row[f] = signs_.get(d, f) ? 1.0f : -1.0f;
+  }
+}
+
+void MaterializedBasis::float_rows(std::size_t d, std::size_t count,
+                                   float* /*scratch*/,
+                                   const float** rows) const {
+  MEMHD_EXPECTS(d + count <= dim_);
+  for (std::size_t i = 0; i < count; ++i)
+    rows[i] = weights_.row(d + i).data();
+}
+
+void MaterializedBasis::sign_words(std::size_t d,
+                                   const std::uint32_t* word_index,
+                                   std::size_t count,
+                                   std::uint64_t* out) const {
+  MEMHD_EXPECTS(d < dim_);
+  const std::uint64_t* row = signs_.row(d);
+  for (std::size_t i = 0; i < count; ++i) out[i] = row[word_index[i]];
+}
+
+common::BitMatrix MaterializedBasis::em_tile(std::size_t f0, std::size_t f1,
+                                             std::size_t d0,
+                                             std::size_t d1) const {
+  MEMHD_EXPECTS(f0 <= f1 && f1 <= num_features_);
+  MEMHD_EXPECTS(d0 <= d1 && d1 <= dim_);
+  common::BitMatrix tile(f1 - f0, d1 - d0);
+  for (std::size_t d = d0; d < d1; ++d)
+    for (std::size_t f = f0; f < f1; ++f)
+      if (signs_.get(d, f)) tile.set(f - f0, d - d0, true);
+  return tile;
+}
+
+std::size_t MaterializedBasis::resident_bytes() const {
+  return sizeof(*this) +
+         dim_ * words_per_row_ * sizeof(std::uint64_t) +  // packed signs
+         dim_ * num_features_ * sizeof(float);            // float mirror
+}
+
+// ---------------------------------------------------------- rematerialized --
+
+RematerializedBasis::RematerializedBasis(std::size_t dim,
+                                         std::size_t num_features,
+                                         std::uint64_t seed,
+                                         BasisDerivation derivation)
+    : BasisProvider(dim, num_features, seed, derivation) {
+  if (derivation != BasisDerivation::kCounterStream)
+    throw ConfigError(
+        "basis provider: a rematerialized basis requires the counter-mode "
+        "derivation (a sequential stream has no O(1) random access)");
+}
+
+void RematerializedBasis::float_rows(std::size_t d, std::size_t count,
+                                     float* scratch,
+                                     const float** rows) const {
+  MEMHD_EXPECTS(d + count <= dim_);
+  MEMHD_EXPECTS(count == 0 || scratch != nullptr);
+  for (std::size_t i = 0; i < count; ++i) {
+    float* out = scratch + i * num_features_;
+    expand_counter_row(seed_, d + i, num_features_, words_per_row_, out);
+    rows[i] = out;
+  }
+}
+
+void RematerializedBasis::sign_words(std::size_t d,
+                                     const std::uint32_t* word_index,
+                                     std::size_t count,
+                                     std::uint64_t* out) const {
+  MEMHD_EXPECTS(d < dim_);
+  const std::uint64_t base = static_cast<std::uint64_t>(d) * words_per_row_;
+  const std::uint64_t mask = common::tail_mask(num_features_);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t w = word_index[i];
+    std::uint64_t word = basis_word(seed_, base + w);
+    if (w + 1 == words_per_row_) word &= mask;
+    out[i] = word;
+  }
+}
+
+common::BitMatrix RematerializedBasis::em_tile(std::size_t f0, std::size_t f1,
+                                               std::size_t d0,
+                                               std::size_t d1) const {
+  MEMHD_EXPECTS(f0 <= f1 && f1 <= num_features_);
+  MEMHD_EXPECTS(d0 <= d1 && d1 <= dim_);
+  common::BitMatrix tile(f1 - f0, d1 - d0);
+  for (std::size_t d = d0; d < d1; ++d) {
+    const std::uint64_t base = static_cast<std::uint64_t>(d) * words_per_row_;
+    std::uint64_t word = 0;
+    std::size_t have_word = words_per_row_;  // sentinel: nothing cached
+    for (std::size_t f = f0; f < f1; ++f) {
+      const std::size_t w = f >> 6;
+      if (w != have_word) {
+        word = basis_word(seed_, base + w);
+        have_word = w;
+      }
+      if ((word >> (f & 63)) & 1ULL) tile.set(f - f0, d - d0, true);
+    }
+  }
+  return tile;
+}
+
+// -------------------------------------------------------------------- make --
+
+std::shared_ptr<const BasisProvider> make_basis_provider(
+    BasisKind kind, BasisDerivation derivation, std::size_t dim,
+    std::size_t num_features, std::uint64_t seed) {
+  validate_shape(dim, num_features);
+  switch (kind) {
+    case BasisKind::kMaterialized:
+      return std::make_shared<const MaterializedBasis>(dim, num_features,
+                                                       seed, derivation);
+    case BasisKind::kRematerialized:
+      return std::make_shared<const RematerializedBasis>(dim, num_features,
+                                                         seed, derivation);
+  }
+  throw ConfigError("basis provider: unknown basis kind " +
+                    std::to_string(static_cast<unsigned>(kind)));
+}
+
+}  // namespace memhd::hdc

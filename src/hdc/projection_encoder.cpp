@@ -4,21 +4,69 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/parallel.hpp"
-#include "src/common/rng.hpp"
 
 namespace memhd::hdc {
 
 ProjectionEncoder::ProjectionEncoder(const ProjectionEncoderConfig& config)
-    : config_(config) {
-  MEMHD_EXPECTS(config.num_features > 0);
-  MEMHD_EXPECTS(config.dim > 0);
-  common::Rng rng(config.seed);
-  signs_ = common::BitMatrix::random(config.dim, config.num_features, rng);
-  weights_ = common::Matrix(config.dim, config.num_features);
-  for (std::size_t d = 0; d < config.dim; ++d) {
-    auto row = weights_.row(d);
-    for (std::size_t f = 0; f < config.num_features; ++f)
-      row[f] = signs_.get(d, f) ? 1.0f : -1.0f;
+    : config_(config),
+      basis_(make_basis_provider(config.basis, config.derivation, config.dim,
+                                 config.num_features, config.seed)) {}
+
+const common::BitMatrix& ProjectionEncoder::sign_matrix() const {
+  const auto* materialized =
+      dynamic_cast<const MaterializedBasis*>(basis_.get());
+  MEMHD_EXPECTS(materialized != nullptr);  // materialized mode only
+  return materialized->sign_matrix();
+}
+
+void ProjectionEncoder::project_dense(std::span<const float> features,
+                                      std::span<float> out) const {
+  const std::size_t dim = config_.dim;
+  const std::size_t nf = config_.num_features;
+  // Rematerializing providers fill this scratch; materialized ones hand out
+  // mirror pointers and never touch it.
+  std::vector<float> scratch;
+  if (basis_->kind() == BasisKind::kRematerialized)
+    scratch.resize(kRowGroup * nf);
+  const float* rows[kRowGroup];
+  std::size_t d = 0;
+  for (; d + kRowGroup <= dim; d += kRowGroup) {
+    basis_->float_rows(d, kRowGroup, scratch.data(), rows);
+    for (std::size_t i = 0; i < kRowGroup; ++i)
+      out[d + i] = common::dot(std::span<const float>(rows[i], nf), features);
+  }
+  for (; d < dim; ++d) {
+    basis_->float_rows(d, 1, scratch.data(), rows);
+    out[d] = common::dot(std::span<const float>(rows[0], nf), features);
+  }
+}
+
+void ProjectionEncoder::project_sparse(std::span<const float> features,
+                                       std::span<float> out) const {
+  const std::size_t nf = config_.num_features;
+  // Non-zero features in ascending order — the same accumulation order as
+  // the dense loop minus its exactly-zero terms — and the distinct basis
+  // words they live in (the only words fetched per output dim).
+  std::vector<std::uint32_t> nz;          // feature indices
+  std::vector<std::uint32_t> word_list;   // distinct words, ascending
+  std::vector<std::uint32_t> word_slot;   // nz[i]'s index into word_list
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (features[f] == 0.0f) continue;
+    const std::uint32_t w = static_cast<std::uint32_t>(f >> 6);
+    if (word_list.empty() || word_list.back() != w) word_list.push_back(w);
+    nz.push_back(static_cast<std::uint32_t>(f));
+    word_slot.push_back(static_cast<std::uint32_t>(word_list.size() - 1));
+  }
+  std::vector<std::uint64_t> words(word_list.size());
+  for (std::size_t d = 0; d < config_.dim; ++d) {
+    basis_->sign_words(d, word_list.data(), word_list.size(), words.data());
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < nz.size(); ++i) {
+      const std::uint32_t f = nz[i];
+      const bool positive = (words[word_slot[i]] >> (f & 63)) & 1ULL;
+      acc += (positive ? 1.0f : -1.0f) * features[f];
+    }
+    out[d] = acc;
   }
 }
 
@@ -26,8 +74,12 @@ std::vector<float> ProjectionEncoder::project(
     std::span<const float> features) const {
   MEMHD_EXPECTS(features.size() == config_.num_features);
   std::vector<float> h(config_.dim, 0.0f);
-  for (std::size_t d = 0; d < config_.dim; ++d)
-    h[d] = common::dot(weights_.row(d), features);
+  std::size_t nnz = 0;
+  for (const float v : features) nnz += (v != 0.0f);
+  if (nnz * kSparseInverseDensity <= config_.num_features)
+    project_sparse(features, h);
+  else
+    project_dense(features, h);
   return h;
 }
 
@@ -72,6 +124,16 @@ void ProjectionEncoder::encode_block(const common::Matrix& features,
 
   std::vector<float> block(count * config_.dim);
   const std::size_t dim = config_.dim;
+  // Weight rows come from the basis provider in groups of kRowGroup: the
+  // materialized plane hands out mirror pointers, a rematerialized plane
+  // regenerates the group into this scratch — register/L1-resident for the
+  // whole group's worth of FMAs, then overwritten. Either way the float
+  // values (+/-1) and accumulation order are identical, so the two modes
+  // encode bit-identically.
+  std::vector<float> wscratch;
+  if (basis_->kind() == BasisKind::kRematerialized)
+    wscratch.resize(kRowGroup * nf);
+  const float* rows[kRowGroup];
 #if defined(__GNUC__) || defined(__clang__)
   // One vector register of per-sample accumulators; four output dimensions
   // in flight so the per-lane FMA chains overlap instead of serializing on
@@ -82,10 +144,11 @@ void ProjectionEncoder::encode_block(const common::Matrix& features,
   const SampleVec* xv = reinterpret_cast<const SampleVec*>(xt.data());
   std::size_t d = 0;
   for (; d + 4 <= dim; d += 4) {
-    const float* w0 = weights_.row(d).data();
-    const float* w1 = weights_.row(d + 1).data();
-    const float* w2 = weights_.row(d + 2).data();
-    const float* w3 = weights_.row(d + 3).data();
+    basis_->float_rows(d, 4, wscratch.data(), rows);
+    const float* w0 = rows[0];
+    const float* w1 = rows[1];
+    const float* w2 = rows[2];
+    const float* w3 = rows[3];
     SampleVec a0{}, a1{}, a2{}, a3{};
     for (std::size_t f = 0; f < nf; ++f) {
       const SampleVec x = xv[f];
@@ -103,14 +166,16 @@ void ProjectionEncoder::encode_block(const common::Matrix& features,
     }
   }
   for (; d < dim; ++d) {
-    const float* w = weights_.row(d).data();
+    basis_->float_rows(d, 1, wscratch.data(), rows);
+    const float* w = rows[0];
     SampleVec a{};
     for (std::size_t f = 0; f < nf; ++f) a += xv[f] * w[f];
     for (std::size_t s = 0; s < count; ++s) block[s * dim + d] = a[s];
   }
 #else
   for (std::size_t d = 0; d < dim; ++d) {
-    const float* w = weights_.row(d).data();
+    basis_->float_rows(d, 1, wscratch.data(), rows);
+    const float* w = rows[0];
     float acc[kSampleBlock] = {};
     for (std::size_t f = 0; f < nf; ++f) {
       const float wf = w[f];
@@ -164,7 +229,11 @@ EncodedDataset ProjectionEncoder::encode_dataset(
 }
 
 std::size_t ProjectionEncoder::memory_bits() const {
-  return config_.num_features * config_.dim;
+  return basis_->model_bits();
+}
+
+std::size_t ProjectionEncoder::resident_bytes() const {
+  return basis_->resident_bytes();
 }
 
 }  // namespace memhd::hdc

@@ -4,9 +4,19 @@
 // This is the encoder MEMHD and BasicHDC use, because the projection MVM
 // maps directly onto an IMC array: M's sign bits are the array weights, the
 // input features drive the rows, and the comparator at each column performs
-// the binarization. The packed sign matrix is the *memory* the model pays
-// for (f x D bits, Table I); a float mirror of it is kept purely as a
-// software-speed optimization for batch encoding.
+// the binarization.
+//
+// The encoder is a facade over a BasisProvider (src/hdc/basis_provider.hpp):
+// the sign plane is either held resident (kMaterialized — packed bits plus
+// a float mirror, the software-speed default) or regenerated on the fly
+// from a counter-mode RNG stream (kRematerialized — O(1) encoder memory at
+// any D). Both modes produce bit-identical encodings for the same seed; the
+// model memory the paper's Table I counts (f x D bits) is the same either
+// way, only the software-resident bytes differ. A sparse-input fast path
+// kicks in automatically on encode()/project() when most features are zero,
+// touching only the basis words that non-zero features select — identical
+// results to the dense loop (skipping x == +/-0.0 terms cannot change an
+// IEEE-754 sum whose accumulator starts at +0).
 #pragma once
 
 #include <cstdint>
@@ -16,11 +26,8 @@
 #include "src/common/bit_vector.hpp"
 #include "src/common/matrix.hpp"
 #include "src/data/dataset.hpp"
+#include "src/hdc/basis_provider.hpp"
 #include "src/hdc/encoded_dataset.hpp"
-
-namespace memhd::common {
-class Rng;
-}
 
 namespace memhd::hdc {
 
@@ -39,15 +46,25 @@ struct ProjectionEncoderConfig {
   std::size_t dim = 0;
   BinarizeMode binarize = BinarizeMode::kSampleMean;
   std::uint64_t seed = 1;
+  /// Where the sign plane lives (resident vs regenerated). Never changes
+  /// encoder outputs — see the header comment.
+  BasisKind basis = BasisKind::kMaterialized;
+  /// Which deterministic stream derives the plane. kCounterStream for all
+  /// new models; kLegacySequential only when loading pre-seam containers.
+  BasisDerivation derivation = BasisDerivation::kCounterStream;
 };
 
 class ProjectionEncoder {
  public:
+  /// Throws ConfigError for num_features == 0, dim == 0, or a
+  /// rematerialized basis paired with the legacy sequential derivation.
   explicit ProjectionEncoder(const ProjectionEncoderConfig& config);
 
   std::size_t num_features() const { return config_.num_features; }
   std::size_t dim() const { return config_.dim; }
   BinarizeMode binarize_mode() const { return config_.binarize; }
+  BasisKind basis_kind() const { return config_.basis; }
+  BasisDerivation derivation() const { return config_.derivation; }
 
   /// Encodes one feature vector (length num_features) into a packed binary
   /// hypervector of length dim.
@@ -60,8 +77,8 @@ class ProjectionEncoder {
   /// Encodes rows [begin, begin + count) of a feature matrix (cols ==
   /// num_features) as one sample-blocked matmul: each projection row is
   /// loaded once per block of samples instead of once per sample, so the
-  /// D x F weight matrix streams through cache 1/block_size times as often.
-  /// Bit-identical to encode() on each row.
+  /// D x F weight plane streams through cache (or is rematerialized)
+  /// 1/block_size times as often. Bit-identical to encode() on each row.
   std::vector<common::BitVector> encode_batch(const common::Matrix& features,
                                               std::size_t begin,
                                               std::size_t count) const;
@@ -73,26 +90,48 @@ class ProjectionEncoder {
   /// parallel over sample blocks).
   EncodedDataset encode_dataset(const data::Dataset& dataset) const;
 
-  /// The packed sign matrix (D rows x f cols; bit=1 means +1 weight).
-  /// This is exactly what gets programmed into the IMC encoder arrays.
-  const common::BitMatrix& sign_matrix() const { return signs_; }
+  /// The basis plane behind this encoder (IMC mapping, memory accounting).
+  const BasisProvider& basis() const { return *basis_; }
 
-  /// Encoder memory in bits: f * D (Table I, projection row).
+  /// The packed sign matrix (D rows x f cols; bit=1 means +1 weight).
+  /// Materialized mode only — a rematerialized plane has no resident
+  /// matrix; use basis().em_tile() / basis().sign_words() instead.
+  const common::BitMatrix& sign_matrix() const;
+
+  /// Encoder model memory in bits: f * D (Table I, projection row) — what
+  /// the deployed IMC plane costs, independent of basis mode.
   std::size_t memory_bits() const;
+  /// Software-resident encoder bytes: the full plane when materialized,
+  /// O(1) when rematerialized.
+  std::size_t resident_bytes() const;
 
  private:
   float binarize_threshold(std::span<const float> projected) const;
   /// Encodes one block of <= kSampleBlock rows into `out[0..count)`.
   void encode_block(const common::Matrix& features, std::size_t begin,
                     std::size_t count, common::BitVector* out) const;
+  /// Dense projection: every feature, dim-major, provider rows in groups.
+  void project_dense(std::span<const float> features,
+                     std::span<float> out) const;
+  /// Sparse projection: only the basis words non-zero features live in.
+  /// Bit-identical to project_dense (the +/-0.0 skipping argument above).
+  void project_sparse(std::span<const float> features,
+                      std::span<float> out) const;
 
   /// Samples per matmul block: one SIMD register of independent per-sample
   /// accumulators; weight row + transposed block features stay L1-hot.
   static constexpr std::size_t kSampleBlock = 16;
+  /// Projection rows in flight per provider fetch (matches the four
+  /// accumulator chains of the blocked kernel).
+  static constexpr std::size_t kRowGroup = 4;
+  /// encode()/project() switch to the sparse path when non-zeros make up
+  /// at most 1/kSparseInverseDensity of the features.
+  static constexpr std::size_t kSparseInverseDensity = 4;
 
   ProjectionEncoderConfig config_;
-  common::BitMatrix signs_;     // dim x num_features packed bipolar signs
-  common::Matrix weights_;      // dim x num_features float mirror (+1/-1)
+  /// Immutable and shared: encoder copies (and every copy-on-write model
+  /// version holding this encoder) reference one provider.
+  std::shared_ptr<const BasisProvider> basis_;
 };
 
 }  // namespace memhd::hdc

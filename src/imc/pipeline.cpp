@@ -11,11 +11,15 @@ namespace memhd::imc {
 namespace {
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 
-/// EM logical matrix from the encoder: f wordlines x D columns, cell [i][d]
-/// = sign bit of weight M[i][d]. The encoder stores signs D x f, so this is
-/// its transpose.
-common::BitMatrix em_logical(const hdc::ProjectionEncoder& encoder) {
-  return encoder.sign_matrix().transposed();
+/// EM tile source from the encoder's basis provider: f wordlines x D
+/// columns, cell [i][d] = sign bit of weight M[i][d]. BasisProvider::
+/// em_tile emits exactly this layout per tile, so a rematerialized plane
+/// is generated one array's worth at a time while programming and never
+/// held in full.
+TiledMatrix::TileSource em_source(const hdc::ProjectionEncoder& encoder) {
+  const hdc::BasisProvider& basis = encoder.basis();
+  return [&basis](std::size_t r0, std::size_t r1, std::size_t c0,
+                  std::size_t c1) { return basis.em_tile(r0, r1, c0, c1); };
 }
 
 /// AM logical matrix: D wordlines x C columns, cell [j][c] = bit j of
@@ -27,12 +31,26 @@ common::BitMatrix am_logical(const core::MultiCentroidAM& am) {
 
 TiledMatrix::TiledMatrix(const common::BitMatrix& logical,
                          ArrayGeometry geometry)
+    : TiledMatrix(
+          logical.rows(), logical.cols(),
+          [&logical](std::size_t r0, std::size_t r1, std::size_t c0,
+                     std::size_t c1) {
+            common::BitMatrix sub(r1 - r0, c1 - c0);
+            for (std::size_t r = r0; r < r1; ++r)
+              for (std::size_t c = c0; c < c1; ++c)
+                if (logical.get(r, c)) sub.set(r - r0, c - c0, true);
+            return sub;
+          },
+          geometry) {}
+
+TiledMatrix::TiledMatrix(std::size_t logical_rows, std::size_t logical_cols,
+                         const TileSource& source, ArrayGeometry geometry)
     : geometry_(geometry),
-      logical_rows_(logical.rows()),
-      logical_cols_(logical.cols()),
-      row_tiles_(ceil_div(logical.rows(), geometry.rows)),
-      col_tiles_(ceil_div(logical.cols(), geometry.cols)) {
-  MEMHD_EXPECTS(!logical.empty());
+      logical_rows_(logical_rows),
+      logical_cols_(logical_cols),
+      row_tiles_(ceil_div(logical_rows, geometry.rows)),
+      col_tiles_(ceil_div(logical_cols, geometry.cols)) {
+  MEMHD_EXPECTS(logical_rows > 0 && logical_cols > 0);
   tiles_.reserve(row_tiles_ * col_tiles_);
   for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
     const std::size_t r0 = rt * geometry.rows;
@@ -40,10 +58,8 @@ TiledMatrix::TiledMatrix(const common::BitMatrix& logical,
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
       const std::size_t c0 = ct * geometry.cols;
       const std::size_t c1 = std::min(logical_cols_, c0 + geometry.cols);
-      common::BitMatrix sub(r1 - r0, c1 - c0);
-      for (std::size_t r = r0; r < r1; ++r)
-        for (std::size_t c = c0; c < c1; ++c)
-          if (logical.get(r, c)) sub.set(r - r0, c - c0, true);
+      const common::BitMatrix sub = source(r0, r1, c0, c1);
+      MEMHD_EXPECTS(sub.rows() == r1 - r0 && sub.cols() == c1 - c0);
       ImcArray array(geometry);
       array.program(sub);
       tiles_.push_back(std::move(array));
@@ -140,7 +156,8 @@ InMemoryPipeline::InMemoryPipeline(const hdc::ProjectionEncoder& encoder,
                                    ArrayGeometry geometry)
     : dim_(encoder.dim()),
       binarize_mode_(encoder.binarize_mode()),
-      em_(em_logical(encoder), geometry),
+      em_(encoder.num_features(), encoder.dim(), em_source(encoder),
+          geometry),
       am_(am_logical(am), geometry) {
   MEMHD_EXPECTS(encoder.dim() == am.dim());
   MEMHD_EXPECTS(am.fully_assigned());

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -36,8 +37,19 @@ namespace memhd::imc {
 /// A logical binary matrix tiled onto physical arrays.
 class TiledMatrix {
  public:
+  /// Produces the sub-matrix for wordlines [r0, r1) x columns [c0, c1) of
+  /// the logical matrix. Called once per tile during programming, so the
+  /// logical matrix never needs to exist in full — a rematerialized
+  /// encoder plane generates each tile on demand.
+  using TileSource = std::function<common::BitMatrix(
+      std::size_t r0, std::size_t r1, std::size_t c0, std::size_t c1)>;
+
   /// `logical` rows are wordlines, columns are outputs.
   TiledMatrix(const common::BitMatrix& logical, ArrayGeometry geometry);
+  /// Programs tiles straight from `source` — at no point is the whole
+  /// logical matrix resident.
+  TiledMatrix(std::size_t logical_rows, std::size_t logical_cols,
+              const TileSource& source, ArrayGeometry geometry);
 
   std::size_t logical_rows() const { return logical_rows_; }
   std::size_t logical_cols() const { return logical_cols_; }

@@ -8,9 +8,9 @@
 //     u64 id, u64 parent, u64 samples_trained
 //     one tagged api::save frame (self-delimiting; api::load consumes it)
 //
-// The single-model "MHDAPI01" container is untouched: api::load still reads
-// every pre-version file, and embedding whole MHDAPI01 frames here means one
-// reader serves both layers.
+// The single-model api container is untouched: api::load still reads every
+// pre-version "MHDAPI01" file (and writes "MHDAPI03" today), and embedding
+// whole api::save frames here means one reader serves both layers.
 #include <cstring>
 #include <fstream>
 #include <sstream>

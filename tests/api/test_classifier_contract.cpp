@@ -6,6 +6,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -189,6 +192,94 @@ TEST(ApiRegistry, AdapterExposesTheWrappedModel) {
   auto* adapter = dynamic_cast<api::MemhdClassifier*>(model.get());
   ASSERT_NE(adapter, nullptr);
   EXPECT_EQ(adapter->model().config().columns, opts.columns);
+}
+
+TEST(ApiRegistry, DegenerateShapesThrowTypedConfigError) {
+  // num_features == 0 and dim == 0 must be catchable errors at the API
+  // boundary, not contract aborts.
+  api::ModelOptions opts;
+  EXPECT_THROW(api::make("memhd", 0, 4, opts), hdc::ConfigError);
+  EXPECT_THROW(api::make("basichdc", 0, 4, opts), hdc::ConfigError);
+  opts.dim = 0;
+  EXPECT_THROW(api::make("memhd", 64, 4, opts), hdc::ConfigError);
+  EXPECT_THROW(api::make("quanthd", 64, 4, opts), hdc::ConfigError);
+  // ConfigError IS an invalid_argument, so generic handlers still work.
+  EXPECT_THROW(api::make("memhd", 0, 4, api::ModelOptions{}),
+               std::invalid_argument);
+}
+
+TEST(ApiRegistry, RematOptionFlowsThroughRegistryBitIdentically) {
+  const auto split = testing::tiny_multimodal(/*seed=*/27,
+                                              /*train_per_class=*/30,
+                                              /*test_per_class=*/15);
+  for (const char* name : {"memhd", "basichdc"}) {
+    auto opts = small_options(api::find_model(name)->kind);
+    auto mat = api::make(name, split.train.num_features(),
+                         split.train.num_classes(), opts);
+    opts.basis = hdc::BasisKind::kRematerialized;
+    auto rem = api::make(name, split.train.num_features(),
+                         split.train.num_classes(), opts);
+    mat->fit(split.train);
+    rem->fit(split.train);
+    EXPECT_EQ(rem->predict_batch(split.test.features()),
+              mat->predict_batch(split.test.features()))
+        << name;
+    // The resident split shows up in the memory breakdown; model bits
+    // stay equal (Table I counts the deployed plane, not software bytes).
+    const auto mm = mat->memory();
+    const auto rm = rem->memory();
+    EXPECT_EQ(mm.encoder_bits, rm.encoder_bits) << name;
+    EXPECT_GT(mm.encoder_resident_bytes, rm.encoder_resident_bytes * 100)
+        << name;
+  }
+}
+
+TEST(ApiSerialize, LegacyBaselineFrameLoadsWithSequentialDerivation) {
+  // A pre-seam MHDAPI01 BasicHDC container (no basis bytes in the frame)
+  // must load with the legacy sequential derivation and predict exactly
+  // what it predicted when written.
+  const auto split = testing::tiny_multimodal(/*seed=*/28,
+                                              /*train_per_class=*/30,
+                                              /*test_per_class=*/15);
+  baselines::BaselineConfig cfg;
+  cfg.dim = 256;
+  cfg.epochs = 0;
+  cfg.seed = 9;
+  cfg.basis_derivation = hdc::BasisDerivation::kLegacySequential;
+  auto legacy = std::make_unique<BaselineClassifier>(baselines::make_baseline(
+      core::ModelKind::kBasicHDC, split.train.num_features(),
+      split.train.num_classes(), cfg));
+  legacy->model().fit(split.train);
+  const auto expected = legacy->predict_batch(split.test.features());
+
+  const std::string path = temp_model_path("api_legacy_frame.mhd");
+  api::save(*legacy, path);
+  // Rewrite the MHDAPI03 container as MHDAPI01: magic revision back to 1
+  // and the two basis bytes (at offset magic 8 + tag 1 + u64*7 + f32 = 69)
+  // spliced out.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 71u);
+  ASSERT_EQ(bytes.substr(0, 8), "MHDAPI03");
+  bytes[7] = '1';
+  bytes.erase(69, 2);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const auto loaded = api::load(path);
+  std::remove(path.c_str());
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->predict_batch(split.test.features()), expected);
+  const auto* adapter = dynamic_cast<const BaselineClassifier*>(loaded.get());
+  ASSERT_NE(adapter, nullptr);
+  EXPECT_EQ(adapter->model().config().basis_derivation,
+            hdc::BasisDerivation::kLegacySequential);
 }
 
 TEST(ApiSerialize, LoadRejectsGarbage) {

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include "src/core/model.hpp"
 #include "test_util.hpp"
@@ -107,6 +109,100 @@ TEST(Serialize, TruncatedFileThrows) {
   // Chop the file in half.
   const auto size = fs::file_size(path);
   fs::resize_file(path, size / 2);
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RematRoundTripPreservesEverything) {
+  const auto split = testing::tiny_multimodal();
+  auto cfg = small_config();
+  cfg.basis = hdc::BasisKind::kRematerialized;
+  MemhdModel model(cfg, split.train.num_features(),
+                   split.train.num_classes());
+  model.fit(split.train);
+
+  const std::string path = temp_model_path("memhd_remat.model");
+  model.save(path);
+  const MemhdModel loaded = MemhdModel::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.config().basis, hdc::BasisKind::kRematerialized);
+  EXPECT_EQ(loaded.config().basis_derivation,
+            hdc::BasisDerivation::kCounterStream);
+  // The loaded encoder plane is seed-only, not a resident matrix.
+  EXPECT_LE(loaded.encoder().resident_bytes(), 64u);
+  EXPECT_TRUE(loaded.am().binary() == model.am().binary());
+  for (std::size_t i = 0; i < split.test.size(); ++i)
+    EXPECT_EQ(loaded.predict(split.test.sample(i)),
+              model.predict(split.test.sample(i)));
+
+  // And the rematerialized model is interchangeable with a materialized
+  // one trained identically (bit-identical encodings → identical AM).
+  auto mcfg = cfg;
+  mcfg.basis = hdc::BasisKind::kMaterialized;
+  MemhdModel mat(mcfg, split.train.num_features(),
+                 split.train.num_classes());
+  mat.fit(split.train);
+  EXPECT_TRUE(mat.am().binary() == loaded.am().binary());
+}
+
+TEST(Serialize, LegacyContainerLoadsWithSequentialDerivation) {
+  // Hand-build a MEMHD001 container (the pre-basis-seam layout: same
+  // header minus the two trailing basis bytes) and check the loader pins
+  // the legacy sequential derivation so the plane decodes unchanged.
+  const auto split = testing::tiny_separable();
+  auto cfg = small_config();
+  cfg.basis_derivation = hdc::BasisDerivation::kLegacySequential;
+  MemhdModel model(cfg, split.train.num_features(),
+                   split.train.num_classes());
+  model.fit(split.train);
+
+  const std::string path = temp_model_path("memhd_legacy.model");
+  model.save(path);
+  // v2 layout: magic(8) u64*7(56) f64(8) f32(4) u8*3(3) basis-u8*2(2)...
+  // Rewrite to v1: swap the magic revision and splice out bytes 79..80.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 81u);
+  ASSERT_EQ(bytes.substr(0, 8), "MEMHD002");
+  bytes[7] = '1';
+  bytes.erase(79, 2);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const MemhdModel loaded = MemhdModel::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.config().basis, hdc::BasisKind::kMaterialized);
+  EXPECT_EQ(loaded.config().basis_derivation,
+            hdc::BasisDerivation::kLegacySequential);
+  EXPECT_TRUE(loaded.am().binary() == model.am().binary());
+  for (std::size_t i = 0; i < split.test.size(); ++i)
+    EXPECT_EQ(loaded.predict(split.test.sample(i)),
+              model.predict(split.test.sample(i)));
+}
+
+TEST(Serialize, RematLegacyComboRejectedAsCorrupt) {
+  // basis = rematerialized + derivation = legacy is unconstructible; a
+  // container claiming it must be rejected as corrupt, not aborted on.
+  const auto split = testing::tiny_separable();
+  MemhdModel model(small_config(), split.train.num_features(),
+                   split.train.num_classes());
+  model.fit(split.train);
+  const std::string path = temp_model_path("memhd_badcombo.model");
+  model.save(path);
+  {
+    std::fstream io(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(79);
+    const char combo[2] = {1, 1};  // rematerialized + legacy
+    io.write(combo, 2);
+  }
   EXPECT_THROW(load_model(path), std::runtime_error);
   std::remove(path.c_str());
 }

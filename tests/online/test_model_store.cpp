@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/api/adapters.hpp"
 #include "src/api/registry.hpp"
 #include "test_util.hpp"
 
@@ -200,6 +201,68 @@ TEST(ModelStore, PreVersionContainerStillLoads) {
   std::stringstream stream2;
   api::save(*model, stream2);
   EXPECT_THROW(load_store(stream2), std::runtime_error);
+}
+
+TEST(ModelStore, RematVersionsShareSeedOnlyEncoderAndHotSwap) {
+  // With a rematerialized basis, every COW version's "shared encoder
+  // plane" is nothing heavier than a seed: publishing versions adds AM
+  // copies only, and a store round trip reconstructs the same seed-only
+  // encoders.
+  const auto& f = fixture();
+  api::ModelOptions opts;
+  opts.dim = 256;
+  opts.columns = 16;
+  opts.epochs = 2;
+  opts.seed = 9;
+  opts.basis = hdc::BasisKind::kRematerialized;
+  auto model = api::make("memhd", f.split.train.num_features(),
+                         f.split.train.num_classes(), opts);
+  model->fit(f.split.train);
+
+  // Same options, materialized: identical predictions (the basis knob
+  // never changes outputs, even through the api registry path).
+  auto mopts = opts;
+  mopts.basis = hdc::BasisKind::kMaterialized;
+  auto mat = api::make("memhd", f.split.train.num_features(),
+                       f.split.train.num_classes(), mopts);
+  mat->fit(f.split.train);
+  const auto direct = model->predict_batch(f.split.test.features());
+  EXPECT_EQ(mat->predict_batch(f.split.test.features()), direct);
+
+  ModelStore store(std::move(model));
+  store.partial_fit(f.split.test.features(), f.split.test.labels());
+  const VersionId v1 = store.publish();
+
+  // Every version holds a seed-only encoder plane; the versions share it
+  // by construction (COW clones share the encoder shared_ptr).
+  for (const VersionId id : {VersionId{0}, v1}) {
+    store.swap(id);
+    const auto pinned = store.pin();
+    const auto* memhd =
+        dynamic_cast<const api::MemhdClassifier*>(pinned.model.get());
+    ASSERT_NE(memhd, nullptr);
+    EXPECT_EQ(memhd->model().config().basis,
+              hdc::BasisKind::kRematerialized);
+    EXPECT_LE(memhd->model().encoder().resident_bytes(), 64u);
+  }
+
+  // Hot swap + store persistence round trip, still seed-only.
+  std::stringstream stream;
+  save_store(store, stream);
+  const auto loaded = load_store(stream);
+  EXPECT_EQ(loaded->current_version(), v1);
+  for (const VersionId id : {VersionId{0}, v1}) {
+    store.swap(id);
+    loaded->swap(id);
+    EXPECT_EQ(loaded->pin().model->predict_batch(f.split.test.features()),
+              store.pin().model->predict_batch(f.split.test.features()));
+    const auto* memhd = dynamic_cast<const api::MemhdClassifier*>(
+        loaded->pin().model.get());
+    ASSERT_NE(memhd, nullptr);
+    EXPECT_LE(memhd->model().encoder().resident_bytes(), 64u);
+  }
+  EXPECT_EQ(loaded->pin().model->predict_batch(f.split.test.features()),
+            direct);
 }
 
 TEST(ModelStore, NoteScoredAccumulatesPerVersion) {

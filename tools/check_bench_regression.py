@@ -49,6 +49,10 @@ The gate:
   * FAILS when any section's normalized batch queries/sec drops more than
     --threshold (default 20%) below the same-kernel baseline, or when any
     section reports bit_identical = false;
+  * FAILS machine-independently (no baseline needed) when the encode_remat
+    section's D=1M resident-bytes contrast drops below 100x: the
+    rematerialized encoder plane must stay seed-only while the materialized
+    equivalent scales with f x D;
   * PASSES with a notice when no baseline exists for the current backend
     (first run on new hardware or a freshly added backend — commit one with
     --update) instead of misapplying another backend's numbers, and skips
@@ -268,6 +272,27 @@ def main():
     for name, record in sections(current).items():
         if not record.get("bit_identical", True):
             failures.append(f"{name}: batch kernel is NOT bit-identical")
+
+    # Machine-independent: the rematerialized encoder plane's claim is O(1)
+    # residency. The encode_remat section records the D=1M contrast (the
+    # rematerialized figure measured off a live encoder, the materialized one
+    # analytic); the ratio must stay >= 100x on every host and backend.
+    remat = current.get("encode_remat", {})
+    mat_resident = remat.get("resident_bytes_materialized_1m", 0)
+    remat_resident = remat.get("resident_bytes_rematerialized_1m", 0)
+    if mat_resident and remat_resident:
+        ratio = mat_resident / remat_resident
+        print(f"encode_remat residency at D=1M: materialized {mat_resident} B "
+              f"vs rematerialized {remat_resident} B ({ratio:.0f}x)")
+        if ratio < 100.0:
+            failures.append(
+                f"encode_remat: materialized/rematerialized resident ratio "
+                f"{ratio:.1f}x at D=1M is below the 100x floor — the "
+                f"rematerialized plane is no longer seed-only")
+    elif remat:
+        failures.append(
+            "encode_remat: resident_bytes_*_1m fields missing — the "
+            "residency contrast cannot be checked")
 
     if args.update:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
