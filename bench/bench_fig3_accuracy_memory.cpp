@@ -45,6 +45,12 @@ int main(int argc, char** argv) {
   cli.add_flag("baseline-train-cap", "200",
                "Per-class training cap for the ID-Level baselines at bench "
                "scale (0 = no cap); keeps single-core runtime sane");
+  cli.add_bool_flag(
+      "ultra-d",
+      "Add a D=1M MEMHD point (rematerialized basis, C=128, 1 epoch, "
+      "20 train samples per class): the memory axis far beyond what a "
+      "materialized encoder plane could hold resident. Slow — minutes per "
+      "trial at ~16 encodes/s on one core.");
   if (!cli.parse(argc, argv)) return 1;
   const auto ctx = bench::make_context(cli);
 
@@ -109,6 +115,39 @@ int main(int argc, char** argv) {
                        common::format_double(mem.total_kb(), 2),
                        bench::pct(acc), std::to_string(trial)});
         std::printf("  [%6.1fs] MEMHD %-9s  %8.1f KB  acc %s%%\n",
+                    total.seconds(), shape.c_str(), mem.total_kb(),
+                    bench::pct(acc).c_str());
+      }
+
+      // ---- Ultra-high-D MEMHD point (rematerialized encoder plane) ----
+      // Only reachable with rematerialization: a materialized basis at
+      // D=1M would hold ~F*D*5 bytes resident (3+ GB for MNIST) before a
+      // single sample is encoded. The point lands far right on the model-
+      // memory axis (the AM still scales with C*D) with seed-only encoder
+      // residency; heavily subsampled + 1 epoch to keep the single-core
+      // encode cost (~16 enc/s at D=1M) bounded.
+      if (cli.get_bool("ultra-d")) {
+        constexpr std::size_t kUltraDim = 1u << 20;
+        api::ModelOptions opts;
+        opts.dim = kUltraDim;
+        opts.columns = 128;
+        opts.epochs = 1;
+        opts.learning_rate = 0.02f;
+        opts.seed = ctx.seed + trial;
+        opts.basis = hdc::BasisKind::kRematerialized;
+        data::TrainTestSplit tiny = split;
+        tiny.train = bench::subsample_per_class(split.train, 20, rng);
+        const double acc = bench::run_classifier("memhd", tiny, opts);
+        const auto mem = core::memory_requirement(
+            core::ModelKind::kMemhd,
+            memory_params(split, kUltraDim, opts.columns));
+        const std::string shape = "1048576x128";
+        points.push_back({"MEMHD", shape, mem.total_kb(), acc});
+        csv.write_row({dataset, "MEMHD", shape,
+                       common::format_double(mem.total_kb(), 2),
+                       bench::pct(acc), std::to_string(trial)});
+        std::printf("  [%6.1fs] MEMHD %-9s  %8.1f KB  acc %s%% "
+                    "(rematerialized, 20/class, 1 epoch)\n",
                     total.seconds(), shape.c_str(), mem.total_kb(),
                     bench::pct(acc).c_str());
       }

@@ -1,21 +1,32 @@
 #include "src/api/adapters.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "src/common/assert.hpp"
 #include "src/common/bitops_batch.hpp"
 #include "src/common/io.hpp"
 #include "src/core/serialize.hpp"
+#include "src/search/cascade.hpp"
 
 namespace memhd::api {
 
 namespace {
 // Pinned inference engine for one serving thread: snapshots the deployed
-// binary AM into a BatchScorer (one word-major repack) plus the argmax
-// scratch, so repeated serve batches pay neither again.
+// search plane so repeated serve batches pay neither snapshot nor repack
+// again. With the cascade enabled this pins the model's CascadeSearcher —
+// prescreen sub-plane AND exact plane in one immutable object — so a shard
+// worker keeps scoring the version it pinned at batch cut even while a hot
+// swap publishes a new one (the BatchServer rebuilds contexts on version
+// change, which is what re-points shards at the new planes). Without the
+// cascade it is the exhaustive BatchScorer, as before.
 struct MemhdPredictContext final : Classifier::PredictContext {
-  explicit MemhdPredictContext(const common::BitMatrix& am) : scorer(am) {}
-  common::BatchScorer scorer;
+  explicit MemhdPredictContext(const core::MemhdModel& model)
+      : cascade(model.cascade_ptr()) {
+    if (cascade == nullptr) scorer.emplace(model.am().binary());
+  }
+  std::shared_ptr<const search::CascadeSearcher> cascade;
+  std::optional<common::BatchScorer> scorer;  // engaged iff cascade == null
   std::vector<std::uint32_t> best;
 };
 }  // namespace
@@ -48,7 +59,7 @@ std::vector<data::Label> MemhdClassifier::predict_batch(
 std::unique_ptr<Classifier::PredictContext>
 MemhdClassifier::make_predict_context() const {
   MEMHD_EXPECTS(fitted_);
-  return std::make_unique<MemhdPredictContext>(model_.am().binary());
+  return std::make_unique<MemhdPredictContext>(model_);
 }
 
 void MemhdClassifier::predict_batch_into(const common::Matrix& features,
@@ -60,12 +71,18 @@ void MemhdClassifier::predict_batch_into(const common::Matrix& features,
     return;
   }
   MEMHD_EXPECTS(out.size() == features.rows());
-  // Same batch encode and fused winner-take-all kernel as predict_batch
-  // (BatchScorer::dot_argmax and blocked_dot_argmax share one
-  // implementation), hence bit-identical — only the repack is pre-paid.
+  // Same batch encode and the same search engine as predict_batch — the
+  // pinned CascadeSearcher when the cascade is on, the fused
+  // winner-take-all kernel otherwise (BatchScorer::dot_argmax and
+  // blocked_dot_argmax share one implementation) — hence bit-identical;
+  // only the snapshot/repack is pre-paid.
   const auto encoded = model_.encoder().encode_batch(features);
-  ctx->scorer.dot_argmax(std::span<const common::BitVector>(encoded),
-                         ctx->best);
+  if (ctx->cascade != nullptr)
+    ctx->cascade->dot_argmax(std::span<const common::BitVector>(encoded),
+                             ctx->best);
+  else
+    ctx->scorer->dot_argmax(std::span<const common::BitVector>(encoded),
+                            ctx->best);
   for (std::size_t q = 0; q < encoded.size(); ++q)
     out[q] = model_.am().owner(ctx->best[q]);
 }

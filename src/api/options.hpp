@@ -34,6 +34,16 @@ struct ModelOptions {
   core::NormalizationMode normalization = core::NormalizationMode::kZScore;
   std::size_t kmeans_max_iterations = 25;
 
+  // MEMHD coarse-to-fine search cascade (src/search/README.md). Off by
+  // default; when on, predict/predict_batch prune the C-centroid search
+  // to a prescreened shortlist. kExact mode stays bit-identical to
+  // exhaustive search; kThreshold trades certified identity for speed.
+  bool cascade = false;
+  search::CascadeMode cascade_mode = search::CascadeMode::kThreshold;
+  double cascade_sample_fraction = 0.125;  // share of words prescreened
+  std::size_t cascade_shortlist = 64;      // stage-2 rescore budget / cap
+  std::size_t cascade_early_exit_margin = 0;  // bits; 0 = no early exit
+
   // ID-Level encoders (QuantHD / SearcHD / LeHDC).
   std::size_t num_levels = 256;    // L
 
@@ -53,6 +63,14 @@ struct ModelOptions {
     cfg.kmeans_max_iterations = kmeans_max_iterations;
     cfg.seed = seed;
     cfg.basis = basis;
+    cfg.cascade.enabled = cascade;
+    cfg.cascade.mode = cascade_mode;
+    cfg.cascade.sample_fraction = cascade_sample_fraction;
+    cfg.cascade.shortlist = cascade_shortlist;
+    cfg.cascade.early_exit_margin = cascade_early_exit_margin;
+    // Word sampling derives from the model seed (and is persisted), so two
+    // models built from the same options prescreen the same words.
+    cfg.cascade.seed = seed ^ 0xCA5CADEULL;
     return cfg;
   }
 

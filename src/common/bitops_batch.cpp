@@ -131,4 +131,18 @@ void BatchScorer::dot_argmax(const std::uint64_t* const* queries,
              out);
 }
 
+void BatchScorer::scores_rows(const std::uint64_t* query,
+                              std::span<const std::uint32_t> row_ids,
+                              PopcountOp op, std::uint32_t* out) const {
+  const std::size_t nwords = rows_.words_per_row();
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    MEMHD_EXPECTS(row_ids[i] < rows_.rows());
+    const std::uint64_t* row = rows_.row(row_ids[i]);
+    out[i] = static_cast<std::uint32_t>(
+        op == PopcountOp::kAnd
+            ? combined_popcount<PopcountOp::kAnd>(row, query, nwords)
+            : combined_popcount<PopcountOp::kXor>(row, query, nwords));
+  }
+}
+
 }  // namespace memhd::common

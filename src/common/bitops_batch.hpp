@@ -144,6 +144,24 @@ class BatchScorer {
   void dot_argmax(const std::uint64_t* const* queries,
                   std::size_t num_queries, std::uint32_t* out) const;
 
+  /// Gather/shortlist entry point: exact scores of ONE query against only
+  /// the listed rows — out[i] = popcount(row row_ids[i] OP query). Runs
+  /// over the row-major snapshot through the same combined_popcount core
+  /// as every kernel backend's tail loop, so it is bit-identical to the
+  /// full scores() restricted to row_ids while touching no other row's
+  /// words. This is the cascade's stage-2 rescore (src/search/): survivors
+  /// of a prescreen are typically a few dozen rows, far below where the
+  /// word-major batch tiling pays for itself.
+  void scores_rows(const std::uint64_t* query,
+                   std::span<const std::uint32_t> row_ids, PopcountOp op,
+                   std::uint32_t* out) const;
+  /// AND (dot-similarity) shorthand — the associative-search case.
+  void scores_rows(const std::uint64_t* query,
+                   std::span<const std::uint32_t> row_ids,
+                   std::uint32_t* out) const {
+    scores_rows(query, row_ids, PopcountOp::kAnd, out);
+  }
+
  private:
   const KernelBackend* backend_;         // pinned at construction
   BitMatrix rows_;                       // snapshot (row-major path + shape)

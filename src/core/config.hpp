@@ -5,6 +5,7 @@
 #include <cstddef>
 
 #include "src/hdc/basis_provider.hpp"
+#include "src/search/cascade_config.hpp"
 
 namespace memhd::core {
 
@@ -61,6 +62,12 @@ struct MemhdConfig {
   /// new models; kLegacySequential is set by the loader for pre-MEMHD002
   /// containers so their encoder decodes to the plane they trained on.
   hdc::BasisDerivation basis_derivation = hdc::BasisDerivation::kCounterStream;
+  /// Coarse-to-fine associative search (src/search/): when enabled, batch
+  /// and single-query prediction route through a two-stage cascade —
+  /// bit-sampled prescreen, exact rescore of the shortlist — instead of
+  /// exhaustive scoring of all C centroids. Persisted in MEMHD003
+  /// containers; disabled is the pre-cascade behaviour.
+  search::CascadeConfig cascade;
 };
 
 }  // namespace memhd::core

@@ -37,7 +37,8 @@ MemhdModel::MemhdModel(const MemhdModel& other)
       num_classes_(other.num_classes_),
       encoder_(other.encoder_),  // immutable: shared, not copied
       am_(other.am_ ? std::make_unique<MultiCentroidAM>(*other.am_)
-                    : nullptr) {}
+                    : nullptr),
+      cascade_(other.cascade_) {}  // immutable snapshot: shared, not rebuilt
 
 MemhdModel& MemhdModel::operator=(const MemhdModel& other) {
   if (this == &other) return *this;
@@ -45,7 +46,16 @@ MemhdModel& MemhdModel::operator=(const MemhdModel& other) {
   num_classes_ = other.num_classes_;
   encoder_ = other.encoder_;
   am_ = other.am_ ? std::make_unique<MultiCentroidAM>(*other.am_) : nullptr;
+  cascade_ = other.cascade_;
   return *this;
+}
+
+void MemhdModel::refresh_cascade() {
+  if (cfg_.cascade.enabled && am_ != nullptr)
+    cascade_ = std::make_shared<const search::CascadeSearcher>(am_->binary(),
+                                                               cfg_.cascade);
+  else
+    cascade_.reset();
 }
 
 const MultiCentroidAM& MemhdModel::am() const {
@@ -82,11 +92,21 @@ FitReport MemhdModel::fit_encoded(const hdc::EncodedDataset& train,
   qc.normalization = cfg_.normalization;
   qc.seed = cfg_.seed;
   report.training = train_qat(*am_, train, eval, qc);
+  refresh_cascade();
   return report;
 }
 
 data::Label MemhdModel::predict(std::span<const float> features) const {
   MEMHD_EXPECTS(am_ != nullptr);
+  if (cascade_ != nullptr) {
+    // Route the single query through the same cascade as predict_batch:
+    // in kThreshold mode the shortlist is part of the result, so only a
+    // shared code path keeps predict() bit-identical to predict_batch()
+    // per row (the api::Classifier contract).
+    const common::BitVector hv = encoder_->encode(features);
+    return am_->predict_batch(std::span<const common::BitVector>(&hv, 1),
+                              *cascade_)[0];
+  }
   return am_->predict_binary(encoder_->encode(features));
 }
 
@@ -94,6 +114,7 @@ std::vector<data::Label> MemhdModel::predict_batch(
     const common::Matrix& features) const {
   MEMHD_EXPECTS(am_ != nullptr);
   const auto encoded = encoder_->encode_batch(features);
+  if (cascade_ != nullptr) return am_->predict_batch(encoded, *cascade_);
   return am_->predict_batch(encoded);
 }
 
@@ -112,6 +133,7 @@ bool MemhdModel::update(std::span<const float> features, data::Label truth) {
   hdc::add_bipolar(am_->fp().row(predicted_slot), hv, -cfg_.learning_rate);
   am_->normalize(cfg_.normalization);
   am_->binarize();
+  refresh_cascade();  // the binary plane changed; re-snapshot
   return true;
 }
 
@@ -179,6 +201,9 @@ PartialFitReport MemhdModel::partial_fit(
     am_->normalize_rows(cfg_.normalization, touched);
     am_->binarize_rows(touched);
   }
+  // One snapshot refresh per batch (covers extend_classes growth too);
+  // readers holding the previous cascade_ptr() keep their old plane.
+  if (report.mispredicted > 0 || report.new_columns > 0) refresh_cascade();
   return report;
 }
 
@@ -240,7 +265,9 @@ QatTrace MemhdModel::adapt(const data::Dataset& data, std::size_t epochs) {
   qc.normalization = cfg_.normalization;
   qc.keep_best = false;  // no eval set: keep the final state
   qc.seed = cfg_.seed ^ 0xADA97ULL;
-  return train_qat(*am_, encoded, nullptr, qc);
+  QatTrace trace = train_qat(*am_, encoded, nullptr, qc);
+  refresh_cascade();
+  return trace;
 }
 
 double MemhdModel::evaluate(const data::Dataset& test) const {

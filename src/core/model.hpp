@@ -23,6 +23,7 @@
 #include "src/core/qat_trainer.hpp"
 #include "src/data/dataset.hpp"
 #include "src/hdc/projection_encoder.hpp"
+#include "src/search/cascade.hpp"
 
 namespace memhd::core {
 
@@ -61,6 +62,18 @@ class MemhdModel {
   const hdc::ProjectionEncoder& encoder() const { return *encoder_; }
   /// Valid after fit()/fit_encoded().
   const MultiCentroidAM& am() const;
+
+  /// The coarse-to-fine searcher predictions route through, or nullptr
+  /// when cfg.cascade is disabled / the model is unfitted. Rebuilt by every
+  /// AM mutation (fit, update, partial_fit, adapt, load), so it always
+  /// snapshots the deployed binary plane.
+  const search::CascadeSearcher* cascade() const { return cascade_.get(); }
+  /// Shared ownership of the same searcher: serving contexts
+  /// (api::Classifier::PredictContext) pin the snapshot they batch against
+  /// so a concurrent refresh can never tear a batch.
+  std::shared_ptr<const search::CascadeSearcher> cascade_ptr() const {
+    return cascade_;
+  }
 
   /// Encodes, initializes, and trains. `eval` (optional) drives per-epoch
   /// accuracy tracking and best-snapshot selection.
@@ -133,11 +146,19 @@ class MemhdModel {
                       std::vector<std::size_t>& touched,
                       PartialFitReport& report);
 
+  /// Re-snapshots cascade_ from the current binary AM (or clears it when
+  /// the cascade is disabled). Called after every mutation of am_.
+  void refresh_cascade();
+
   MemhdConfig cfg_;
   std::size_t num_classes_ = 0;
   /// Shared between copies (immutable after construction; see copy ctor).
   std::shared_ptr<const hdc::ProjectionEncoder> encoder_;
   std::unique_ptr<MultiCentroidAM> am_;
+  /// Immutable snapshot searcher over am_'s binary plane; shared between
+  /// copies like the encoder (a copy that later mutates its AM rebuilds
+  /// its own). Null when disabled.
+  std::shared_ptr<const search::CascadeSearcher> cascade_;
 };
 
 }  // namespace memhd::core

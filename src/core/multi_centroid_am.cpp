@@ -6,6 +6,7 @@
 #include "src/common/assert.hpp"
 #include "src/common/bitops_batch.hpp"
 #include "src/common/stats.hpp"
+#include "src/search/cascade.hpp"
 
 namespace memhd::core {
 
@@ -210,6 +211,25 @@ std::vector<data::Label> MultiCentroidAM::predict_batch(
   // computed inside the scoring tiles (no per-query score table).
   std::vector<std::uint32_t> best;
   common::blocked_dot_argmax(binary_, queries, best);
+  std::vector<data::Label> out(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    MEMHD_ENSURES(owner_[best[q]] != kUnassigned);
+    out[q] = owner_[best[q]];
+  }
+  return out;
+}
+
+std::vector<data::Label> MultiCentroidAM::predict_batch(
+    std::span<const common::BitVector> queries,
+    const search::CascadeSearcher& cascade,
+    search::CascadeStats* stats) const {
+  // The cascade snapshots the plane it was built from; insist the shapes
+  // still agree so a searcher that predates an extend() cannot silently
+  // search a smaller plane. (Same-shape staleness — a re-binarize since
+  // the snapshot — is the caller's contract: rebuild after mutation.)
+  MEMHD_EXPECTS(cascade.rows() == columns_ && cascade.cols() == dim_);
+  std::vector<std::uint32_t> best;
+  cascade.dot_argmax(queries, best, stats);
   std::vector<data::Label> out(queries.size());
   for (std::size_t q = 0; q < queries.size(); ++q) {
     MEMHD_ENSURES(owner_[best[q]] != kUnassigned);

@@ -21,6 +21,11 @@
 #include "src/data/dataset.hpp"
 #include "src/hdc/encoded_dataset.hpp"
 
+namespace memhd::search {
+class CascadeSearcher;
+struct CascadeStats;
+}  // namespace memhd::search
+
 namespace memhd::core {
 
 class MultiCentroidAM {
@@ -116,6 +121,15 @@ class MultiCentroidAM {
   /// Batched predict_binary (same argmax and tie-breaking per query).
   std::vector<data::Label> predict_batch(
       std::span<const common::BitVector> queries) const;
+  /// Batched predict through a coarse-to-fine search cascade built over
+  /// THIS AM's binary plane (src/search/cascade.hpp). In kExact mode the
+  /// labels are bit-identical to the exhaustive overload above; kThreshold
+  /// trades certified identity for pruned scoring work. `stats`, when
+  /// given, accumulates the cascade's stage counters.
+  std::vector<data::Label> predict_batch(
+      std::span<const common::BitVector> queries,
+      const search::CascadeSearcher& cascade,
+      search::CascadeStats* stats = nullptr) const;
   /// Predicted class via FP search (initialization-time validation).
   data::Label predict_fp(const common::BitVector& query) const;
 

@@ -15,19 +15,24 @@ using common::write_pod;
 
 namespace {
 // Container revisions. MEMHD002 adds two bytes after the normalization
-// byte: basis kind + basis derivation. Neither revision stores the
-// projection matrix — the loader re-derives it from {seed, shape,
-// derivation} — so MEMHD001 files (written before the basis-provider seam)
-// load as materialized + kLegacySequential, the stream they trained on.
+// byte: basis kind + basis derivation. No revision stores the projection
+// matrix — the loader re-derives it from {seed, shape, derivation} — so
+// MEMHD001 files (written before the basis-provider seam) load as
+// materialized + kLegacySequential, the stream they trained on. MEMHD003
+// appends the search-cascade block (enabled, mode, sample fraction,
+// shortlist, early-exit margin, sampling seed) after the basis bytes;
+// earlier revisions load with the cascade disabled — exhaustive search,
+// exactly how those models always predicted.
 constexpr char kMagicV1[8] = {'M', 'E', 'M', 'H', 'D', '0', '0', '1'};
 constexpr char kMagicV2[8] = {'M', 'E', 'M', 'H', 'D', '0', '0', '2'};
+constexpr char kMagicV3[8] = {'M', 'E', 'M', 'H', 'D', '0', '0', '3'};
 }  // namespace
 
 void save_model(const MemhdModel& model, std::ostream& out) {
   const MemhdConfig& cfg = model.config();
   const MultiCentroidAM& am = model.am();
 
-  out.write(kMagicV2, sizeof(kMagicV2));
+  out.write(kMagicV3, sizeof(kMagicV3));
   write_pod<std::uint64_t>(out, cfg.dim);
   write_pod<std::uint64_t>(out, cfg.columns);
   write_pod<std::uint64_t>(out, model.num_features());
@@ -42,6 +47,12 @@ void save_model(const MemhdModel& model, std::ostream& out) {
   write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.normalization));
   write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.basis));
   write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.basis_derivation));
+  write_pod<std::uint8_t>(out, cfg.cascade.enabled ? 1 : 0);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.cascade.mode));
+  write_pod<double>(out, cfg.cascade.sample_fraction);
+  write_pod<std::uint64_t>(out, cfg.cascade.shortlist);
+  write_pod<std::uint64_t>(out, cfg.cascade.early_exit_margin);
+  write_pod<std::uint64_t>(out, cfg.cascade.seed);
 
   for (std::size_t col = 0; col < am.columns(); ++col)
     write_pod<std::uint16_t>(out, am.owner(col));
@@ -62,7 +73,9 @@ MemhdModel load_model(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
   if (!in) throw std::runtime_error("load_model: bad magic");
-  const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  const bool v3 = std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0;
+  const bool v2 =
+      v3 || std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
   if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0)
     throw std::runtime_error("load_model: bad magic");
 
@@ -95,6 +108,24 @@ MemhdModel load_model(std::istream& in) {
     cfg.basis = hdc::BasisKind::kMaterialized;
     cfg.basis_derivation = hdc::BasisDerivation::kLegacySequential;
   }
+  if (v3) {
+    const auto enabled = read_pod<std::uint8_t>(in);
+    const auto mode = read_pod<std::uint8_t>(in);
+    cfg.cascade.sample_fraction = read_pod<double>(in);
+    cfg.cascade.shortlist = read_pod<std::uint64_t>(in);
+    cfg.cascade.early_exit_margin = read_pod<std::uint64_t>(in);
+    cfg.cascade.seed = read_pod<std::uint64_t>(in);
+    // The same corrupt-header discipline as the basis bytes: reject values
+    // no writer emits before they reach the searcher's contract checks.
+    const bool cascade_sane =
+        enabled <= 1 && mode <= 1 && cfg.cascade.sample_fraction > 0.0 &&
+        cfg.cascade.sample_fraction <= 1.0 && cfg.cascade.shortlist >= 1 &&
+        cfg.cascade.shortlist <= (1ULL << 24);
+    if (!cascade_sane)
+      throw std::runtime_error("load_model: corrupt cascade config");
+    cfg.cascade.enabled = enabled != 0;
+    cfg.cascade.mode = static_cast<search::CascadeMode>(mode);
+  }  // pre-MEMHD003: cfg.cascade stays default-disabled (exhaustive search)
 
   // Reject corrupt headers before they reach constructor contract checks
   // (which abort) or drive multi-GB allocations.
@@ -124,6 +155,7 @@ MemhdModel load_model(std::istream& in) {
   }
   am->restore_binary(bin);
   model.am_ = std::move(am);
+  model.refresh_cascade();
   return model;
 }
 

@@ -1,6 +1,13 @@
 #include "src/hdc/basis_provider.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cstring>
 #include <string>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
 
 #include "src/common/assert.hpp"
 #include "src/common/bitops.hpp"
@@ -8,13 +15,48 @@
 
 namespace memhd::hdc {
 
+namespace {
+
+// SplitMix64's constants (common::splitmix64 is the reference scalar form;
+// the lane-parallel loop below must replay it bit-for-bit).
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kMix1 = 0xBF58476D1CE4E5B9ULL;
+constexpr std::uint64_t kMix2 = 0x94D049BB133111EBULL;
+
+}  // namespace
+
 std::uint64_t basis_word(std::uint64_t seed, std::uint64_t counter) {
   // One counter-mode SplitMix64 block: jump the stream state directly to
   // `counter` (splitmix64 advances by the golden-ratio increment per step,
   // so state = seed + counter * increment IS step `counter`) and emit one
   // word. Pure function of (seed, counter) — the whole point.
-  std::uint64_t state = seed + counter * 0x9E3779B97F4A7C15ULL;
+  std::uint64_t state = seed + counter * kGolden;
   return common::splitmix64(state);
+}
+
+void basis_words(std::uint64_t seed, std::uint64_t counter, std::size_t count,
+                 std::uint64_t* out) {
+  std::size_t i = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  // 8 independent counter streams per lane-group. Every operation is exact
+  // 64-bit integer arithmetic, so each lane computes precisely
+  // basis_word(seed, counter + i): splitmix64 post-increments the state
+  // before mixing, hence the (counter + lane + 1) starting states.
+  typedef std::uint64_t U64x8 __attribute__((vector_size(64)));
+  if (count >= 8) {
+    const U64x8 lane = {0, 1, 2, 3, 4, 5, 6, 7};
+    U64x8 state = (seed + (counter + 1) * kGolden) + lane * kGolden;
+    for (; i + 8 <= count; i += 8) {
+      U64x8 z = state;
+      z = (z ^ (z >> 30)) * kMix1;
+      z = (z ^ (z >> 27)) * kMix2;
+      z = z ^ (z >> 31);
+      std::memcpy(out + i, &z, sizeof(z));
+      state += 8 * kGolden;
+    }
+  }
+#endif
+  for (; i < count; ++i) out[i] = basis_word(seed, counter + i);
 }
 
 namespace {
@@ -26,18 +68,37 @@ void validate_shape(std::size_t dim, std::size_t num_features) {
     throw ConfigError("basis provider: num_features must be > 0");
 }
 
-/// Expands one packed sign row into float +/-1, replaying the counter
-/// stream word by word (no intermediate word buffer).
-void expand_counter_row(std::uint64_t seed, std::size_t d,
-                        std::size_t num_features, std::size_t words_per_row,
-                        float* out) {
+/// Expands `count` consecutive packed sign rows into float +/-1. The rows'
+/// counters are contiguous (row-major layout), so the whole group replays
+/// as ONE bulk stream — the SIMD lane-groups of basis_words stay full
+/// across row boundaries instead of draining at every words_per_row tail.
+void expand_counter_rows(std::uint64_t seed, std::size_t d, std::size_t count,
+                         std::size_t num_features, std::size_t words_per_row,
+                         float* out) {
+  constexpr std::size_t kChunk = 64;
+  std::uint64_t buf[kChunk];
   const std::uint64_t base = static_cast<std::uint64_t>(d) * words_per_row;
-  std::size_t f = 0;
-  for (std::size_t w = 0; w < words_per_row; ++w) {
-    const std::uint64_t word = basis_word(seed, base + w);
-    const std::size_t hi = std::min(num_features, f + 64);
-    for (; f < hi; ++f)
-      out[f] = (word >> (f & 63)) & 1ULL ? 1.0f : -1.0f;
+  const std::size_t total = count * words_per_row;
+  std::size_t produced = 0, avail = 0, pos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    float* row = out + i * num_features;
+    std::size_t f = 0;
+    for (std::size_t w = 0; w < words_per_row; ++w) {
+      if (pos == avail) {
+        avail = std::min(kChunk, total - produced);
+        basis_words(seed, base + produced, avail, buf);
+        produced += avail;
+        pos = 0;
+      }
+      const std::uint64_t word = buf[pos++];
+      if (f + 64 <= num_features) {
+        expand_sign_word(word, row + f);
+        f += 64;
+      } else {
+        for (; f < num_features; ++f)
+          row[f] = (word >> (f & 63)) & 1ULL ? 1.0f : -1.0f;
+      }
+    }
   }
 }
 
@@ -69,10 +130,8 @@ MaterializedBasis::MaterializedBasis(std::size_t dim, std::size_t num_features,
     const std::uint64_t mask = common::tail_mask(num_features);
     for (std::size_t d = 0; d < dim; ++d) {
       std::uint64_t* row = signs_.row(d);
-      const std::uint64_t base =
-          static_cast<std::uint64_t>(d) * words_per_row_;
-      for (std::size_t w = 0; w < words_per_row_; ++w)
-        row[w] = basis_word(seed, base + w);
+      basis_words(seed, static_cast<std::uint64_t>(d) * words_per_row_,
+                  words_per_row_, row);
       row[words_per_row_ - 1] &= mask;
     }
   }
@@ -90,6 +149,14 @@ void MaterializedBasis::float_rows(std::size_t d, std::size_t count,
   MEMHD_EXPECTS(d + count <= dim_);
   for (std::size_t i = 0; i < count; ++i)
     rows[i] = weights_.row(d + i).data();
+}
+
+void MaterializedBasis::sign_rows(std::size_t d, std::size_t count,
+                                  std::uint64_t* out) const {
+  MEMHD_EXPECTS(d + count <= dim_);
+  for (std::size_t i = 0; i < count; ++i)
+    std::memcpy(out + i * words_per_row_, signs_.row(d + i),
+                words_per_row_ * sizeof(std::uint64_t));
 }
 
 void MaterializedBasis::sign_words(std::size_t d,
@@ -137,11 +204,21 @@ void RematerializedBasis::float_rows(std::size_t d, std::size_t count,
                                      const float** rows) const {
   MEMHD_EXPECTS(d + count <= dim_);
   MEMHD_EXPECTS(count == 0 || scratch != nullptr);
-  for (std::size_t i = 0; i < count; ++i) {
-    float* out = scratch + i * num_features_;
-    expand_counter_row(seed_, d + i, num_features_, words_per_row_, out);
-    rows[i] = out;
-  }
+  expand_counter_rows(seed_, d, count, num_features_, words_per_row_,
+                      scratch);
+  for (std::size_t i = 0; i < count; ++i) rows[i] = scratch + i * num_features_;
+}
+
+void RematerializedBasis::sign_rows(std::size_t d, std::size_t count,
+                                    std::uint64_t* out) const {
+  MEMHD_EXPECTS(d + count <= dim_);
+  // Row-major counters make the whole group ONE contiguous stream; the
+  // SIMD lane-groups of basis_words stay full across row boundaries.
+  basis_words(seed_, static_cast<std::uint64_t>(d) * words_per_row_,
+              count * words_per_row_, out);
+  const std::uint64_t mask = common::tail_mask(num_features_);
+  for (std::size_t i = 0; i < count; ++i)
+    out[(i + 1) * words_per_row_ - 1] &= mask;
 }
 
 void RematerializedBasis::sign_words(std::size_t d,

@@ -32,9 +32,15 @@
 // nothing heavier than the seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
 
 #include "src/common/bit_matrix.hpp"
 #include "src/common/matrix.hpp"
@@ -73,6 +79,14 @@ class ConfigError : public std::invalid_argument {
 /// path — possible.
 std::uint64_t basis_word(std::uint64_t seed, std::uint64_t counter);
 
+/// Bulk form: out[i] = basis_word(seed, counter + i) for i in [0, count).
+/// Counter-mode blocks are embarrassingly parallel, so the expansion loops
+/// run 8 SplitMix64 streams per SIMD lane-group instead of one scalar word
+/// at a time — bit-identical to the scalar form (exact integer arithmetic;
+/// the golden-value tests hold for both), just faster to replay.
+void basis_words(std::uint64_t seed, std::uint64_t counter, std::size_t count,
+                 std::uint64_t* out);
+
 /// Abstract source of the D x f bipolar sign plane. All row/word/tile
 /// accessors return identical bits across implementations for the same
 /// (seed, shape, derivation).
@@ -103,6 +117,16 @@ class BasisProvider {
   /// the words covering non-zero features.
   virtual void sign_words(std::size_t d, const std::uint32_t* word_index,
                           std::size_t count, std::uint64_t* out) const = 0;
+
+  /// All packed sign words of rows [d, d + count), row-major (words_per_row()
+  /// words per row, tail words masked) — the blocked encode kernels' source.
+  /// Handing out bits instead of floats lets the encoder expand signs word by
+  /// word INSIDE its FMA loop, where the expansion micro-ops hide in the
+  /// load-port slack: a materialized plane streams 32x less memory than its
+  /// float mirror, and a rematerialized plane's replay overlaps the math
+  /// instead of running as a serial phase before it.
+  virtual void sign_rows(std::size_t d, std::size_t count,
+                         std::uint64_t* out) const = 0;
 
   /// The IMC encoder-matrix tile for features [f0, f1) x dims [d0, d1), in
   /// the EM's wordline-major layout: cell (f - f0, d - d0) = sign of weight
@@ -145,6 +169,8 @@ class MaterializedBasis final : public BasisProvider {
                   const float** rows) const override;
   void sign_words(std::size_t d, const std::uint32_t* word_index,
                   std::size_t count, std::uint64_t* out) const override;
+  void sign_rows(std::size_t d, std::size_t count,
+                 std::uint64_t* out) const override;
   common::BitMatrix em_tile(std::size_t f0, std::size_t f1, std::size_t d0,
                             std::size_t d1) const override;
   std::size_t resident_bytes() const override;
@@ -169,10 +195,49 @@ class RematerializedBasis final : public BasisProvider {
                   const float** rows) const override;
   void sign_words(std::size_t d, const std::uint32_t* word_index,
                   std::size_t count, std::uint64_t* out) const override;
+  void sign_rows(std::size_t d, std::size_t count,
+                 std::uint64_t* out) const override;
   common::BitMatrix em_tile(std::size_t f0, std::size_t f1, std::size_t d0,
                             std::size_t d1) const override;
   std::size_t resident_bytes() const override { return sizeof(*this); }
 };
+
+namespace detail {
+/// 64 packed sign bits -> 64 floats via a byte-indexed table of 8-float
+/// groups (8 KB, L1-resident): one 32-byte copy per byte of the word
+/// replaces 64 test-and-branch stores. Fallback for targets without
+/// AVX-512 mask blends.
+[[maybe_unused]] inline constexpr auto kBitFloats = [] {
+  std::array<std::array<float, 8>, 256> table{};
+  for (std::size_t b = 0; b < 256; ++b)
+    for (std::size_t i = 0; i < 8; ++i)
+      table[b][i] = (b >> i) & 1 ? 1.0f : -1.0f;
+  return table;
+}();
+}  // namespace detail
+
+/// 64 packed sign bits -> 64 floats (+1.0f for a set bit, -1.0f clear), bit
+/// i to out[i]. Inline so the encoder's blocked kernels can expand word
+/// tiles inside their FMA loops, where the expansion micro-ops overlap the
+/// math; identical float output on every path (the AVX-512 mask blend and
+/// the byte-LUT copy agree bit for bit).
+inline void expand_sign_word(std::uint64_t word, float* out) {
+#if defined(__AVX512F__)
+  // Mask-blend: each 16-bit slice of the word selects +1/-1 lanes directly
+  // (bit i of the mask -> lane i), no table traffic at all.
+  const __m512 plus = _mm512_set1_ps(1.0f);
+  const __m512 minus = _mm512_set1_ps(-1.0f);
+  for (std::size_t b = 0; b < 4; ++b)
+    _mm512_storeu_ps(
+        out + b * 16,
+        _mm512_mask_blend_ps(static_cast<__mmask16>(word >> (b * 16)), minus,
+                             plus));
+#else
+  for (std::size_t b = 0; b < 8; ++b)
+    std::memcpy(out + b * 8, detail::kBitFloats[(word >> (b * 8)) & 0xFF].data(),
+                8 * sizeof(float));
+#endif
+}
 
 /// Factory. Throws ConfigError for dim == 0, num_features == 0, or
 /// kRematerialized + kLegacySequential.

@@ -124,38 +124,51 @@ void ProjectionEncoder::encode_block(const common::Matrix& features,
 
   std::vector<float> block(count * config_.dim);
   const std::size_t dim = config_.dim;
-  // Weight rows come from the basis provider in groups of kRowGroup: the
-  // materialized plane hands out mirror pointers, a rematerialized plane
-  // regenerates the group into this scratch — register/L1-resident for the
-  // whole group's worth of FMAs, then overwritten. Either way the float
-  // values (+/-1) and accumulation order are identical, so the two modes
-  // encode bit-identically.
-  std::vector<float> wscratch;
-  if (basis_->kind() == BasisKind::kRematerialized)
-    wscratch.resize(kRowGroup * nf);
-  const float* rows[kRowGroup];
 #if defined(__GNUC__) || defined(__clang__)
   // One vector register of per-sample accumulators; four output dimensions
   // in flight so the per-lane FMA chains overlap instead of serializing on
   // FMA latency. Lane s accumulates sample s's projection in feature order,
   // exactly like the sequential scalar dot.
+  //
+  // Weights arrive as PACKED sign rows (sign_rows) and are expanded to
+  // float +/-1 one 64-feature word tile at a time, inside the FMA loop: the
+  // expansion micro-ops (mask blends / table copies + L1 stores) fill port
+  // slack the FMA chains leave open instead of running as a serial phase,
+  // a materialized plane streams 32x less memory than its float mirror,
+  // and a rematerialized plane replays the same words at the same cost.
+  // Either way the float values and accumulation order are identical, so
+  // the two modes encode bit-identically.
+  const std::size_t wpr = basis_->words_per_row();
+  // Double-buffered word groups: the NEXT group's rows are fetched (or, for
+  // a rematerialized plane, regenerated) before the current group's FMA
+  // loop, so the generation integer ops retire in that loop's port bubbles
+  // instead of serializing in front of it.
+  std::vector<std::uint64_t> wbuf(8 * wpr);
+  std::uint64_t* wcur = wbuf.data();
+  std::uint64_t* wnext = wbuf.data() + 4 * wpr;
+  alignas(64) float tile[4][64];
   typedef float SampleVec
       __attribute__((vector_size(kSampleBlock * sizeof(float)), aligned(4)));
   const SampleVec* xv = reinterpret_cast<const SampleVec*>(xt.data());
   std::size_t d = 0;
+  if (dim >= 4) basis_->sign_rows(0, 4, wcur);
   for (; d + 4 <= dim; d += 4) {
-    basis_->float_rows(d, 4, wscratch.data(), rows);
-    const float* w0 = rows[0];
-    const float* w1 = rows[1];
-    const float* w2 = rows[2];
-    const float* w3 = rows[3];
+    if (d + 8 <= dim) basis_->sign_rows(d + 4, 4, wnext);
     SampleVec a0{}, a1{}, a2{}, a3{};
-    for (std::size_t f = 0; f < nf; ++f) {
-      const SampleVec x = xv[f];
-      a0 += x * w0[f];
-      a1 += x * w1[f];
-      a2 += x * w2[f];
-      a3 += x * w3[f];
+    for (std::size_t w = 0; w < wpr; ++w) {
+      expand_sign_word(wcur[w], tile[0]);
+      expand_sign_word(wcur[wpr + w], tile[1]);
+      expand_sign_word(wcur[2 * wpr + w], tile[2]);
+      expand_sign_word(wcur[3 * wpr + w], tile[3]);
+      const std::size_t f0 = w * 64;
+      const std::size_t fn = std::min<std::size_t>(64, nf - f0);
+      for (std::size_t k = 0; k < fn; ++k) {
+        const SampleVec x = xv[f0 + k];
+        a0 += x * tile[0][k];
+        a1 += x * tile[1][k];
+        a2 += x * tile[2][k];
+        a3 += x * tile[3][k];
+      }
     }
     for (std::size_t s = 0; s < count; ++s) {
       float* o = block.data() + s * dim + d;
@@ -164,15 +177,25 @@ void ProjectionEncoder::encode_block(const common::Matrix& features,
       o[2] = a2[s];
       o[3] = a3[s];
     }
+    std::swap(wcur, wnext);
   }
   for (; d < dim; ++d) {
-    basis_->float_rows(d, 1, wscratch.data(), rows);
-    const float* w = rows[0];
+    basis_->sign_rows(d, 1, wcur);
     SampleVec a{};
-    for (std::size_t f = 0; f < nf; ++f) a += xv[f] * w[f];
+    for (std::size_t w = 0; w < wpr; ++w) {
+      expand_sign_word(wcur[w], tile[0]);
+      const std::size_t f0 = w * 64;
+      const std::size_t fn = std::min<std::size_t>(64, nf - f0);
+      for (std::size_t k = 0; k < fn; ++k) a += xv[f0 + k] * tile[0][k];
+    }
     for (std::size_t s = 0; s < count; ++s) block[s * dim + d] = a[s];
   }
 #else
+  // Portable fallback: whole float rows from the provider (a materialized
+  // mirror pointer or a rematerialized scratch fill), scalar accumulation.
+  std::vector<float> wscratch;
+  if (basis_->kind() == BasisKind::kRematerialized) wscratch.resize(nf);
+  const float* rows[1];
   for (std::size_t d = 0; d < dim; ++d) {
     basis_->float_rows(d, 1, wscratch.data(), rows);
     const float* w = rows[0];

@@ -61,6 +61,10 @@
 //       — the engine: BitMatrix x query-batch AND/XOR-popcount scoring and
 //         fused winner-take-all recall; BatchScorer amortizes the kernel's
 //         row repack across many batches (rebuild it when the AM changes).
+//   search::CascadeSearcher — coarse-to-fine recall for many-centroid AMs:
+//       bit-sampled prescreen plane + exact shortlist rescore
+//       (BatchScorer::scores_rows), with a certified exact mode and an
+//       approximate threshold mode (ModelOptions::cascade* knobs).
 //   core::MultiCentroidAM::scores_batch / predict_batch
 //   hdc::AssociativeMemory::scores_batch / predict_batch
 //   hdc::ProjectionEncoder::encode_batch        (sample-blocked matmul)
@@ -113,6 +117,9 @@
 
 // Clustering
 #include "src/clustering/kmeans.hpp"
+
+// Coarse-to-fine associative search (prescreen + exact shortlist rescore)
+#include "src/search/cascade.hpp"
 
 // HDC toolbox
 #include "src/hdc/associative_memory.hpp"

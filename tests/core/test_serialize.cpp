@@ -159,18 +159,19 @@ TEST(Serialize, LegacyContainerLoadsWithSequentialDerivation) {
 
   const std::string path = temp_model_path("memhd_legacy.model");
   model.save(path);
-  // v2 layout: magic(8) u64*7(56) f64(8) f32(4) u8*3(3) basis-u8*2(2)...
-  // Rewrite to v1: swap the magic revision and splice out bytes 79..80.
+  // v3 layout: magic(8) u64*7(56) f64(8) f32(4) u8*3(3) basis-u8*2(2)
+  // cascade u8*2+f64+u64*3(34)... Rewrite to v1: swap the magic revision
+  // and splice out the basis + cascade bytes 79..114.
   std::string bytes;
   {
     std::ifstream in(path, std::ios::binary);
     bytes.assign(std::istreambuf_iterator<char>(in),
                  std::istreambuf_iterator<char>());
   }
-  ASSERT_GT(bytes.size(), 81u);
-  ASSERT_EQ(bytes.substr(0, 8), "MEMHD002");
+  ASSERT_GT(bytes.size(), 115u);
+  ASSERT_EQ(bytes.substr(0, 8), "MEMHD003");
   bytes[7] = '1';
-  bytes.erase(79, 2);
+  bytes.erase(79, 36);
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));

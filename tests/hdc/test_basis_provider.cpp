@@ -69,6 +69,25 @@ TEST(BasisWord, CounterJumpMatchesSequentialStream) {
     EXPECT_EQ(basis_word(42, k), common::splitmix64(state)) << "k=" << k;
 }
 
+TEST(BasisWord, BulkFormMatchesScalarAtEveryAlignment) {
+  // basis_words is the lane-parallel fast path of the SAME frozen stream:
+  // every output word must equal the scalar basis_word, for counts around
+  // the 8-lane group size (tails, exact multiples, sub-group counts) and
+  // arbitrary counter offsets.
+  for (const std::uint64_t seed : {42ULL, 7ULL, 0ULL}) {
+    for (const std::uint64_t counter : {0ULL, 1ULL, 13ULL, 1000000ULL}) {
+      for (const std::size_t count : {0UL, 1UL, 7UL, 8UL, 9UL, 64UL, 100UL}) {
+        std::vector<std::uint64_t> bulk(count + 1, 0xA5A5A5A5A5A5A5A5ULL);
+        basis_words(seed, counter, count, bulk.data());
+        for (std::size_t i = 0; i < count; ++i)
+          ASSERT_EQ(bulk[i], basis_word(seed, counter + i))
+              << "seed=" << seed << " counter=" << counter << " i=" << i;
+        EXPECT_EQ(bulk[count], 0xA5A5A5A5A5A5A5A5ULL);  // no overrun
+      }
+    }
+  }
+}
+
 // ------------------------------------------------- provider-level identity
 
 TEST(BasisProvider, WordsRowsAndTilesIdenticalAcrossKinds) {
@@ -105,6 +124,46 @@ TEST(BasisProvider, WordsRowsAndTilesIdenticalAcrossKinds) {
     if (nf > 2 && dim > 3) {
       EXPECT_TRUE(mat->em_tile(1, nf - 1, 2, dim - 1) ==
                   rem->em_tile(1, nf - 1, 2, dim - 1));
+    }
+  }
+}
+
+TEST(BasisProvider, SignRowsMatchSignWordsAcrossKindsAndGroupSizes) {
+  // sign_rows is the blocked encode kernels' bulk surface: row-major packed
+  // words for a whole row group, identical across providers and equal word
+  // for word to the per-row sign_words accessor, at every group size the
+  // encoder uses (1, the kRowGroup of 4) plus odd and overshooting splits.
+  for (const auto& [nf, dim] : kOddShapes) {
+    const auto mat = make_basis_provider(
+        BasisKind::kMaterialized, BasisDerivation::kCounterStream, dim, nf, 9);
+    const auto rem = make_basis_provider(BasisKind::kRematerialized,
+                                         BasisDerivation::kCounterStream, dim,
+                                         nf, 9);
+    const std::size_t wpr = mat->words_per_row();
+    std::vector<std::uint32_t> all_words(wpr);
+    for (std::size_t w = 0; w < wpr; ++w)
+      all_words[w] = static_cast<std::uint32_t>(w);
+    for (const std::size_t group : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{4}, dim}) {
+      if (group > dim) continue;
+      for (std::size_t d0 = 0; d0 + group <= dim;
+           d0 += std::max<std::size_t>(group, dim / 3 + 1)) {
+        std::vector<std::uint64_t> bulk_m(group * wpr, ~0ULL);
+        std::vector<std::uint64_t> bulk_r(group * wpr, ~0ULL);
+        mat->sign_rows(d0, group, bulk_m.data());
+        rem->sign_rows(d0, group, bulk_r.data());
+        EXPECT_EQ(bulk_m, bulk_r)
+            << "shape " << nf << "x" << dim << " rows [" << d0 << ", "
+            << d0 + group << ")";
+        std::vector<std::uint64_t> row(wpr);
+        for (std::size_t i = 0; i < group; ++i) {
+          mat->sign_words(d0 + i, all_words.data(), wpr, row.data());
+          for (std::size_t w = 0; w < wpr; ++w)
+            ASSERT_EQ(bulk_m[i * wpr + w], row[w])
+                << "shape " << nf << "x" << dim << " row " << d0 + i
+                << " word " << w;
+        }
+      }
     }
   }
 }

@@ -1,0 +1,266 @@
+// CascadeSearcher: the exact-mode bit-identity contract (property-tested
+// against the exhaustive kernel over odd shapes and engineered ties), the
+// threshold-mode quality contract on a fitted model, config validation, and
+// stats accounting.
+#include "src/search/cascade.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/bit_matrix.hpp"
+#include "src/common/bit_vector.hpp"
+#include "src/common/bitops_batch.hpp"
+#include "src/common/rng.hpp"
+
+namespace memhd::search {
+namespace {
+
+std::vector<common::BitVector> random_queries(std::size_t n, std::size_t bits,
+                                              std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<common::BitVector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(common::BitVector::random(bits, rng));
+  return out;
+}
+
+std::vector<std::uint32_t> exhaustive(const common::BitMatrix& rows,
+                                      std::span<const common::BitVector> qs) {
+  common::BatchScorer scorer(rows);
+  std::vector<std::uint32_t> out;
+  scorer.dot_argmax(qs, out);
+  return out;
+}
+
+// ---------------------------------------------------------------- exact --
+
+TEST(CascadeExact, MatchesExhaustiveAcrossShapes) {
+  // The property the mode exists for: bit-identical first-wins argmax, at
+  // every sample fraction, over shapes with and without ragged tail words.
+  const struct {
+    std::size_t rows, bits;
+  } shapes[] = {{1, 64}, {3, 65}, {17, 130}, {64, 256}, {193, 1000},
+                {256, 2048}};
+  const double fractions[] = {0.05, 0.25, 0.5, 0.75, 1.0};
+  for (const auto& sh : shapes) {
+    common::Rng rng(0x5EEDULL + sh.rows * 31 + sh.bits);
+    const auto plane = common::BitMatrix::random(sh.rows, sh.bits, rng);
+    const auto queries = random_queries(32, sh.bits, sh.rows * 977 + sh.bits);
+    const auto want = exhaustive(plane, queries);
+    for (const double f : fractions) {
+      CascadeConfig cfg;
+      cfg.mode = CascadeMode::kExact;
+      cfg.sample_fraction = f;
+      cfg.shortlist = 64;
+      const CascadeSearcher cascade(plane, cfg);
+      std::vector<std::uint32_t> got;
+      CascadeStats stats;
+      cascade.dot_argmax(queries, got, &stats);
+      ASSERT_EQ(got, want) << "rows=" << sh.rows << " bits=" << sh.bits
+                           << " fraction=" << f;
+      EXPECT_EQ(stats.queries, queries.size());
+    }
+  }
+}
+
+TEST(CascadeExact, DuplicateRowsPreserveFirstWins) {
+  // Engineered ties: every row duplicated, plus an all-zeros pair. The
+  // exhaustive kernel answers the LOWEST index of each tied group; the
+  // certified rescore must too — including when the duplicate pair
+  // straddles the shortlist ordering.
+  common::Rng rng(99);
+  const std::size_t bits = 192;
+  const auto half = common::BitMatrix::random(8, bits, rng);
+  common::BitMatrix plane(18, bits);
+  for (std::size_t r = 0; r < 8; ++r) {
+    std::memcpy(plane.row(2 * r), half.row(r),
+                half.words_per_row() * sizeof(std::uint64_t));
+    std::memcpy(plane.row(2 * r + 1), half.row(r),
+                half.words_per_row() * sizeof(std::uint64_t));
+  }
+  // Rows 16, 17 stay all-zero: ties at score 0 for a zero query.
+  auto queries = random_queries(64, bits, 1234);
+  queries.push_back(common::BitVector(bits));  // all zeros
+
+  const auto want = exhaustive(plane, queries);
+  for (const std::uint32_t w : want) EXPECT_EQ(w % 2, 0u);  // lower twin
+
+  for (const double f : {0.34, 0.67, 1.0}) {
+    CascadeConfig cfg;
+    cfg.mode = CascadeMode::kExact;
+    cfg.sample_fraction = f;
+    cfg.shortlist = 6;  // smaller than the plane: forces fallbacks too
+    const CascadeSearcher cascade(plane, cfg);
+    std::vector<std::uint32_t> got;
+    cascade.dot_argmax(queries, got);
+    ASSERT_EQ(got, want) << "fraction=" << f;
+  }
+}
+
+TEST(CascadeExact, StatsPartitionTheBatch) {
+  // queries = early_exits + fallbacks + rescored queries; every rescored
+  // query touched at least 2 and at most `shortlist` rows.
+  common::Rng rng(5);
+  const auto plane = common::BitMatrix::random(128, 512, rng);
+  const auto queries = random_queries(256, 512, 42);
+  CascadeConfig cfg;
+  cfg.mode = CascadeMode::kExact;
+  cfg.sample_fraction = 0.75;
+  cfg.shortlist = 32;
+  const CascadeSearcher cascade(plane, cfg);
+  std::vector<std::uint32_t> got;
+  CascadeStats stats;
+  cascade.dot_argmax(queries, got, &stats);
+  EXPECT_EQ(stats.queries, queries.size());
+  const std::uint64_t resolved =
+      stats.queries - stats.early_exits - stats.fallbacks;
+  EXPECT_GE(stats.rescored_rows, 2 * resolved);
+  EXPECT_LE(stats.rescored_rows, cfg.shortlist * resolved);
+}
+
+// ------------------------------------------------------------ threshold --
+
+TEST(CascadeThreshold, ShortlistCoveringPlaneIsExact) {
+  // With shortlist >= rows the top-L selection keeps every row, so the
+  // rescore IS the exhaustive argmax — including tie order.
+  common::Rng rng(7);
+  const auto plane = common::BitMatrix::random(48, 300, rng);
+  auto queries = random_queries(96, 300, 8);
+  queries.push_back(common::BitVector(300));
+  const auto want = exhaustive(plane, queries);
+  CascadeConfig cfg;
+  cfg.mode = CascadeMode::kThreshold;
+  cfg.sample_fraction = 0.2;
+  cfg.shortlist = 48;
+  const CascadeSearcher cascade(plane, cfg);
+  std::vector<std::uint32_t> got;
+  cascade.dot_argmax(queries, got);
+  EXPECT_EQ(got, want);
+}
+
+TEST(CascadeThreshold, StructuredWorkloadHitsShortlist) {
+  // Queries near distinct prototypes: the prescreen shortlist should keep
+  // the true winner essentially always (this is the regime the mode is
+  // for), so the cascade argmax matches exhaustive despite the pruning.
+  common::Rng rng(21);
+  const std::size_t bits = 1024, nrows = 256;
+  const auto plane = common::BitMatrix::random(nrows, bits, rng);
+  std::vector<common::BitVector> queries;
+  for (std::size_t q = 0; q < 128; ++q) {
+    common::BitVector hv(bits);
+    const std::uint64_t* proto = plane.row(rng.next_u64() % nrows);
+    std::memcpy(hv.words(), proto,
+                plane.words_per_row() * sizeof(std::uint64_t));
+    for (std::size_t i = 0; i < bits / 10; ++i)
+      hv.flip(rng.next_u64() % bits);
+    queries.push_back(std::move(hv));
+  }
+  const auto want = exhaustive(plane, queries);
+  CascadeConfig cfg;
+  cfg.mode = CascadeMode::kThreshold;
+  cfg.sample_fraction = 0.125;
+  cfg.shortlist = 32;
+  const CascadeSearcher cascade(plane, cfg);
+  std::vector<std::uint32_t> got;
+  CascadeStats stats;
+  cascade.dot_argmax(queries, got, &stats);
+  std::size_t agree = 0;
+  for (std::size_t q = 0; q < want.size(); ++q) agree += got[q] == want[q];
+  EXPECT_GE(agree, want.size() * 97 / 100);
+  EXPECT_EQ(stats.fallbacks, 0u);
+  EXPECT_EQ(stats.rescored_rows, cfg.shortlist * stats.queries);
+}
+
+TEST(CascadeThreshold, EarlyExitMarginSkipsRescore) {
+  // Queries that ARE prototype rows: the prescreen margin is huge, so a
+  // modest early_exit_margin answers them with zero stage-2 work — and
+  // still correctly.
+  common::Rng rng(33);
+  const std::size_t bits = 2048, nrows = 64;
+  const auto plane = common::BitMatrix::random(nrows, bits, rng);
+  std::vector<common::BitVector> queries;
+  for (std::size_t r = 0; r < nrows; ++r) {
+    common::BitVector hv(bits);
+    std::memcpy(hv.words(), plane.row(r),
+                plane.words_per_row() * sizeof(std::uint64_t));
+    queries.push_back(std::move(hv));
+  }
+  CascadeConfig cfg;
+  cfg.mode = CascadeMode::kThreshold;
+  cfg.sample_fraction = 0.25;
+  cfg.shortlist = 8;
+  cfg.early_exit_margin = 16;
+  const CascadeSearcher cascade(plane, cfg);
+  std::vector<std::uint32_t> got;
+  CascadeStats stats;
+  cascade.dot_argmax(queries, got, &stats);
+  const auto want = exhaustive(plane, queries);
+  EXPECT_EQ(got, want);
+  EXPECT_GT(stats.early_exits, 0u);
+}
+
+// ------------------------------------------------------------- plumbing --
+
+TEST(Cascade, DegenerateSampleForwardsToExhaustive) {
+  common::Rng rng(3);
+  const auto plane = common::BitMatrix::random(10, 64, rng);  // 1 word/row
+  const auto queries = random_queries(16, 64, 4);
+  CascadeConfig cfg;
+  cfg.sample_fraction = 0.01;  // rounds up to the mandatory 1 word = all
+  const CascadeSearcher cascade(plane, cfg);
+  EXPECT_TRUE(cascade.degenerate());
+  std::vector<std::uint32_t> got;
+  CascadeStats stats;
+  cascade.dot_argmax(queries, got, &stats);
+  EXPECT_EQ(got, exhaustive(plane, queries));
+  EXPECT_EQ(stats.fallbacks, queries.size());
+}
+
+TEST(Cascade, SameConfigSameSeedIsDeterministic) {
+  // The prescreen plane is a pure function of (seed, shape, fraction):
+  // two searchers over the same plane answer identically — the property
+  // serialization round-trips rely on.
+  common::Rng rng(17);
+  const auto plane = common::BitMatrix::random(96, 777, rng);
+  const auto queries = random_queries(64, 777, 18);
+  CascadeConfig cfg;
+  cfg.mode = CascadeMode::kThreshold;
+  cfg.sample_fraction = 0.3;
+  cfg.shortlist = 12;
+  const CascadeSearcher a(plane, cfg);
+  const CascadeSearcher b(plane, cfg);
+  EXPECT_EQ(a.sampled_words(), b.sampled_words());
+  std::vector<std::uint32_t> ra, rb;
+  a.dot_argmax(queries, ra);
+  b.dot_argmax(queries, rb);
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(Cascade, InvalidConfigThrows) {
+  common::Rng rng(1);
+  const auto plane = common::BitMatrix::random(4, 128, rng);
+  CascadeConfig bad;
+  bad.sample_fraction = 0.0;
+  EXPECT_THROW(CascadeSearcher(plane, bad), std::invalid_argument);
+  bad.sample_fraction = 1.5;
+  EXPECT_THROW(CascadeSearcher(plane, bad), std::invalid_argument);
+  bad.sample_fraction = 0.5;
+  bad.shortlist = 0;
+  EXPECT_THROW(CascadeSearcher(plane, bad), std::invalid_argument);
+}
+
+TEST(Cascade, EmptyBatchIsANoOp) {
+  common::Rng rng(2);
+  const auto plane = common::BitMatrix::random(4, 128, rng);
+  const CascadeSearcher cascade(plane, CascadeConfig{});
+  std::vector<std::uint32_t> out(3, 7u);
+  cascade.dot_argmax(std::span<const common::BitVector>{}, out);
+  EXPECT_TRUE(out.empty());  // resized to the batch
+}
+
+}  // namespace
+}  // namespace memhd::search

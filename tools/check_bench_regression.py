@@ -20,6 +20,18 @@ Three record shapes are understood, keyed on the "bench" field:
   inversely with throughput), must stay within --serve-factor of the
   baseline p99. A missing serve baseline skips the latency gate with a
   notice (commit one with --update);
+* cascade records ("bench": "cascade", produced by bench_cascade): the
+  coarse-to-fine search cascade. Machine-independent checks always run —
+  the workload is fully seeded, so every rate below is deterministic per
+  build: exact mode must report exact_identical at every plane size (the
+  margin-bound contract), the threshold shortlist must keep hit_rate >= 0.99
+  at every size, exact-mode fallbacks must stay <= 5%, stage-2 rescoring at
+  the largest size must touch <= 2% of rows (the pruning claim), and the
+  fitted-model accuracy delta must stay <= 0.5%. Speedups are within-run
+  ratios (cascade vs. exhaustive on the same host), so they transfer across
+  machines: against bench/baselines/BENCH_cascade.json (when present) the
+  largest size's threshold_speedup may not drop more than --threshold below
+  baseline;
 * online records ("bench": "online", produced by bench_online): the cost of
   training and hot-swapping while serving. Machine-independent: served p99
   with a thread swapping versions continuously must stay within
@@ -163,6 +175,93 @@ def check_serve(current, args):
     return 0
 
 
+def check_cascade(current, args):
+    """Gate a bench_cascade record: exact mode must stay bit-identical, the
+    shortlist must keep recall, pruning must prune, accuracy must hold."""
+    failures = []
+    sizes = sorted((k for k in current
+                    if k.startswith("ck_") and isinstance(current[k], dict)),
+                   key=lambda k: current[k].get("rows", 0))
+    if not sizes:
+        print("FAIL (cascade): no ck_* sections in current run")
+        return 1
+    largest = sizes[-1]
+    print(f"cascade search: {len(sizes)} plane sizes up to "
+          f"{current[largest].get('rows', '?')} rows "
+          f"[{current.get('kernel', '?')}, {current.get('threads', '?')} "
+          f"thread(s)]")
+
+    # Machine-independent: the workload is seeded, so these rates are
+    # deterministic properties of the build, not of the host.
+    for name in sizes:
+        sec = current[name]
+        line = (f"  {name:10s} thr {sec.get('threshold_speedup', 0.0):5.2f}x "
+                f"exa {sec.get('exact_speedup', 0.0):5.2f}x "
+                f"hit {sec.get('hit_rate', 0.0):7.4f} "
+                f"fallback {sec.get('fallback_rate', 0.0):7.4f} "
+                f"rescored {sec.get('rescored_fraction', 0.0):7.4f} "
+                f"identical {sec.get('exact_identical', False)}")
+        print(line)
+        if not sec.get("exact_identical", False):
+            failures.append(
+                f"{name}: exact-mode argmax is NOT identical to exhaustive "
+                f"— the margin-bound contract is broken")
+        if sec.get("hit_rate", 0.0) < 0.99:
+            failures.append(
+                f"{name}: threshold hit_rate {sec.get('hit_rate', 0.0):.4f} "
+                f"below the 0.99 floor — the shortlist is losing winners")
+        if sec.get("fallback_rate", 0.0) > 0.05:
+            failures.append(
+                f"{name}: exact-mode fallback_rate "
+                f"{sec.get('fallback_rate', 0.0):.4f} above 5% — the bound "
+                f"has stopped certifying")
+    if current[largest].get("rescored_fraction", 1.0) > 0.02:
+        failures.append(
+            f"{largest}: rescored_fraction "
+            f"{current[largest]['rescored_fraction']:.4f} above 2% — stage 2 "
+            f"is no longer a shortlist")
+    acc = current.get("model_accuracy", {})
+    delta = acc.get("delta", 0.0)
+    print(f"  model accuracy: exhaustive {acc.get('exhaustive', 0.0):.4f} -> "
+          f"threshold {acc.get('threshold', 0.0):.4f} (delta {delta:+.4f})")
+    if delta > 0.005:
+        failures.append(
+            f"model_accuracy: threshold mode loses {delta:.4f} accuracy on "
+            f"the fitted model — above the 0.5% budget")
+
+    # Speedups are within-run ratios, so they transfer across machines.
+    baseline_path = pathlib.Path(args.baseline_dir) / "BENCH_cascade.json"
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {baseline_path}")
+    elif not baseline_path.exists():
+        print(f"NOTICE: no cascade baseline ({baseline_path} missing); "
+              f"speedup gate skipped. Create one with --update.")
+    elif largest not in load(baseline_path):
+        print(f"NOTICE: no baseline entry for '{largest}'; speedup gate "
+              f"skipped. Re-baseline with --update.")
+    else:
+        base = load(baseline_path)[largest].get("threshold_speedup", 0.0)
+        now = current[largest].get("threshold_speedup", 0.0)
+        status = "OK"
+        if base > 0 and now < base * (1.0 - args.threshold):
+            status = "REGRESSION"
+            failures.append(
+                f"{largest}: threshold_speedup {now:.2f}x is "
+                f"{100 * (1 - now / base):.1f}% below baseline {base:.2f}x")
+        print(f"  {largest} threshold_speedup {base:.2f}x -> {now:.2f}x  "
+              f"{status}")
+
+    if failures:
+        print("\nFAIL (cascade):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nPASS (cascade)")
+    return 0
+
+
 def check_online(current, args):
     """Gate a bench_online record: swaps must not stall serving, training
     throughput must hold up against the baseline."""
@@ -262,6 +361,8 @@ def main():
     current = load(args.current)
     if current.get("bench") == "serve":
         return check_serve(current, args)
+    if current.get("bench") == "cascade":
+        return check_cascade(current, args)
     if current.get("bench") == "online":
         return check_online(current, args)
     kernel = current.get("kernel", "unknown")
